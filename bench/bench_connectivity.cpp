@@ -1,0 +1,77 @@
+// E10 — Lemma 5.2/5.3 (Figures 6, 7): planar vertex connectivity.
+//
+// Measured: our separating-cycle algorithm vs the flow baseline over an n
+// sweep on families of every relevant connectivity value. Expected shape:
+// the flow baseline's time grows near-quadratically (n flow computations of
+// linear size each), ours near-linearly, with a crossover at moderate n —
+// the relationship Table 1 row "this paper" vs the classical algorithms
+// predicts. Both must agree on every instance.
+
+#include <cstdio>
+
+#include "connectivity/flow_connectivity.hpp"
+#include "connectivity/vertex_connectivity.hpp"
+#include "graph/generators.hpp"
+#include "support/timer.hpp"
+
+using namespace ppsi;
+
+namespace {
+
+void row(const char* name, const planar::EmbeddedGraph& eg,
+         std::uint32_t expected) {
+  connectivity::VertexConnectivityOptions opts;
+  opts.max_runs = 4;
+  support::Timer t1;
+  const auto ours = connectivity::planar_vertex_connectivity(eg, opts);
+  const double ours_s = t1.seconds();
+  support::Timer t2;
+  const auto flow = connectivity::vertex_connectivity_flow(eg.graph());
+  const double flow_s = t2.seconds();
+  std::printf(
+      "%-12s %6u  %4u  %4u  %4u  %8.3f  %9.3f  %8llu  %12llu  %s\n", name,
+      eg.graph().num_vertices(), ours.connectivity, flow.connectivity,
+      expected, ours_s, flow_s,
+      static_cast<unsigned long long>(ours.metrics.work() / 1000),
+      static_cast<unsigned long long>(flow.augmentations),
+      ours.connectivity == flow.connectivity ? "agree" : "DISAGREE");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E10 / Section 5: planar vertex connectivity\n");
+  std::printf(
+      "family            n  ours  flow  expd  ours[s]    flow[s]  "
+      "work/1k  flow-augments  check\n");
+  // Connectivity 2: grids.
+  for (const Vertex side : {10u, 20u, 40u}) {
+    row("grid(2)", gen::embedded_grid(side, side), 2);
+  }
+  // Connectivity 3: Apollonian networks.
+  for (const Vertex n : {50u, 200u, 800u}) {
+    row("apollonian(3)", gen::apollonian(n, 17), 3);
+  }
+  // Connectivity 4: antiprisms and subdivided octahedra.
+  for (const Vertex k : {8u, 32u, 128u}) {
+    row("antiprism(4)", gen::antiprism(k), 4);
+  }
+  row("octa-sub1(4)", gen::loop_subdivide(gen::octahedron(), 1), 4);
+  row("octa-sub2(4)", gen::loop_subdivide(gen::octahedron(), 2), 4);
+  // Connectivity 5: icosahedron and its subdivision (every probe negative:
+  // the most expensive case).
+  row("icosa(5)", gen::icosahedron(), 5);
+  row("icosa-sub1(5)", gen::loop_subdivide(gen::icosahedron(), 1), 5);
+  // Random planar graphs of mixed connectivity.
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const auto eg =
+        gen::delete_random_edges(gen::apollonian(120, seed), 40, seed + 9);
+    row("random-planar", eg, connectivity::vertex_connectivity_flow(
+                                  eg.graph()).connectivity);
+  }
+  std::printf(
+      "\nShape check: ours grows near-linearly in n per family while the\n"
+      "flow baseline's augmentations grow ~n^2-ish; both columns agree on\n"
+      "every row (the Monte Carlo answer is correct w.h.p.).\n");
+  return 0;
+}

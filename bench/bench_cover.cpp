@@ -1,0 +1,89 @@
+// E4 — Theorem 2.4 (Figure 3): the parallel treewidth k-d cover.
+//
+// Measured: per-vertex slice multiplicity (bound: d+1 level windows),
+// total cover size vs (d+1) n, measured decomposition width of the slices
+// vs the 3d bound, and the coverage probability of a fixed occurrence
+// (bound: >= 1/2).
+
+#include <cstdio>
+#include <set>
+
+#include "cover/kd_cover.hpp"
+#include "graph/generators.hpp"
+#include "treedecomp/greedy_decomposition.hpp"
+
+using namespace ppsi;
+
+int main() {
+  std::printf("E4 / Theorem 2.4: parallel treewidth k-d cover\n");
+  std::printf(
+      "graph          n    d  slices  total/n  (<=d+1)  max-mult  width  "
+      "3d-bound\n");
+  struct Target {
+    const char* name;
+    Graph g;
+  };
+  const std::vector<Target> targets = {
+      {"grid", gen::grid_graph(50, 50)},
+      {"apollonian", gen::apollonian(2500, 9).graph()},
+      {"thin-grid", gen::grid_graph(8, 300)},
+  };
+  for (const Target& t : targets) {
+    for (const std::uint32_t d : {1u, 2u, 3u, 4u}) {
+      const cover::Cover cover = cover::build_kd_cover(t.g, d, 8.0, 31, 2);
+      std::size_t total = 0;
+      int width = -1;
+      std::vector<std::uint32_t> mult(t.g.num_vertices(), 0);
+      for (const cover::Slice& slice : cover.slices) {
+        total += slice.graph.num_vertices();
+        for (const Vertex v : slice.origin_of) ++mult[v];
+        width = std::max(width,
+                         treedecomp::greedy_decomposition(slice.graph).width());
+      }
+      std::uint32_t max_mult = 0;
+      for (const std::uint32_t m : mult) max_mult = std::max(max_mult, m);
+      std::printf("%-12s %6u  %u  %6zu  %7.2f  %7u  %8u  %5d  %8u\n", t.name,
+                  t.g.num_vertices(), d, cover.slices.size(),
+                  static_cast<double>(total) / t.g.num_vertices(), d + 1,
+                  max_mult, width, 3 * d);
+    }
+  }
+
+  std::printf("\nCoverage probability of a fixed occurrence (bound 1/2):\n");
+  std::printf("pattern  d  covered  trials\n");
+  const Graph g = gen::grid_graph(30, 30);
+  const Vertex mid = 15 * 30 + 15;
+  struct Occ {
+    const char* name;
+    std::vector<Vertex> vertices;
+    std::uint32_t k, d;
+  };
+  const std::vector<Occ> occs = {
+      {"C4", {mid, mid + 1, mid + 30, mid + 31}, 4, 2},
+      {"P4", {mid, mid + 1, mid + 2, mid + 3}, 4, 3},
+      {"C6", {mid, mid + 1, mid + 2, mid + 30, mid + 31, mid + 32}, 6, 3},
+  };
+  const int trials = 300;
+  for (const Occ& occ : occs) {
+    int covered = 0;
+    for (int t = 0; t < trials; ++t) {
+      const cover::Cover cover =
+          cover::build_kd_cover(g, occ.d, 2.0 * occ.k, 5000 + t, occ.k);
+      bool found = false;
+      for (const cover::Slice& slice : cover.slices) {
+        const std::set<Vertex> members(slice.origin_of.begin(),
+                                       slice.origin_of.end());
+        bool all = true;
+        for (const Vertex v : occ.vertices) all = all && members.contains(v);
+        if (all) {
+          found = true;
+          break;
+        }
+      }
+      covered += found ? 1 : 0;
+    }
+    std::printf("%-7s %u  %6.3f  %6d\n", occ.name, occ.d,
+                static_cast<double>(covered) / trials, trials);
+  }
+  return 0;
+}

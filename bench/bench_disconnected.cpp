@@ -1,0 +1,74 @@
+// E8 — Lemma 4.1 (§4.1): disconnected patterns by random color splitting.
+//
+// Measured: the number of coloring attempts until an occurrence of an
+// l-component pattern is found, against the l^k prediction (a fixed
+// occurrence is colored consistently with probability l^-k).
+
+#include <cmath>
+#include <cstdio>
+
+#include "cover/pipeline.hpp"
+#include "graph/generators.hpp"
+#include "support/timer.hpp"
+
+using namespace ppsi;
+
+namespace {
+
+/// A long path with a single C4 attached: the only 4-cycle in the graph,
+/// so the per-fixed-occurrence analysis of Lemma 4.1 is visible (on dense
+/// targets some occurrence is colored consistently almost immediately).
+Graph path_with_one_square(Vertex path_len) {
+  EdgeList edges = gen::path_graph(path_len).edge_list();
+  const Vertex base = path_len;
+  edges.emplace_back(0, base);
+  edges.emplace_back(base, base + 1);
+  edges.emplace_back(base + 1, base + 2);
+  edges.emplace_back(base + 2, 0);
+  return Graph::from_edges(path_len + 3, edges);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E8 / Lemma 4.1: disconnected patterns\n");
+  std::printf("pattern                l  k  mean-attempts  found  trials\n");
+  const Graph g = path_with_one_square(60);
+  struct Case {
+    const char* name;
+    Graph h;
+  };
+  const std::vector<Case> cases = {
+      {"P2 + P2", gen::disjoint_union({gen::path_graph(2),
+                                       gen::path_graph(2)})},
+      {"C4 + P2", gen::disjoint_union({gen::cycle_graph(4),
+                                       gen::path_graph(2)})},
+      {"C4 + P3", gen::disjoint_union({gen::cycle_graph(4),
+                                       gen::path_graph(3)})},
+      {"C4 + P2 + P2",
+       gen::disjoint_union({gen::cycle_graph(4), gen::path_graph(2),
+                            gen::path_graph(2)})},
+  };
+  const int trials = 15;
+  for (const Case& c : cases) {
+    const iso::Pattern pattern = iso::Pattern::from_graph(c.h);
+    const auto l = static_cast<std::uint32_t>(pattern.components().size());
+    std::uint64_t attempts = 0;
+    int found = 0;
+    for (int t = 0; t < trials; ++t) {
+      cover::PipelineOptions opts;
+      opts.seed = 40'000 + static_cast<std::uint64_t>(t);
+      const auto r = cover::find_pattern_disconnected(g, pattern, opts);
+      attempts += r.runs;
+      found += r.found ? 1 : 0;
+    }
+    std::printf("%-20s %2u %2u  %13.1f  %5d  %6d   (l^k = %.0f)\n", c.name, l,
+                pattern.size(), static_cast<double>(attempts) / trials, found,
+                trials,
+                std::pow(static_cast<double>(l), pattern.size()));
+  }
+  std::printf(
+      "\nShape check: mean attempts track l^k (each attempt succeeds when\n"
+      "the k pattern vertices draw their component's color: prob l^-k).\n");
+  return 0;
+}

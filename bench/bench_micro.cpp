@@ -1,0 +1,89 @@
+// Microbenchmarks of the substrates (google-benchmark): graph building,
+// BFS, clustering, components, tree decomposition, planarity testing.
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/est_clustering.hpp"
+#include "cluster/parallel_bfs.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "planar/lr_planarity.hpp"
+#include "treedecomp/greedy_decomposition.hpp"
+
+using namespace ppsi;
+
+namespace {
+
+void BM_GraphBuild(benchmark::State& state) {
+  const auto side = static_cast<Vertex>(state.range(0));
+  EdgeList edges = gen::grid_graph(side, side).edge_list();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Graph::from_edges(side * side, edges));
+  }
+  state.SetItemsProcessed(state.iterations() * edges.size());
+}
+BENCHMARK(BM_GraphBuild)->Arg(50)->Arg(200);
+
+void BM_ParallelBfs(benchmark::State& state) {
+  const auto side = static_cast<Vertex>(state.range(0));
+  const Graph g = gen::grid_graph(side, side);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster::parallel_bfs(g, Vertex{0}));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_vertices());
+}
+BENCHMARK(BM_ParallelBfs)->Arg(100)->Arg(300);
+
+void BM_EstClustering(benchmark::State& state) {
+  const auto side = static_cast<Vertex>(state.range(0));
+  const Graph g = gen::grid_graph(side, side);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster::est_clustering(g, 8.0, ++seed));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_vertices());
+}
+BENCHMARK(BM_EstClustering)->Arg(100)->Arg(300);
+
+void BM_ComponentsParallel(benchmark::State& state) {
+  const auto n = static_cast<Vertex>(state.range(0));
+  const Graph g = gen::apollonian(n, 3).graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(connected_components_parallel(g));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_vertices());
+}
+BENCHMARK(BM_ComponentsParallel)->Arg(10000)->Arg(40000);
+
+void BM_GreedyDecomposition(benchmark::State& state) {
+  const auto n = static_cast<Vertex>(state.range(0));
+  const Graph g = gen::apollonian(n, 5).graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(treedecomp::greedy_decomposition(g));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_vertices());
+}
+BENCHMARK(BM_GreedyDecomposition)->Arg(1000)->Arg(4000);
+
+void BM_LrPlanarity(benchmark::State& state) {
+  const auto n = static_cast<Vertex>(state.range(0));
+  const Graph g = gen::apollonian(n, 7).graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planar::is_planar(g));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_vertices());
+}
+BENCHMARK(BM_LrPlanarity)->Arg(1000)->Arg(10000);
+
+void BM_LoopSubdivide(benchmark::State& state) {
+  const auto rounds = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gen::loop_subdivide(gen::icosahedron(), rounds));
+  }
+}
+BENCHMARK(BM_LoopSubdivide)->Arg(2)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

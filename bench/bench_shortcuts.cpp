@@ -1,0 +1,79 @@
+// E7 — Lemma 3.3 (Figure 5): shortcut reachability in the partial-match DAG.
+//
+// Path-graph targets produce path-shaped decomposition trees, the worst
+// case for the reachability diameter. Measured: BFS rounds of the parallel
+// engine with and without the translation-forest shortcuts, the k log n
+// reference, and the shortcut edge overhead (bound: linear).
+
+#include <cmath>
+#include <cstdio>
+
+#include "graph/generators.hpp"
+#include "isomorphism/parallel_engine.hpp"
+#include "treedecomp/greedy_decomposition.hpp"
+
+using namespace ppsi;
+
+int main() {
+  std::printf("E7 / Lemma 3.3: shortcut reachability\n");
+  std::printf(
+      "target        n  pat | rounds(short)  rounds(plain)  k*log2(n)  "
+      "dag-vertices  dag-edges  shortcut-edges\n");
+  struct Pat {
+    const char* name;
+    Graph h;
+  };
+  const std::vector<Pat> pats = {
+      {"P3", gen::path_graph(3)},
+      {"P5", gen::path_graph(5)},
+  };
+  for (const Vertex n : {200u, 800u, 3200u, 12800u}) {
+    const Graph g = gen::path_graph(n);
+    const auto td = treedecomp::binarize(treedecomp::greedy_decomposition(g));
+    for (const Pat& p : pats) {
+      const iso::Pattern pattern = iso::Pattern::from_graph(p.h);
+      iso::ParallelOptions with;
+      iso::ParallelOptions without;
+      without.use_shortcuts = false;
+      iso::ParallelStats s1, s2;
+      const auto a = iso::solve_parallel(g, td, pattern, with, &s1);
+      const auto b = iso::solve_parallel(g, td, pattern, without, &s2);
+      if (a.accepted != b.accepted) {
+        std::printf("ERROR: shortcut run disagrees\n");
+        return 1;
+      }
+      std::printf(
+          "path    %7u  %-3s |  %12llu  %13llu  %9.1f  %12llu  %9llu  %14llu\n",
+          n, p.name, static_cast<unsigned long long>(s1.bfs_rounds),
+          static_cast<unsigned long long>(s2.bfs_rounds),
+          pattern.size() * std::log2(static_cast<double>(n)),
+          static_cast<unsigned long long>(s1.dag_vertices),
+          static_cast<unsigned long long>(s1.dag_edges),
+          static_cast<unsigned long long>(s1.shortcut_edges));
+    }
+  }
+  // A cycle target: the decomposition is again path-like.
+  for (const Vertex n : {500u, 4000u}) {
+    const Graph g = gen::cycle_graph(n);
+    const auto td = treedecomp::binarize(treedecomp::greedy_decomposition(g));
+    const iso::Pattern pattern = iso::Pattern::from_graph(gen::path_graph(4));
+    iso::ParallelStats s1, s2;
+    iso::ParallelOptions without;
+    without.use_shortcuts = false;
+    iso::solve_parallel(g, td, pattern, {}, &s1);
+    iso::solve_parallel(g, td, pattern, without, &s2);
+    std::printf(
+        "cycle   %7u  P4  |  %12llu  %13llu  %9.1f  %12llu  %9llu  %14llu\n",
+        n, static_cast<unsigned long long>(s1.bfs_rounds),
+        static_cast<unsigned long long>(s2.bfs_rounds),
+        4 * std::log2(static_cast<double>(n)),
+        static_cast<unsigned long long>(s1.dag_vertices),
+        static_cast<unsigned long long>(s1.dag_edges),
+        static_cast<unsigned long long>(s1.shortcut_edges));
+  }
+  std::printf(
+      "\nShape check: rounds(short) grows ~k log n while rounds(plain)\n"
+      "grows linearly with the decomposition path length; shortcut edges\n"
+      "stay within a small multiple of the DAG vertices (work-efficiency).\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Mesh reliability audit (the paper's networking motivation [12]):
+// vertex connectivity tells how many simultaneous node failures a mesh
+// topology survives. We audit geodesic-sphere meshes (communication
+// constellations) and damaged variants, reporting the connectivity and a
+// concrete minimum cut, cross-checked against the exact flow baseline.
+
+#include <cstdio>
+
+#include "connectivity/flow_connectivity.hpp"
+#include "connectivity/vertex_connectivity.hpp"
+#include "graph/generators.hpp"
+#include "support/timer.hpp"
+
+using namespace ppsi;
+
+namespace {
+
+void audit(const char* name, const planar::EmbeddedGraph& eg) {
+  support::Timer timer;
+  connectivity::VertexConnectivityOptions opts;
+  opts.max_runs = 5;
+  const auto ours = connectivity::planar_vertex_connectivity(eg, opts);
+  const double secs = timer.seconds();
+  const auto flow = connectivity::vertex_connectivity_flow(eg.graph());
+  std::printf("%-22s n=%5u  survives %u failures  cut {", name,
+              eg.graph().num_vertices(),
+              ours.connectivity > 0 ? ours.connectivity - 1 : 0);
+  for (std::size_t i = 0; i < ours.witness_cut.size(); ++i)
+    std::printf("%s%u", i ? "," : "", ours.witness_cut[i]);
+  std::printf("}  [%.2fs, flow agrees: %s]\n", secs,
+              ours.connectivity == flow.connectivity ? "yes" : "NO");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("mesh reliability audit (vertex connectivity)\n");
+  // Pristine constellation meshes: geodesic subdivisions of the
+  // icosahedron are 5-connected — the best a planar topology can do.
+  audit("icosahedron", gen::icosahedron());
+  audit("geodesic-1", gen::loop_subdivide(gen::icosahedron(), 1));
+  // Cheaper 4-connected alternatives.
+  audit("antiprism-16", gen::antiprism(16));
+  audit("octa-geodesic-1", gen::loop_subdivide(gen::octahedron(), 1));
+  audit("octa-geodesic-2", gen::loop_subdivide(gen::octahedron(), 2));
+  // Damaged meshes: random link failures degrade the connectivity.
+  for (const std::size_t damage : {5u, 15u, 40u}) {
+    char label[64];
+    std::snprintf(label, sizeof label, "damaged mesh (-%zu links)", damage);
+    audit(label, gen::delete_random_edges(gen::apollonian(120, 3), damage,
+                                          damage * 7 + 1));
+  }
+  std::printf(
+      "\nReading: a c-connected mesh keeps all remaining nodes mutually\n"
+      "reachable under any c-1 simultaneous node failures; the cut lists a\n"
+      "concrete weakest set of nodes.\n");
+  return 0;
+}

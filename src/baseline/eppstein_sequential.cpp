@@ -1,0 +1,107 @@
+#include "baseline/eppstein_sequential.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "graph/components.hpp"
+#include "graph/ops.hpp"
+#include "treedecomp/greedy_decomposition.hpp"
+
+namespace ppsi::baseline {
+namespace {
+
+using iso::Assignment;
+
+/// Runs `handle(slice_graph, origin_of)` for every BFS level window of every
+/// component; stops early when handle returns true.
+bool for_each_bfs_slice(
+    const Graph& g, std::uint32_t d,
+    const std::function<bool(const Graph&, const std::vector<Vertex>&)>&
+        handle) {
+  const Components comps = connected_components(g);
+  std::vector<char> seen_component(comps.count, 0);
+  for (Vertex root = 0; root < g.num_vertices(); ++root) {
+    if (seen_component[comps.label[root]]) continue;
+    seen_component[comps.label[root]] = 1;
+    const auto dist = bfs_distances(g, root);
+    std::uint32_t max_level = 0;
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      if (comps.label[v] == comps.label[root]) {
+        max_level = std::max(max_level, dist[v]);
+      }
+    }
+    const std::uint32_t last = max_level > d ? max_level - d : 0;
+    for (std::uint32_t i = 0; i <= last; ++i) {
+      std::vector<Vertex> vertices;
+      for (Vertex v = 0; v < g.num_vertices(); ++v) {
+        if (comps.label[v] == comps.label[root] && dist[v] >= i &&
+            dist[v] <= i + d) {
+          vertices.push_back(v);
+        }
+      }
+      if (vertices.empty()) continue;
+      const DerivedGraph sub = induced_subgraph(g, vertices);
+      if (handle(sub.graph, sub.origin_of)) return true;
+    }
+  }
+  return false;
+}
+
+
+}  // namespace
+
+EppsteinResult eppstein_decide(const Graph& g, const iso::Pattern& pattern) {
+  EppsteinResult result;
+  if (g.num_vertices() < pattern.size()) return result;
+  const std::uint32_t d = pattern.diameter();
+  for_each_bfs_slice(g, d, [&](const Graph& slice,
+                               const std::vector<Vertex>& origin) {
+    ++result.slices;
+    if (slice.num_vertices() < pattern.size()) return false;
+    using namespace treedecomp;
+    const TreeDecomposition td =
+        binarize(greedy_decomposition(slice, GreedyStrategy::kMinDegree));
+    const iso::DpSolution sol = iso::solve_sequential(slice, td, pattern, {});
+    result.metrics.absorb(sol.metrics);
+    if (!sol.accepted) return false;
+    const auto assignments = iso::recover_assignments(sol, td, 1);
+    if (!assignments.empty()) {
+      Assignment witness = assignments.front();
+      for (Vertex& image : witness) image = origin[image];
+      result.witness = witness;
+    }
+    result.found = true;
+    return true;
+  });
+  return result;
+}
+
+std::vector<iso::Assignment> eppstein_list(const Graph& g,
+                                           const iso::Pattern& pattern,
+                                           std::size_t limit,
+                                           support::Metrics* metrics) {
+  std::set<Assignment> all;
+  if (g.num_vertices() < pattern.size()) return {};
+  const std::uint32_t d = pattern.diameter();
+  for_each_bfs_slice(g, d, [&](const Graph& slice,
+                               const std::vector<Vertex>& origin) {
+    if (slice.num_vertices() < pattern.size()) return false;
+    using namespace treedecomp;
+    const TreeDecomposition td =
+        binarize(greedy_decomposition(slice, GreedyStrategy::kMinDegree));
+    const iso::DpSolution sol = iso::solve_sequential(slice, td, pattern, {});
+    if (metrics != nullptr) metrics->absorb(sol.metrics);
+    if (sol.accepted) {
+      for (Assignment a : iso::recover_assignments(sol, td, limit)) {
+        for (Vertex& image : a) image = origin[image];
+        all.insert(std::move(a));
+      }
+    }
+    return all.size() >= limit;
+  });
+  std::vector<Assignment> out(all.begin(), all.end());
+  if (out.size() > limit) out.resize(limit);
+  return out;
+}
+
+}  // namespace ppsi::baseline

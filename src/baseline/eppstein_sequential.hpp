@@ -1,0 +1,36 @@
+#pragma once
+
+// Eppstein's sequential planar subgraph isomorphism pipeline [19]
+// (Table 1, row 2): one deterministic BFS per component covers the graph
+// with diameter-d slices; each slice is solved by the bottom-up DP of §3.2.
+// Exact (no randomness); serves as the deterministic baseline for the
+// Table 1 bench and as a cross-check oracle for the randomized pipeline.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "isomorphism/pattern.hpp"
+#include "isomorphism/sequential_dp.hpp"
+#include "support/metrics.hpp"
+
+namespace ppsi::baseline {
+
+struct EppsteinResult {
+  bool found = false;
+  std::optional<iso::Assignment> witness;
+  support::Metrics metrics;
+  std::size_t slices = 0;
+};
+
+/// Decides whether the connected pattern occurs in the (planar) graph.
+EppsteinResult eppstein_decide(const Graph& g, const iso::Pattern& pattern);
+
+/// Lists all distinct occurrences (up to `limit`).
+std::vector<iso::Assignment> eppstein_list(const Graph& g,
+                                           const iso::Pattern& pattern,
+                                           std::size_t limit,
+                                           support::Metrics* metrics = nullptr);
+
+}  // namespace ppsi::baseline

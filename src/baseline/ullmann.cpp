@@ -1,0 +1,127 @@
+#include "baseline/ullmann.hpp"
+
+#include <bit>
+
+#include <algorithm>
+
+namespace ppsi::baseline {
+namespace {
+
+using iso::Assignment;
+using iso::Pattern;
+
+/// Shared backtracking core. With `refine` the candidate sets are pruned by
+/// Ullmann's neighborhood condition before every branch.
+class Matcher {
+ public:
+  Matcher(const Graph& g, const Pattern& pattern, bool refine,
+          std::size_t limit)
+      : g_(g), h_(pattern), refine_(refine), limit_(limit) {}
+
+  std::vector<Assignment> run() {
+    const std::uint32_t k = h_.size();
+    candidates_.assign(k, {});
+    for (std::uint32_t v = 0; v < k; ++v) {
+      const std::uint32_t need = h_.graph().degree(v);
+      for (Vertex gvertex = 0; gvertex < g_.num_vertices(); ++gvertex) {
+        if (g_.degree(gvertex) >= need) candidates_[v].push_back(gvertex);
+      }
+    }
+    assignment_.assign(k, kNoVertex);
+    used_.assign(g_.num_vertices(), 0);
+    branch(0);
+    return std::move(results_);
+  }
+
+  std::uint64_t nodes_explored = 0;
+
+ private:
+  void branch(std::uint32_t v) {
+    if (results_.size() >= limit_) return;
+    ++nodes_explored;
+    const std::uint32_t k = h_.size();
+    if (v == k) {
+      results_.push_back(assignment_);
+      return;
+    }
+    for (const Vertex gvertex : candidates_[v]) {
+      if (used_[gvertex]) continue;
+      // All earlier pattern neighbors must map to target neighbors.
+      bool ok = true;
+      for (std::uint32_t rest = h_.adj_mask(v) & ((1u << v) - 1); rest;
+           rest &= rest - 1) {
+        const auto w = static_cast<std::uint32_t>(std::countr_zero(rest));
+        if (!g_.has_edge(assignment_[w], gvertex)) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      if (refine_ && !forward_check(v, gvertex)) continue;
+      assignment_[v] = gvertex;
+      used_[gvertex] = 1;
+      branch(v + 1);
+      used_[gvertex] = 0;
+      assignment_[v] = kNoVertex;
+      if (results_.size() >= limit_) return;
+    }
+  }
+
+  /// Ullmann-style look-ahead: every later pattern neighbor of v must still
+  /// have some unused candidate adjacent to gvertex.
+  bool forward_check(std::uint32_t v, Vertex gvertex) const {
+    for (std::uint32_t rest = h_.adj_mask(v) & ~((1u << (v + 1)) - 1); rest;
+         rest &= rest - 1) {
+      const auto w = static_cast<std::uint32_t>(std::countr_zero(rest));
+      bool viable = false;
+      for (const Vertex cand : candidates_[w]) {
+        if (!used_[cand] && cand != gvertex && g_.has_edge(cand, gvertex)) {
+          viable = true;
+          break;
+        }
+      }
+      if (!viable) return false;
+    }
+    return true;
+  }
+
+  const Graph& g_;
+  const Pattern& h_;
+  bool refine_;
+  std::size_t limit_;
+  std::vector<std::vector<Vertex>> candidates_;
+  Assignment assignment_;
+  std::vector<char> used_;
+  std::vector<Assignment> results_;
+};
+
+}  // namespace
+
+UllmannResult ullmann_decide(const Graph& g, const iso::Pattern& pattern) {
+  Matcher matcher(g, pattern, /*refine=*/true, /*limit=*/1);
+  auto results = matcher.run();
+  UllmannResult out;
+  out.nodes_explored = matcher.nodes_explored;
+  out.found = !results.empty();
+  if (out.found) out.witness = results.front();
+  return out;
+}
+
+std::vector<iso::Assignment> ullmann_list(const Graph& g,
+                                          const iso::Pattern& pattern,
+                                          std::size_t limit,
+                                          std::uint64_t* nodes) {
+  Matcher matcher(g, pattern, /*refine=*/true, limit);
+  auto results = matcher.run();
+  if (nodes != nullptr) *nodes = matcher.nodes_explored;
+  return results;
+}
+
+std::vector<iso::Assignment> brute_force_list(const Graph& g,
+                                              const iso::Pattern& pattern,
+                                              std::size_t limit) {
+  Matcher matcher(g, pattern, /*refine=*/false, limit);
+  return matcher.run();
+}
+
+}  // namespace ppsi::baseline

@@ -1,0 +1,39 @@
+#pragma once
+
+// Baseline subgraph isomorphism: Ullmann's backtracking algorithm [51]
+// (candidate matrices with degree pruning and neighborhood refinement) and
+// a plain brute-force enumerator used as the test oracle.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "isomorphism/pattern.hpp"
+#include "isomorphism/sequential_dp.hpp"
+#include "support/metrics.hpp"
+
+namespace ppsi::baseline {
+
+struct UllmannResult {
+  bool found = false;
+  std::optional<iso::Assignment> witness;
+  std::uint64_t nodes_explored = 0;  ///< backtracking nodes (work measure)
+};
+
+/// Decides whether the pattern occurs in g (subgraph isomorphism, not
+/// necessarily induced).
+UllmannResult ullmann_decide(const Graph& g, const iso::Pattern& pattern);
+
+/// Lists up to `limit` distinct assignments.
+std::vector<iso::Assignment> ullmann_list(const Graph& g,
+                                          const iso::Pattern& pattern,
+                                          std::size_t limit,
+                                          std::uint64_t* nodes = nullptr);
+
+/// Test oracle: plain exhaustive backtracking without refinement.
+std::vector<iso::Assignment> brute_force_list(const Graph& g,
+                                              const iso::Pattern& pattern,
+                                              std::size_t limit);
+
+}  // namespace ppsi::baseline

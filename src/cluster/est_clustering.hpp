@@ -1,0 +1,42 @@
+#pragma once
+
+// Exponential start time clustering (Miller–Peng–Xu), paper Lemma 2.3.
+//
+// Every vertex draws an exponential shift with mean beta; vertex v joins the
+// cluster of the center u minimizing dist(u, v) - shift(u). Realized as a
+// round-synchronous multi-source BFS where a still-unclaimed vertex starts
+// its own cluster in round floor(start(v)), with fractional start times
+// breaking all ties deterministically.
+//
+// Guarantees (verified empirically in bench_clustering):
+//   * every edge has endpoints in different clusters w.p. at most 1/beta,
+//   * cluster diameter is O(beta log n) w.h.p.,
+//   * O(n + m) work and O(beta log n) rounds w.h.p.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/metrics.hpp"
+#include "support/types.hpp"
+
+namespace ppsi::cluster {
+
+struct Clustering {
+  std::vector<Vertex> cluster_of;  ///< cluster id per vertex, in [0, count)
+  std::vector<Vertex> center_of;   ///< center vertex per cluster id
+  Vertex count = 0;
+  std::uint32_t num_rounds = 0;
+
+  /// Vertices of each cluster, grouped (offsets has size count + 1).
+  std::vector<std::uint32_t> offsets;
+  std::vector<Vertex> members;
+};
+
+/// Runs exponential start time beta-clustering. `beta` is the mean of the
+/// exponential shifts (the paper's 2k choice makes each of the pattern's
+/// spanning-tree edges cross with probability at most 1/(2k)).
+Clustering est_clustering(const Graph& g, double beta, std::uint64_t seed,
+                          support::Metrics* metrics = nullptr);
+
+}  // namespace ppsi::cluster

@@ -1,0 +1,64 @@
+#include "connectivity/articulation.hpp"
+
+#include <algorithm>
+
+#include "graph/components.hpp"
+
+namespace ppsi::connectivity {
+
+std::vector<Vertex> articulation_points(const Graph& g) {
+  const Vertex n = g.num_vertices();
+  std::vector<std::uint32_t> disc(n, 0), low(n, 0);
+  std::vector<Vertex> parent(n, kNoVertex);
+  std::vector<std::uint32_t> child_count(n, 0);
+  std::vector<char> is_articulation(n, 0);
+  std::uint32_t timer = 1;
+
+  struct Frame {
+    Vertex v;
+    std::uint32_t next = 0;
+  };
+  std::vector<Frame> stack;
+  for (Vertex root = 0; root < n; ++root) {
+    if (disc[root] != 0) continue;
+    disc[root] = low[root] = timer++;
+    stack.push_back({root});
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const Vertex v = frame.v;
+      const auto nb = g.neighbors(v);
+      if (frame.next < nb.size()) {
+        const Vertex w = nb[frame.next++];
+        if (disc[w] == 0) {
+          parent[w] = v;
+          ++child_count[v];
+          disc[w] = low[w] = timer++;
+          stack.push_back({w});
+        } else if (w != parent[v]) {
+          low[v] = std::min(low[v], disc[w]);
+        }
+      } else {
+        stack.pop_back();
+        const Vertex p = parent[v];
+        if (p != kNoVertex) {
+          low[p] = std::min(low[p], low[v]);
+          if (parent[p] != kNoVertex && low[v] >= disc[p])
+            is_articulation[p] = 1;
+        }
+      }
+    }
+    if (child_count[root] >= 2) is_articulation[root] = 1;
+  }
+  std::vector<Vertex> out;
+  for (Vertex v = 0; v < n; ++v)
+    if (is_articulation[v]) out.push_back(v);
+  return out;
+}
+
+bool is_biconnected(const Graph& g) {
+  if (g.num_vertices() < 3) return false;
+  if (connected_components(g).count != 1) return false;
+  return articulation_points(g).empty();
+}
+
+}  // namespace ppsi::connectivity

@@ -1,0 +1,23 @@
+#pragma once
+
+// Articulation points (Tarjan lowpoint DFS). Gates the c <= 1 cases of the
+// vertex-connectivity algorithm: the paper defers 2-/3-connectivity to
+// known algorithms [38, 50]; we gate with articulation points and decide
+// both 2- and 3-connectivity through the paper's own separating-cycle
+// machinery (see DESIGN.md §2).
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ppsi::connectivity {
+
+/// Articulation points of g (vertices whose removal increases the number
+/// of connected components). Iterative; handles disconnected graphs.
+std::vector<Vertex> articulation_points(const Graph& g);
+
+/// True iff g is connected, has at least 3 vertices, and has no
+/// articulation point.
+bool is_biconnected(const Graph& g);
+
+}  // namespace ppsi::connectivity

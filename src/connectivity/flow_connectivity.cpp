@@ -1,0 +1,177 @@
+#include "connectivity/flow_connectivity.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "graph/components.hpp"
+#include "support/types.hpp"
+
+namespace ppsi::connectivity {
+namespace {
+
+/// Residual arc of the split network.
+struct Arc {
+  std::uint32_t to;
+  std::uint32_t cap;
+  std::uint32_t rev;  // index of the reverse arc in adj[to]
+};
+
+/// Vertex-split flow network: node 2v = "in", 2v+1 = "out".
+class SplitNetwork {
+ public:
+  explicit SplitNetwork(const Graph& g, std::uint32_t edge_cap)
+      : adj_(2 * g.num_vertices()) {
+    for (Vertex v = 0; v < g.num_vertices(); ++v)
+      add_arc(2 * v, 2 * v + 1, 1);  // unit vertex capacity
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      for (Vertex w : g.neighbors(v)) {
+        if (w < v) continue;
+        add_arc(2 * v + 1, 2 * w, edge_cap);
+        add_arc(2 * w + 1, 2 * v, edge_cap);
+      }
+    }
+  }
+
+  /// Lifts the unit capacity of v's split arc (used for the source).
+  void uncap_vertex(Vertex v, std::uint32_t cap) {
+    adj_[2 * v][0].cap = cap;  // the split arc is the first arc of "in"
+  }
+
+  /// BFS augmenting max flow from 2s+1 (out of s) to 2t (into t), at most
+  /// `limit` units. Returns the flow value.
+  std::uint32_t max_flow(Vertex s, Vertex t, std::uint32_t limit,
+                         std::uint64_t* augmentations) {
+    const std::uint32_t source = 2 * s + 1;
+    const std::uint32_t sink = 2 * t;
+    std::uint32_t flow = 0;
+    std::vector<std::int32_t> pred_arc(adj_.size());
+    std::vector<std::uint32_t> pred_node(adj_.size());
+    while (flow < limit) {
+      std::fill(pred_arc.begin(), pred_arc.end(), -1);
+      std::queue<std::uint32_t> queue;
+      queue.push(source);
+      pred_arc[source] = -2;
+      bool reached = false;
+      while (!queue.empty() && !reached) {
+        const std::uint32_t u = queue.front();
+        queue.pop();
+        for (std::size_t i = 0; i < adj_[u].size(); ++i) {
+          const Arc& a = adj_[u][i];
+          if (a.cap == 0 || pred_arc[a.to] != -1) continue;
+          pred_arc[a.to] = static_cast<std::int32_t>(i);
+          pred_node[a.to] = u;
+          if (a.to == sink) {
+            reached = true;
+            break;
+          }
+          queue.push(a.to);
+        }
+      }
+      if (!reached) break;
+      // Unit augmentation along the path.
+      std::uint32_t u = sink;
+      while (u != source) {
+        const std::uint32_t p = pred_node[u];
+        Arc& a = adj_[p][static_cast<std::size_t>(pred_arc[u])];
+        --a.cap;
+        ++adj_[u][a.rev].cap;
+        u = p;
+      }
+      ++flow;
+      if (augmentations != nullptr) ++*augmentations;
+    }
+    return flow;
+  }
+
+  /// Vertices whose split arc crosses the residual cut (a minimum vertex
+  /// cut once max_flow has run to completion).
+  std::vector<Vertex> residual_cut(Vertex s) const {
+    std::vector<char> reach(adj_.size(), 0);
+    std::queue<std::uint32_t> queue;
+    queue.push(2 * s + 1);
+    reach[2 * s + 1] = 1;
+    while (!queue.empty()) {
+      const std::uint32_t u = queue.front();
+      queue.pop();
+      for (const Arc& a : adj_[u]) {
+        if (a.cap > 0 && !reach[a.to]) {
+          reach[a.to] = 1;
+          queue.push(a.to);
+        }
+      }
+    }
+    std::vector<Vertex> cut;
+    for (std::uint32_t v = 0; 2 * v + 1 < adj_.size(); ++v) {
+      if (reach[2 * v] && !reach[2 * v + 1]) cut.push_back(v);
+    }
+    return cut;
+  }
+
+ private:
+  void add_arc(std::uint32_t from, std::uint32_t to, std::uint32_t cap) {
+    adj_[from].push_back(
+        {to, cap, static_cast<std::uint32_t>(adj_[to].size())});
+    adj_[to].push_back(
+        {from, 0, static_cast<std::uint32_t>(adj_[from].size() - 1)});
+  }
+
+  std::vector<std::vector<Arc>> adj_;
+};
+
+}  // namespace
+
+std::uint32_t st_vertex_connectivity(const Graph& g, Vertex s, Vertex t,
+                                     std::uint32_t limit,
+                                     std::uint64_t* augmentations,
+                                     std::vector<Vertex>* min_cut) {
+  support::require(s != t && !g.has_edge(s, t),
+                   "st_vertex_connectivity: distinct non-adjacent required");
+  SplitNetwork network(g, limit + 1);
+  network.uncap_vertex(s, limit + 1);
+  network.uncap_vertex(t, limit + 1);
+  const std::uint32_t flow = network.max_flow(s, t, limit, augmentations);
+  if (min_cut != nullptr && flow < limit) *min_cut = network.residual_cut(s);
+  return flow;
+}
+
+FlowConnectivityResult vertex_connectivity_flow(const Graph& g) {
+  FlowConnectivityResult result;
+  const Vertex n = g.num_vertices();
+  if (n <= 1) return result;
+  if (connected_components(g).count != 1) return result;
+  // Minimum degree bounds the connectivity.
+  Vertex min_deg_vertex = 0;
+  for (Vertex v = 1; v < n; ++v)
+    if (g.degree(v) < g.degree(min_deg_vertex)) min_deg_vertex = v;
+  const std::uint32_t delta = g.degree(min_deg_vertex);
+  if (g.num_edges() ==
+      static_cast<std::size_t>(n) * (n - 1) / 2) {  // complete graph
+    result.connectivity = n - 1;
+    return result;
+  }
+  std::uint32_t best = delta;
+  {
+    const auto nb = g.neighbors(min_deg_vertex);
+    result.min_cut.assign(nb.begin(), nb.end());
+  }
+  // delta+1 pivots: every minimum cut (size <= delta) misses one of them,
+  // and that pivot reaches some non-neighbor across the cut.
+  const Vertex pivots = std::min<Vertex>(n, delta + 1);
+  for (Vertex w = 0; w < pivots; ++w) {
+    for (Vertex t = 0; t < n; ++t) {
+      if (t == w || g.has_edge(w, t)) continue;
+      ++result.flow_computations;
+      std::vector<Vertex> cut;
+      const std::uint32_t flow = st_vertex_connectivity(
+          g, w, t, best, &result.augmentations, &cut);
+      if (flow < best) {
+        best = flow;
+        result.min_cut = std::move(cut);
+      }
+    }
+  }
+  result.connectivity = best;
+  return result;
+}
+
+}  // namespace ppsi::connectivity

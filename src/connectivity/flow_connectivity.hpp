@@ -1,0 +1,36 @@
+#pragma once
+
+// Baseline vertex connectivity via unit-capacity max-flow with vertex
+// splitting (Even–Tarjan style). Near-quadratic work on sparse graphs —
+// the comparison point for bench_connectivity (the paper's related work
+// cites O(c^2 n^2 log n) [30] as the deterministic state of the art).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ppsi::connectivity {
+
+struct FlowConnectivityResult {
+  std::uint32_t connectivity = 0;
+  /// A minimum vertex cut (empty when the graph is complete or trivial).
+  std::vector<Vertex> min_cut;
+  std::uint64_t flow_computations = 0;
+  std::uint64_t augmentations = 0;
+};
+
+/// Exact vertex connectivity of an arbitrary graph. A set W of min-degree+1
+/// pivots guarantees some pivot avoids a minimum cut; for each pivot the
+/// vertex-capacity max-flow to every non-neighbor bounds the cut.
+FlowConnectivityResult vertex_connectivity_flow(const Graph& g);
+
+/// s-t vertex connectivity (max number of internally disjoint s-t paths);
+/// `limit` caps the computed flow. s and t must be distinct non-adjacent.
+std::uint32_t st_vertex_connectivity(const Graph& g, Vertex s, Vertex t,
+                                     std::uint32_t limit,
+                                     std::uint64_t* augmentations = nullptr,
+                                     std::vector<Vertex>* min_cut = nullptr);
+
+}  // namespace ppsi::connectivity

@@ -1,0 +1,48 @@
+#pragma once
+
+// Planar vertex connectivity via separating cycles (paper §5, Lemma 5.2).
+//
+// Nishizeki/Eppstein (Lemma 5.1): for a 2-connected planar graph G embedded
+// in the plane, build the bipartite face–vertex graph G'; the shortest
+// cycle of G' separating the original vertices has length 2c iff G has
+// vertex connectivity c. Planar graphs have connectivity at most 5 (Euler),
+// so after gating c in {0, 1} with components/articulation points, probing
+// S-separating C4, C6, C8 with the separating subgraph isomorphism pipeline
+// decides c in {2, 3, 4}; otherwise c = 5.
+
+#include <cstdint>
+#include <vector>
+
+#include "cover/pipeline.hpp"
+#include "planar/rotation_system.hpp"
+#include "support/metrics.hpp"
+
+namespace ppsi::connectivity {
+
+struct VertexConnectivityOptions {
+  std::uint64_t seed = 1;
+  /// Cover repetitions per cycle length for the w.h.p. "no" answer
+  /// (0 = 2 log2(n) + 4).
+  std::uint32_t max_runs = 0;
+  cover::EngineKind engine = cover::EngineKind::kSparse;
+  /// Below this size the exact flow baseline answers directly (the
+  /// separating-cycle machinery needs room for the 2c-cycle).
+  Vertex small_cutoff = 8;
+};
+
+struct VertexConnectivityResult {
+  std::uint32_t connectivity = 0;
+  /// A vertex cut of that size (empty when connectivity is 5 or the graph
+  /// is complete/trivial): the original vertices of the separating cycle,
+  /// the articulation point, or empty for c = 0.
+  std::vector<Vertex> witness_cut;
+  support::Metrics metrics;
+  std::uint32_t cycle_runs = 0;  ///< cover runs spent on cycle probes
+};
+
+/// Monte Carlo planar vertex connectivity (correct w.h.p.). The graph must
+/// come with its combinatorial embedding.
+VertexConnectivityResult planar_vertex_connectivity(
+    const planar::EmbeddedGraph& eg, const VertexConnectivityOptions& = {});
+
+}  // namespace ppsi::connectivity

@@ -1,0 +1,104 @@
+#pragma once
+
+// Top-level drivers tying the pieces together (paper §2, §4, §5.2):
+//   * find_pattern        — Theorem 2.1 decision: repeat {cover, solve each
+//                           slice} until found, or O(log n) runs for a
+//                           w.h.p. "no".
+//   * list_occurrences    — Theorem 4.2 listing with the Observation 2
+//                           coin-run stopping rule.
+//   * count_occurrences   — counting via listing (the paper notes this is
+//                           the only route its machinery offers).
+//   * find_pattern_disconnected — §4.1 random color splitting.
+//   * find_separating_pattern   — §5.2 S-separating occurrences on the
+//                           contracted-minor cover.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cover/kd_cover.hpp"
+#include "graph/graph.hpp"
+#include "isomorphism/parallel_engine.hpp"
+#include "isomorphism/pattern.hpp"
+#include "support/metrics.hpp"
+
+namespace ppsi::cover {
+
+enum class EngineKind {
+  kSparse,      ///< output-sensitive bottom-up DP (default; fastest)
+  kParallel,    ///< §3.3 path/shortcut engine (paper-faithful rounds)
+  kSequential,  ///< §3.2 bottom-up DP over the full local state space
+};
+
+enum class DecompositionKind {
+  kGreedyMinDegree,
+  kGreedyMinFill,
+  kBfsLayer,
+};
+
+struct PipelineOptions {
+  std::uint64_t seed = 1;
+  /// Cover repetitions for a w.h.p. negative answer; 0 = 2 log2(n) + 4.
+  std::uint32_t max_runs = 0;
+  EngineKind engine = EngineKind::kSparse;
+  DecompositionKind decomposition = DecompositionKind::kGreedyMinDegree;
+  bool use_shortcuts = true;
+  /// Listing cap (safety valve; the stopping rule normally ends earlier).
+  std::size_t list_limit = 1u << 22;
+  /// Extra additive constant of the stopping-rule streak.
+  std::uint32_t stopping_slack = 4;
+};
+
+struct DecisionResult {
+  bool found = false;
+  std::optional<iso::Assignment> witness;  ///< original-graph images
+  std::uint32_t runs = 0;                  ///< cover runs executed
+  support::Metrics metrics;
+  std::size_t slices_solved = 0;
+};
+
+struct ListingResult {
+  std::vector<iso::Assignment> occurrences;  ///< distinct assignments
+  std::uint32_t iterations = 0;
+  support::Metrics metrics;
+};
+
+struct CountResult {
+  std::size_t assignments = 0;  ///< injective pattern -> target maps
+  std::size_t subgraphs = 0;    ///< distinct edge images
+  std::uint32_t iterations = 0;
+};
+
+/// Decides occurrence of a *connected* pattern (Theorem 2.1).
+DecisionResult find_pattern(const Graph& g, const iso::Pattern& pattern,
+                            const PipelineOptions& options = {});
+
+/// Lists w.h.p. all occurrences of a connected pattern (Theorem 4.2).
+ListingResult list_occurrences(const Graph& g, const iso::Pattern& pattern,
+                               const PipelineOptions& options = {});
+
+/// Counts occurrences by listing them.
+CountResult count_occurrences(const Graph& g, const iso::Pattern& pattern,
+                              const PipelineOptions& options = {});
+
+/// Decides occurrence of an arbitrary (possibly disconnected) pattern by
+/// random color splitting (§4.1, Lemma 4.1).
+DecisionResult find_pattern_disconnected(const Graph& g,
+                                         const iso::Pattern& pattern,
+                                         const PipelineOptions& options = {});
+
+/// Decides whether some occurrence of the connected pattern separates the
+/// vertices marked by in_s (§5.2). The witness images are original-graph
+/// vertices of the occurrence.
+DecisionResult find_separating_pattern(const Graph& g,
+                                       const std::vector<std::uint8_t>& in_s,
+                                       const iso::Pattern& pattern,
+                                       const PipelineOptions& options = {});
+
+/// One cover run of the decision pipeline (exposed for benches): returns
+/// whether an occurrence was found in this run's cover.
+DecisionResult run_once(const Graph& g, const iso::Pattern& pattern,
+                        std::uint64_t run_seed,
+                        const PipelineOptions& options = {});
+
+}  // namespace ppsi::cover

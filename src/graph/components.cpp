@@ -1,0 +1,92 @@
+#include "graph/components.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/parallel.hpp"
+
+namespace ppsi {
+
+Components connected_components(const Graph& g) {
+  Components out;
+  out.label.assign(g.num_vertices(), kNoVertex);
+  std::queue<Vertex> queue;
+  for (Vertex s = 0; s < g.num_vertices(); ++s) {
+    if (out.label[s] != kNoVertex) continue;
+    const Vertex id = out.count++;
+    out.label[s] = id;
+    queue.push(s);
+    while (!queue.empty()) {
+      const Vertex u = queue.front();
+      queue.pop();
+      for (Vertex w : g.neighbors(u)) {
+        if (out.label[w] == kNoVertex) {
+          out.label[w] = id;
+          queue.push(w);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Components connected_components_parallel(const Graph& g,
+                                         support::Metrics* metrics) {
+  const Vertex n = g.num_vertices();
+  std::vector<Vertex> label(n);
+  support::parallel_for(0, n, [&](std::size_t v) {
+    label[v] = static_cast<Vertex>(v);
+  });
+  std::uint64_t rounds = 0;
+  bool changed = true;
+  std::vector<Vertex> next(n);
+  while (changed) {
+    ++rounds;
+    // Min over closed neighborhood.
+    const bool any = support::parallel_reduce<int>(
+        0, n, 0,
+        [&](std::size_t v) {
+          Vertex best = label[v];
+          for (Vertex w : g.neighbors(v)) best = std::min(best, label[w]);
+          next[v] = best;
+          return best != label[v] ? 1 : 0;
+        },
+        [](int a, int b) { return a | b; }) != 0;
+    label.swap(next);
+    // Pointer shortcutting: label[v] <- label[label[v]] until stable.
+    bool shortcut = true;
+    while (shortcut) {
+      ++rounds;
+      shortcut = support::parallel_reduce<int>(
+          0, n, 0,
+          [&](std::size_t v) {
+            const Vertex l = label[v];
+            const Vertex ll = label[l];
+            if (ll != l) {
+              label[v] = ll;
+              return 1;
+            }
+            return 0;
+          },
+          [](int a, int b) { return a | b; }) != 0;
+    }
+    changed = any;
+  }
+  if (metrics != nullptr) {
+    metrics->add_rounds(rounds);
+    metrics->add_work(static_cast<std::uint64_t>(g.num_half_edges() + n) *
+                      rounds);
+  }
+  // Compact labels to [0, count).
+  Components out;
+  out.label.assign(n, kNoVertex);
+  for (Vertex v = 0; v < n; ++v)
+    if (label[v] == v) out.label[v] = out.count++;
+  std::vector<Vertex> compact(out.label);
+  support::parallel_for(0, n, [&](std::size_t v) {
+    out.label[v] = compact[label[v]];
+  });
+  return out;
+}
+
+}  // namespace ppsi

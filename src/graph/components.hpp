@@ -1,0 +1,31 @@
+#pragma once
+
+// Connected components: sequential reference and round-synchronous parallel
+// label propagation (the "connected components and contraction" primitive of
+// paper §5.2, Lemma 5.3 cites O(n) work, O(log n) depth algorithms).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/metrics.hpp"
+#include "support/types.hpp"
+
+namespace ppsi {
+
+struct Components {
+  std::vector<Vertex> label;  // component id per vertex, in [0, count)
+  Vertex count = 0;
+};
+
+/// Sequential BFS-based components (reference).
+Components connected_components(const Graph& g);
+
+/// Parallel pointer-doubling components (hash-to-min style): each round every
+/// vertex adopts the minimum label in its closed neighborhood, then labels
+/// are short-cut. Converges in O(log n) rounds on any graph; rounds are
+/// recorded in `metrics`.
+Components connected_components_parallel(const Graph& g,
+                                         support::Metrics* metrics = nullptr);
+
+}  // namespace ppsi

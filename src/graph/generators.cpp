@@ -1,0 +1,292 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+
+#include "graph/components.hpp"
+#include "support/rng.hpp"
+
+namespace ppsi::gen {
+namespace {
+
+using planar::EmbeddedGraph;
+
+std::vector<std::vector<Vertex>> rotations_of(const EmbeddedGraph& eg) {
+  const Graph& g = eg.graph();
+  std::vector<std::vector<Vertex>> rot(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const auto nb = g.neighbors(v);
+    rot[v].assign(nb.begin(), nb.end());
+  }
+  return rot;
+}
+
+}  // namespace
+
+Graph path_graph(Vertex n) {
+  EdgeList edges;
+  for (Vertex i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  return Graph::from_edges(n, edges);
+}
+
+Graph cycle_graph(Vertex n) {
+  support::require(n >= 3, "cycle_graph: n >= 3 required");
+  EdgeList edges;
+  for (Vertex i = 0; i < n; ++i) edges.emplace_back(i, (i + 1) % n);
+  return Graph::from_edges(n, edges);
+}
+
+Graph star_graph(Vertex n) {
+  support::require(n >= 1, "star_graph: n >= 1 required");
+  EdgeList edges;
+  for (Vertex i = 1; i < n; ++i) edges.emplace_back(0, i);
+  return Graph::from_edges(n, edges);
+}
+
+Graph complete_graph(Vertex n) {
+  EdgeList edges;
+  for (Vertex i = 0; i < n; ++i)
+    for (Vertex j = i + 1; j < n; ++j) edges.emplace_back(i, j);
+  return Graph::from_edges(n, edges);
+}
+
+Graph complete_bipartite(Vertex a, Vertex b) {
+  EdgeList edges;
+  for (Vertex i = 0; i < a; ++i)
+    for (Vertex j = 0; j < b; ++j) edges.emplace_back(i, a + j);
+  return Graph::from_edges(a + b, edges);
+}
+
+Graph grid_graph(Vertex rows, Vertex cols) {
+  EdgeList edges;
+  const auto id = [cols](Vertex r, Vertex c) { return r * cols + c; };
+  for (Vertex r = 0; r < rows; ++r) {
+    for (Vertex c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) edges.emplace_back(id(r, c), id(r + 1, c));
+    }
+  }
+  return Graph::from_edges(rows * cols, edges);
+}
+
+Graph random_tree(Vertex n, std::uint64_t seed) {
+  support::Rng rng(seed, 0x7ee5);
+  EdgeList edges;
+  for (Vertex v = 1; v < n; ++v)
+    edges.emplace_back(v, static_cast<Vertex>(rng.next_below(v)));
+  return Graph::from_edges(n, edges);
+}
+
+Graph gnp(Vertex n, double p, std::uint64_t seed) {
+  support::Rng rng(seed, 0x6e9);
+  EdgeList edges;
+  for (Vertex i = 0; i < n; ++i)
+    for (Vertex j = i + 1; j < n; ++j)
+      if (rng.next_double() < p) edges.emplace_back(i, j);
+  return Graph::from_edges(n, edges);
+}
+
+Graph disjoint_union(const std::vector<Graph>& parts) {
+  Vertex total = 0;
+  EdgeList edges;
+  for (const Graph& part : parts) {
+    for (const auto& [u, v] : part.edge_list())
+      edges.emplace_back(total + u, total + v);
+    total += part.num_vertices();
+  }
+  return Graph::from_edges(total, edges);
+}
+
+// ---- Embedded planar graphs ----
+
+planar::EmbeddedGraph embedded_cycle(Vertex n) {
+  support::require(n >= 3, "embedded_cycle: n >= 3 required");
+  std::vector<std::vector<Vertex>> rot(n);
+  for (Vertex i = 0; i < n; ++i)
+    rot[i] = {static_cast<Vertex>((i + n - 1) % n),
+              static_cast<Vertex>((i + 1) % n)};
+  return EmbeddedGraph::from_rotations(rot);
+}
+
+planar::EmbeddedGraph embedded_grid(Vertex rows, Vertex cols) {
+  support::require(rows >= 1 && cols >= 1 && rows * cols >= 2,
+                   "embedded_grid: at least two vertices required");
+  const auto id = [cols](Vertex r, Vertex c) { return r * cols + c; };
+  std::vector<std::vector<Vertex>> rot(rows * cols);
+  for (Vertex r = 0; r < rows; ++r) {
+    for (Vertex c = 0; c < cols; ++c) {
+      auto& list = rot[id(r, c)];
+      // Counterclockwise geometric order: up, left, down, right.
+      if (r > 0) list.push_back(id(r - 1, c));
+      if (c > 0) list.push_back(id(r, c - 1));
+      if (r + 1 < rows) list.push_back(id(r + 1, c));
+      if (c + 1 < cols) list.push_back(id(r, c + 1));
+    }
+  }
+  return EmbeddedGraph::from_rotations(rot);
+}
+
+planar::EmbeddedGraph wheel(Vertex k) {
+  support::require(k >= 3, "wheel: rim size >= 3 required");
+  std::vector<std::vector<Vertex>> faces;
+  const Vertex hub = k;
+  for (Vertex i = 0; i < k; ++i)
+    faces.push_back({hub, i, (i + 1) % k});
+  std::vector<Vertex> outer(k);
+  for (Vertex i = 0; i < k; ++i) outer[i] = k - 1 - i;
+  faces.push_back(outer);
+  return EmbeddedGraph::from_faces(k + 1, faces);
+}
+
+planar::EmbeddedGraph tetrahedron() {
+  return EmbeddedGraph::from_faces(
+      4, {{0, 1, 2}, {0, 2, 3}, {0, 3, 1}, {1, 3, 2}});
+}
+
+planar::EmbeddedGraph octahedron() {
+  std::vector<std::vector<Vertex>> faces;
+  const auto e = [](Vertex i) { return static_cast<Vertex>(1 + (i % 4)); };
+  for (Vertex i = 0; i < 4; ++i) {
+    faces.push_back({0, e(i), e(i + 1)});
+    faces.push_back({5, e(i + 1), e(i)});
+  }
+  return EmbeddedGraph::from_faces(6, faces);
+}
+
+planar::EmbeddedGraph icosahedron() {
+  std::vector<std::vector<Vertex>> faces;
+  const auto u = [](Vertex i) { return static_cast<Vertex>(1 + (i % 5)); };
+  const auto l = [](Vertex i) { return static_cast<Vertex>(6 + (i % 5)); };
+  for (Vertex i = 0; i < 5; ++i) {
+    faces.push_back({0, u(i), u(i + 1)});
+    faces.push_back({u(i), l(i), u(i + 1)});
+    faces.push_back({u(i + 1), l(i), l(i + 1)});
+    faces.push_back({11, l(i + 1), l(i)});
+  }
+  return EmbeddedGraph::from_faces(12, faces);
+}
+
+planar::EmbeddedGraph antiprism(Vertex k) {
+  support::require(k >= 3, "antiprism: k >= 3 required");
+  std::vector<std::vector<Vertex>> faces;
+  const auto t = [k](Vertex i) { return static_cast<Vertex>(i % k); };
+  const auto b = [k](Vertex i) { return static_cast<Vertex>(k + (i % k)); };
+  std::vector<Vertex> top(k), bottom(k);
+  for (Vertex i = 0; i < k; ++i) top[i] = t(i);
+  for (Vertex i = 0; i < k; ++i) bottom[i] = b(k - 1 - i);
+  faces.push_back(top);
+  faces.push_back(bottom);
+  for (Vertex i = 0; i < k; ++i) {
+    faces.push_back({t(i), b(i), t(i + 1)});
+    faces.push_back({t(i + 1), b(i), b(i + 1)});
+  }
+  return EmbeddedGraph::from_faces(2 * k, faces);
+}
+
+planar::EmbeddedGraph bipyramid(Vertex k) {
+  support::require(k >= 3, "bipyramid: k >= 3 required");
+  std::vector<std::vector<Vertex>> faces;
+  const Vertex a = k;
+  const Vertex bb = k + 1;
+  for (Vertex i = 0; i < k; ++i) {
+    const Vertex j = (i + 1) % k;
+    faces.push_back({a, i, j});
+    faces.push_back({bb, j, i});
+  }
+  return EmbeddedGraph::from_faces(k + 2, faces);
+}
+
+planar::EmbeddedGraph apollonian(Vertex n, std::uint64_t seed) {
+  support::require(n >= 3, "apollonian: n >= 3 required");
+  support::Rng rng(seed, 0xa901);
+  std::vector<std::array<Vertex, 3>> faces = {{0, 1, 2}, {0, 2, 1}};
+  faces.reserve(2 * n);
+  for (Vertex x = 3; x < n; ++x) {
+    const std::size_t f = rng.next_below(faces.size());
+    const auto [a, b, c] = faces[f];
+    faces[f] = {a, b, x};
+    faces.push_back({b, c, x});
+    faces.push_back({c, a, x});
+  }
+  std::vector<std::vector<Vertex>> face_lists;
+  face_lists.reserve(faces.size());
+  for (const auto& [a, b, c] : faces) face_lists.push_back({a, b, c});
+  return EmbeddedGraph::from_faces(n, face_lists);
+}
+
+planar::EmbeddedGraph loop_subdivide(const planar::EmbeddedGraph& eg) {
+  const Graph& g = eg.graph();
+  const planar::FaceSet fs = eg.extract_faces();
+  // Midpoint vertex per undirected edge, indexed by the smaller half-edge.
+  const std::size_t hn = g.num_half_edges();
+  std::vector<Vertex> mid_of(hn, kNoVertex);
+  Vertex next_id = g.num_vertices();
+  for (planar::HalfEdge h = 0; h < hn; ++h) {
+    if (h < eg.twin(h)) {
+      mid_of[h] = next_id++;
+      mid_of[eg.twin(h)] = mid_of[h];
+    }
+  }
+  std::vector<std::vector<Vertex>> faces;
+  faces.reserve(4 * fs.num_faces());
+  for (std::size_t f = 0; f < fs.num_faces(); ++f) {
+    const auto cycle = fs.face(f);
+    support::require(cycle.size() == 3,
+                     "loop_subdivide: triangulation of the sphere required");
+    const Vertex a = eg.source(cycle[0]);
+    const Vertex b = eg.source(cycle[1]);
+    const Vertex c = eg.source(cycle[2]);
+    const Vertex mab = mid_of[cycle[0]];
+    const Vertex mbc = mid_of[cycle[1]];
+    const Vertex mca = mid_of[cycle[2]];
+    faces.push_back({a, mab, mca});
+    faces.push_back({b, mbc, mab});
+    faces.push_back({c, mca, mbc});
+    faces.push_back({mab, mbc, mca});
+  }
+  return EmbeddedGraph::from_faces(next_id, faces);
+}
+
+planar::EmbeddedGraph loop_subdivide(planar::EmbeddedGraph eg, int rounds) {
+  for (int i = 0; i < rounds; ++i) eg = loop_subdivide(eg);
+  return eg;
+}
+
+planar::EmbeddedGraph delete_random_edges(const planar::EmbeddedGraph& eg,
+                                          std::size_t count,
+                                          std::uint64_t seed) {
+  support::Rng rng(seed, 0xde1);
+  auto rot = rotations_of(eg);
+  const EdgeList edges = eg.graph().edge_list();
+  std::vector<std::size_t> order(edges.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  for (std::size_t i = order.size(); i > 1; --i)
+    std::swap(order[i - 1], order[rng.next_below(i)]);
+  const auto erase_neighbor = [&rot](Vertex v, Vertex w) {
+    auto& list = rot[v];
+    list.erase(std::find(list.begin(), list.end(), w));
+  };
+  std::size_t removed = 0;
+  for (std::size_t idx : order) {
+    if (removed == count) break;
+    const auto [u, v] = edges[idx];
+    if (rot[u].size() <= 1 || rot[v].size() <= 1) continue;
+    const std::vector<Vertex> saved_u = rot[u];
+    const std::vector<Vertex> saved_v = rot[v];
+    erase_neighbor(u, v);
+    erase_neighbor(v, u);
+    // Deleting an edge from an embedding stays a valid embedding; only a
+    // bridge deletion (which disconnects the graph) must be undone.
+    const Graph trial = Graph::from_adjacency(rot);
+    if (connected_components(trial).count != 1) {
+      rot[u] = saved_u;
+      rot[v] = saved_v;
+      continue;
+    }
+    ++removed;
+  }
+  return EmbeddedGraph::from_rotations(rot);
+}
+
+}  // namespace ppsi::gen

@@ -1,0 +1,68 @@
+#pragma once
+
+// Graph generators.
+//
+// Abstract generators return plain Graphs (patterns, trees, G(n,p)).
+// Planar generators return EmbeddedGraphs whose rotation systems are
+// maintained combinatorially during construction — they are the embedding
+// substrate the paper assumes (it cites Klein–Reif for computing one).
+//
+// Vertex-connectivity test families (connectivity value in parentheses):
+//   path (1), cycle/grid (2), wheel/apollonian/tetrahedron+subdivision (3),
+//   octahedron+subdivisions/antiprism/bipyramid (4),
+//   icosahedron+subdivisions (5).
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "planar/rotation_system.hpp"
+#include "support/types.hpp"
+
+namespace ppsi::gen {
+
+// ---- Abstract graphs ----
+
+Graph path_graph(Vertex n);
+Graph cycle_graph(Vertex n);
+/// Star with one hub (vertex 0) and n-1 leaves.
+Graph star_graph(Vertex n);
+Graph complete_graph(Vertex n);
+Graph complete_bipartite(Vertex a, Vertex b);
+Graph grid_graph(Vertex rows, Vertex cols);
+/// Uniform random tree from a random parent assignment.
+Graph random_tree(Vertex n, std::uint64_t seed);
+/// Erdős–Rényi G(n, p); typically non-planar for p >> 6/n.
+Graph gnp(Vertex n, double p, std::uint64_t seed);
+/// Disjoint union; vertex ids of part i are shifted by the sizes before it.
+Graph disjoint_union(const std::vector<Graph>& parts);
+
+// ---- Embedded planar graphs ----
+
+planar::EmbeddedGraph embedded_cycle(Vertex n);
+planar::EmbeddedGraph embedded_grid(Vertex rows, Vertex cols);
+/// Hub k + rim 0..k-1.
+planar::EmbeddedGraph wheel(Vertex k);
+planar::EmbeddedGraph tetrahedron();
+planar::EmbeddedGraph octahedron();
+planar::EmbeddedGraph icosahedron();
+/// Antiprism on 2k vertices (k >= 3); 4-connected for k >= 4, octahedron at 3.
+planar::EmbeddedGraph antiprism(Vertex k);
+/// Bipyramid over a k-gon (k >= 3); 4-connected for k >= 4.
+planar::EmbeddedGraph bipyramid(Vertex k);
+/// Random Apollonian network (stacked triangulation) on n >= 3 vertices;
+/// maximal planar, vertex connectivity 3 for n >= 4... n >= 5 (K4 at n=4).
+planar::EmbeddedGraph apollonian(Vertex n, std::uint64_t seed);
+/// One round of Loop subdivision of an embedded triangulation of the sphere:
+/// every edge gains a midpoint, every face splits into four. Preserves
+/// minimum connectivity of the solid families (subdivided octahedron stays
+/// 4-connected, subdivided icosahedron stays 5-connected).
+planar::EmbeddedGraph loop_subdivide(const planar::EmbeddedGraph& eg);
+/// `rounds` rounds of Loop subdivision.
+planar::EmbeddedGraph loop_subdivide(planar::EmbeddedGraph eg, int rounds);
+/// Deletes up to `count` random edges while keeping the graph connected
+/// (bridges are skipped). The embedding is maintained.
+planar::EmbeddedGraph delete_random_edges(const planar::EmbeddedGraph& eg,
+                                          std::size_t count,
+                                          std::uint64_t seed);
+
+}  // namespace ppsi::gen

@@ -1,0 +1,97 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "support/parallel.hpp"
+
+namespace ppsi {
+
+Graph Graph::from_edges(Vertex n, const EdgeList& edges) {
+  Graph g;
+  g.n_ = n;
+  g.sorted_ = true;
+  // Count directed degrees (skipping self-loops).
+  std::vector<std::uint32_t> counts(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& [u, v] : edges) {
+    support::require(u < n && v < n, "Graph::from_edges: endpoint out of range");
+    if (u == v) continue;
+    ++counts[u];
+    ++counts[v];
+  }
+  std::vector<std::uint32_t> offsets(counts);
+  support::exclusive_scan_inplace(offsets);
+  std::vector<Vertex> adj(offsets[n]);
+  {
+    std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (const auto& [u, v] : edges) {
+      if (u == v) continue;
+      adj[cursor[u]++] = v;
+      adj[cursor[v]++] = u;
+    }
+  }
+  // Sort each adjacency list and deduplicate parallel edges.
+  std::vector<std::uint32_t> new_counts(static_cast<std::size_t>(n) + 1, 0);
+  support::parallel_for(0, n, [&](std::size_t v) {
+    auto* lo = adj.data() + offsets[v];
+    auto* hi = adj.data() + offsets[v + 1];
+    std::sort(lo, hi);
+    new_counts[v] = static_cast<std::uint32_t>(std::unique(lo, hi) - lo);
+  });
+  g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (Vertex v = 0; v < n; ++v) g.offsets_[v] = new_counts[v];
+  g.offsets_[n] = 0;
+  const std::uint32_t total = support::exclusive_scan_inplace(g.offsets_);
+  g.adj_.resize(total);
+  support::parallel_for(0, n, [&](std::size_t v) {
+    std::copy_n(adj.data() + offsets[v], new_counts[v],
+                g.adj_.data() + g.offsets_[v]);
+  });
+  return g;
+}
+
+Graph Graph::from_adjacency(const std::vector<std::vector<Vertex>>& adjacency) {
+  Graph g;
+  g.n_ = static_cast<Vertex>(adjacency.size());
+  g.sorted_ = false;
+  g.offsets_.assign(adjacency.size() + 1, 0);
+  for (std::size_t v = 0; v < adjacency.size(); ++v)
+    g.offsets_[v] = static_cast<std::uint32_t>(adjacency[v].size());
+  g.offsets_[adjacency.size()] = 0;
+  const std::uint32_t total = support::exclusive_scan_inplace(g.offsets_);
+  g.adj_.resize(total);
+  for (std::size_t v = 0; v < adjacency.size(); ++v) {
+    std::copy(adjacency[v].begin(), adjacency[v].end(),
+              g.adj_.begin() + g.offsets_[v]);
+    for (Vertex w : adjacency[v])
+      support::require(w < g.n_ && w != static_cast<Vertex>(v),
+                       "Graph::from_adjacency: bad neighbor");
+  }
+  return g;
+}
+
+bool Graph::has_edge(Vertex u, Vertex v) const {
+  if (u >= n_ || v >= n_) return false;
+  // Scan the smaller endpoint's list.
+  if (degree(v) < degree(u)) std::swap(u, v);
+  const auto nb = neighbors(u);
+  if (sorted_) return std::binary_search(nb.begin(), nb.end(), v);
+  return std::find(nb.begin(), nb.end(), v) != nb.end();
+}
+
+EdgeList Graph::edge_list() const {
+  EdgeList edges;
+  edges.reserve(num_edges());
+  for (Vertex u = 0; u < n_; ++u)
+    for (Vertex v : neighbors(u))
+      if (u < v) edges.emplace_back(u, v);
+  return edges;
+}
+
+std::uint32_t Graph::max_degree() const {
+  std::uint32_t best = 0;
+  for (Vertex v = 0; v < n_; ++v) best = std::max(best, degree(v));
+  return best;
+}
+
+}  // namespace ppsi

@@ -1,0 +1,103 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "support/types.hpp"
+
+namespace ppsi::io {
+
+Graph read_edge_list(std::istream& in) {
+  std::size_t n = 0, m = 0;
+  if (!(in >> n >> m))
+    throw std::invalid_argument("read_edge_list: missing header");
+  EdgeList edges;
+  edges.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    std::uint64_t u = 0, v = 0;
+    if (!(in >> u >> v))
+      throw std::invalid_argument("read_edge_list: truncated edge list");
+    if (u >= n || v >= n)
+      throw std::invalid_argument("read_edge_list: vertex out of range");
+    edges.emplace_back(static_cast<Vertex>(u), static_cast<Vertex>(v));
+  }
+  return Graph::from_edges(static_cast<Vertex>(n), edges);
+}
+
+void write_edge_list(const Graph& g, std::ostream& out) {
+  out << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (const auto& [u, v] : g.edge_list()) out << u << ' ' << v << '\n';
+}
+
+Graph read_dimacs(std::istream& in) {
+  std::string line;
+  std::size_t n = 0, m = 0;
+  EdgeList edges;
+  bool has_header = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    char kind = 0;
+    ls >> kind;
+    if (kind == 'c') continue;
+    if (kind == 'p') {
+      std::string fmt;
+      if (!(ls >> fmt >> n >> m) || (fmt != "edge" && fmt != "col"))
+        throw std::invalid_argument("read_dimacs: bad problem line");
+      has_header = true;
+      edges.reserve(m);
+      continue;
+    }
+    if (kind == 'e') {
+      if (!has_header)
+        throw std::invalid_argument("read_dimacs: edge before problem line");
+      std::uint64_t u = 0, v = 0;
+      if (!(ls >> u >> v) || u < 1 || v < 1 || u > n || v > n)
+        throw std::invalid_argument("read_dimacs: bad edge line");
+      edges.emplace_back(static_cast<Vertex>(u - 1),
+                         static_cast<Vertex>(v - 1));
+      continue;
+    }
+    throw std::invalid_argument("read_dimacs: unknown line kind");
+  }
+  if (!has_header) throw std::invalid_argument("read_dimacs: empty input");
+  return Graph::from_edges(static_cast<Vertex>(n), edges);
+}
+
+void write_dimacs(const Graph& g, std::ostream& out) {
+  out << "c written by ppsi\n";
+  out << "p edge " << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (const auto& [u, v] : g.edge_list())
+    out << "e " << (u + 1) << ' ' << (v + 1) << '\n';
+}
+
+namespace {
+
+bool is_dimacs_path(const std::string& path) {
+  const auto dot = path.find_last_of('.');
+  if (dot == std::string::npos) return false;
+  const std::string ext = path.substr(dot + 1);
+  return ext == "col" || ext == "dimacs";
+}
+
+}  // namespace
+
+Graph read_graph_file(const std::string& path) {
+  std::ifstream in(path);
+  support::require(in.good(), "read_graph_file: cannot open file");
+  return is_dimacs_path(path) ? read_dimacs(in) : read_edge_list(in);
+}
+
+void write_graph_file(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  support::require(out.good(), "write_graph_file: cannot open file");
+  if (is_dimacs_path(path)) {
+    write_dimacs(g, out);
+  } else {
+    write_edge_list(g, out);
+  }
+}
+
+}  // namespace ppsi::io

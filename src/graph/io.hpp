@@ -1,0 +1,30 @@
+#pragma once
+
+// Graph serialization: a simple edge-list text format and DIMACS, so users
+// can run the pipeline on their own (planar) graphs.
+//
+// Edge-list format: first line "n m", then m lines "u v" (0-based).
+// DIMACS format:    "c ..." comments, "p edge n m", then "e u v" (1-based).
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace ppsi::io {
+
+/// Reads "n m" followed by m "u v" lines. Throws std::invalid_argument on
+/// malformed input.
+Graph read_edge_list(std::istream& in);
+void write_edge_list(const Graph& g, std::ostream& out);
+
+/// Reads a DIMACS "p edge" file (1-based vertex ids).
+Graph read_dimacs(std::istream& in);
+void write_dimacs(const Graph& g, std::ostream& out);
+
+/// Convenience file wrappers (format picked by extension: .col/.dimacs ->
+/// DIMACS, anything else -> edge list).
+Graph read_graph_file(const std::string& path);
+void write_graph_file(const Graph& g, const std::string& path);
+
+}  // namespace ppsi::io

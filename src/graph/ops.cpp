@@ -1,0 +1,89 @@
+#include "graph/ops.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/parallel.hpp"
+
+namespace ppsi {
+
+DerivedGraph induced_subgraph(const Graph& g,
+                              const std::vector<Vertex>& vertices) {
+  DerivedGraph out;
+  out.origin_of = vertices;
+  std::vector<Vertex> local(g.num_vertices(), kNoVertex);
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    support::require(vertices[i] < g.num_vertices(),
+                     "induced_subgraph: vertex out of range");
+    support::require(local[vertices[i]] == kNoVertex,
+                     "induced_subgraph: duplicate vertex");
+    local[vertices[i]] = static_cast<Vertex>(i);
+  }
+  EdgeList edges;
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    const Vertex u = vertices[i];
+    for (Vertex w : g.neighbors(u)) {
+      const Vertex j = local[w];
+      if (j != kNoVertex && j > i) edges.emplace_back(static_cast<Vertex>(i), j);
+    }
+  }
+  out.graph = Graph::from_edges(static_cast<Vertex>(vertices.size()), edges);
+  return out;
+}
+
+DerivedGraph quotient_graph(const Graph& g, const std::vector<Vertex>& label,
+                            Vertex num_groups) {
+  support::require(label.size() == g.num_vertices(),
+                   "quotient_graph: label size mismatch");
+  DerivedGraph out;
+  out.origin_of.assign(num_groups, kNoVertex);
+  EdgeList edges;
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    const Vertex lu = label[u];
+    if (lu == kNoVertex) continue;
+    support::require(lu < num_groups, "quotient_graph: label out of range");
+    if (out.origin_of[lu] == kNoVertex) out.origin_of[lu] = u;
+    for (Vertex w : g.neighbors(u)) {
+      const Vertex lw = label[w];
+      if (lw == kNoVertex || lw == lu) continue;
+      if (lu < lw) edges.emplace_back(lu, lw);
+    }
+  }
+  out.graph = Graph::from_edges(num_groups, edges);
+  return out;
+}
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, Vertex source) {
+  std::vector<std::uint32_t> dist(g.num_vertices(), kNoDistance);
+  std::queue<Vertex> queue;
+  dist[source] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const Vertex u = queue.front();
+    queue.pop();
+    for (Vertex w : g.neighbors(u)) {
+      if (dist[w] == kNoDistance) {
+        dist[w] = dist[u] + 1;
+        queue.push(w);
+      }
+    }
+  }
+  return dist;
+}
+
+std::uint32_t eccentricity(const Graph& g, Vertex source) {
+  const auto dist = bfs_distances(g, source);
+  std::uint32_t ecc = 0;
+  for (std::uint32_t d : dist)
+    if (d != kNoDistance) ecc = std::max(ecc, d);
+  return ecc;
+}
+
+std::uint32_t diameter(const Graph& g) {
+  std::uint32_t best = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    best = std::max(best, eccentricity(g, v));
+  return best;
+}
+
+}  // namespace ppsi

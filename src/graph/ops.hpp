@@ -1,0 +1,42 @@
+#pragma once
+
+// Structural graph operations: induced subgraphs and quotients (minors).
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/types.hpp"
+
+namespace ppsi {
+
+/// A materialized subgraph or minor together with the vertex correspondence.
+struct DerivedGraph {
+  Graph graph;
+  /// For subgraphs: original vertex of each new vertex.
+  /// For quotients: one representative original vertex per group.
+  std::vector<Vertex> origin_of;
+};
+
+/// Subgraph induced by `vertices` (must be distinct). Vertex i of the result
+/// corresponds to vertices[i].
+DerivedGraph induced_subgraph(const Graph& g, const std::vector<Vertex>& vertices);
+
+/// Quotient graph: vertices with the same non-negative label are merged;
+/// label kNoVertex drops the vertex. Self-loops and parallel edges of the
+/// quotient are removed. `num_groups` is one past the largest used label.
+DerivedGraph quotient_graph(const Graph& g, const std::vector<Vertex>& label,
+                            Vertex num_groups);
+
+/// BFS distances from `source` (kNoDistance where unreachable). Sequential
+/// reference used by tests; the parallel version lives in cluster/.
+inline constexpr std::uint32_t kNoDistance = 0xffffffffu;
+std::vector<std::uint32_t> bfs_distances(const Graph& g, Vertex source);
+
+/// Eccentricity of `source` within its component (max BFS distance).
+std::uint32_t eccentricity(const Graph& g, Vertex source);
+
+/// Exact diameter of the (connected) graph via all-source BFS; O(nm), tests
+/// and benches only.
+std::uint32_t diameter(const Graph& g);
+
+}  // namespace ppsi

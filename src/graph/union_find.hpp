@@ -1,0 +1,46 @@
+#pragma once
+
+// Union-find with path halving and union by size.
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace ppsi {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), Vertex{0});
+  }
+
+  Vertex find(Vertex x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Returns true when the two elements were in different sets.
+  bool unite(Vertex a, Vertex b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    return true;
+  }
+
+  bool connected(Vertex a, Vertex b) { return find(a) == find(b); }
+  std::uint32_t component_size(Vertex x) { return size_[find(x)]; }
+
+ private:
+  std::vector<Vertex> parent_;
+  std::vector<std::uint32_t> size_;
+};
+
+}  // namespace ppsi

@@ -1,0 +1,224 @@
+#include "isomorphism/match_dag.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "treepath/tree_paths.hpp"
+
+namespace ppsi::iso {
+namespace {
+
+using treedecomp::NodeId;
+
+constexpr std::uint32_t kNoTarget = 0xffffffffu;
+
+/// Mutable per-path-node working data.
+struct PathNode {
+  NodeId id = 0;
+  std::vector<StateKey> states;  ///< X_1: valid; others: all locally valid
+  std::unordered_map<StateKey, std::uint32_t, StateKeyHash> index;
+  std::uint32_t base = 0;  ///< first DAG vertex id of this node's states
+  // Side child (off-path, already solved), if any.
+  bool has_side = false;
+  NodeId side = 0;
+  detail::ChildLink side_link, path_link;
+};
+
+}  // namespace
+
+PathStats solve_path(const Graph& g, const treedecomp::TreeDecomposition& td,
+                     const Pattern& pattern,
+                     const std::vector<BagContext>& ctxs,
+                     const std::vector<treedecomp::NodeId>& nodes,
+                     const PathSolveConfig& config, DpSolution& solution) {
+  PathStats stats;
+  stats.path_length = nodes.size();
+  const StateCodec& codec = solution.codec;
+  const bool sep = config.separating;
+
+  // ---- X_1: exact solve against its (already solved) children. ----
+  std::uint64_t work = 0;
+  detail::solve_node_exact(g, td, pattern, ctxs, nodes.front(), sep, solution,
+                           &work);
+  stats.enumerated_states += solution.nodes[nodes.front()].states.size();
+
+  const std::size_t p = nodes.size();
+  if (p > 1) {
+    // ---- Candidates and per-node wiring. ----
+    std::vector<PathNode> path(p);
+    std::uint32_t next_vertex = 0;
+    for (std::size_t j = 0; j < p; ++j) {
+      PathNode& pn = path[j];
+      pn.id = nodes[j];
+      if (j == 0) {
+        pn.states = solution.nodes[pn.id].states;
+        pn.index = solution.nodes[pn.id].index;
+      } else {
+        enumerate_local_states(pattern, ctxs[pn.id], codec, sep,
+                               [&](StateKey key) {
+                                 pn.index.emplace(
+                                     key, static_cast<std::uint32_t>(
+                                              pn.states.size()));
+                                 pn.states.push_back(key);
+                               });
+        stats.enumerated_states += pn.states.size();
+        // Wire children: the path child plus at most one side child.
+        const auto& kids = td.children[pn.id];
+        support::require(!kids.empty(),
+                         "solve_path: path node must have the path child");
+        for (NodeId kid : kids) {
+          if (kid == nodes[j - 1]) continue;
+          support::require(!path[j].has_side,
+                           "solve_path: more than one side child");
+          pn.has_side = true;
+          pn.side = kid;
+          pn.side_link = {true, shared_position_mask(ctxs[pn.id], ctxs[kid])};
+        }
+        pn.path_link = {true,
+                        shared_position_mask(ctxs[pn.id], ctxs[nodes[j - 1]])};
+      }
+      pn.base = next_vertex;
+      next_vertex += static_cast<std::uint32_t>(pn.states.size());
+    }
+    const std::uint32_t num_state_vertices = next_vertex;
+
+    // ---- Edges. ----
+    std::vector<std::vector<std::uint32_t>> adj;
+    adj.resize(num_state_vertices);
+    std::vector<std::uint32_t> translate_target(num_state_vertices, kNoTarget);
+    for (std::size_t j = 0; j + 1 < p; ++j) {
+      PathNode& lo = path[j];
+      PathNode& hi = path[j + 1];
+      const BagContext& lo_ctx = ctxs[lo.id];
+      const BagContext& hi_ctx = ctxs[hi.id];
+      // Projections of lo's states toward hi: pi vertices.
+      std::unordered_map<StateKey, std::uint32_t, StateKeyHash> pi_map;
+      for (std::uint32_t i = 0; i < lo.states.size(); ++i) {
+        ++work;
+        const auto proj = project_to_parent(lo.states[i], codec, pattern,
+                                            lo_ctx, hi_ctx);
+        if (!proj.has_value()) continue;
+        auto [it, fresh] = pi_map.emplace(
+            *proj, static_cast<std::uint32_t>(adj.size()));
+        if (fresh) adj.emplace_back();
+        adj[lo.base + i].push_back(it->second);
+        ++stats.dag_edges;
+        // Translation edge (base mode): the unique no-new-match extension
+        // is exactly the projection read as a state of the parent bag.
+        if (!sep) {
+          if (const auto t = hi.index.find(*proj); t != hi.index.end()) {
+            translate_target[lo.base + i] = hi.base + t->second;
+            ++stats.translation_edges;
+          }
+        }
+      }
+      // Heavy edges pi -> parent candidate, gated by the side child.
+      const SolvedNode* side_solved =
+          hi.has_side ? &solution.nodes[hi.side] : nullptr;
+      for (std::uint32_t i = 0; i < hi.states.size(); ++i) {
+        detail::for_each_support_combo(
+            codec, hi_ctx, hi.states[i],
+            hi.has_side ? hi.side_link : detail::ChildLink{}, hi.path_link,
+            sep, [&](const StateKey* sl, const StateKey* sr) {
+              ++work;
+              if (sl != nullptr && (side_solved == nullptr ||
+                                    !side_solved->sig_groups.contains(*sl))) {
+                return false;
+              }
+              const auto it = pi_map.find(*sr);
+              if (it != pi_map.end()) {
+                adj[it->second].push_back(hi.base + i);
+                ++stats.dag_edges;
+              }
+              return false;  // enumerate every combo
+            });
+      }
+    }
+    // Translation edges also participate in the BFS directly.
+    for (std::uint32_t v = 0; v < num_state_vertices; ++v) {
+      if (translate_target[v] != kNoTarget) adj[v].push_back(translate_target[v]);
+    }
+
+    // ---- Shortcuts on the translation forest (Lemma 3.3). ----
+    if (!sep && config.use_shortcuts && num_state_vertices > 0) {
+      treepath::Forest forest;
+      forest.parent.assign(num_state_vertices, treepath::kNoNode);
+      for (std::uint32_t v = 0; v < num_state_vertices; ++v)
+        forest.parent[v] = translate_target[v];
+      const treepath::PathDecomposition fpaths =
+          treepath::decompose_into_paths(forest);
+      std::uint32_t step = 1;
+      while ((1u << step) < num_state_vertices + 2) ++step;
+      for (const auto& fpath : fpaths.paths) {
+        // Express edge: any vertex can leave the path in one hop
+        // ("shortcut to the first vertex in a lower layer").
+        const std::uint32_t exit = forest.parent[fpath.back()];
+        if (exit != treepath::kNoNode) {
+          for (const std::uint32_t v : fpath) {
+            if (v != fpath.back()) {
+              adj[v].push_back(exit);
+              ++stats.shortcut_edges;
+            }
+          }
+        }
+        // Marked vertices every `step` positions with exponential jumps.
+        std::vector<std::uint32_t> marked;
+        for (std::size_t i = 0; i < fpath.size(); i += step)
+          marked.push_back(fpath[i]);
+        for (std::size_t i = 0; i < marked.size(); ++i) {
+          for (std::size_t jump = 1; i + jump < marked.size(); jump *= 2) {
+            adj[marked[i]].push_back(marked[i + jump]);
+            ++stats.shortcut_edges;
+          }
+        }
+      }
+    }
+
+    // ---- Round-counted BFS from X_1's valid states. ----
+    std::vector<char> reachable(adj.size(), 0);
+    std::vector<std::uint32_t> frontier;
+    for (std::uint32_t i = 0; i < path[0].states.size(); ++i) {
+      reachable[path[0].base + i] = 1;
+      frontier.push_back(path[0].base + i);
+    }
+    while (!frontier.empty()) {
+      ++stats.bfs_rounds;
+      std::vector<std::uint32_t> next;
+      for (const std::uint32_t v : frontier) {
+        for (const std::uint32_t w : adj[v]) {
+          ++work;
+          if (!reachable[w]) {
+            reachable[w] = 1;
+            next.push_back(w);
+          }
+        }
+      }
+      frontier.swap(next);
+    }
+
+    // ---- Install valid states. ----
+    for (std::size_t j = 1; j < p; ++j) {
+      PathNode& pn = path[j];
+      SolvedNode& out = solution.nodes[pn.id];
+      out.ctx = ctxs[pn.id];
+      out.states.clear();
+      out.index.clear();
+      for (std::uint32_t i = 0; i < pn.states.size(); ++i) {
+        if (reachable[pn.base + i]) {
+          out.index.emplace(pn.states[i],
+                            static_cast<std::uint32_t>(out.states.size()));
+          out.states.push_back(pn.states[i]);
+        }
+      }
+    }
+    stats.dag_vertices = adj.size();
+  }
+
+  // Signatures toward tree parents (used by higher layers and recovery).
+  for (const NodeId x : nodes)
+    detail::build_sig_groups(td, pattern, ctxs, x, solution);
+  solution.metrics.add_work(work);
+  return stats;
+}
+
+}  // namespace ppsi::iso

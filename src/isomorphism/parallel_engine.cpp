@@ -1,0 +1,88 @@
+#include "isomorphism/parallel_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <omp.h>
+
+#include "support/parallel.hpp"
+#include "treepath/tree_paths.hpp"
+
+namespace ppsi::iso {
+
+DpSolution solve_parallel(const Graph& g,
+                          const treedecomp::TreeDecomposition& td,
+                          const Pattern& pattern,
+                          const ParallelOptions& options,
+                          ParallelStats* stats) {
+  const bool separating = options.spec.enabled;
+  support::require(td.is_binary(), "solve_parallel: binary tree required");
+  DpSolution sol;
+  sol.separating = separating;
+  std::size_t max_bag = 1;
+  for (const auto& bag : td.bags) max_bag = std::max(max_bag, bag.size());
+  sol.codec =
+      StateCodec::make(pattern.size(), static_cast<std::uint32_t>(max_bag));
+  std::vector<BagContext> ctxs(td.num_nodes());
+  support::parallel_for(0, td.num_nodes(), [&](std::size_t x) {
+    ctxs[x] = make_bag_context(g, td.bags[x], options.spec);
+  });
+  sol.nodes.resize(td.num_nodes());
+
+  // Lemma 3.2: layered path decomposition of the decomposition tree.
+  treepath::Forest forest;
+  forest.parent.assign(td.parent.begin(), td.parent.end());
+  support::Metrics contraction_metrics;
+  std::vector<std::uint32_t> layers =
+      options.use_tree_contraction
+          ? treepath::layer_numbers_contraction(forest, &contraction_metrics)
+          : treepath::layer_numbers_sequential(forest);
+  const treepath::PathDecomposition paths =
+      treepath::decompose_into_paths(forest, std::move(layers));
+  sol.metrics.absorb(contraction_metrics);
+
+  ParallelStats local_stats;
+  local_stats.num_layers = paths.num_layers;
+  local_stats.num_paths = static_cast<std::uint32_t>(paths.paths.size());
+
+  const PathSolveConfig config{separating, options.use_shortcuts};
+  for (std::uint32_t layer = 0; layer < paths.num_layers; ++layer) {
+    const std::uint32_t begin = paths.layer_path_offsets[layer];
+    const std::uint32_t end = paths.layer_path_offsets[layer + 1];
+    std::vector<PathStats> per_path(end - begin);
+#pragma omp parallel for schedule(dynamic)
+    for (std::uint32_t pi = begin; pi < end; ++pi) {
+      std::vector<treedecomp::NodeId> nodes(paths.paths[pi].begin(),
+                                            paths.paths[pi].end());
+      per_path[pi - begin] =
+          solve_path(g, td, pattern, ctxs, nodes, config, sol);
+    }
+    // Critical path: the slowest path of this layer.
+    std::uint64_t layer_rounds = 0;
+    for (const PathStats& ps : per_path) {
+      layer_rounds = std::max(layer_rounds, ps.bfs_rounds);
+      local_stats.dag_vertices += ps.dag_vertices;
+      local_stats.dag_edges += ps.dag_edges;
+      local_stats.translation_edges += ps.translation_edges;
+      local_stats.shortcut_edges += ps.shortcut_edges;
+      local_stats.max_path_length =
+          std::max(local_stats.max_path_length, ps.path_length);
+    }
+    local_stats.bfs_rounds += layer_rounds;
+    sol.metrics.add_rounds(layer_rounds);
+  }
+  local_stats.contraction_rounds = contraction_metrics.rounds();
+
+  const SolvedNode& root = sol.nodes[td.root];
+  for (std::uint32_t i = 0; i < root.states.size(); ++i) {
+    const StateView view = view_of(sol.codec, root.states[i].code);
+    const bool ok_sep =
+        !separating || ((root.states[i].sep & kSepIx) != 0 &&
+                        (root.states[i].sep & kSepOx) != 0);
+    if (view.u_mask == 0 && ok_sep) sol.accepting.push_back(i);
+  }
+  sol.accepted = !sol.accepting.empty();
+  if (stats != nullptr) *stats = local_stats;
+  return sol;
+}
+
+}  // namespace ppsi::iso

@@ -1,0 +1,45 @@
+#pragma once
+
+// The parallel bounded-treewidth engine (paper §3.3, Lemma 3.1).
+//
+// The decomposition tree is split into layered paths (Lemma 3.2, computed
+// with the Appendix A tree-contraction evaluation); layers are processed in
+// order and all paths of a layer in parallel; each path is solved through
+// the shortcut reachability of its partial-match DAG (§3.3.2–3.3.3).
+// The result is bit-identical to solve_sequential (tested), with
+// poly-logarithmic synchronous rounds on the critical path.
+
+#include "isomorphism/match_dag.hpp"
+#include "isomorphism/sequential_dp.hpp"
+
+namespace ppsi::iso {
+
+struct ParallelOptions {
+  SeparatingSpec spec;       ///< separating configuration
+  bool use_shortcuts = true; ///< Lemma 3.3 shortcuts (base mode only)
+  /// Layer numbers via Appendix A tree contraction (otherwise sequential).
+  bool use_tree_contraction = true;
+};
+
+struct ParallelStats {
+  std::uint32_t num_layers = 0;
+  std::uint32_t num_paths = 0;
+  std::size_t max_path_length = 0;
+  std::uint64_t dag_vertices = 0;
+  std::uint64_t dag_edges = 0;
+  std::uint64_t translation_edges = 0;
+  std::uint64_t shortcut_edges = 0;
+  /// Critical-path BFS rounds: max over the paths of a layer, summed over
+  /// layers (plus the contraction rounds, reported in the metrics).
+  std::uint64_t bfs_rounds = 0;
+  std::uint64_t contraction_rounds = 0;
+};
+
+/// Parallel counterpart of solve_sequential; `td` must be binary.
+DpSolution solve_parallel(const Graph& g,
+                          const treedecomp::TreeDecomposition& td,
+                          const Pattern& pattern,
+                          const ParallelOptions& options,
+                          ParallelStats* stats = nullptr);
+
+}  // namespace ppsi::iso

@@ -1,0 +1,57 @@
+#include "isomorphism/pattern.hpp"
+
+#include <algorithm>
+
+#include "graph/components.hpp"
+#include "graph/ops.hpp"
+
+namespace ppsi::iso {
+
+Pattern Pattern::from_graph(const Graph& g) {
+  support::require(g.num_vertices() >= 1, "Pattern: empty pattern");
+  support::require(g.num_vertices() <= kMaxPatternSize,
+                   "Pattern: at most 16 vertices supported");
+  Pattern p;
+  p.g_ = g;
+  p.k_ = g.num_vertices();
+  p.adj_mask_.assign(p.k_, 0);
+  for (Vertex v = 0; v < p.k_; ++v)
+    for (Vertex w : g.neighbors(v)) p.adj_mask_[v] |= 1u << w;
+  return p;
+}
+
+bool Pattern::is_connected() const {
+  return connected_components(g_).count <= 1;
+}
+
+std::uint32_t Pattern::diameter() const {
+  std::uint32_t best = 0;
+  const auto comp = components();
+  for (const auto& vertices : comp) {
+    for (Vertex v : vertices) {
+      const auto dist = bfs_distances(g_, v);
+      for (Vertex w : vertices)
+        if (dist[w] != kNoDistance) best = std::max(best, dist[w]);
+    }
+  }
+  return best;
+}
+
+std::vector<std::vector<std::uint32_t>> Pattern::components() const {
+  const Components comps = connected_components(g_);
+  std::vector<std::vector<std::uint32_t>> out(comps.count);
+  for (Vertex v = 0; v < k_; ++v) out[comps.label[v]].push_back(v);
+  return out;
+}
+
+Pattern Pattern::component_pattern(
+    const std::vector<std::uint32_t>& component,
+    std::vector<std::uint32_t>* back_map) const {
+  std::vector<Vertex> vertices(component.begin(), component.end());
+  const DerivedGraph sub = induced_subgraph(g_, vertices);
+  if (back_map != nullptr)
+    back_map->assign(sub.origin_of.begin(), sub.origin_of.end());
+  return from_graph(sub.graph);
+}
+
+}  // namespace ppsi::iso

@@ -1,0 +1,48 @@
+#pragma once
+
+// Pattern graphs H (paper §1.1): small graphs (k <= 16) with adjacency
+// bitmasks so the DP can check pattern edges in O(1).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/types.hpp"
+
+namespace ppsi::iso {
+
+inline constexpr std::uint32_t kMaxPatternSize = 16;
+
+class Pattern {
+ public:
+  Pattern() = default;
+
+  /// Wraps a graph with at most kMaxPatternSize vertices.
+  static Pattern from_graph(const Graph& g);
+
+  std::uint32_t size() const { return k_; }
+  const Graph& graph() const { return g_; }
+
+  /// Bitmask of pattern vertices adjacent to v.
+  std::uint32_t adj_mask(std::uint32_t v) const { return adj_mask_[v]; }
+  bool has_edge(std::uint32_t u, std::uint32_t v) const {
+    return (adj_mask_[u] >> v) & 1u;
+  }
+
+  bool is_connected() const;
+  /// Diameter of the largest component (the cover's d parameter).
+  std::uint32_t diameter() const;
+  /// Vertex lists of the connected components.
+  std::vector<std::vector<std::uint32_t>> components() const;
+  /// Pattern induced by one component (vertices renumbered); `back_map`
+  /// receives the original pattern vertex of each new vertex.
+  Pattern component_pattern(const std::vector<std::uint32_t>& component,
+                            std::vector<std::uint32_t>* back_map) const;
+
+ private:
+  Graph g_;
+  std::uint32_t k_ = 0;
+  std::vector<std::uint32_t> adj_mask_;
+};
+
+}  // namespace ppsi::iso

@@ -1,0 +1,340 @@
+#include "isomorphism/sequential_dp.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace ppsi::iso {
+
+namespace detail {
+
+bool for_each_support_combo(
+    const StateCodec& codec, const BagContext& ctx, StateKey state,
+    const ChildLink& left, const ChildLink& right, bool separating,
+    const std::function<bool(const StateKey*, const StateKey*)>& visit) {
+  const StateView view = view_of(codec, state.code);
+  const std::uint32_t c_mask = view.c_mask;
+  bool li = false, lo = false;
+  if (separating) local_sep_bits(ctx, codec, state, &li, &lo);
+  const bool ix = (state.sep & kSepIx) != 0;
+  const bool ox = (state.sep & kSepOx) != 0;
+
+  if (!left.present && !right.present) {
+    // Leaf: nothing below; C must be empty and the subtree bits are exactly
+    // the local contributions.
+    if (c_mask != 0) return false;
+    if (separating && (ix != li || ox != lo)) return false;
+    return visit(nullptr, nullptr);
+  }
+
+  const int iy_max = separating ? 1 : 0;
+  // Attribute every C vertex to exactly one present child: enumerate all
+  // subsets `a` of the C set for the left child (submask walk).
+  std::uint32_t a = left.present ? c_mask : 0;  // subset for the left child
+  bool done = false;
+  while (!done) {
+    if (a == 0) done = true;  // process the empty subset, then stop
+    const std::uint32_t b_mask = c_mask & ~a;  // right child's share
+    const bool split_ok =
+        (left.present || a == 0) && (right.present || b_mask == 0);
+    if (split_ok) {
+      for (int iyl = 0; iyl <= (left.present ? iy_max : 0); ++iyl) {
+        for (int iyr = 0; iyr <= (right.present ? iy_max : 0); ++iyr) {
+          if (separating && ((li || iyl || iyr) != ix)) continue;
+          for (int oyl = 0; oyl <= (left.present ? iy_max : 0); ++oyl) {
+            for (int oyr = 0; oyr <= (right.present ? iy_max : 0); ++oyr) {
+              if (separating && ((lo || oyl || oyr) != ox)) continue;
+              StateKey sig_left, sig_right;
+              if (left.present) {
+                sig_left = required_signature(state, codec, ctx,
+                                              left.shared_mask, a,
+                                              iyl != 0, oyl != 0);
+              }
+              if (right.present) {
+                sig_right = required_signature(state, codec, ctx,
+                                               right.shared_mask, b_mask,
+                                               iyr != 0, oyr != 0);
+              }
+              if (visit(left.present ? &sig_left : nullptr,
+                        right.present ? &sig_right : nullptr)) {
+                return true;
+              }
+            }
+          }
+        }
+      }
+    }
+    if (!done) a = (a - 1) & c_mask;
+  }
+  return false;
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::ChildLink;
+
+/// Gathers per-node child links and solved-children pointers.
+struct NodeEnv {
+  ChildLink left, right;
+  const SolvedNode* left_node = nullptr;
+  const SolvedNode* right_node = nullptr;
+};
+
+NodeEnv make_env(const treedecomp::TreeDecomposition& td,
+                 const std::vector<BagContext>& ctxs,
+                 const std::vector<SolvedNode>& nodes,
+                 treedecomp::NodeId x) {
+  NodeEnv env;
+  const auto& kids = td.children[x];
+  support::require(kids.size() <= 2, "solve: binary decomposition required");
+  if (!kids.empty()) {
+    env.left = {true, shared_position_mask(ctxs[x], ctxs[kids[0]])};
+    env.left_node = &nodes[kids[0]];
+  }
+  if (kids.size() == 2) {
+    env.right = {true, shared_position_mask(ctxs[x], ctxs[kids[1]])};
+    env.right_node = &nodes[kids[1]];
+  }
+  return env;
+}
+
+bool sig_present(const SolvedNode* node, const StateKey* sig) {
+  if (sig == nullptr) return true;
+  return node->sig_groups.contains(*sig);
+}
+
+bool accepting_state(const StateCodec& codec, bool separating, StateKey s) {
+  const StateView view = view_of(codec, s.code);
+  if (view.u_mask != 0) return false;
+  if (separating)
+    return (s.sep & kSepIx) != 0 && (s.sep & kSepOx) != 0;
+  return true;
+}
+
+}  // namespace
+
+namespace detail {
+
+void solve_node_exact(const Graph&, const treedecomp::TreeDecomposition& td,
+                      const Pattern& pattern,
+                      const std::vector<BagContext>& ctxs,
+                      treedecomp::NodeId x, bool separating,
+                      DpSolution& solution, std::uint64_t* work) {
+  SolvedNode& node = solution.nodes[x];
+  node.ctx = ctxs[x];
+  const StateCodec& codec = solution.codec;
+  const NodeEnv env = make_env(td, ctxs, solution.nodes, x);
+  enumerate_local_states(
+      pattern, node.ctx, codec, separating, [&](StateKey key) {
+        if (work != nullptr) ++*work;
+        const bool supported = for_each_support_combo(
+            codec, node.ctx, key, env.left, env.right, separating,
+            [&](const StateKey* sl, const StateKey* sr) {
+              if (work != nullptr) ++*work;
+              return sig_present(env.left_node, sl) &&
+                     sig_present(env.right_node, sr);
+            });
+        if (supported) {
+          node.index.emplace(key,
+                             static_cast<std::uint32_t>(node.states.size()));
+          node.states.push_back(key);
+        }
+      });
+}
+
+void build_sig_groups(const treedecomp::TreeDecomposition& td,
+                      const Pattern& pattern,
+                      const std::vector<BagContext>& ctxs,
+                      treedecomp::NodeId x, DpSolution& solution) {
+  SolvedNode& node = solution.nodes[x];
+  if (td.parent[x] == treedecomp::kNoNode) return;
+  const BagContext& parent_ctx = ctxs[td.parent[x]];
+  node.shared_with_parent = shared_position_mask(parent_ctx, node.ctx);
+  node.sig_groups.clear();
+  for (std::uint32_t i = 0; i < node.states.size(); ++i) {
+    const auto sig = project_to_parent(node.states[i], solution.codec,
+                                       pattern, node.ctx, parent_ctx);
+    if (sig.has_value()) node.sig_groups[*sig].push_back(i);
+  }
+}
+
+}  // namespace detail
+
+DpSolution solve_sequential(const Graph& g,
+                            const treedecomp::TreeDecomposition& td,
+                            const Pattern& pattern, const DpOptions& options) {
+  const bool separating = options.spec.enabled;
+  DpSolution sol;
+  sol.separating = separating;
+  std::size_t max_bag = 1;
+  for (const auto& bag : td.bags) max_bag = std::max(max_bag, bag.size());
+  sol.codec = StateCodec::make(pattern.size(),
+                               static_cast<std::uint32_t>(max_bag));
+  const StateCodec& codec = sol.codec;
+
+  // Precompute all bag contexts (children need the parent's coordinates).
+  std::vector<BagContext> ctxs(td.num_nodes());
+  for (treedecomp::NodeId x = 0; x < td.num_nodes(); ++x)
+    ctxs[x] = make_bag_context(g, td.bags[x], options.spec);
+
+  sol.nodes.resize(td.num_nodes());
+  std::uint64_t work = 0;
+  for (treedecomp::NodeId x : bottom_up_order(td)) {
+    detail::solve_node_exact(g, td, pattern, ctxs, x, separating, sol, &work);
+    detail::build_sig_groups(td, pattern, ctxs, x, sol);
+    sol.metrics.add_rounds(1);
+  }
+  sol.metrics.add_work(work);
+
+  const SolvedNode& root = sol.nodes[td.root];
+  for (std::uint32_t i = 0; i < root.states.size(); ++i) {
+    if (accepting_state(codec, separating, root.states[i]))
+      sol.accepting.push_back(i);
+  }
+  sol.accepted = !sol.accepting.empty();
+  return sol;
+}
+
+namespace {
+
+/// Top-down expansion of one valid state into the assignments realized in
+/// its subtree (paper §4.2.1). Memoized per (node, state); capped at
+/// `limit` assignments per state.
+class Recoverer {
+ public:
+  Recoverer(const DpSolution& sol, const treedecomp::TreeDecomposition& td,
+            std::size_t limit)
+      : sol_(sol), td_(td), limit_(limit), memo_(td.num_nodes()) {}
+
+  const std::vector<Assignment>& expand(treedecomp::NodeId x,
+                                        std::uint32_t state_idx) {
+    auto& node_memo = memo_[x];
+    if (const auto it = node_memo.find(state_idx); it != node_memo.end())
+      return it->second;
+    const SolvedNode& node = sol_.nodes[x];
+    const StateKey state = node.states[state_idx];
+    Assignment base(sol_.codec.k, kNoVertex);
+    for (std::uint32_t v = 0; v < sol_.codec.k; ++v) {
+      const std::uint64_t val = sol_.codec.get(state.code, v);
+      if (val >= kStateMapped)
+        base[v] = node.ctx.vertices[val - kStateMapped];
+    }
+    std::set<Assignment> results;
+    const auto& kids = td_.children[x];
+    if (kids.empty()) {
+      results.insert(base);
+    } else {
+      // Re-derive the support combos and expand through every valid pair.
+      detail::ChildLink left, right;
+      const SolvedNode* lnode = nullptr;
+      const SolvedNode* rnode = nullptr;
+      left = {true, shared_position_mask(node.ctx, sol_.nodes[kids[0]].ctx)};
+      lnode = &sol_.nodes[kids[0]];
+      if (kids.size() == 2) {
+        right = {true,
+                 shared_position_mask(node.ctx, sol_.nodes[kids[1]].ctx)};
+        rnode = &sol_.nodes[kids[1]];
+      }
+      detail::for_each_support_combo(
+          sol_.codec, node.ctx, state, left, right, sol_.separating,
+          [&](const StateKey* sl, const StateKey* sr) {
+            const auto* lgroup =
+                sl != nullptr ? find_group(lnode, *sl) : nullptr;
+            const auto* rgroup =
+                sr != nullptr ? find_group(rnode, *sr) : nullptr;
+            if (sl != nullptr && lgroup == nullptr) return false;
+            if (sr != nullptr && rgroup == nullptr) return false;
+            combine(x, kids, base, lgroup, rgroup, results);
+            return results.size() >= limit_;
+          });
+    }
+    std::vector<Assignment> out(results.begin(), results.end());
+    if (out.size() > limit_) out.resize(limit_);
+    return node_memo.emplace(state_idx, std::move(out)).first->second;
+  }
+
+ private:
+  static const std::vector<std::uint32_t>* find_group(const SolvedNode* node,
+                                                      StateKey sig) {
+    const auto it = node->sig_groups.find(sig);
+    return it == node->sig_groups.end() ? nullptr : &it->second;
+  }
+
+  void combine(treedecomp::NodeId,
+               const std::vector<treedecomp::NodeId>& kids,
+               const Assignment& base,
+               const std::vector<std::uint32_t>* lgroup,
+               const std::vector<std::uint32_t>* rgroup,
+               std::set<Assignment>& results) {
+    static const std::vector<std::uint32_t> kNone = {0xffffffffu};
+    const auto& lids = lgroup != nullptr ? *lgroup : kNone;
+    const auto& rids = rgroup != nullptr ? *rgroup : kNone;
+    for (const std::uint32_t li : lids) {
+      const std::vector<Assignment>* las = nullptr;
+      if (lgroup != nullptr) las = &expand(kids[0], li);
+      for (const std::uint32_t ri : rids) {
+        const std::vector<Assignment>* ras = nullptr;
+        if (rgroup != nullptr) ras = &expand(kids[1], ri);
+        merge_products(base, las, ras, results);
+        if (results.size() >= limit_) return;
+      }
+      if (results.size() >= limit_) return;
+    }
+  }
+
+  void merge_products(const Assignment& base,
+                      const std::vector<Assignment>* las,
+                      const std::vector<Assignment>* ras,
+                      std::set<Assignment>& results) {
+    static const std::vector<Assignment> kEmpty = {{}};
+    const auto& ls = las != nullptr ? *las : kEmpty;
+    const auto& rs = ras != nullptr ? *ras : kEmpty;
+    for (const Assignment& la : ls) {
+      for (const Assignment& ra : rs) {
+        Assignment merged = base;
+        bool ok = true;
+        const auto fold = [&](const Assignment& contribution) {
+          for (std::size_t v = 0; v < contribution.size(); ++v) {
+            if (contribution[v] == kNoVertex) continue;
+            if (merged[v] != kNoVertex && merged[v] != contribution[v]) {
+              ok = false;
+              return;
+            }
+            merged[v] = contribution[v];
+          }
+        };
+        if (!la.empty()) fold(la);
+        if (ok && !ra.empty()) fold(ra);
+        if (ok) results.insert(std::move(merged));
+        if (results.size() >= limit_) return;
+      }
+    }
+  }
+
+  const DpSolution& sol_;
+  const treedecomp::TreeDecomposition& td_;
+  std::size_t limit_;
+  std::vector<std::unordered_map<std::uint32_t, std::vector<Assignment>>>
+      memo_;
+};
+
+}  // namespace
+
+std::vector<Assignment> recover_assignments(
+    const DpSolution& solution, const treedecomp::TreeDecomposition& td,
+    std::size_t limit) {
+  std::set<Assignment> all;
+  Recoverer recoverer(solution, td, limit);
+  for (const std::uint32_t idx : solution.accepting) {
+    for (const Assignment& a : recoverer.expand(td.root, idx)) {
+      all.insert(a);
+      if (all.size() >= limit) break;
+    }
+    if (all.size() >= limit) break;
+  }
+  return {all.begin(), all.end()};
+}
+
+}  // namespace ppsi::iso

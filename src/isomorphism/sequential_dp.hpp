@@ -1,0 +1,108 @@
+#pragma once
+
+// Bottom-up DP over a binary tree decomposition — Eppstein's sequential
+// algorithm (paper §3.2), shared infrastructure for the parallel engine
+// (§3.3), and witness recovery (§4.2.1).
+//
+// Every node is solved into its set of *valid* partial matches plus the
+// signature index toward its parent (projection of each valid state into
+// the parent's coordinate space). A state of a node with children is valid
+// iff for some attribution of its C vertices to the children and some
+// subtree-bit combination, both required child signatures are present in
+// the children's signature indexes; leaves accept exactly the C = empty
+// states whose separating bits match the local contributions.
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "isomorphism/pattern.hpp"
+#include "isomorphism/state_enumeration.hpp"
+#include "support/metrics.hpp"
+#include "treedecomp/tree_decomposition.hpp"
+
+namespace ppsi::iso {
+
+/// A complete or partial occurrence: image per pattern vertex
+/// (kNoVertex where unmatched).
+using Assignment = std::vector<Vertex>;
+
+struct SolvedNode {
+  BagContext ctx;
+  std::vector<StateKey> states;  ///< valid states
+  std::unordered_map<StateKey, std::uint32_t, StateKeyHash> index;
+  /// Projection toward the parent -> indices of valid states projecting to it.
+  std::unordered_map<StateKey, std::vector<std::uint32_t>, StateKeyHash>
+      sig_groups;
+  std::uint64_t shared_with_parent = 0;  ///< parent positions (set on parent)
+};
+
+struct DpSolution {
+  StateCodec codec;
+  bool separating = false;
+  std::vector<SolvedNode> nodes;             ///< per decomposition node
+  std::vector<std::uint32_t> accepting;      ///< root state indices
+  bool accepted = false;
+  support::Metrics metrics;
+};
+
+struct DpOptions {
+  SeparatingSpec spec;  ///< separating configuration (disabled by default)
+};
+
+/// Eppstein's sequential bottom-up DP. `td` must be binary.
+DpSolution solve_sequential(const Graph& g,
+                            const treedecomp::TreeDecomposition& td,
+                            const Pattern& pattern, const DpOptions& options);
+
+/// Recovers up to `limit` complete assignments realizing the accepting root
+/// states (top-down over valid children, paper §4.2.1). Each assignment is
+/// a full injective pattern -> target map; duplicates are removed.
+std::vector<Assignment> recover_assignments(
+    const DpSolution& solution, const treedecomp::TreeDecomposition& td,
+    std::size_t limit);
+
+// ---- Shared internals (used by the parallel engine as well) ----
+
+namespace detail {
+
+/// Enumerates the child-signature pairs that would support `state` at a
+/// node with the given children links, calling
+/// visit(sig_left, sig_right) for each candidate combination; children that
+/// do not exist receive an engaged check against "no contribution"
+/// (handled by the caller passing kNoChild masks). Returns via visit's
+/// bool: stop early when visit returns true.
+struct ChildLink {
+  bool present = false;
+  std::uint64_t shared_mask = 0;
+};
+
+/// Invokes visit(sigL, sigR) for every (C-attribution, subtree-bit) combo
+/// consistent with `state`; visit returns true to stop the enumeration.
+/// For absent children the respective signature must be the empty
+/// contribution (all-U, zero bits); combos violating that are skipped.
+bool for_each_support_combo(
+    const StateCodec& codec, const BagContext& ctx, StateKey state,
+    const ChildLink& left, const ChildLink& right, bool separating,
+    const std::function<bool(const StateKey*, const StateKey*)>& visit);
+
+/// Solves one node exactly against its (already solved) children:
+/// enumerates the locally valid states and keeps the supported ones.
+/// Fills solution.nodes[x].states/index; sig_groups are built separately.
+void solve_node_exact(const Graph& g, const treedecomp::TreeDecomposition& td,
+                      const Pattern& pattern,
+                      const std::vector<BagContext>& ctxs,
+                      treedecomp::NodeId x, bool separating,
+                      DpSolution& solution, std::uint64_t* work);
+
+/// Builds solution.nodes[x].sig_groups (projections toward the parent).
+void build_sig_groups(const treedecomp::TreeDecomposition& td,
+                      const Pattern& pattern,
+                      const std::vector<BagContext>& ctxs,
+                      treedecomp::NodeId x, DpSolution& solution);
+
+}  // namespace detail
+
+}  // namespace ppsi::iso

@@ -1,0 +1,298 @@
+#include "isomorphism/sparse_dp.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace ppsi::iso {
+namespace {
+
+/// Per-vertex merge of two child signatures (both in the parent's
+/// coordinate space). Returns false on conflict; otherwise fills the base
+/// code (new-match candidates stay U and are collected in `free_mask`).
+bool merge_signatures(const StateCodec& codec, const Pattern& pattern,
+                      const BagContext& ctx, std::uint64_t shared_l,
+                      std::uint64_t shared_r, StateKey sig_l, StateKey sig_r,
+                      std::uint64_t* base_code, std::uint32_t* free_mask) {
+  std::uint64_t code = 0;
+  std::uint32_t free_vertices = 0;
+  for (std::uint32_t v = 0; v < codec.k; ++v) {
+    const std::uint64_t a = codec.get(sig_l.code, v);
+    const std::uint64_t b = codec.get(sig_r.code, v);
+    std::uint64_t out;
+    if (a == kStateU && b == kStateU) {
+      out = kStateU;
+      free_vertices |= 1u << v;  // may stay U or become a new match
+    } else if (a == kStateC && b == kStateU) {
+      out = kStateC;
+    } else if (a == kStateU && b == kStateC) {
+      out = kStateC;
+    } else if (a == kStateC || b == kStateC) {
+      return false;  // matched in both children, or C vs mapped
+    } else if (a >= kStateMapped && b >= kStateMapped) {
+      if (a != b) return false;
+      out = a;
+    } else {
+      // Exactly one side mapped; the other is U. Legal only when the bag
+      // vertex is invisible to the U side (otherwise that child would have
+      // had to map it).
+      const std::uint64_t val = a >= kStateMapped ? a : b;
+      const std::uint64_t p = val - kStateMapped;
+      const std::uint64_t other_shared = a >= kStateMapped ? shared_r : shared_l;
+      if ((other_shared >> p) & 1ULL) return false;
+      out = val;
+    }
+    code = codec.set(code, v, out);
+  }
+  (void)pattern;
+  (void)ctx;
+  *base_code = code;
+  *free_mask = free_vertices;
+  return true;
+}
+
+/// All per-node generation state shared across the enumeration lambdas.
+struct NodeGen {
+  const StateCodec& codec;
+  const Pattern& pattern;
+  const BagContext& ctx;
+  bool separating;
+  SolvedNode& out;
+
+  void emit(StateKey key) {
+    if (out.index.emplace(key, static_cast<std::uint32_t>(out.states.size()))
+            .second) {
+      out.states.push_back(key);
+    }
+  }
+
+  /// Expands one merged base: enumerates new-match extensions over
+  /// `free_mask`, then labels/bits, emitting every resulting state.
+  /// `known_labels`/`known_mask` carry the child-determined inside bits
+  /// over bag positions (parent coordinates); `child_bits` is the OR of the
+  /// children's (iy, oy) contributions packed as kSepIx/kSepOx.
+  void expand(std::uint64_t base_code, std::uint32_t free_mask,
+              std::uint64_t blocked_positions, std::uint64_t known_labels,
+              std::uint64_t known_mask, std::uint64_t child_bits) {
+    expand_matches(base_code, free_mask, blocked_positions, known_labels,
+                   known_mask, child_bits);
+  }
+
+ private:
+  void expand_matches(std::uint64_t code, std::uint32_t free_mask,
+                      std::uint64_t blocked, std::uint64_t known_labels,
+                      std::uint64_t known_mask, std::uint64_t child_bits) {
+    if (free_mask == 0) {
+      finish(code, known_labels, known_mask, child_bits);
+      return;
+    }
+    const auto v = static_cast<std::uint32_t>(std::countr_zero(free_mask));
+    const std::uint32_t rest = free_mask & (free_mask - 1);
+    // Option 1: v stays unmatched.
+    expand_matches(code, rest, blocked, known_labels, known_mask, child_bits);
+    // Option 2: map v to a fresh allowed position invisible to both
+    // children, adjacent to all mapped pattern neighbors of v.
+    const StateView view = view_of(codec, code);
+    if ((pattern.adj_mask(v) & view.c_mask) != 0) return;  // C-U rule later
+    std::uint64_t positions =
+        ctx.allowed_mask & ~view.image_mask & ~blocked;
+    for (std::uint32_t nb = pattern.adj_mask(v); nb != 0; nb &= nb - 1) {
+      const auto w = static_cast<std::uint32_t>(std::countr_zero(nb));
+      const std::uint64_t wal = codec.get(code, w);
+      if (wal >= kStateMapped) positions &= ctx.gadj[wal - kStateMapped];
+    }
+    while (positions != 0) {
+      const int p = std::countr_zero(positions);
+      positions &= positions - 1;
+      const std::uint64_t next =
+          codec.set(code, v, kStateMapped + static_cast<std::uint64_t>(p));
+      expand_matches(next, rest, blocked, known_labels, known_mask,
+                     child_bits);
+    }
+  }
+
+  void finish(std::uint64_t code, std::uint64_t known_labels,
+              std::uint64_t known_mask, std::uint64_t child_bits) {
+    // Enforce the C-U rule (a C vertex whose pattern neighbor stayed U).
+    const StateView view = view_of(codec, code);
+    for (std::uint32_t cm = view.c_mask; cm != 0; cm &= cm - 1) {
+      const auto v = static_cast<std::uint32_t>(std::countr_zero(cm));
+      if ((pattern.adj_mask(v) & view.u_mask) != 0) return;
+    }
+    // Realization check for freshly co-resident mapped pairs (pairs coming
+    // from different children were never co-checked).
+    for (std::uint32_t mm = view.mapped_mask; mm != 0; mm &= mm - 1) {
+      const auto v = static_cast<std::uint32_t>(std::countr_zero(mm));
+      const std::uint64_t pv = codec.get(code, v) - kStateMapped;
+      for (std::uint32_t nb =
+               pattern.adj_mask(v) & view.mapped_mask & ((1u << v) - 1);
+           nb != 0; nb &= nb - 1) {
+        const auto w = static_cast<std::uint32_t>(std::countr_zero(nb));
+        const std::uint64_t pw = codec.get(code, w) - kStateMapped;
+        if (((ctx.gadj[pv] >> pw) & 1ULL) == 0) return;
+      }
+    }
+    if (!separating) {
+      emit({code, 0});
+      return;
+    }
+    // Labels: components of the bag minus the image; a component touching a
+    // child-labelled position inherits (and must be consistent); the rest
+    // are free.
+    const std::uint64_t unmapped = ctx.all_mask & ~view.image_mask;
+    const std::uint64_t eff_known = known_mask & unmapped;
+    std::uint64_t fixed_inside = 0;
+    std::vector<std::uint64_t> free_comps;
+    std::uint64_t todo = unmapped;
+    while (todo != 0) {
+      const int seed = std::countr_zero(todo);
+      std::uint64_t comp = 1ULL << seed;
+      std::uint64_t frontier = comp;
+      while (frontier != 0) {
+        std::uint64_t next = 0;
+        for (std::uint64_t f = frontier; f != 0; f &= f - 1) {
+          const int p = std::countr_zero(f);
+          next |= ctx.gadj[p] & unmapped & ~comp;
+        }
+        comp |= next;
+        frontier = next;
+      }
+      todo &= ~comp;
+      const std::uint64_t known_here = comp & eff_known;
+      if (known_here == 0) {
+        free_comps.push_back(comp);
+      } else {
+        const std::uint64_t inside_here = known_here & known_labels;
+        if (inside_here != 0 && inside_here != known_here) return;  // mixed
+        if (inside_here != 0) fixed_inside |= comp;
+      }
+    }
+    support::require(free_comps.size() <= 24,
+                     "sparse separating: too many free components");
+    const std::uint32_t combos = 1u << free_comps.size();
+    for (std::uint32_t lab = 0; lab < combos; ++lab) {
+      std::uint64_t inside = fixed_inside;
+      for (std::size_t i = 0; i < free_comps.size(); ++i)
+        if ((lab >> i) & 1u) inside |= free_comps[i];
+      // Exact subtree bits: local contribution OR the children's.
+      const bool li = (inside & ctx.s_mask) != 0;
+      const bool lo = ((unmapped & ~inside) & ctx.s_mask) != 0;
+      std::uint64_t sep = inside | child_bits;
+      if (li) sep |= kSepIx;
+      if (lo) sep |= kSepOx;
+      emit({code, sep});
+    }
+  }
+};
+
+}  // namespace
+
+DpSolution solve_sparse(const Graph& g,
+                        const treedecomp::TreeDecomposition& td,
+                        const Pattern& pattern, const DpOptions& options) {
+  const bool separating = options.spec.enabled;
+  DpSolution sol;
+  sol.separating = separating;
+  std::size_t max_bag = 1;
+  for (const auto& bag : td.bags) max_bag = std::max(max_bag, bag.size());
+  sol.codec =
+      StateCodec::make(pattern.size(), static_cast<std::uint32_t>(max_bag));
+  const StateCodec& codec = sol.codec;
+  std::vector<BagContext> ctxs(td.num_nodes());
+  for (treedecomp::NodeId x = 0; x < td.num_nodes(); ++x)
+    ctxs[x] = make_bag_context(g, td.bags[x], options.spec);
+  sol.nodes.resize(td.num_nodes());
+  std::uint64_t work = 0;
+
+  for (const treedecomp::NodeId x : bottom_up_order(td)) {
+    SolvedNode& node = sol.nodes[x];
+    node.ctx = ctxs[x];
+    NodeGen gen{codec, pattern, node.ctx, separating, node};
+    const auto& kids = td.children[x];
+    support::require(kids.size() <= 2, "solve_sparse: binary tree required");
+    if (kids.empty()) {
+      // Leaf: C = empty, everything else free.
+      const std::uint32_t all = pattern.size() == 32
+                                    ? 0xffffffffu
+                                    : (1u << pattern.size()) - 1;
+      ++work;
+      gen.expand(0, all, 0, 0, 0, 0);
+    } else if (kids.size() == 1) {
+      const SolvedNode& child = sol.nodes[kids[0]];
+      const std::uint64_t shared =
+          shared_position_mask(node.ctx, ctxs[kids[0]]);
+      for (const auto& [sig, group] : child.sig_groups) {
+        ++work;
+        (void)group;
+        // The signature itself is the forced base (U/C/mapped fields).
+        const StateView view = view_of(codec, sig.code);
+        gen.expand(sig.code, view.u_mask, shared,
+                   sig.sep & kSepLabelMask, shared,
+                   sig.sep & (kSepIx | kSepOx));
+      }
+    } else {
+      const SolvedNode& left = sol.nodes[kids[0]];
+      const SolvedNode& right = sol.nodes[kids[1]];
+      const std::uint64_t shared_l =
+          shared_position_mask(node.ctx, ctxs[kids[0]]);
+      const std::uint64_t shared_r =
+          shared_position_mask(node.ctx, ctxs[kids[1]]);
+      const std::uint64_t shared_lr = shared_l & shared_r;
+      // Join the signature sets on their shared-position restriction.
+      const auto join_key = [&](StateKey sig) {
+        std::uint64_t key_code = 0;
+        for (std::uint32_t v = 0; v < codec.k; ++v) {
+          const std::uint64_t val = codec.get(sig.code, v);
+          if (val >= kStateMapped &&
+              ((shared_lr >> (val - kStateMapped)) & 1ULL)) {
+            key_code = codec.set(key_code, v, val);
+          }
+        }
+        return support::hash_combine(
+            key_code, sig.sep & kSepLabelMask & shared_lr);
+      };
+      std::unordered_map<std::uint64_t, std::vector<StateKey>> buckets;
+      for (const auto& [sig, group] : right.sig_groups) {
+        (void)group;
+        buckets[join_key(sig)].push_back(sig);
+      }
+      for (const auto& [sig_l, group_l] : left.sig_groups) {
+        (void)group_l;
+        const auto it = buckets.find(join_key(sig_l));
+        if (it == buckets.end()) continue;
+        for (const StateKey sig_r : it->second) {
+          ++work;
+          // Labels must agree wherever both children see the vertex.
+          const std::uint64_t both = shared_lr & kSepLabelMask;
+          if ((sig_l.sep & both) != (sig_r.sep & both)) continue;
+          std::uint64_t base = 0;
+          std::uint32_t free_mask = 0;
+          if (!merge_signatures(codec, pattern, node.ctx, shared_l, shared_r,
+                                sig_l, sig_r, &base, &free_mask)) {
+            continue;
+          }
+          gen.expand(base, free_mask, shared_l | shared_r,
+                     (sig_l.sep | sig_r.sep) & kSepLabelMask,
+                     shared_l | shared_r,
+                     (sig_l.sep | sig_r.sep) & (kSepIx | kSepOx));
+        }
+      }
+    }
+    work += node.states.size();
+    detail::build_sig_groups(td, pattern, ctxs, x, sol);
+    sol.metrics.add_rounds(1);
+  }
+  sol.metrics.add_work(work);
+
+  const SolvedNode& root = sol.nodes[td.root];
+  for (std::uint32_t i = 0; i < root.states.size(); ++i) {
+    const StateView view = view_of(codec, root.states[i].code);
+    const bool ok_sep =
+        !separating || ((root.states[i].sep & kSepIx) != 0 &&
+                        (root.states[i].sep & kSepOx) != 0);
+    if (view.u_mask == 0 && ok_sep) sol.accepting.push_back(i);
+  }
+  sol.accepted = !sol.accepting.empty();
+  return sol;
+}
+
+}  // namespace ppsi::iso

@@ -1,0 +1,331 @@
+#include "isomorphism/state_enumeration.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace ppsi::iso {
+
+StateCodec StateCodec::make(std::uint32_t k, std::uint32_t max_bag) {
+  StateCodec codec;
+  codec.k = k;
+  std::uint32_t bits = 2;
+  while ((1ULL << bits) < static_cast<std::uint64_t>(max_bag) + 2) ++bits;
+  codec.bits = bits;
+  codec.field_mask = (1ULL << bits) - 1;
+  support::require(static_cast<std::uint64_t>(k) * bits <= 64,
+                   "StateCodec: pattern too large for this bag width "
+                   "(k * ceil(log2(width+3)) must fit in 64 bits)");
+  return codec;
+}
+
+StateView view_of(const StateCodec& codec, std::uint64_t code) {
+  StateView view;
+  for (std::uint32_t v = 0; v < codec.k; ++v) {
+    const std::uint64_t val = codec.get(code, v);
+    if (val == kStateU) {
+      view.u_mask |= 1u << v;
+    } else if (val == kStateC) {
+      view.c_mask |= 1u << v;
+    } else {
+      view.mapped_mask |= 1u << v;
+      view.image_mask |= 1ULL << (val - kStateMapped);
+    }
+  }
+  return view;
+}
+
+int BagContext::position_of(Vertex g) const {
+  const auto it = std::lower_bound(vertices.begin(), vertices.end(), g);
+  if (it == vertices.end() || *it != g) return -1;
+  return static_cast<int>(it - vertices.begin());
+}
+
+BagContext make_bag_context(const Graph& g, std::vector<Vertex> bag,
+                            const SeparatingSpec& spec) {
+  std::sort(bag.begin(), bag.end());
+  support::require(bag.size() <= kSepInsideBits,
+                   "make_bag_context: bag too large (max 56 vertices)");
+  BagContext ctx;
+  ctx.vertices = std::move(bag);
+  const std::uint32_t b = ctx.size();
+  ctx.all_mask = b == 0 ? 0 : ((b == 64 ? ~0ULL : (1ULL << b) - 1));
+  ctx.gadj.assign(b, 0);
+  for (std::uint32_t p = 0; p < b; ++p) {
+    const Vertex u = ctx.vertices[p];
+    // Scan the shorter of (bag, adjacency) for membership.
+    for (Vertex w : g.neighbors(u)) {
+      const int q = ctx.position_of(w);
+      if (q >= 0) ctx.gadj[p] |= 1ULL << q;
+    }
+    ctx.gadj[p] &= ~(1ULL << p);
+  }
+  if (spec.enabled) {
+    for (std::uint32_t p = 0; p < b; ++p) {
+      const Vertex u = ctx.vertices[p];
+      if (spec.allowed[u]) ctx.allowed_mask |= 1ULL << p;
+      if (spec.in_s[u]) ctx.s_mask |= 1ULL << p;
+    }
+  } else {
+    ctx.allowed_mask = ctx.all_mask;
+  }
+  return ctx;
+}
+
+namespace {
+
+/// Connected components of the unmapped bag positions in G[bag].
+/// Returns the component masks.
+std::vector<std::uint64_t> unmapped_components(const BagContext& ctx,
+                                               std::uint64_t unmapped) {
+  std::vector<std::uint64_t> comps;
+  std::uint64_t todo = unmapped;
+  while (todo != 0) {
+    const int seed = std::countr_zero(todo);
+    std::uint64_t comp = 1ULL << seed;
+    std::uint64_t frontier = comp;
+    while (frontier != 0) {
+      std::uint64_t next = 0;
+      std::uint64_t f = frontier;
+      while (f != 0) {
+        const int p = std::countr_zero(f);
+        f &= f - 1;
+        next |= ctx.gadj[p] & unmapped & ~comp;
+      }
+      comp |= next;
+      frontier = next;
+    }
+    comps.push_back(comp);
+    todo &= ~comp;
+  }
+  return comps;
+}
+
+struct Enumerator {
+  const Pattern& pattern;
+  const BagContext& ctx;
+  const StateCodec& codec;
+  bool separating;
+  const std::function<void(StateKey)>& emit;
+
+  std::uint64_t code = 0;
+  std::uint64_t used = 0;  // positions already used as images
+
+  void emit_base() const {
+    if (!separating) {
+      emit({code, 0});
+      return;
+    }
+    const StateView view = view_of(codec, code);
+    const std::uint64_t unmapped = ctx.all_mask & ~view.image_mask;
+    const auto comps = unmapped_components(ctx, unmapped);
+    support::require(comps.size() <= 24,
+                     "separating enumeration: too many bag components");
+    const std::uint32_t combos = 1u << comps.size();
+    for (std::uint32_t lab = 0; lab < combos; ++lab) {
+      std::uint64_t inside = 0;
+      for (std::size_t i = 0; i < comps.size(); ++i)
+        if ((lab >> i) & 1u) inside |= comps[i];
+      const bool li = (inside & ctx.s_mask) != 0;
+      const bool lo = ((unmapped & ~inside) & ctx.s_mask) != 0;
+      for (int ix = li ? 1 : 0; ix <= 1; ++ix) {
+        for (int ox = lo ? 1 : 0; ox <= 1; ++ox) {
+          std::uint64_t sep = inside;
+          if (ix) sep |= kSepIx;
+          if (ox) sep |= kSepOx;
+          emit({code, sep});
+        }
+      }
+    }
+  }
+
+  void recurse(std::uint32_t v) {
+    if (v == codec.k) {
+      emit_base();
+      return;
+    }
+    const std::uint32_t earlier = pattern.adj_mask(v) & ((1u << v) - 1);
+    bool earlier_has_c = false;
+    bool earlier_has_u = false;
+    std::uint64_t must_be_adjacent = ctx.all_mask;
+    for (std::uint32_t rest = earlier; rest != 0; rest &= rest - 1) {
+      const auto w = static_cast<std::uint32_t>(std::countr_zero(rest));
+      const std::uint64_t val = codec.get(code, w);
+      if (val == kStateC) {
+        earlier_has_c = true;
+      } else if (val == kStateU) {
+        earlier_has_u = true;
+      } else {
+        must_be_adjacent &= ctx.gadj[val - kStateMapped];
+      }
+    }
+    // Choice U: forbidden when an earlier pattern neighbor is already C.
+    if (!earlier_has_c) {
+      code = codec.set(code, v, kStateU);
+      recurse(v + 1);
+    }
+    // Choice C: forbidden when an earlier pattern neighbor is U.
+    if (!earlier_has_u) {
+      code = codec.set(code, v, kStateC);
+      recurse(v + 1);
+    }
+    // Choice mapped: free allowed positions adjacent to all mapped earlier
+    // pattern neighbors.
+    std::uint64_t positions = ctx.allowed_mask & ~used & must_be_adjacent;
+    while (positions != 0) {
+      const int p = std::countr_zero(positions);
+      positions &= positions - 1;
+      code = codec.set(code, v, kStateMapped + static_cast<std::uint64_t>(p));
+      used |= 1ULL << p;
+      recurse(v + 1);
+      used &= ~(1ULL << p);
+    }
+    code = codec.set(code, v, kStateU);  // restore a clean field
+  }
+};
+
+}  // namespace
+
+void enumerate_local_states(const Pattern& pattern, const BagContext& ctx,
+                            const StateCodec& codec, bool separating,
+                            const std::function<void(StateKey)>& emit) {
+  Enumerator e{pattern, ctx, codec, separating, emit};
+  e.recurse(0);
+}
+
+bool locally_valid(const Pattern& pattern, const BagContext& ctx,
+                   const StateCodec& codec, bool separating, StateKey key) {
+  const StateView view = view_of(codec, key.code);
+  std::uint64_t seen = 0;
+  for (std::uint32_t v = 0; v < codec.k; ++v) {
+    const std::uint64_t val = codec.get(key.code, v);
+    if (val == kStateU || val == kStateC) continue;
+    const std::uint64_t p = val - kStateMapped;
+    if (p >= ctx.size()) return false;
+    if ((ctx.allowed_mask >> p & 1ULL) == 0) return false;
+    if ((seen >> p) & 1ULL) return false;  // not injective
+    seen |= 1ULL << p;
+  }
+  for (std::uint32_t v = 0; v < codec.k; ++v) {
+    const std::uint64_t val = codec.get(key.code, v);
+    for (std::uint32_t rest = pattern.adj_mask(v) & ((1u << v) - 1); rest;
+         rest &= rest - 1) {
+      const auto w = static_cast<std::uint32_t>(std::countr_zero(rest));
+      const std::uint64_t wal = codec.get(key.code, w);
+      const bool v_mapped = val >= kStateMapped;
+      const bool w_mapped = wal >= kStateMapped;
+      if (v_mapped && w_mapped) {
+        if ((ctx.gadj[val - kStateMapped] >> (wal - kStateMapped) & 1ULL) == 0)
+          return false;  // unrealized pattern edge
+      }
+      if ((val == kStateC && wal == kStateU) ||
+          (val == kStateU && wal == kStateC)) {
+        return false;  // C-U pattern edge can never be realized
+      }
+    }
+  }
+  if (!separating) return key.sep == 0;
+  const std::uint64_t unmapped = ctx.all_mask & ~view.image_mask;
+  const std::uint64_t inside = key.sep & kSepLabelMask;
+  if ((inside & ~unmapped) != 0) return false;  // labels only on unmapped
+  // Uniform labels per component of G[bag - image].
+  for (const std::uint64_t comp : unmapped_components(ctx, unmapped)) {
+    const std::uint64_t in = comp & inside;
+    if (in != 0 && in != comp) return false;
+  }
+  bool li = false, lo = false;
+  local_sep_bits(ctx, codec, key, &li, &lo);
+  if (li && (key.sep & kSepIx) == 0) return false;
+  if (lo && (key.sep & kSepOx) == 0) return false;
+  return true;
+}
+
+void local_sep_bits(const BagContext& ctx, const StateCodec& codec,
+                    StateKey key, bool* li, bool* lo) {
+  const StateView view = view_of(codec, key.code);
+  const std::uint64_t unmapped = ctx.all_mask & ~view.image_mask;
+  const std::uint64_t inside = key.sep & kSepLabelMask & unmapped;
+  *li = (inside & ctx.s_mask) != 0;
+  *lo = ((unmapped & ~inside) & ctx.s_mask) != 0;
+}
+
+std::optional<StateKey> project_to_parent(StateKey child_state,
+                                          const StateCodec& codec,
+                                          const Pattern& pattern,
+                                          const BagContext& child_ctx,
+                                          const BagContext& parent_ctx) {
+  StateKey sig;
+  const StateView child_view = view_of(codec, child_state.code);
+  for (std::uint32_t v = 0; v < codec.k; ++v) {
+    const std::uint64_t val = codec.get(child_state.code, v);
+    std::uint64_t out;
+    if (val == kStateU) {
+      out = kStateU;
+    } else if (val == kStateC) {
+      out = kStateC;
+    } else {
+      const Vertex g = child_ctx.vertices[val - kStateMapped];
+      const int p = parent_ctx.position_of(g);
+      if (p >= 0) {
+        out = kStateMapped + static_cast<std::uint64_t>(p);
+      } else {
+        // v is forgotten at the parent: every pattern neighbor must already
+        // be matched here, or no parent state is compatible.
+        if ((pattern.adj_mask(v) & child_view.u_mask) != 0)
+          return std::nullopt;
+        out = kStateC;
+      }
+    }
+    sig.code = codec.set(sig.code, v, out);
+  }
+  // Labels of shared unmapped vertices, re-addressed to parent positions;
+  // subtree bits carried through.
+  const std::uint64_t unmapped = child_ctx.all_mask & ~child_view.image_mask;
+  std::uint64_t labels = child_state.sep & kSepLabelMask & unmapped;
+  while (labels != 0) {
+    const int q = std::countr_zero(labels);
+    labels &= labels - 1;
+    const int p = parent_ctx.position_of(child_ctx.vertices[q]);
+    if (p >= 0) sig.sep |= 1ULL << p;
+  }
+  sig.sep |= child_state.sep & (kSepIx | kSepOx);
+  return sig;
+}
+
+StateKey required_signature(StateKey parent_state, const StateCodec& codec,
+                            const BagContext& parent_ctx,
+                            std::uint64_t shared_mask,
+                            std::uint32_t child_c_mask, bool iy, bool oy) {
+  StateKey sig;
+  for (std::uint32_t v = 0; v < codec.k; ++v) {
+    const std::uint64_t val = codec.get(parent_state.code, v);
+    std::uint64_t out;
+    if (val == kStateU) {
+      out = kStateU;
+    } else if (val == kStateC) {
+      out = (child_c_mask >> v & 1u) ? kStateC : kStateU;
+    } else {
+      const std::uint64_t p = val - kStateMapped;
+      out = (shared_mask >> p & 1ULL) ? val : kStateU;
+    }
+    sig.code = codec.set(sig.code, v, out);
+  }
+  const StateView view = view_of(codec, parent_state.code);
+  const std::uint64_t unmapped = parent_ctx.all_mask & ~view.image_mask;
+  sig.sep = parent_state.sep & kSepLabelMask & unmapped & shared_mask;
+  if (iy) sig.sep |= kSepIx;
+  if (oy) sig.sep |= kSepOx;
+  return sig;
+}
+
+std::uint64_t shared_position_mask(const BagContext& parent_ctx,
+                                   const BagContext& child_ctx) {
+  std::uint64_t mask = 0;
+  for (std::uint32_t p = 0; p < parent_ctx.size(); ++p) {
+    if (child_ctx.position_of(parent_ctx.vertices[p]) >= 0)
+      mask |= 1ULL << p;
+  }
+  return mask;
+}
+
+}  // namespace ppsi::iso

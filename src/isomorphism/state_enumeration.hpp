@@ -1,0 +1,181 @@
+#pragma once
+
+// Partial matches (paper §3.1) and their local enumeration.
+//
+// A partial match of a decomposition node X assigns every pattern vertex one
+// of: U ("unmatched": its image lies outside the subtree graph G_X),
+// C ("matched in a child": its image lies in G_X but not in the bag X), or
+// an explicit image in the bag. We encode a match as `k` fields of
+// ceil(log2(|bag|+2)) bits packed in one 64-bit word.
+//
+// The S-separating extension (§5.2.2) adds: an inside/outside label for
+// every bag vertex that is not a pattern image (bit p of `sep`), and two
+// booleans recording whether some vertex of S inside the subtree ended up
+// inside (ix, bit 62) / outside (ox, bit 63) of the separator.
+//
+// Local validity (the per-state part of the consistency rules; see
+// DESIGN.md §3 for the soundness argument):
+//   * the image assignment is injective and maps only allowed vertices;
+//   * every pattern edge with both endpoints mapped joins adjacent bag
+//     vertices (realization);
+//   * no pattern edge joins a C vertex with a U vertex (a forgotten image
+//     is separated from everything outside G_X by the bag, so a still-
+//     unmatched neighbor could never be attached);
+//   * separating: bag vertices that are adjacent in G[bag] and both
+//     unmapped carry the same label (components of the bag minus the image
+//     are labeled uniformly), and ix/ox are at least the local S
+//     contributions.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "isomorphism/pattern.hpp"
+#include "support/rng.hpp"
+#include "support/types.hpp"
+
+namespace ppsi::iso {
+
+// ---- State encoding ----
+
+/// Field values of the per-pattern-vertex state.
+inline constexpr std::uint64_t kStateU = 0;       ///< unmatched
+inline constexpr std::uint64_t kStateC = 1;       ///< matched in a child
+inline constexpr std::uint64_t kStateMapped = 2;  ///< mapped to position v-2
+
+struct StateKey {
+  std::uint64_t code = 0;  ///< k packed fields
+  std::uint64_t sep = 0;   ///< separating extension (0 in base mode)
+
+  bool operator==(const StateKey&) const = default;
+};
+
+struct StateKeyHash {
+  std::size_t operator()(const StateKey& s) const {
+    return support::hash_combine(s.code, s.sep);
+  }
+};
+
+inline constexpr std::uint64_t kSepInsideBits = 56;  ///< label bits [0, 56)
+inline constexpr std::uint64_t kSepIx = 1ULL << 62;
+inline constexpr std::uint64_t kSepOx = 1ULL << 63;
+inline constexpr std::uint64_t kSepLabelMask = (1ULL << kSepInsideBits) - 1;
+
+/// Packs/unpacks per-vertex fields of a state code.
+struct StateCodec {
+  std::uint32_t k = 0;
+  std::uint32_t bits = 0;
+  std::uint64_t field_mask = 0;
+
+  /// Codec for patterns of size k and bags of at most `max_bag` vertices.
+  /// Throws when k * ceil(log2(max_bag + 2)) exceeds 64 bits.
+  static StateCodec make(std::uint32_t k, std::uint32_t max_bag);
+
+  std::uint64_t get(std::uint64_t code, std::uint32_t v) const {
+    return (code >> (v * bits)) & field_mask;
+  }
+  std::uint64_t set(std::uint64_t code, std::uint32_t v,
+                    std::uint64_t value) const {
+    const std::uint32_t shift = v * bits;
+    return (code & ~(field_mask << shift)) | (value << shift);
+  }
+};
+
+/// Derived per-state bitmasks (recomputed on demand; k <= 16).
+struct StateView {
+  std::uint32_t mapped_mask = 0;  ///< pattern vertices with an image
+  std::uint32_t c_mask = 0;       ///< pattern vertices matched in a child
+  std::uint32_t u_mask = 0;       ///< unmatched pattern vertices
+  std::uint64_t image_mask = 0;   ///< bag positions used as images
+};
+
+StateView view_of(const StateCodec& codec, std::uint64_t code);
+
+// ---- Bag context ----
+
+/// Precomputed per-node data: the bag, its induced adjacency as bitmasks,
+/// and the separating metadata (allowed vertices, S membership).
+struct BagContext {
+  std::vector<Vertex> vertices;     ///< sorted bag vertices (positions)
+  std::vector<std::uint64_t> gadj;  ///< gadj[p] = positions adjacent to p
+  std::uint64_t allowed_mask = 0;   ///< positions usable as images
+  std::uint64_t s_mask = 0;         ///< positions whose vertex is in S
+  std::uint64_t all_mask = 0;       ///< (1 << size) - 1
+
+  std::uint32_t size() const {
+    return static_cast<std::uint32_t>(vertices.size());
+  }
+  /// Position of g in the bag, or -1.
+  int position_of(Vertex g) const;
+};
+
+/// Separating-run configuration for one target graph (slice).
+struct SeparatingSpec {
+  bool enabled = false;
+  std::vector<std::uint8_t> in_s;     ///< per target vertex
+  std::vector<std::uint8_t> allowed;  ///< per target vertex
+
+  static SeparatingSpec disabled() { return {}; }
+};
+
+BagContext make_bag_context(const Graph& g, std::vector<Vertex> bag,
+                            const SeparatingSpec& spec);
+
+// ---- Local enumeration and checks ----
+
+/// Calls emit(key) for every locally valid state of the bag. In separating
+/// mode each base state is expanded into its component labelings and the
+/// consistent (ix, ox) variants.
+void enumerate_local_states(const Pattern& pattern, const BagContext& ctx,
+                            const StateCodec& codec, bool separating,
+                            const std::function<void(StateKey)>& emit);
+
+/// Full local-validity check of an arbitrary key (used by tests and as a
+/// defensive cross-check; enumeration only produces valid keys).
+bool locally_valid(const Pattern& pattern, const BagContext& ctx,
+                   const StateCodec& codec, bool separating, StateKey key);
+
+/// Local S contributions of a state: li = some S vertex of the bag is
+/// unmapped and labeled inside; lo = ... outside.
+void local_sep_bits(const BagContext& ctx, const StateCodec& codec,
+                    StateKey key, bool* li, bool* lo);
+
+// ---- Projections ----
+
+/// Signature values use the same encoding as states, read in the *parent's*
+/// coordinate space: U stays U, C and forgotten images become kStateC
+/// ("matched below"), images shared with the parent bag keep their mapped
+/// position. The separating part carries the labels of shared unmapped
+/// positions (parent coordinates) plus the subtree bits (ix -> bit 62,
+/// ox -> bit 63).
+///
+/// Returns nullopt when the child state cannot be extended to *any* parent
+/// state: a pattern vertex whose image leaves the parent bag is forgotten
+/// by every compatible parent, which is only sound once all its pattern
+/// neighbors are matched in the child state (the bag separates the
+/// forgotten image from the rest of the target, so a still-unmatched
+/// neighbor could never be attached afterwards).
+std::optional<StateKey> project_to_parent(StateKey child_state,
+                                          const StateCodec& codec,
+                                          const Pattern& pattern,
+                                          const BagContext& child_ctx,
+                                          const BagContext& parent_ctx);
+
+/// The signature a child must have for `parent_state` to be supported,
+/// given that the pattern vertices in `child_c_mask` (a subset of the
+/// parent's C set) are matched inside this child's subtree and the child's
+/// subtree bits are (iy, oy). `shared_mask` marks the parent bag positions
+/// whose vertex also lies in the child's bag.
+StateKey required_signature(StateKey parent_state, const StateCodec& codec,
+                            const BagContext& parent_ctx,
+                            std::uint64_t shared_mask,
+                            std::uint32_t child_c_mask, bool iy, bool oy);
+
+/// Parent-bag position mask of vertices shared with the child bag.
+std::uint64_t shared_position_mask(const BagContext& parent_ctx,
+                                   const BagContext& child_ctx);
+
+}  // namespace ppsi::iso

@@ -1,0 +1,26 @@
+#include "planar/face_vertex_graph.hpp"
+
+namespace ppsi::planar {
+
+FaceVertexGraph build_face_vertex_graph(const EmbeddedGraph& eg) {
+  const Graph& g = eg.graph();
+  const FaceSet fs = eg.extract_faces();
+  FaceVertexGraph out;
+  out.num_original = g.num_vertices();
+  out.num_faces = fs.num_faces();
+  EdgeList edges;
+  edges.reserve(g.num_half_edges());
+  for (std::size_t f = 0; f < fs.num_faces(); ++f) {
+    const Vertex face_vertex = out.num_original + static_cast<Vertex>(f);
+    for (HalfEdge h : fs.face(f)) {
+      // A vertex can occur several times on a face walk (cut vertices);
+      // Graph::from_edges deduplicates.
+      edges.emplace_back(eg.source(h), face_vertex);
+    }
+  }
+  out.graph = Graph::from_edges(
+      out.num_original + static_cast<Vertex>(out.num_faces), edges);
+  return out;
+}
+
+}  // namespace ppsi::planar

@@ -1,0 +1,26 @@
+#pragma once
+
+// The Nishizeki face–vertex construction (paper §5.1, Figure 6).
+//
+// Given an embedded planar graph G, build the bipartite graph G' whose one
+// side is V(G) ("original vertices") and whose other side has one vertex per
+// face, adjacent to the vertices on that face. Lemma 5.1: for 2-connected G,
+// the shortest cycle of G' separating the original vertices has length 2c
+// iff G has vertex connectivity c.
+
+#include "graph/graph.hpp"
+#include "planar/rotation_system.hpp"
+
+namespace ppsi::planar {
+
+struct FaceVertexGraph {
+  Graph graph;           ///< bipartite; faces get ids n .. n+F-1
+  Vertex num_original;   ///< |V(G)|
+  std::size_t num_faces; ///< F
+
+  bool is_original(Vertex v) const { return v < num_original; }
+};
+
+FaceVertexGraph build_face_vertex_graph(const EmbeddedGraph& eg);
+
+}  // namespace ppsi::planar

@@ -1,0 +1,305 @@
+#include "planar/lr_planarity.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace ppsi::planar {
+namespace {
+
+// Edge ids are adjacency-array slots; slot s in v's block is the directed
+// candidate edge v -> adj[s]. Exactly one direction of each undirected edge
+// gets oriented during the first DFS.
+constexpr std::uint32_t kNil = 0xffffffffu;
+
+/// One side of a conflict pair: an interval of back edges.
+struct Interval {
+  std::uint32_t low = kNil;
+  std::uint32_t high = kNil;
+  bool empty() const { return low == kNil && high == kNil; }
+};
+
+struct ConflictPair {
+  Interval left;
+  Interval right;
+};
+
+class LrTester {
+ public:
+  explicit LrTester(const Graph& g) : g_(g), n_(g.num_vertices()) {}
+
+  bool run() {
+    if (n_ < 5) return true;
+    if (g_.num_edges() > 3 * static_cast<std::size_t>(n_) - 6) return false;
+
+    const std::size_t m2 = g_.num_half_edges();
+    build_twins();
+    height_.assign(n_, kNil);
+    parent_edge_.assign(n_, kNil);
+    lowpt_.assign(m2, 0);
+    lowpt2_.assign(m2, 0);
+    nesting_.assign(m2, 0);
+    oriented_.assign(m2, 0);
+    ref_.assign(m2, kNil);
+    lowpt_edge_.assign(m2, kNil);
+    stack_bottom_.assign(m2, 0);
+    edge_visited_.assign(m2, 0);
+
+    for (Vertex root = 0; root < n_; ++root) {
+      if (height_[root] != kNil) continue;
+      height_[root] = 0;
+      orient_dfs(root);
+    }
+
+    ordered_out_.assign(n_, {});
+    for (std::uint32_t e = 0; e < m2; ++e) {
+      if (oriented_[e]) ordered_out_[source_of(e)].push_back(e);
+    }
+    for (Vertex v = 0; v < n_; ++v) {
+      auto& out = ordered_out_[v];
+      std::sort(out.begin(), out.end(), [&](std::uint32_t a, std::uint32_t b) {
+        return nesting_[a] < nesting_[b];
+      });
+    }
+
+    for (Vertex root = 0; root < n_; ++root) {
+      if (parent_edge_[root] == kNil) {
+        if (!constraints_dfs(root)) return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  void build_twins() {
+    const std::size_t m2 = g_.num_half_edges();
+    twin_.assign(m2, kNil);
+    source_.assign(m2, kNoVertex);
+    std::unordered_map<std::uint64_t, std::uint32_t> pos;
+    pos.reserve(m2 * 2);
+    for (Vertex v = 0; v < n_; ++v) {
+      const std::uint32_t base = g_.adjacency_offset(v);
+      const auto nb = g_.neighbors(v);
+      for (std::uint32_t i = 0; i < nb.size(); ++i) {
+        source_[base + i] = v;
+        pos.emplace((static_cast<std::uint64_t>(v) << 32) | nb[i], base + i);
+      }
+    }
+    for (std::uint32_t h = 0; h < m2; ++h) {
+      const Vertex v = source_[h];
+      const Vertex w = g_.half_edge_target(h);
+      twin_[h] = pos.at((static_cast<std::uint64_t>(w) << 32) | v);
+    }
+  }
+
+  Vertex source_of(std::uint32_t e) const { return source_[e]; }
+  Vertex target_of(std::uint32_t e) const { return g_.half_edge_target(e); }
+
+  struct OrientFrame {
+    Vertex v;
+    std::uint32_t next_slot;
+  };
+
+  void orient_dfs(Vertex start) {
+    std::vector<OrientFrame> stack;
+    stack.push_back({start, 0});
+    while (!stack.empty()) {
+      auto& frame = stack.back();
+      const Vertex v = frame.v;
+      const std::uint32_t base = g_.adjacency_offset(v);
+      const std::uint32_t deg = g_.degree(v);
+      bool descended = false;
+      while (frame.next_slot < deg) {
+        const std::uint32_t e = base + frame.next_slot;
+        ++frame.next_slot;
+        if (oriented_[e] || oriented_[twin_[e]]) continue;
+        const Vertex w = target_of(e);
+        oriented_[e] = 1;
+        lowpt_[e] = height_[v];
+        lowpt2_[e] = height_[v];
+        if (height_[w] == kNil) {  // tree edge
+          parent_edge_[w] = e;
+          height_[w] = height_[v] + 1;
+          stack.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        // back edge
+        lowpt_[e] = height_[w];
+        finish_edge(e, v);
+      }
+      if (descended) continue;
+      stack.pop_back();
+      const std::uint32_t pe = parent_edge_[v];
+      if (pe != kNil) finish_edge(pe, source_of(pe));
+    }
+  }
+
+  /// Folds e's lowpoints into its nesting depth and its parent edge.
+  void finish_edge(std::uint32_t e, Vertex v) {
+    nesting_[e] = 2 * lowpt_[e];
+    if (lowpt2_[e] < height_[v]) ++nesting_[e];  // chordal: nest inside
+    const std::uint32_t pe = parent_edge_[v];
+    if (pe == kNil || pe == e) return;
+    if (lowpt_[e] < lowpt_[pe]) {
+      lowpt2_[pe] = std::min(lowpt_[pe], lowpt2_[e]);
+      lowpt_[pe] = lowpt_[e];
+    } else if (lowpt_[e] > lowpt_[pe]) {
+      lowpt2_[pe] = std::min(lowpt2_[pe], lowpt_[e]);
+    } else {
+      lowpt2_[pe] = std::min(lowpt2_[pe], lowpt2_[e]);
+    }
+  }
+
+  // ---- Phase 2: left-right constraints ----
+
+  bool conflicting(const Interval& i, std::uint32_t b) const {
+    return !i.empty() && lowpt_[i.high] > lowpt_[b];
+  }
+  std::uint32_t lowest(const ConflictPair& p) const {
+    if (p.left.empty()) return lowpt_[p.right.low];
+    if (p.right.empty()) return lowpt_[p.left.low];
+    return std::min(lowpt_[p.left.low], lowpt_[p.right.low]);
+  }
+  std::uint32_t stack_marker() const {
+    return static_cast<std::uint32_t>(s_.size());
+  }
+
+  struct TestFrame {
+    Vertex v;
+    std::uint32_t next_index;
+    std::uint32_t first_edge;
+  };
+
+  bool constraints_dfs(Vertex start) {
+    std::vector<TestFrame> stack;
+    stack.push_back({start, 0, kNil});
+    while (!stack.empty()) {
+      auto& frame = stack.back();
+      const Vertex v = frame.v;
+      const auto& out = ordered_out_[v];
+      bool descended = false;
+      while (frame.next_index < out.size()) {
+        const std::uint32_t e = out[frame.next_index];
+        if (frame.next_index == 0) frame.first_edge = e;
+        if (!edge_visited_[e]) {
+          edge_visited_[e] = 1;
+          stack_bottom_[e] = stack_marker();
+          if (e == parent_edge_[target_of(e)]) {  // tree edge: descend
+            stack.push_back({target_of(e), 0, kNil});
+            descended = true;
+            break;
+          }
+          lowpt_edge_[e] = e;  // back edge
+          s_.push_back(ConflictPair{Interval{}, Interval{e, e}});
+        }
+        if (lowpt_[e] < height_[v]) {  // e has a return edge above v
+          if (e == frame.first_edge) {
+            lowpt_edge_[parent_edge_[v]] = lowpt_edge_[e];
+          } else if (!add_constraints(e, parent_edge_[v])) {
+            return false;
+          }
+        }
+        ++frame.next_index;
+      }
+      if (descended) continue;
+      stack.pop_back();
+      const std::uint32_t pe = parent_edge_[v];
+      if (pe != kNil) {
+        const Vertex u = source_of(pe);
+        trim_back_edges(u);
+        if (lowpt_[pe] < height_[u] && !s_.empty()) {
+          const std::uint32_t hl = s_.back().left.high;
+          const std::uint32_t hr = s_.back().right.high;
+          if (hl != kNil && (hr == kNil || lowpt_[hl] > lowpt_[hr])) {
+            ref_[pe] = hl;
+          } else {
+            ref_[pe] = hr;
+          }
+        }
+      }
+    }
+    return true;
+  }
+
+  bool add_constraints(std::uint32_t e, std::uint32_t pe) {
+    ConflictPair p;
+    // Merge return edges of e into p.right.
+    do {
+      if (s_.empty()) return false;
+      ConflictPair q = s_.back();
+      s_.pop_back();
+      if (!q.left.empty()) std::swap(q.left, q.right);
+      if (!q.left.empty()) return false;  // interleaving on both sides
+      if (lowpt_[q.right.low] > lowpt_[pe]) {
+        if (p.right.empty()) {
+          p.right.high = q.right.high;
+        } else {
+          ref_[p.right.low] = q.right.high;
+        }
+        p.right.low = q.right.low;
+      } else {
+        ref_[q.right.low] = lowpt_edge_[pe];
+      }
+    } while (stack_marker() != stack_bottom_[e]);
+    // Merge conflicting return edges of earlier siblings into p.left.
+    while (!s_.empty() && (conflicting(s_.back().left, e) ||
+                           conflicting(s_.back().right, e))) {
+      ConflictPair q = s_.back();
+      s_.pop_back();
+      if (conflicting(q.right, e)) std::swap(q.left, q.right);
+      if (conflicting(q.right, e)) return false;  // nonplanar
+      if (p.right.low != kNil) ref_[p.right.low] = q.right.high;
+      if (q.right.low != kNil) p.right.low = q.right.low;
+      if (p.left.empty()) {
+        p.left.high = q.left.high;
+      } else {
+        ref_[p.left.low] = q.left.high;
+      }
+      p.left.low = q.left.low;
+    }
+    if (!(p.left.empty() && p.right.empty())) s_.push_back(p);
+    return true;
+  }
+
+  void trim_back_edges(Vertex u) {
+    // Drop conflict pairs whose lowest return edge ends at u.
+    while (!s_.empty() && lowest(s_.back()) == height_[u]) s_.pop_back();
+    if (s_.empty()) return;
+    ConflictPair p = s_.back();
+    s_.pop_back();
+    while (p.left.high != kNil && lowpt_[p.left.high] == height_[u]) {
+      p.left.high = ref_[p.left.high];
+    }
+    if (p.left.high == kNil && p.left.low != kNil) {
+      ref_[p.left.low] = p.right.low;
+      p.left.low = kNil;
+    }
+    while (p.right.high != kNil && lowpt_[p.right.high] == height_[u]) {
+      p.right.high = ref_[p.right.high];
+    }
+    if (p.right.high == kNil && p.right.low != kNil) {
+      ref_[p.right.low] = p.left.low;
+      p.right.low = kNil;
+    }
+    if (!(p.left.empty() && p.right.empty())) s_.push_back(p);
+  }
+
+  const Graph& g_;
+  Vertex n_;
+  std::vector<std::uint32_t> twin_;
+  std::vector<Vertex> source_;
+  std::vector<std::uint32_t> height_, parent_edge_;
+  std::vector<std::uint32_t> lowpt_, lowpt2_, nesting_;
+  std::vector<char> oriented_, edge_visited_;
+  std::vector<std::uint32_t> ref_, lowpt_edge_, stack_bottom_;
+  std::vector<std::vector<std::uint32_t>> ordered_out_;
+  std::vector<ConflictPair> s_;
+};
+
+}  // namespace
+
+bool is_planar(const Graph& g) { return LrTester(g).run(); }
+
+}  // namespace ppsi::planar

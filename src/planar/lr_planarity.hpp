@@ -1,0 +1,19 @@
+#pragma once
+
+// Left-right planarity test (de Fraysseix–Rosenstiehl criterion, following
+// Brandes' formulation). Linear time, boolean answer.
+//
+// Role in the reproduction: the paper's pipeline assumes planar inputs and
+// cites Klein–Reif for parallel embedding. Our generators ship combinatorial
+// embeddings; this test is the guard for arbitrary user input (and the test
+// oracle that every generated "planar" graph really is planar, and that K5,
+// K3,3 and friends are rejected).
+
+#include "graph/graph.hpp"
+
+namespace ppsi::planar {
+
+/// Returns true iff g is planar. Works on disconnected graphs.
+bool is_planar(const Graph& g);
+
+}  // namespace ppsi::planar

@@ -1,0 +1,135 @@
+#include "planar/rotation_system.hpp"
+
+#include <unordered_map>
+
+#include "graph/components.hpp"
+#include "support/types.hpp"
+
+namespace ppsi::planar {
+namespace {
+
+std::uint64_t edge_key(Vertex u, Vertex v) {
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+EmbeddedGraph EmbeddedGraph::from_rotations(
+    const std::vector<std::vector<Vertex>>& rotations) {
+  EmbeddedGraph eg;
+  eg.graph_ = Graph::from_adjacency(rotations);
+  const std::size_t hn = eg.graph_.num_half_edges();
+  eg.source_.resize(hn);
+  eg.twin_.assign(hn, kNoHalfEdge);
+  std::unordered_map<std::uint64_t, HalfEdge> position;
+  position.reserve(hn * 2);
+  for (Vertex v = 0; v < eg.graph_.num_vertices(); ++v) {
+    const std::uint32_t base = eg.graph_.adjacency_offset(v);
+    const auto nb = eg.graph_.neighbors(v);
+    for (std::uint32_t i = 0; i < nb.size(); ++i) {
+      eg.source_[base + i] = v;
+      const bool fresh =
+          position.emplace(edge_key(v, nb[i]), base + i).second;
+      support::require(fresh, "EmbeddedGraph: parallel edge in rotation");
+    }
+  }
+  for (HalfEdge h = 0; h < hn; ++h) {
+    const auto it = position.find(edge_key(eg.target(h), eg.source_[h]));
+    support::require(it != position.end(),
+                     "EmbeddedGraph: edge missing reverse direction");
+    eg.twin_[h] = it->second;
+  }
+  return eg;
+}
+
+EmbeddedGraph EmbeddedGraph::from_faces(
+    Vertex n, const std::vector<std::vector<Vertex>>& oriented_faces) {
+  // φ: directed edge (u->v) -> successor target w in its face. The rotation
+  // successor of half-edge v->u is then v->w where (u->v)'s face continues
+  // with (v->w):  σ(h) = φ(twin(h)).
+  std::unordered_map<std::uint64_t, Vertex> face_successor;
+  std::size_t total_sides = 0;
+  for (const auto& face : oriented_faces) total_sides += face.size();
+  face_successor.reserve(total_sides * 2);
+  for (const auto& face : oriented_faces) {
+    support::require(face.size() >= 2, "from_faces: degenerate face");
+    for (std::size_t i = 0; i < face.size(); ++i) {
+      const Vertex u = face[i];
+      const Vertex v = face[(i + 1) % face.size()];
+      const Vertex w = face[(i + 2) % face.size()];
+      support::require(u < n && v < n, "from_faces: vertex out of range");
+      const bool fresh = face_successor.emplace(edge_key(u, v), w).second;
+      support::require(fresh,
+                       "from_faces: directed edge in more than one face");
+    }
+  }
+  // Build each vertex's rotation by following σ until the cycle closes.
+  std::vector<std::vector<Vertex>> rotations(n);
+  std::unordered_map<std::uint64_t, bool> placed;
+  placed.reserve(total_sides * 2);
+  for (const auto& face : oriented_faces) {
+    for (std::size_t i = 0; i < face.size(); ++i) {
+      const Vertex v = face[i];
+      const Vertex first = face[(i + 1) % face.size()];
+      if (auto [it, fresh] = placed.emplace(edge_key(v, first), true); !fresh)
+        continue;
+      if (!rotations[v].empty()) continue;  // cycle already traced
+      Vertex u = first;
+      do {
+        rotations[v].push_back(u);
+        placed.emplace(edge_key(v, u), true);
+        const auto succ = face_successor.find(edge_key(u, v));
+        support::require(succ != face_successor.end(),
+                         "from_faces: missing reverse edge");
+        u = succ->second;
+      } while (u != first);
+    }
+  }
+  // Every directed edge must have been placed in a rotation; if a vertex has
+  // several σ-cycles the faces do not describe a single rotation system.
+  std::size_t placed_count = 0;
+  for (const auto& rot : rotations) placed_count += rot.size();
+  support::require(placed_count == total_sides,
+                   "from_faces: rotations do not cover all edges "
+                   "(inconsistent orientation)");
+  return from_rotations(rotations);
+}
+
+FaceSet EmbeddedGraph::extract_faces() const {
+  FaceSet fs;
+  const std::size_t hn = graph_.num_half_edges();
+  fs.face_of.assign(hn, 0xffffffffu);
+  fs.offsets.push_back(0);
+  for (HalfEdge start = 0; start < hn; ++start) {
+    if (fs.face_of[start] != 0xffffffffu) continue;
+    const auto face_id = static_cast<std::uint32_t>(fs.num_faces());
+    HalfEdge h = start;
+    do {
+      fs.face_of[h] = face_id;
+      fs.half_edges.push_back(h);
+      h = face_next(h);
+    } while (h != start);
+    fs.offsets.push_back(static_cast<std::uint32_t>(fs.half_edges.size()));
+  }
+  return fs;
+}
+
+bool EmbeddedGraph::validate_planar() const {
+  const std::size_t hn = graph_.num_half_edges();
+  if (twin_.size() != hn || source_.size() != hn) return false;
+  for (HalfEdge h = 0; h < hn; ++h) {
+    const HalfEdge t = twin_[h];
+    if (t >= hn || t == h) return false;
+    if (twin_[t] != h) return false;
+    if (source_[t] != target(h) || target(t) != source_[h]) return false;
+  }
+  const Components comps = connected_components(graph_);
+  if (comps.count != 1) return false;  // embeddings are per component
+  const FaceSet fs = extract_faces();
+  const long long euler = static_cast<long long>(graph_.num_vertices()) -
+                          static_cast<long long>(graph_.num_edges()) +
+                          static_cast<long long>(fs.num_faces());
+  return euler == 2;
+}
+
+}  // namespace ppsi::planar

@@ -1,0 +1,81 @@
+#pragma once
+
+// Combinatorial embeddings (rotation systems) of planar graphs.
+//
+// A half-edge is an index into the graph's adjacency array: position h in
+// vertex v's adjacency block is the directed edge v -> adj[h]. An embedding
+// fixes the cyclic order of each vertex's block (the rotation) and the twin
+// permutation linking the two directions of each edge. Faces are the orbits
+// of h -> rotation_next(twin(h)); Euler's formula V - E + F = 2 certifies a
+// genus-0 (planar) embedding of a connected graph.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/types.hpp"
+
+namespace ppsi::planar {
+
+using HalfEdge = std::uint32_t;
+inline constexpr HalfEdge kNoHalfEdge = 0xffffffffu;
+
+/// Faces of an embedding: concatenated half-edge cycles.
+struct FaceSet {
+  std::vector<std::uint32_t> offsets;   // size num_faces + 1
+  std::vector<HalfEdge> half_edges;     // face cycles, concatenated
+  std::vector<std::uint32_t> face_of;   // half-edge -> face id
+
+  std::size_t num_faces() const { return offsets.empty() ? 0 : offsets.size() - 1; }
+  std::span<const HalfEdge> face(std::size_t f) const {
+    return {half_edges.data() + offsets[f], half_edges.data() + offsets[f + 1]};
+  }
+};
+
+/// A graph together with a rotation system.
+class EmbeddedGraph {
+ public:
+  EmbeddedGraph() = default;
+
+  /// Builds from per-vertex neighbor lists given in rotation order.
+  /// Each undirected edge must appear in both endpoint lists.
+  static EmbeddedGraph from_rotations(
+      const std::vector<std::vector<Vertex>>& rotations);
+
+  /// Builds from consistently oriented face cycles (each directed edge u->v
+  /// appears in exactly one face). This is how the triangulation generators
+  /// construct embeddings.
+  static EmbeddedGraph from_faces(
+      Vertex n, const std::vector<std::vector<Vertex>>& oriented_faces);
+
+  const Graph& graph() const { return graph_; }
+  Vertex source(HalfEdge h) const { return source_[h]; }
+  Vertex target(HalfEdge h) const { return graph_.half_edge_target(h); }
+  HalfEdge twin(HalfEdge h) const { return twin_[h]; }
+
+  /// Next half-edge out of the same source, in rotation order.
+  HalfEdge rotation_next(HalfEdge h) const {
+    const Vertex v = source_[h];
+    const std::uint32_t base = graph_.adjacency_offset(v);
+    const std::uint32_t deg = graph_.degree(v);
+    const std::uint32_t idx = h - base + 1;
+    return base + (idx == deg ? 0 : idx);
+  }
+  /// Next half-edge of the face to the left of h.
+  HalfEdge face_next(HalfEdge h) const { return rotation_next(twin_[h]); }
+
+  /// Traces all faces.
+  FaceSet extract_faces() const;
+
+  /// Structural validation: twin involution, sources consistent, faces
+  /// partition the half-edges, and Euler's formula V - E + F = 2 holds
+  /// (requires a connected graph). Returns false on any violation.
+  bool validate_planar() const;
+
+ private:
+  Graph graph_;
+  std::vector<Vertex> source_;   // size 2m
+  std::vector<HalfEdge> twin_;   // size 2m
+};
+
+}  // namespace ppsi::planar

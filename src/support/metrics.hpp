@@ -1,0 +1,69 @@
+#pragma once
+
+// Work/depth accounting.
+//
+// The paper states its results as PRAM work (total operations) and depth
+// (length of the critical path). We measure both machine-independently:
+//   * work  – instrumented operation counts (each algorithm ticks the counter
+//             for the dominant unit of work it performs), and
+//   * rounds – the number of synchronous parallel steps executed (BFS levels,
+//             clustering rounds, shortcut-BFS hops, DP layers). A PRAM
+//             algorithm of depth D runs in O(D) such rounds, so round counts
+//             are the empirical proxy benches compare against the bounds.
+
+#include <atomic>
+#include <cstdint>
+
+namespace ppsi::support {
+
+/// Accumulates work and round counts for one algorithm invocation.
+/// Thread-safe: parallel regions accumulate locally and flush once.
+class Metrics {
+ public:
+  Metrics() = default;
+  Metrics(const Metrics& other)
+      : work_(other.work()), rounds_(other.rounds()) {}
+  Metrics& operator=(const Metrics& other) {
+    work_.store(other.work(), std::memory_order_relaxed);
+    rounds_.store(other.rounds(), std::memory_order_relaxed);
+    return *this;
+  }
+
+  void add_work(std::uint64_t ops) {
+    work_.fetch_add(ops, std::memory_order_relaxed);
+  }
+  void add_rounds(std::uint64_t rounds) {
+    rounds_.fetch_add(rounds, std::memory_order_relaxed);
+  }
+  /// Records a sub-computation: its work adds, its rounds add (sequential
+  /// composition of parallel phases).
+  void absorb(const Metrics& sub) {
+    add_work(sub.work());
+    add_rounds(sub.rounds());
+  }
+  /// Records parallel composition: work adds, rounds take the maximum.
+  void absorb_parallel(const Metrics& sub) {
+    add_work(sub.work());
+    std::uint64_t current = rounds_.load(std::memory_order_relaxed);
+    const std::uint64_t candidate = sub.rounds();
+    while (candidate > current &&
+           !rounds_.compare_exchange_weak(current, candidate,
+                                          std::memory_order_relaxed)) {
+    }
+  }
+
+  std::uint64_t work() const { return work_.load(std::memory_order_relaxed); }
+  std::uint64_t rounds() const {
+    return rounds_.load(std::memory_order_relaxed);
+  }
+  void reset() {
+    work_.store(0, std::memory_order_relaxed);
+    rounds_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> work_{0};
+  std::atomic<std::uint64_t> rounds_{0};
+};
+
+}  // namespace ppsi::support

@@ -1,0 +1,149 @@
+#pragma once
+
+// Fork-join primitives realizing the paper's CREW PRAM steps as OpenMP
+// parallel loops. Every primitive is deterministic: results never depend on
+// the schedule, only on the inputs (randomized algorithms draw from
+// per-index RNG streams, see rng.hpp).
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <omp.h>
+#include <type_traits>
+#include <vector>
+
+namespace ppsi::support {
+
+/// Number of OpenMP threads a parallel region will use.
+inline int num_threads() { return omp_get_max_threads(); }
+
+/// Grain below which parallel loops fall back to serial execution.
+inline constexpr std::size_t kDefaultGrain = 2048;
+
+/// Applies f(i) for i in [begin, end). One PRAM round over `end - begin`
+/// items; f must be safe to run concurrently for distinct i.
+template <typename F>
+void parallel_for(std::size_t begin, std::size_t end, F&& f,
+                  std::size_t grain = kDefaultGrain) {
+  if (end <= begin) return;
+  const std::size_t count = end - begin;
+  if (count < grain) {
+    for (std::size_t i = begin; i < end; ++i) f(i);
+    return;
+  }
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = begin; i < end; ++i) f(i);
+}
+
+/// Parallel reduction of f(i) over [begin, end) with a commutative,
+/// associative combiner; `identity` is the combiner's neutral element.
+template <typename T, typename F, typename Combine>
+T parallel_reduce(std::size_t begin, std::size_t end, T identity, F&& f,
+                  Combine&& combine, std::size_t grain = kDefaultGrain) {
+  if (end <= begin) return identity;
+  const std::size_t count = end - begin;
+  if (count < grain) {
+    T acc = identity;
+    for (std::size_t i = begin; i < end; ++i) acc = combine(acc, f(i));
+    return acc;
+  }
+  const int threads = num_threads();
+  std::vector<T> partial(static_cast<std::size_t>(threads), identity);
+#pragma omp parallel
+  {
+    const int t = omp_get_thread_num();
+    T acc = identity;
+#pragma omp for schedule(static) nowait
+    for (std::size_t i = begin; i < end; ++i) acc = combine(acc, f(i));
+    partial[static_cast<std::size_t>(t)] = acc;
+  }
+  T acc = identity;
+  for (const T& p : partial) acc = combine(acc, p);
+  return acc;
+}
+
+/// Sum reduction convenience wrapper.
+template <typename T, typename F>
+T parallel_sum(std::size_t begin, std::size_t end, F&& f) {
+  return parallel_reduce<T>(begin, end, T{}, std::forward<F>(f),
+                            [](T a, T b) { return a + b; });
+}
+
+/// Exclusive prefix sum of `values` in place; returns the total.
+/// Two-pass blocked scan (O(n) work, O(log n) PRAM depth shape).
+template <typename T>
+T exclusive_scan_inplace(std::vector<T>& values) {
+  const std::size_t n = values.size();
+  if (n == 0) return T{};
+  const int threads = num_threads();
+  if (n < kDefaultGrain || threads == 1) {
+    T total{};
+    for (std::size_t i = 0; i < n; ++i) {
+      T v = values[i];
+      values[i] = total;
+      total += v;
+    }
+    return total;
+  }
+  const std::size_t blocks = static_cast<std::size_t>(threads);
+  const std::size_t block_size = (n + blocks - 1) / blocks;
+  std::vector<T> block_total(blocks, T{});
+#pragma omp parallel for schedule(static)
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t lo = b * block_size;
+    const std::size_t hi = std::min(n, lo + block_size);
+    T acc{};
+    for (std::size_t i = lo; i < hi; ++i) acc += values[i];
+    block_total[b] = acc;
+  }
+  T total{};
+  for (std::size_t b = 0; b < blocks; ++b) {
+    T v = block_total[b];
+    block_total[b] = total;
+    total += v;
+  }
+#pragma omp parallel for schedule(static)
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t lo = b * block_size;
+    const std::size_t hi = std::min(n, lo + block_size);
+    T acc = block_total[b];
+    for (std::size_t i = lo; i < hi; ++i) {
+      T v = values[i];
+      values[i] = acc;
+      acc += v;
+    }
+  }
+  return total;
+}
+
+/// Returns the indices i in [0, n) with keep(i), in increasing order.
+/// Parallel pack via per-block counting + scan.
+template <typename Pred>
+std::vector<std::uint32_t> pack_indices(std::size_t n, Pred&& keep) {
+  std::vector<std::uint32_t> flags(n);
+  parallel_for(0, n, [&](std::size_t i) { flags[i] = keep(i) ? 1u : 0u; });
+  std::vector<std::uint32_t> pos = flags;
+  const std::uint32_t total = exclusive_scan_inplace(pos);
+  std::vector<std::uint32_t> out(total);
+  parallel_for(0, n, [&](std::size_t i) {
+    if (flags[i]) out[pos[i]] = static_cast<std::uint32_t>(i);
+  });
+  return out;
+}
+
+/// Packs values[i] for which keep(i) holds, preserving order.
+template <typename T, typename Pred>
+std::vector<T> pack_values(const std::vector<T>& values, Pred&& keep) {
+  const std::size_t n = values.size();
+  std::vector<std::uint32_t> pos(n);
+  parallel_for(0, n, [&](std::size_t i) { pos[i] = keep(i) ? 1u : 0u; });
+  const std::uint32_t total = exclusive_scan_inplace(pos);
+  std::vector<T> out(total);
+  parallel_for(0, n, [&](std::size_t i) {
+    if (keep(i)) out[pos[i]] = values[i];
+  });
+  return out;
+}
+
+}  // namespace ppsi::support

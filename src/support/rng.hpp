@@ -1,0 +1,95 @@
+#pragma once
+
+// Deterministic, splittable random number streams.
+//
+// The PRAM model gives each processor an independent random word per step
+// (paper §1.1). We realize that with counter-derived streams: stream i of
+// seed s is a xoshiro256** engine seeded from SplitMix64(s, i). Any parallel
+// loop that needs randomness draws stream(i) per index, so results are
+// reproducible under any thread schedule.
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace ppsi::support {
+
+/// SplitMix64 step; used for seeding and cheap stateless hashing.
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Mixes two words into one (order-sensitive).
+inline std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  return splitmix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+/// xoshiro256** engine: fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  /// Stream `stream` of master seed `seed`; distinct (seed, stream) pairs
+  /// give statistically independent sequences.
+  explicit Rng(std::uint64_t seed, std::uint64_t stream = 0) {
+    std::uint64_t x = hash_combine(seed, stream);
+    for (auto& word : state_) {
+      x = splitmix64(x);
+      word = x;
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound); bound must be positive.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Exponentially distributed value with the given mean (inverse CDF).
+  double next_exponential(double mean) {
+    double u = next_double();
+    // Guard against log(0).
+    if (u >= 1.0) u = std::nextafter(1.0, 0.0);
+    return -mean * std::log1p(-u);
+  }
+
+  /// Fair coin.
+  bool next_bool() { return (next_u64() & 1ULL) != 0; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+}  // namespace ppsi::support

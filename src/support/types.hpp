@@ -1,0 +1,36 @@
+#pragma once
+
+// Fundamental identifier types shared by every ppsi module.
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace ppsi {
+
+/// Vertex identifier. Graphs are limited to < 2^32 vertices, which keeps CSR
+/// arrays compact; the paper's regime (planar targets on a shared-memory
+/// machine) comfortably fits.
+using Vertex = std::uint32_t;
+
+/// Sentinel for "no vertex".
+inline constexpr Vertex kNoVertex = std::numeric_limits<Vertex>::max();
+
+/// Undirected edge as an (endpoint, endpoint) pair.
+using Edge = std::pair<Vertex, Vertex>;
+
+/// Edge list used by graph builders.
+using EdgeList = std::vector<Edge>;
+
+namespace support {
+
+/// Throws std::invalid_argument when an API precondition is violated.
+/// Used at module boundaries; hot inner loops use assert() instead.
+inline void require(bool condition, const char* message) {
+  if (!condition) throw std::invalid_argument(message);
+}
+
+}  // namespace support
+}  // namespace ppsi

@@ -1,0 +1,27 @@
+#include "treedecomp/bfs_layer_decomposition.hpp"
+
+#include <algorithm>
+
+#include "graph/ops.hpp"
+#include "treedecomp/greedy_decomposition.hpp"
+
+namespace ppsi::treedecomp {
+
+TreeDecomposition bfs_layer_decomposition(const Graph& g, Vertex root) {
+  support::require(root < g.num_vertices(),
+                   "bfs_layer_decomposition: root out of range");
+  auto dist = bfs_distances(g, root);
+  std::uint32_t max_layer = 0;
+  for (std::uint32_t& d : dist) {
+    if (d == kNoDistance) d = 0;  // unreachable vertices: treat as layer 0
+    max_layer = std::max(max_layer, d);
+  }
+  // Key: (layers from the deepest) then current degree — deepest layer
+  // first, min-degree within the layer.
+  return decompose_by_priority(g, [&](Vertex v, std::uint32_t degree) {
+    const std::uint64_t layer_rank = max_layer - dist[v];
+    return (layer_rank << 32) | degree;
+  });
+}
+
+}  // namespace ppsi::treedecomp

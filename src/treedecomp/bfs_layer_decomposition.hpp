@@ -1,0 +1,20 @@
+#pragma once
+
+// BFS-layer-guided tree decomposition (ablation partner of the greedy one).
+//
+// Eppstein's planar construction peels BFS layers; this construction uses
+// the same structural signal: vertices are eliminated deepest-BFS-layer
+// first, min-degree within a layer. On bounded-diameter slices this mirrors
+// the paper's layered structure and gives an independent width estimate the
+// ablation bench compares against the greedy strategies and the 3d bound.
+
+#include "graph/graph.hpp"
+#include "treedecomp/tree_decomposition.hpp"
+
+namespace ppsi::treedecomp {
+
+/// Decomposition from a deepest-layer-first elimination order; `root` seeds
+/// the BFS layering (pass the cover slice's BFS root).
+TreeDecomposition bfs_layer_decomposition(const Graph& g, Vertex root);
+
+}  // namespace ppsi::treedecomp

@@ -1,0 +1,171 @@
+#include "treedecomp/greedy_decomposition.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+
+#include "support/types.hpp"
+
+namespace ppsi::treedecomp {
+namespace {
+
+/// Dynamic adjacency for elimination (hash sets; slices are small).
+struct EliminationState {
+  std::vector<std::unordered_set<Vertex>> adj;
+  std::vector<char> gone;
+
+  explicit EliminationState(const Graph& g)
+      : adj(g.num_vertices()), gone(g.num_vertices(), 0) {
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      const auto nb = g.neighbors(v);
+      adj[v].insert(nb.begin(), nb.end());
+    }
+  }
+
+  /// Number of missing edges among v's current neighbors.
+  std::uint64_t fill_in(Vertex v) const {
+    std::uint64_t missing = 0;
+    for (auto it = adj[v].begin(); it != adj[v].end(); ++it) {
+      auto jt = it;
+      for (++jt; jt != adj[v].end(); ++jt) {
+        if (!adj[*it].contains(*jt)) ++missing;
+      }
+    }
+    return missing;
+  }
+
+  /// Eliminates v: clique-ifies its neighborhood, removes v. Returns the bag.
+  std::vector<Vertex> eliminate(Vertex v) {
+    std::vector<Vertex> bag(adj[v].begin(), adj[v].end());
+    bag.push_back(v);
+    for (std::size_t i = 0; i + 1 < bag.size(); ++i) {     // bag minus v
+      for (std::size_t j = i + 1; j + 1 < bag.size(); ++j) {
+        adj[bag[i]].insert(bag[j]);
+        adj[bag[j]].insert(bag[i]);
+      }
+    }
+    for (Vertex w : adj[v]) adj[w].erase(v);
+    adj[v].clear();
+    gone[v] = 1;
+    return bag;
+  }
+};
+
+TreeDecomposition build_from_elimination(
+    const Graph& g, const std::function<Vertex(EliminationState&)>& pick,
+    const std::function<void(EliminationState&, const std::vector<Vertex>&)>&
+        on_eliminated) {
+  const Vertex n = g.num_vertices();
+  support::require(n > 0, "decomposition: empty graph");
+  EliminationState state(g);
+  TreeDecomposition td;
+  td.bags.resize(n);
+  td.parent.assign(n, kNoNode);
+  std::vector<std::uint32_t> elim_pos(n, 0);
+  std::vector<NodeId> node_of(n, kNoNode);
+  for (Vertex step = 0; step < n; ++step) {
+    const Vertex v = pick(state);
+    std::vector<Vertex> bag = state.eliminate(v);
+    std::sort(bag.begin(), bag.end());
+    // Degrees of the bag members changed; let the strategy refresh keys
+    // (a lazy heap alone mishandles key *decreases*).
+    on_eliminated(state, bag);
+    td.bags[step] = std::move(bag);
+    elim_pos[v] = step;
+    node_of[v] = step;
+  }
+  // Parent of bag(v): the bag of the member of bag(v) \ {v} eliminated
+  // first after v; singleton bags chain to the next node.
+  for (NodeId x = 0; x < n; ++x) {
+    const auto& bag = td.bags[x];
+    std::uint32_t best = 0xffffffffu;
+    for (Vertex u : bag) {
+      if (elim_pos[u] > x) best = std::min(best, elim_pos[u]);
+    }
+    if (best != 0xffffffffu) {
+      td.parent[x] = best;
+    } else if (x + 1 < n) {
+      td.parent[x] = x + 1;
+    }
+  }
+  td.finalize();
+  return td;
+}
+
+}  // namespace
+
+TreeDecomposition greedy_decomposition(const Graph& g,
+                                       GreedyStrategy strategy) {
+  // Lazy priority queue of (key, vertex); stale keys are re-checked on pop.
+  using Entry = std::pair<std::uint64_t, Vertex>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  const auto key_of = [&](const EliminationState& st, Vertex v) {
+    const auto deg = static_cast<std::uint64_t>(st.adj[v].size());
+    if (strategy == GreedyStrategy::kMinFill)
+      return (st.fill_in(v) << 20) | std::min<std::uint64_t>(deg, 0xfffff);
+    return deg;
+  };
+  bool primed = false;
+  return build_from_elimination(
+      g,
+      [&](EliminationState& st) -> Vertex {
+        if (!primed) {
+          for (Vertex v = 0; v < st.adj.size(); ++v)
+            heap.emplace(key_of(st, v), v);
+          primed = true;
+        }
+        while (true) {
+          auto [key, v] = heap.top();
+          heap.pop();
+          if (st.gone[v]) continue;
+          const std::uint64_t fresh = key_of(st, v);
+          if (fresh != key) {
+            heap.emplace(fresh, v);
+            continue;
+          }
+          return v;
+        }
+      },
+      [&](EliminationState& st, const std::vector<Vertex>& bag) {
+        for (const Vertex w : bag)
+          if (!st.gone[w]) heap.emplace(key_of(st, w), w);
+      });
+}
+
+TreeDecomposition decompose_by_priority(
+    const Graph& g,
+    const std::function<std::uint64_t(Vertex, std::uint32_t)>& priority) {
+  using Entry = std::pair<std::uint64_t, Vertex>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  const auto key_of = [&](const EliminationState& st, Vertex v) {
+    return priority(v, static_cast<std::uint32_t>(st.adj[v].size()));
+  };
+  bool primed = false;
+  return build_from_elimination(
+      g,
+      [&](EliminationState& st) -> Vertex {
+        if (!primed) {
+          for (Vertex v = 0; v < st.adj.size(); ++v)
+            heap.emplace(key_of(st, v), v);
+          primed = true;
+        }
+        while (true) {
+          auto [key, v] = heap.top();
+          heap.pop();
+          if (st.gone[v]) continue;
+          const std::uint64_t fresh = key_of(st, v);
+          if (fresh != key) {
+            heap.emplace(fresh, v);
+            continue;
+          }
+          return v;
+        }
+      },
+      [&](EliminationState& st, const std::vector<Vertex>& bag) {
+        for (const Vertex w : bag)
+          if (!st.gone[w]) heap.emplace(key_of(st, w), w);
+      });
+}
+
+}  // namespace ppsi::treedecomp

@@ -1,0 +1,41 @@
+#pragma once
+
+// Tree decompositions from greedy elimination orderings.
+//
+// The DP of §3 is correct for any valid decomposition; only the width enters
+// the work bound. The paper constructs width-3d decompositions of
+// diameter-d planar slices (Eppstein/Baker); we substitute greedy
+// elimination (min-degree or min-fill), whose measured widths on those
+// slices are compared against the 3d bound in bench_treewidth_ablation
+// (see DESIGN.md §2 for the substitution rationale).
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "treedecomp/tree_decomposition.hpp"
+
+namespace ppsi::treedecomp {
+
+enum class GreedyStrategy {
+  kMinDegree,  ///< eliminate a vertex of minimum current degree (fast)
+  kMinFill,    ///< eliminate a vertex adding the fewest fill edges (slower)
+};
+
+/// Builds a valid tree decomposition of g by vertex elimination. The bag of
+/// an eliminated vertex is its closed neighborhood at elimination time; the
+/// parent is the bag of the member eliminated next. Works on disconnected
+/// graphs (component decompositions are chained).
+TreeDecomposition greedy_decomposition(
+    const Graph& g, GreedyStrategy strategy = GreedyStrategy::kMinDegree);
+
+/// Elimination-order core shared by the greedy strategies and the BFS-layer
+/// construction: eliminates vertices in the order produced by repeatedly
+/// taking the minimum `priority` value (recomputed lazily as degrees change).
+/// `priority(v, degree)` must be monotone in the vertex's current degree.
+TreeDecomposition decompose_by_priority(
+    const Graph& g,
+    const std::function<std::uint64_t(Vertex, std::uint32_t)>& priority);
+
+}  // namespace ppsi::treedecomp

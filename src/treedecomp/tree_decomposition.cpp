@@ -1,0 +1,143 @@
+#include "treedecomp/tree_decomposition.hpp"
+
+#include <algorithm>
+
+namespace ppsi::treedecomp {
+
+int TreeDecomposition::width() const {
+  int w = -1;
+  for (const auto& bag : bags)
+    w = std::max(w, static_cast<int>(bag.size()) - 1);
+  return w;
+}
+
+void TreeDecomposition::finalize() {
+  children.assign(num_nodes(), {});
+  root = kNoNode;
+  for (NodeId x = 0; x < num_nodes(); ++x) {
+    if (parent[x] == kNoNode) {
+      root = x;
+    } else {
+      children[parent[x]].push_back(x);
+    }
+  }
+  for (auto& bag : bags) std::sort(bag.begin(), bag.end());
+}
+
+bool TreeDecomposition::is_binary() const {
+  for (const auto& c : children)
+    if (c.size() > 2) return false;
+  return true;
+}
+
+bool TreeDecomposition::validate(const Graph& g) const {
+  const std::size_t t = num_nodes();
+  if (t == 0 || parent.size() != t || children.size() != t) return false;
+  // Exactly one root, parent links acyclic and consistent with children.
+  std::size_t roots = 0;
+  for (NodeId x = 0; x < t; ++x) {
+    if (parent[x] == kNoNode) {
+      ++roots;
+    } else if (parent[x] >= t) {
+      return false;
+    }
+  }
+  if (roots != 1 || root >= t || parent[root] != kNoNode) return false;
+  // Acyclicity via bottom-up order (throws into failure if cyclic).
+  {
+    std::vector<std::uint32_t> depth(t, 0xffffffffu);
+    // BFS from root over children.
+    std::vector<NodeId> queue = {root};
+    depth[root] = 0;
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+      const NodeId x = queue[i];
+      for (NodeId c : children[x]) {
+        if (c >= t || parent[c] != x || depth[c] != 0xffffffffu) return false;
+        depth[c] = depth[x] + 1;
+        queue.push_back(c);
+      }
+    }
+    if (queue.size() != t) return false;
+  }
+  // (1) every vertex in >= 1 bag; occurrences form a connected subtree.
+  std::vector<std::uint32_t> occurrences(g.num_vertices(), 0);
+  std::vector<std::uint32_t> shared_with_parent(g.num_vertices(), 0);
+  for (NodeId x = 0; x < t; ++x) {
+    for (Vertex v : bags[x]) {
+      if (v >= g.num_vertices()) return false;
+      ++occurrences[v];
+    }
+    if (parent[x] != kNoNode) {
+      const auto& pb = bags[parent[x]];
+      for (Vertex v : bags[x]) {
+        if (std::binary_search(pb.begin(), pb.end(), v))
+          ++shared_with_parent[v];
+      }
+    }
+  }
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (occurrences[v] == 0) return false;
+    // A sub-forest of a tree with c nodes is connected iff it has c-1 edges.
+    if (shared_with_parent[v] != occurrences[v] - 1) return false;
+  }
+  // (2) every edge covered by some bag.
+  std::vector<std::vector<NodeId>> bags_of(g.num_vertices());
+  for (NodeId x = 0; x < t; ++x)
+    for (Vertex v : bags[x]) bags_of[v].push_back(x);
+  for (auto& list : bags_of) std::sort(list.begin(), list.end());
+  for (const auto& [u, v] : g.edge_list()) {
+    const auto& a = bags_of[u];
+    const auto& b = bags_of[v];
+    bool covered = false;
+    std::size_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+      if (a[i] == b[j]) {
+        covered = true;
+        break;
+      }
+      (a[i] < b[j]) ? ++i : ++j;
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+TreeDecomposition binarize(const TreeDecomposition& td) {
+  TreeDecomposition out;
+  // First copy the original nodes.
+  out.bags = td.bags;
+  out.parent.assign(td.num_nodes(), kNoNode);
+  for (NodeId x = 0; x < td.num_nodes(); ++x) out.parent[x] = td.parent[x];
+  // For every node with more than two children, chain copies of the node,
+  // each adopting one surplus child.
+  for (NodeId x = 0; x < td.num_nodes(); ++x) {
+    const auto& kids = td.children[x];
+    if (kids.size() <= 2) continue;
+    NodeId attach = x;  // current node that still has room for one child
+    // Children kids[0] stays on x; kids[1..] are rewired onto chain copies.
+    // After the loop, `attach` holds the last copy with room for two.
+    for (std::size_t i = 1; i + 1 < kids.size(); ++i) {
+      const NodeId copy = static_cast<NodeId>(out.bags.size());
+      out.bags.push_back(td.bags[x]);
+      out.parent.push_back(attach);
+      out.parent[kids[i]] = copy;
+      attach = copy;
+    }
+    out.parent[kids.back()] = attach;
+  }
+  out.finalize();
+  return out;
+}
+
+std::vector<NodeId> bottom_up_order(const TreeDecomposition& td) {
+  std::vector<NodeId> order;
+  order.reserve(td.num_nodes());
+  // Reverse BFS from the root.
+  std::vector<NodeId> queue = {td.root};
+  for (std::size_t i = 0; i < queue.size(); ++i)
+    for (NodeId c : td.children[queue[i]]) queue.push_back(c);
+  order.assign(queue.rbegin(), queue.rend());
+  return order;
+}
+
+}  // namespace ppsi::treedecomp

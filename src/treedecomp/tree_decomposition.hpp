@@ -1,0 +1,53 @@
+#pragma once
+
+// Tree decompositions (paper §1.1).
+//
+// A decomposition is a rooted tree whose nodes carry bags of graph vertices
+// such that (1) every vertex appears in a nonempty connected subtree of
+// bags, (2) every edge has both endpoints in some bag. The width is the
+// maximum bag size minus one. The DP of §3 runs on *binary* decompositions
+// (every node has at most two children); binarize() normalizes arbitrary
+// decompositions by chaining copies, as the paper notes is always possible
+// without changing the width.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/types.hpp"
+
+namespace ppsi::treedecomp {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = 0xffffffffu;
+
+struct TreeDecomposition {
+  std::vector<std::vector<Vertex>> bags;  ///< sorted vertex lists
+  std::vector<NodeId> parent;             ///< kNoNode at the root
+  std::vector<std::vector<NodeId>> children;
+  NodeId root = kNoNode;
+
+  std::size_t num_nodes() const { return bags.size(); }
+
+  /// Maximum bag size minus one (-1 for an empty decomposition).
+  int width() const;
+
+  /// Checks the tree-decomposition axioms against g plus structural sanity
+  /// (parent/children consistency, single root, acyclicity).
+  bool validate(const Graph& g) const;
+
+  /// True when no node has more than two children.
+  bool is_binary() const;
+
+  /// Rebuilds children from parent and sorts each bag.
+  void finalize();
+};
+
+/// Returns an equivalent decomposition in which every node has at most two
+/// children (copies of over-full nodes are chained; width is unchanged).
+TreeDecomposition binarize(const TreeDecomposition& td);
+
+/// Nodes in bottom-up order (every node appears after all its children).
+std::vector<NodeId> bottom_up_order(const TreeDecomposition& td);
+
+}  // namespace ppsi::treedecomp

@@ -1,0 +1,148 @@
+#include <array>
+
+#include "support/parallel.hpp"
+#include "treepath/tree_paths.hpp"
+
+namespace ppsi::treepath {
+namespace {
+
+// Appendix A evaluates the layer-number recursion by tree contraction using
+// a function family closed under composition. The paper proposes the family
+// { f_{!=i}, g_{=i} }, but that family is NOT closed: for example
+// (f_{!=2} o f_{!=1})(x) maps 0 -> 2 and 1 -> 3, which is neither an f nor
+// a g (the paper's composition table gives f_{!=2}, which maps 1 -> 2).
+// See EXPERIMENTS.md (E6) for the full erratum note.
+//
+// The closure is the two-parameter family
+//     F(a, l)(x) = a + 1   if l <= x <= a   ("bump interval")
+//                  max(a, x) otherwise,
+// which contains the paper's functions as F(a, a) = f_{!=a} and
+// F(a, 0) = g_{=a}, plus the identity F(-1, 0). Closure and the composition
+// rule below were verified exhaustively for all parameter pairs with
+// a <= 6 against direct evaluation.
+struct LayerFunc {
+  std::int64_t a = -1;  ///< threshold; result is >= a
+  std::int64_t l = 0;   ///< bump interval lower end (bump is [l, a])
+
+  std::int64_t apply(std::int64_t x) const {
+    if (l <= x && x <= a) return a + 1;
+    return std::max(a, x);
+  }
+};
+
+/// h = outer after inner (h(x) = outer(inner(x))).
+LayerFunc compose(const LayerFunc& outer, const LayerFunc& inner) {
+  if (outer.a < inner.a) return inner;
+  if (outer.a == inner.a) return {outer.a, 0};
+  // outer.a > inner.a: the inner function outputs values >= inner.a; which
+  // of them land in the outer bump decides the composite bump.
+  if (outer.l <= inner.a) return {outer.a, 0};
+  if (outer.l == inner.a + 1) return {outer.a, inner.l};
+  return {outer.a, outer.l};
+}
+
+/// L for a binary node; partial application L(c, .) = f_{!=c} = F(c, c).
+std::int64_t combine(std::int64_t a, std::int64_t b) {
+  if (a == b) return a + 1;
+  return std::max(a, b);
+}
+
+enum class NodeState : std::uint8_t { kBinary, kUnary, kDone };
+
+struct Cell {
+  NodeState state;
+  LayerFunc func;      // pending unary function (kUnary)
+  NodeId child;        // pending child (kUnary)
+  NodeId c0, c1;       // children (kBinary)
+  std::int64_t value;  // (kDone)
+};
+
+}  // namespace
+
+std::vector<std::uint32_t> layer_numbers_contraction(
+    const Forest& forest, support::Metrics* metrics) {
+  const std::size_t n = forest.size();
+  std::vector<std::array<NodeId, 2>> kids(n, {kNoNode, kNoNode});
+  std::vector<std::uint8_t> kid_count(n, 0);
+  for (NodeId x = 0; x < n; ++x) {
+    const NodeId p = forest.parent[x];
+    if (p == kNoNode) continue;
+    support::require(kid_count[p] < 2,
+                     "layer_numbers_contraction: binary forest required");
+    kids[p][kid_count[p]++] = x;
+  }
+  std::vector<Cell> cur(n), next(n);
+  for (NodeId x = 0; x < n; ++x) {
+    if (kid_count[x] == 0) {
+      cur[x] = {NodeState::kDone, {}, kNoNode, kNoNode, kNoNode, 0};
+    } else if (kid_count[x] == 1) {
+      cur[x] = {NodeState::kUnary, LayerFunc{}, kids[x][0], kNoNode, kNoNode,
+                0};
+    } else {
+      cur[x] = {NodeState::kBinary, {}, kNoNode, kids[x][0], kids[x][1], 0};
+    }
+  }
+  std::uint64_t rounds = 0;
+  std::uint64_t work = 0;
+  bool all_done = n == 0;
+  while (!all_done) {
+    ++rounds;
+    work += n;
+    // Every node reads only the previous round's cells: deterministic and
+    // safe under any schedule.
+    const std::uint64_t done = support::parallel_reduce<std::uint64_t>(
+        0, n, std::uint64_t{0},
+        [&](std::size_t x) -> std::uint64_t {
+          const Cell& c = cur[x];
+          Cell& o = next[x];
+          o = c;
+          switch (c.state) {
+            case NodeState::kDone:
+              break;
+            case NodeState::kBinary: {
+              const Cell& a = cur[c.c0];
+              const Cell& b = cur[c.c1];
+              if (a.state == NodeState::kDone &&
+                  b.state == NodeState::kDone) {
+                o = {NodeState::kDone, {}, kNoNode, kNoNode, kNoNode,
+                     combine(a.value, b.value)};
+              } else if (a.state == NodeState::kDone) {
+                // Remaining dependence is x -> L(a.value, .) = F(a, a).
+                o = {NodeState::kUnary, LayerFunc{a.value, a.value}, c.c1,
+                     kNoNode, kNoNode, 0};
+              } else if (b.state == NodeState::kDone) {
+                o = {NodeState::kUnary, LayerFunc{b.value, b.value}, c.c0,
+                     kNoNode, kNoNode, 0};
+              }
+              break;
+            }
+            case NodeState::kUnary: {
+              const Cell& child = cur[c.child];
+              if (child.state == NodeState::kDone) {
+                o = {NodeState::kDone, {}, kNoNode, kNoNode, kNoNode,
+                     c.func.apply(child.value)};
+              } else if (child.state == NodeState::kUnary) {
+                // Pointer-jumping compress: halve unary chains.
+                o = {NodeState::kUnary, compose(c.func, child.func),
+                     child.child, kNoNode, kNoNode, 0};
+              }
+              break;
+            }
+          }
+          return o.state == NodeState::kDone ? 1 : 0;
+        },
+        [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    cur.swap(next);
+    all_done = done == n;
+  }
+  if (metrics != nullptr) {
+    metrics->add_rounds(rounds);
+    metrics->add_work(work);
+  }
+  std::vector<std::uint32_t> layer(n);
+  for (NodeId x = 0; x < n; ++x)
+    layer[x] = static_cast<std::uint32_t>(cur[x].value);
+  return layer;
+}
+
+}  // namespace ppsi::treepath

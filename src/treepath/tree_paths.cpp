@@ -1,0 +1,113 @@
+#include "treepath/tree_paths.hpp"
+
+#include <algorithm>
+
+#include "support/types.hpp"
+
+namespace ppsi::treepath {
+namespace {
+
+std::vector<std::vector<NodeId>> children_of(const Forest& forest) {
+  std::vector<std::vector<NodeId>> children(forest.size());
+  for (NodeId x = 0; x < forest.size(); ++x) {
+    const NodeId p = forest.parent[x];
+    if (p != kNoNode) {
+      support::require(p < forest.size(), "Forest: parent out of range");
+      children[p].push_back(x);
+    }
+  }
+  return children;
+}
+
+std::vector<NodeId> bottom_up(const Forest& forest,
+                              const std::vector<std::vector<NodeId>>& children) {
+  std::vector<NodeId> queue;
+  queue.reserve(forest.size());
+  for (NodeId x = 0; x < forest.size(); ++x)
+    if (forest.parent[x] == kNoNode) queue.push_back(x);
+  for (std::size_t i = 0; i < queue.size(); ++i)
+    for (NodeId c : children[queue[i]]) queue.push_back(c);
+  support::require(queue.size() == forest.size(),
+                   "Forest: cycle in parent pointers");
+  std::reverse(queue.begin(), queue.end());
+  return queue;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> layer_numbers_sequential(const Forest& forest) {
+  const auto children = children_of(forest);
+  std::vector<std::uint32_t> layer(forest.size(), 0);
+  for (NodeId x : bottom_up(forest, children)) {
+    std::uint32_t best = 0;
+    std::uint32_t ties = 0;
+    for (NodeId c : children[x]) {
+      if (layer[c] > best) {
+        best = layer[c];
+        ties = 1;
+      } else if (layer[c] == best) {
+        ++ties;
+      }
+    }
+    if (children[x].empty()) {
+      layer[x] = 0;
+    } else {
+      layer[x] = best + (ties >= 2 ? 1 : 0);
+    }
+  }
+  return layer;
+}
+
+PathDecomposition decompose_into_paths(const Forest& forest,
+                                       std::vector<std::uint32_t> layer) {
+  PathDecomposition out;
+  out.layer = std::move(layer);
+  const std::size_t n = forest.size();
+  out.path_of.assign(n, 0xffffffffu);
+  if (n == 0) {
+    out.layer_path_offsets = {0};
+    return out;
+  }
+  out.num_layers =
+      1 + *std::max_element(out.layer.begin(), out.layer.end());
+  // The same-layer child of a node is unique (two same-layer children would
+  // bump the parent's layer); record it as the downward path link.
+  std::vector<NodeId> down(n, kNoNode);
+  for (NodeId x = 0; x < n; ++x) {
+    const NodeId p = forest.parent[x];
+    if (p != kNoNode && out.layer[p] == out.layer[x]) {
+      support::require(down[p] == kNoNode,
+                       "layer numbers violate the unique-maximum rule");
+      down[p] = x;
+    }
+  }
+  // Path tops: nodes whose parent is absent or in a higher layer. Collect
+  // per layer so paths end up grouped by layer.
+  std::vector<std::vector<NodeId>> tops(out.num_layers);
+  for (NodeId x = 0; x < n; ++x) {
+    const NodeId p = forest.parent[x];
+    if (p == kNoNode || out.layer[p] != out.layer[x])
+      tops[out.layer[x]].push_back(x);
+  }
+  out.layer_path_offsets.assign(out.num_layers + 1, 0);
+  for (std::uint32_t l = 0; l < out.num_layers; ++l) {
+    out.layer_path_offsets[l] = static_cast<std::uint32_t>(out.paths.size());
+    for (NodeId top : tops[l]) {
+      std::vector<NodeId> path;
+      for (NodeId x = top; x != kNoNode; x = down[x]) path.push_back(x);
+      std::reverse(path.begin(), path.end());  // bottom node first
+      const auto id = static_cast<std::uint32_t>(out.paths.size());
+      for (NodeId x : path) out.path_of[x] = id;
+      out.paths.push_back(std::move(path));
+    }
+  }
+  out.layer_path_offsets[out.num_layers] =
+      static_cast<std::uint32_t>(out.paths.size());
+  return out;
+}
+
+PathDecomposition decompose_into_paths(const Forest& forest) {
+  return decompose_into_paths(forest, layer_numbers_sequential(forest));
+}
+
+}  // namespace ppsi::treepath

@@ -1,0 +1,58 @@
+#pragma once
+
+// Decomposing a rooted tree (or forest) into layered paths — Lemma 3.2.
+//
+// Layer numbers: a leaf has layer 0; an interior node has the maximum layer
+// of its children, plus one if that maximum is attained more than once.
+// Nodes of equal layer form vertex-disjoint paths; a node's children outside
+// its own path live in strictly lower layers; there are at most
+// log2(#leaves) + 1 layers. The parallel engine of §3.3 solves the paths of
+// one layer in parallel, layers in increasing order, and uses the same
+// decomposition again to place shortcuts in the translation forest
+// (Lemma 3.3).
+
+#include <cstdint>
+#include <vector>
+
+#include "support/metrics.hpp"
+#include "support/types.hpp"
+
+namespace ppsi::treepath {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = 0xffffffffu;
+
+/// A rooted forest given by parent pointers (kNoNode at roots).
+struct Forest {
+  std::vector<NodeId> parent;
+  std::size_t size() const { return parent.size(); }
+};
+
+struct PathDecomposition {
+  std::vector<std::uint32_t> layer;    ///< layer number per node
+  std::vector<std::uint32_t> path_of;  ///< path id per node
+  /// Paths listed bottom node first; grouped by layer: all paths of layer 0
+  /// first, then layer 1, ... (use layer_path_offsets to find the groups).
+  std::vector<std::vector<NodeId>> paths;
+  std::vector<std::uint32_t> layer_path_offsets;  ///< size num_layers + 1
+  std::uint32_t num_layers = 0;
+};
+
+/// Sequential reference: layer numbers by one bottom-up sweep.
+std::vector<std::uint32_t> layer_numbers_sequential(const Forest& forest);
+
+/// Appendix A: layer numbers via parallel expression-tree evaluation with
+/// the paper's closed function family f_{!=i} / g_{=i} (rake + pointer-
+/// jumping compress; rounds recorded in metrics). Requires a binary forest
+/// (<= 2 children per node), which the decomposition trees are.
+std::vector<std::uint32_t> layer_numbers_contraction(
+    const Forest& forest, support::Metrics* metrics = nullptr);
+
+/// Groups nodes into layered paths from precomputed layer numbers.
+PathDecomposition decompose_into_paths(const Forest& forest,
+                                       std::vector<std::uint32_t> layer);
+
+/// Convenience: sequential layers + grouping.
+PathDecomposition decompose_into_paths(const Forest& forest);
+
+}  // namespace ppsi::treepath

@@ -1,0 +1,165 @@
+// Clustering tests: parallel BFS, exponential start time clustering
+// (Lemma 2.3 properties, Observation 1).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "cluster/est_clustering.hpp"
+#include "cluster/parallel_bfs.hpp"
+#include "graph/generators.hpp"
+#include "graph/ops.hpp"
+
+namespace ppsi::cluster {
+namespace {
+
+TEST(ParallelBfs, MatchesSequentialDistances) {
+  for (int seed = 0; seed < 5; ++seed) {
+    const Graph g = gen::gnp(200, 0.02, seed);
+    const auto expect = bfs_distances(g, 0);
+    support::Metrics metrics;
+    const BfsResult got = parallel_bfs(g, Vertex{0}, &metrics);
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      if (expect[v] == kNoDistance) {
+        EXPECT_EQ(got.dist[v], kUnreached);
+      } else {
+        EXPECT_EQ(got.dist[v], expect[v]);
+      }
+    }
+    EXPECT_EQ(metrics.rounds(), got.num_levels);
+  }
+}
+
+TEST(ParallelBfs, MultiSourceTakesMinimum) {
+  const Graph g = gen::path_graph(20);
+  const Vertex sources[2] = {0, 19};
+  const BfsResult r = parallel_bfs(g, std::span<const Vertex>(sources, 2));
+  for (Vertex v = 0; v < 20; ++v)
+    EXPECT_EQ(r.dist[v], std::min(v, 19 - v));
+}
+
+TEST(ParallelBfs, ParentsFormTree) {
+  const Graph g = gen::grid_graph(10, 10);
+  const BfsResult r = parallel_bfs(g, Vertex{0});
+  for (Vertex v = 1; v < g.num_vertices(); ++v) {
+    ASSERT_NE(r.parent[v], kNoVertex);
+    EXPECT_EQ(r.dist[v], r.dist[r.parent[v]] + 1);
+    EXPECT_TRUE(g.has_edge(v, r.parent[v]));
+  }
+}
+
+TEST(ParallelBfs, LevelCountEqualsEccentricityPlusOne) {
+  const Graph g = gen::path_graph(37);
+  const BfsResult r = parallel_bfs(g, Vertex{0});
+  EXPECT_EQ(r.num_levels, 37u);  // levels 1..36 emitted frontiers, +1 final
+}
+
+TEST(EstClustering, PartitionIsValid) {
+  const Graph g = gen::grid_graph(20, 20);
+  const Clustering c = est_clustering(g, 4.0, 7);
+  ASSERT_EQ(c.cluster_of.size(), g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    EXPECT_LT(c.cluster_of[v], c.count);
+  // Members grouping is consistent.
+  ASSERT_EQ(c.offsets.size(), static_cast<std::size_t>(c.count) + 1);
+  EXPECT_EQ(c.members.size(), g.num_vertices());
+  for (Vertex cl = 0; cl < c.count; ++cl)
+    for (std::uint32_t i = c.offsets[cl]; i < c.offsets[cl + 1]; ++i)
+      EXPECT_EQ(c.cluster_of[c.members[i]], cl);
+  // Every center is in its own cluster.
+  for (Vertex cl = 0; cl < c.count; ++cl)
+    EXPECT_EQ(c.cluster_of[c.center_of[cl]], cl);
+}
+
+TEST(EstClustering, ClustersAreConnected) {
+  const Graph g = gen::apollonian(300, 9).graph();
+  const Clustering c = est_clustering(g, 6.0, 3);
+  for (Vertex cl = 0; cl < c.count; ++cl) {
+    std::vector<Vertex> members(c.members.begin() + c.offsets[cl],
+                                c.members.begin() + c.offsets[cl + 1]);
+    const DerivedGraph sub = induced_subgraph(g, members);
+    const auto dist = bfs_distances(sub.graph, 0);
+    for (std::uint32_t d : dist) EXPECT_NE(d, kNoDistance);
+  }
+}
+
+TEST(EstClustering, DeterministicForSeed) {
+  const Graph g = gen::grid_graph(15, 15);
+  const Clustering a = est_clustering(g, 5.0, 42);
+  const Clustering b = est_clustering(g, 5.0, 42);
+  EXPECT_EQ(a.cluster_of, b.cluster_of);
+  const Clustering c = est_clustering(g, 5.0, 43);
+  EXPECT_TRUE(a.cluster_of != c.cluster_of || a.count == 1);
+}
+
+/// Lemma 2.3: every edge crosses clusters with probability <= 1/beta.
+/// Empirical check with generous slack over many seeds.
+TEST(EstClustering, EdgeCutProbabilityBound) {
+  const Graph g = gen::grid_graph(30, 30);
+  const double beta = 8.0;
+  std::uint64_t cut = 0;
+  std::uint64_t total = 0;
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    const Clustering c = est_clustering(g, beta, seed);
+    for (const auto& [u, v] : g.edge_list()) {
+      ++total;
+      cut += c.cluster_of[u] != c.cluster_of[v] ? 1 : 0;
+    }
+  }
+  const double rate = static_cast<double>(cut) / static_cast<double>(total);
+  EXPECT_LT(rate, 1.25 / beta) << "measured cut rate " << rate;
+}
+
+/// Lemma 2.3: cluster (weak) diameter O(beta log n). Check the radius from
+/// the center within the cluster subgraph.
+TEST(EstClustering, ClusterRadiusBound) {
+  const Graph g = gen::grid_graph(40, 40);
+  const double beta = 4.0;
+  const double bound =
+      4.0 * beta * std::log2(static_cast<double>(g.num_vertices()));
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Clustering c = est_clustering(g, beta, seed);
+    for (Vertex cl = 0; cl < c.count; ++cl) {
+      std::vector<Vertex> members(c.members.begin() + c.offsets[cl],
+                                  c.members.begin() + c.offsets[cl + 1]);
+      const DerivedGraph sub = induced_subgraph(g, members);
+      std::uint32_t center_local = 0;
+      for (std::size_t i = 0; i < members.size(); ++i)
+        if (members[i] == c.center_of[cl]) center_local = static_cast<Vertex>(i);
+      EXPECT_LT(eccentricity(sub.graph, center_local), bound);
+    }
+  }
+}
+
+/// Observation 1: under 2k-clustering a fixed connected k-subgraph stays
+/// inside one cluster with probability >= 1/2.
+TEST(EstClustering, Observation1RetentionRate) {
+  const Graph g = gen::grid_graph(25, 25);
+  // Fixed occurrence: a C4 in the middle (vertices of a unit square).
+  const Vertex a = 12 * 25 + 12, b = a + 1, c = a + 25, d = a + 26;
+  const std::uint32_t k = 4;
+  int kept = 0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    const Clustering cl = est_clustering(g, 2.0 * k, 1000 + t);
+    const Vertex cluster = cl.cluster_of[a];
+    if (cl.cluster_of[b] == cluster && cl.cluster_of[c] == cluster &&
+        cl.cluster_of[d] == cluster) {
+      ++kept;
+    }
+  }
+  EXPECT_GT(kept, trials / 2) << "retention " << kept << "/" << trials;
+}
+
+TEST(EstClustering, RoundsBound) {
+  const Graph g = gen::grid_graph(30, 30);
+  support::Metrics metrics;
+  est_clustering(g, 4.0, 5, &metrics);
+  const double bound =
+      8.0 * 4.0 * std::log2(static_cast<double>(g.num_vertices())) + 16;
+  EXPECT_LT(static_cast<double>(metrics.rounds()), bound);
+}
+
+}  // namespace
+}  // namespace ppsi::cluster

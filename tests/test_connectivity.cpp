@@ -1,0 +1,225 @@
+// Vertex connectivity tests (§5): articulation points, the flow baseline,
+// and the separating-cycle algorithm on families of every planar
+// connectivity value, cross-validated against the flow baseline on random
+// planar graphs.
+
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <set>
+
+#include "connectivity/articulation.hpp"
+
+#include "graph/ops.hpp"
+#include "connectivity/flow_connectivity.hpp"
+#include "connectivity/vertex_connectivity.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+
+namespace ppsi::connectivity {
+namespace {
+
+/// Oracle: is the graph still connected after removing `cut`?
+bool disconnects(const Graph& g, const std::vector<Vertex>& cut) {
+  std::vector<char> removed(g.num_vertices(), 0);
+  for (const Vertex v : cut) removed[v] = 1;
+  Vertex start = kNoVertex;
+  std::size_t remaining = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (!removed[v]) {
+      ++remaining;
+      start = v;
+    }
+  }
+  if (remaining <= 1) return false;
+  std::queue<Vertex> queue;
+  std::vector<char> seen(g.num_vertices(), 0);
+  queue.push(start);
+  seen[start] = 1;
+  std::size_t visited = 1;
+  while (!queue.empty()) {
+    const Vertex u = queue.front();
+    queue.pop();
+    for (const Vertex w : g.neighbors(u)) {
+      if (!removed[w] && !seen[w]) {
+        seen[w] = 1;
+        ++visited;
+        queue.push(w);
+      }
+    }
+  }
+  return visited != remaining;
+}
+
+/// Brute-force articulation points.
+std::vector<Vertex> brute_articulation(const Graph& g) {
+  std::vector<Vertex> out;
+  const Components base = connected_components(g);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    std::vector<Vertex> keep;
+    for (Vertex u = 0; u < g.num_vertices(); ++u)
+      if (u != v) keep.push_back(u);
+    const DerivedGraph sub = induced_subgraph(g, keep);
+    if (connected_components(sub.graph).count > base.count) out.push_back(v);
+  }
+  return out;
+}
+
+class ArticulationCase : public ::testing::TestWithParam<int> {};
+
+TEST_P(ArticulationCase, MatchesBruteForce) {
+  const int seed = GetParam();
+  const Graph g = gen::gnp(25, 0.08 + 0.01 * seed, seed);
+  EXPECT_EQ(articulation_points(g), brute_articulation(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArticulationCase, ::testing::Range(0, 10));
+
+TEST(Articulation, KnownCases) {
+  EXPECT_EQ(articulation_points(gen::path_graph(5)).size(), 3u);
+  EXPECT_TRUE(articulation_points(gen::cycle_graph(5)).empty());
+  EXPECT_EQ(articulation_points(gen::star_graph(5)), std::vector<Vertex>{0});
+  EXPECT_TRUE(is_biconnected(gen::cycle_graph(4)));
+  EXPECT_FALSE(is_biconnected(gen::path_graph(4)));
+  EXPECT_FALSE(is_biconnected(gen::path_graph(2)));
+}
+
+TEST(FlowConnectivity, KnownValues) {
+  EXPECT_EQ(vertex_connectivity_flow(gen::path_graph(6)).connectivity, 1u);
+  EXPECT_EQ(vertex_connectivity_flow(gen::cycle_graph(8)).connectivity, 2u);
+  EXPECT_EQ(vertex_connectivity_flow(gen::grid_graph(4, 4)).connectivity, 2u);
+  EXPECT_EQ(vertex_connectivity_flow(gen::complete_graph(5)).connectivity, 4u);
+  EXPECT_EQ(vertex_connectivity_flow(gen::octahedron().graph()).connectivity,
+            4u);
+  EXPECT_EQ(vertex_connectivity_flow(gen::icosahedron().graph()).connectivity,
+            5u);
+  EXPECT_EQ(
+      vertex_connectivity_flow(gen::complete_bipartite(3, 5)).connectivity,
+      3u);
+  EXPECT_EQ(vertex_connectivity_flow(
+                gen::disjoint_union({gen::path_graph(2), gen::path_graph(2)}))
+                .connectivity,
+            0u);
+}
+
+TEST(FlowConnectivity, MinCutIsARealCut) {
+  for (const std::uint64_t seed : {1ull, 5ull, 9ull}) {
+    const Graph g = gen::delete_random_edges(gen::apollonian(30, seed), 10,
+                                             seed + 1)
+                        .graph();
+    const FlowConnectivityResult r = vertex_connectivity_flow(g);
+    if (r.connectivity > 0 && r.connectivity < g.num_vertices() - 1) {
+      ASSERT_EQ(r.min_cut.size(), r.connectivity);
+      EXPECT_TRUE(disconnects(g, r.min_cut));
+    }
+  }
+}
+
+TEST(FlowConnectivity, StPathsOnGrid) {
+  const Graph g = gen::grid_graph(5, 5);
+  // Opposite corners of a grid: 2 internally disjoint paths.
+  EXPECT_EQ(st_vertex_connectivity(g, 0, 24, 10), 2u);
+}
+
+struct ConnCase {
+  std::string name;
+  planar::EmbeddedGraph eg;
+  std::uint32_t expected;
+};
+
+std::vector<ConnCase> conn_cases() {
+  std::vector<ConnCase> cases;
+  cases.push_back({"path9", gen::embedded_cycle(9), 2});
+  cases.push_back({"grid5x5", gen::embedded_grid(5, 5), 2});
+  cases.push_back({"grid4x9", gen::embedded_grid(4, 9), 2});
+  cases.push_back({"wheel9", gen::wheel(9), 3});
+  cases.push_back({"apollonian30", gen::apollonian(30, 13), 3});
+  cases.push_back({"tetra_sub", gen::loop_subdivide(gen::tetrahedron()), 3});
+  cases.push_back({"antiprism6", gen::antiprism(6), 4});
+  cases.push_back({"bipyramid7", gen::bipyramid(7), 4});
+  cases.push_back({"octa_sub", gen::loop_subdivide(gen::octahedron()), 4});
+  cases.push_back({"icosahedron", gen::icosahedron(), 5});
+  return cases;
+}
+
+class PlanarConnectivity : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlanarConnectivity, MatchesExpectedAndFlow) {
+  const ConnCase c = conn_cases()[GetParam()];
+  ASSERT_TRUE(c.eg.validate_planar());
+  VertexConnectivityOptions opts;
+  opts.max_runs = 6;
+  const VertexConnectivityResult ours =
+      planar_vertex_connectivity(c.eg, opts);
+  EXPECT_EQ(ours.connectivity, c.expected) << c.name;
+  EXPECT_EQ(vertex_connectivity_flow(c.eg.graph()).connectivity, c.expected)
+      << c.name;
+  if (!ours.witness_cut.empty()) {
+    EXPECT_EQ(ours.witness_cut.size(), ours.connectivity) << c.name;
+    EXPECT_TRUE(disconnects(c.eg.graph(), ours.witness_cut)) << c.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, PlanarConnectivity, ::testing::Range(0, 10));
+
+TEST(PlanarConnectivity, RandomPlanarCrossValidation) {
+  // Random planar graphs of mixed connectivity: our Monte Carlo answer must
+  // match the exact flow baseline.
+  for (const std::uint64_t seed : {2ull, 4ull, 6ull, 8ull}) {
+    const auto eg =
+        gen::delete_random_edges(gen::apollonian(26, seed), 8, seed * 3 + 1);
+    ASSERT_TRUE(eg.validate_planar());
+    VertexConnectivityOptions opts;
+    opts.seed = seed;
+    opts.max_runs = 6;
+    const auto ours = planar_vertex_connectivity(eg, opts);
+    const auto flow = vertex_connectivity_flow(eg.graph());
+    EXPECT_EQ(ours.connectivity, flow.connectivity) << "seed " << seed;
+  }
+}
+
+TEST(PlanarConnectivity, SmallAndDegenerate) {
+  VertexConnectivityOptions opts;
+  EXPECT_EQ(planar_vertex_connectivity(gen::tetrahedron(), opts).connectivity,
+            3u);
+  EXPECT_EQ(planar_vertex_connectivity(gen::octahedron(), opts).connectivity,
+            4u);
+  EXPECT_EQ(planar_vertex_connectivity(gen::embedded_cycle(3), opts)
+                .connectivity,
+            2u);
+}
+
+TEST(PlanarConnectivity, DisconnectedAndCutVertex) {
+  // A wheel with a pendant path: connectivity 1 (articulation gate).
+  const auto wheel = gen::wheel(6);
+  std::vector<std::vector<Vertex>> rot(wheel.graph().num_vertices() + 1);
+  for (Vertex v = 0; v < wheel.graph().num_vertices(); ++v) {
+    const auto nb = wheel.graph().neighbors(v);
+    rot[v].assign(nb.begin(), nb.end());
+  }
+  const Vertex pendant = wheel.graph().num_vertices();
+  rot[0].push_back(pendant);
+  rot[pendant] = {0};
+  const auto eg = planar::EmbeddedGraph::from_rotations(rot);
+  ASSERT_TRUE(eg.validate_planar());
+  VertexConnectivityOptions opts;
+  opts.small_cutoff = 4;  // force the full machinery
+  const auto r = planar_vertex_connectivity(eg, opts);
+  EXPECT_EQ(r.connectivity, 1u);
+  ASSERT_EQ(r.witness_cut.size(), 1u);
+  EXPECT_EQ(r.witness_cut[0], 0u);
+}
+
+TEST(PlanarConnectivity, WitnessCutsAreMinimum) {
+  // The returned cut must not only disconnect but have minimum size.
+  const auto eg = gen::antiprism(5);
+  VertexConnectivityOptions opts;
+  opts.max_runs = 6;
+  const auto ours = planar_vertex_connectivity(eg, opts);
+  ASSERT_EQ(ours.connectivity, 4u);
+  ASSERT_EQ(ours.witness_cut.size(), 4u);
+  EXPECT_TRUE(disconnects(eg.graph(), ours.witness_cut));
+}
+
+}  // namespace
+}  // namespace ppsi::connectivity

@@ -1,0 +1,99 @@
+// Graph I/O round-trip and malformed-input tests.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+namespace ppsi::io {
+namespace {
+
+TEST(EdgeListIo, RoundTrip) {
+  const Graph g = gen::apollonian(40, 3).graph();
+  std::stringstream buffer;
+  write_edge_list(g, buffer);
+  const Graph h = read_edge_list(buffer);
+  EXPECT_EQ(h.num_vertices(), g.num_vertices());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  // The source keeps rotation order; compare as sets.
+  EdgeList a = g.edge_list();
+  EdgeList b = h.edge_list();
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(DimacsIo, RoundTrip) {
+  const Graph g = gen::grid_graph(6, 7);
+  std::stringstream buffer;
+  write_dimacs(g, buffer);
+  const Graph h = read_dimacs(buffer);
+  EXPECT_EQ(h.edge_list(), g.edge_list());
+}
+
+TEST(DimacsIo, ParsesCommentsAndHeader) {
+  std::stringstream in(
+      "c a comment\nc another\np edge 3 2\ne 1 2\ne 2 3\n");
+  const Graph g = read_dimacs(in);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(EdgeListIo, RejectsMalformed) {
+  {
+    std::stringstream in("not a header");
+    EXPECT_THROW(read_edge_list(in), std::invalid_argument);
+  }
+  {
+    std::stringstream in("3 2\n0 1\n");  // truncated
+    EXPECT_THROW(read_edge_list(in), std::invalid_argument);
+  }
+  {
+    std::stringstream in("3 1\n0 7\n");  // out of range
+    EXPECT_THROW(read_edge_list(in), std::invalid_argument);
+  }
+}
+
+TEST(DimacsIo, RejectsMalformed) {
+  {
+    std::stringstream in("e 1 2\n");  // edge before header
+    EXPECT_THROW(read_dimacs(in), std::invalid_argument);
+  }
+  {
+    std::stringstream in("p edge 2 1\ne 0 1\n");  // 1-based violation
+    EXPECT_THROW(read_dimacs(in), std::invalid_argument);
+  }
+  {
+    std::stringstream in("p matrix 2 1\ne 1 2\n");  // wrong format tag
+    EXPECT_THROW(read_dimacs(in), std::invalid_argument);
+  }
+  {
+    std::stringstream in("");
+    EXPECT_THROW(read_dimacs(in), std::invalid_argument);
+  }
+}
+
+TEST(FileIo, RoundTripThroughDisk) {
+  const Graph g = gen::cycle_graph(9);
+  const std::string path = ::testing::TempDir() + "/ppsi_io_test.txt";
+  write_graph_file(g, path);
+  const Graph h = read_graph_file(path);
+  EXPECT_EQ(h.edge_list(), g.edge_list());
+  const std::string dimacs = ::testing::TempDir() + "/ppsi_io_test.col";
+  write_graph_file(g, dimacs);
+  EXPECT_EQ(read_graph_file(dimacs).edge_list(), g.edge_list());
+}
+
+TEST(FileIo, MissingFileThrows) {
+  EXPECT_THROW(read_graph_file("/nonexistent/ppsi.graph"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ppsi::io

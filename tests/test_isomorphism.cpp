@@ -1,0 +1,275 @@
+// Core DP tests: partial-match encoding, local enumeration, the sequential
+// DP against the brute-force oracle (decision AND full listing), the
+// parallel engine's exact equivalence, and witness recovery.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baseline/ullmann.hpp"
+#include "graph/generators.hpp"
+#include "isomorphism/parallel_engine.hpp"
+#include "isomorphism/pattern.hpp"
+#include "isomorphism/sequential_dp.hpp"
+#include "isomorphism/sparse_dp.hpp"
+#include "treedecomp/greedy_decomposition.hpp"
+
+namespace ppsi::iso {
+namespace {
+
+treedecomp::TreeDecomposition decomposition_of(const Graph& g) {
+  return treedecomp::binarize(treedecomp::greedy_decomposition(g));
+}
+
+// ---- Codec ----
+
+TEST(StateCodec, RoundTripsFields) {
+  const StateCodec codec = StateCodec::make(5, 10);
+  std::uint64_t code = 0;
+  code = codec.set(code, 0, kStateU);
+  code = codec.set(code, 1, kStateC);
+  code = codec.set(code, 2, kStateMapped + 7);
+  code = codec.set(code, 3, kStateMapped + 0);
+  code = codec.set(code, 4, kStateMapped + 9);
+  EXPECT_EQ(codec.get(code, 0), kStateU);
+  EXPECT_EQ(codec.get(code, 1), kStateC);
+  EXPECT_EQ(codec.get(code, 2), kStateMapped + 7);
+  EXPECT_EQ(codec.get(code, 3), kStateMapped + 0);
+  EXPECT_EQ(codec.get(code, 4), kStateMapped + 9);
+  const StateView view = view_of(codec, code);
+  EXPECT_EQ(view.u_mask, 0b00001u);
+  EXPECT_EQ(view.c_mask, 0b00010u);
+  EXPECT_EQ(view.mapped_mask, 0b11100u);
+  EXPECT_EQ(view.image_mask, (1ull << 7) | 1ull | (1ull << 9));
+}
+
+TEST(StateCodec, RejectsOversizedCombination) {
+  EXPECT_THROW(StateCodec::make(16, 62), std::invalid_argument);
+  EXPECT_NO_THROW(StateCodec::make(16, 14));
+  EXPECT_NO_THROW(StateCodec::make(8, 62));
+}
+
+TEST(Pattern, MasksAndDiameter) {
+  const Pattern p = Pattern::from_graph(gen::cycle_graph(6));
+  EXPECT_EQ(p.size(), 6u);
+  EXPECT_TRUE(p.is_connected());
+  EXPECT_EQ(p.diameter(), 3u);
+  EXPECT_EQ(p.adj_mask(0), (1u << 1) | (1u << 5));
+  const Pattern d = Pattern::from_graph(
+      gen::disjoint_union({gen::path_graph(2), gen::cycle_graph(3)}));
+  EXPECT_FALSE(d.is_connected());
+  EXPECT_EQ(d.components().size(), 2u);
+  EXPECT_EQ(d.diameter(), 1u);
+}
+
+// ---- Local enumeration ----
+
+TEST(Enumeration, AllEmittedStatesAreLocallyValid) {
+  const Graph g = gen::grid_graph(3, 3);
+  const Pattern pattern = Pattern::from_graph(gen::path_graph(3));
+  const StateCodec codec = StateCodec::make(3, 5);
+  const BagContext ctx =
+      make_bag_context(g, {0, 1, 3, 4}, SeparatingSpec::disabled());
+  std::size_t count = 0;
+  enumerate_local_states(pattern, ctx, codec, false, [&](StateKey key) {
+    ++count;
+    EXPECT_TRUE(locally_valid(pattern, ctx, codec, false, key));
+  });
+  EXPECT_GT(count, 0u);
+  // Upper bound (|bag|+2)^k.
+  EXPECT_LE(count, 6u * 6u * 6u);
+}
+
+TEST(Enumeration, MatchesDirectFilterCount) {
+  // Enumerate by brute force over all (b+2)^k codes and compare counts.
+  const Graph g = gen::cycle_graph(5);
+  const Pattern pattern = Pattern::from_graph(gen::path_graph(3));
+  const StateCodec codec = StateCodec::make(3, 5);
+  const BagContext ctx =
+      make_bag_context(g, {0, 1, 2, 4}, SeparatingSpec::disabled());
+  std::set<std::uint64_t> enumerated;
+  enumerate_local_states(pattern, ctx, codec, false, [&](StateKey key) {
+    EXPECT_TRUE(enumerated.insert(key.code).second) << "duplicate state";
+  });
+  std::size_t direct = 0;
+  const std::uint64_t values = 2 + ctx.size();
+  for (std::uint64_t a = 0; a < values; ++a)
+    for (std::uint64_t b = 0; b < values; ++b)
+      for (std::uint64_t c = 0; c < values; ++c) {
+        std::uint64_t code = 0;
+        code = codec.set(code, 0, a);
+        code = codec.set(code, 1, b);
+        code = codec.set(code, 2, c);
+        if (locally_valid(pattern, ctx, codec, false, {code, 0})) ++direct;
+      }
+  EXPECT_EQ(enumerated.size(), direct);
+}
+
+// ---- DP vs brute force (the central property test) ----
+
+struct DpCase {
+  std::string target_name;
+  std::string pattern_name;
+};
+
+std::vector<std::pair<std::string, Graph>> dp_targets() {
+  return {
+      {"grid3x3", gen::grid_graph(3, 3)},
+      {"grid4x4", gen::grid_graph(4, 4)},
+      {"path7", gen::path_graph(7)},
+      {"cycle8", gen::cycle_graph(8)},
+      {"k4", gen::complete_graph(4)},
+      {"star7", gen::star_graph(7)},
+      {"tree12", gen::random_tree(12, 5)},
+      {"apollonian10", gen::apollonian(10, 7).graph()},
+      {"octahedron", gen::octahedron().graph()},
+      {"wheel6", gen::wheel(6).graph()},
+      {"gnp10", gen::gnp(10, 0.3, 3)},
+      {"gnp12", gen::gnp(12, 0.25, 9)},
+  };
+}
+
+std::vector<std::pair<std::string, Graph>> dp_patterns() {
+  return {
+      {"p2", gen::path_graph(2)},    {"p3", gen::path_graph(3)},
+      {"p4", gen::path_graph(4)},    {"c3", gen::cycle_graph(3)},
+      {"c4", gen::cycle_graph(4)},   {"c5", gen::cycle_graph(5)},
+      {"c6", gen::cycle_graph(6)},   {"k4", gen::complete_graph(4)},
+      {"star4", gen::star_graph(4)}, {"tree5", gen::random_tree(5, 11)},
+  };
+}
+
+class DpOracle
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DpOracle, SequentialMatchesBruteForceListing) {
+  const auto& [ti, pi] = GetParam();
+  const auto all_targets = dp_targets();
+  const auto all_patterns = dp_patterns();
+  const auto& [tname, g] = all_targets[ti];
+  const auto& [pname, h] = all_patterns[pi];
+  const Pattern pattern = Pattern::from_graph(h);
+  const auto td = decomposition_of(g);
+  ASSERT_TRUE(td.validate(g));
+  const DpSolution sol = solve_sequential(g, td, pattern, {});
+  const auto expect = baseline::brute_force_list(g, pattern, 1 << 20);
+  EXPECT_EQ(sol.accepted, !expect.empty()) << tname << " " << pname;
+  const auto got = recover_assignments(sol, td, 1 << 20);
+  const std::set<Assignment> a(got.begin(), got.end());
+  const std::set<Assignment> b(expect.begin(), expect.end());
+  EXPECT_EQ(a, b) << tname << " " << pname;
+}
+
+TEST_P(DpOracle, ParallelEngineIsBitIdentical) {
+  const auto& [ti, pi] = GetParam();
+  const auto all_targets = dp_targets();
+  const auto all_patterns = dp_patterns();
+  const auto& [tname, g] = all_targets[ti];
+  const auto& [pname, h] = all_patterns[pi];
+  const Pattern pattern = Pattern::from_graph(h);
+  const auto td = decomposition_of(g);
+  const DpSolution seq = solve_sequential(g, td, pattern, {});
+  ParallelStats stats;
+  const DpSolution par = solve_parallel(g, td, pattern, {}, &stats);
+  ASSERT_EQ(seq.accepted, par.accepted) << tname << " " << pname;
+  for (std::size_t x = 0; x < td.num_nodes(); ++x) {
+    std::set<std::pair<std::uint64_t, std::uint64_t>> a, b;
+    for (const StateKey s : seq.nodes[x].states) a.insert({s.code, s.sep});
+    for (const StateKey s : par.nodes[x].states) b.insert({s.code, s.sep});
+    EXPECT_EQ(a, b) << tname << " " << pname << " node " << x;
+  }
+  EXPECT_GT(stats.num_layers, 0u);
+}
+
+TEST_P(DpOracle, SparseEngineIsBitIdentical) {
+  const auto& [ti, pi] = GetParam();
+  const auto all_targets = dp_targets();
+  const auto all_patterns = dp_patterns();
+  const auto& [tname, g] = all_targets[ti];
+  const auto& [pname, h] = all_patterns[pi];
+  const Pattern pattern = Pattern::from_graph(h);
+  const auto td = decomposition_of(g);
+  const DpSolution seq = solve_sequential(g, td, pattern, {});
+  const DpSolution sparse = solve_sparse(g, td, pattern, {});
+  ASSERT_EQ(seq.accepted, sparse.accepted) << tname << " " << pname;
+  for (std::size_t x = 0; x < td.num_nodes(); ++x) {
+    std::set<std::pair<std::uint64_t, std::uint64_t>> a, b;
+    for (const StateKey s : seq.nodes[x].states) a.insert({s.code, s.sep});
+    for (const StateKey s : sparse.nodes[x].states) b.insert({s.code, s.sep});
+    EXPECT_EQ(a, b) << tname << " " << pname << " node " << x;
+  }
+  // Sparse must never do more work than the exhaustive engine.
+  EXPECT_LE(sparse.metrics.work(), seq.metrics.work() * 2 + 1000)
+      << tname << " " << pname;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, DpOracle,
+    ::testing::Combine(::testing::Range(0, 12), ::testing::Range(0, 10)));
+
+// ---- Shortcut ablation: reachability identical with and without ----
+
+TEST(Shortcuts, DoNotChangeValidStates) {
+  const Graph g = gen::path_graph(60);  // long path => long decomposition
+  const Pattern pattern = Pattern::from_graph(gen::path_graph(4));
+  const auto td = decomposition_of(g);
+  ParallelOptions with, without;
+  without.use_shortcuts = false;
+  ParallelStats s1, s2;
+  const DpSolution a = solve_parallel(g, td, pattern, with, &s1);
+  const DpSolution b = solve_parallel(g, td, pattern, without, &s2);
+  ASSERT_EQ(a.accepted, b.accepted);
+  for (std::size_t x = 0; x < td.num_nodes(); ++x)
+    EXPECT_EQ(a.nodes[x].states.size(), b.nodes[x].states.size());
+  EXPECT_GT(s1.shortcut_edges, 0u);
+  EXPECT_EQ(s2.shortcut_edges, 0u);
+  // Shortcuts must reduce rounds on a long path.
+  EXPECT_LT(s1.bfs_rounds, s2.bfs_rounds);
+}
+
+TEST(Recovery, WitnessesAreRealOccurrences) {
+  const Graph g = gen::apollonian(30, 2).graph();
+  const Pattern pattern = Pattern::from_graph(gen::cycle_graph(4));
+  const auto td = decomposition_of(g);
+  const DpSolution sol = solve_sequential(g, td, pattern, {});
+  ASSERT_TRUE(sol.accepted);
+  const auto assignments = recover_assignments(sol, td, 50);
+  ASSERT_FALSE(assignments.empty());
+  for (const Assignment& a : assignments) {
+    std::set<Vertex> used;
+    for (Vertex image : a) {
+      ASSERT_NE(image, kNoVertex);
+      EXPECT_TRUE(used.insert(image).second);
+    }
+    for (Vertex u = 0; u < pattern.size(); ++u)
+      for (Vertex v : pattern.graph().neighbors(u))
+        if (v > u) EXPECT_TRUE(g.has_edge(a[u], a[v]));
+  }
+}
+
+TEST(Recovery, LimitIsRespected) {
+  const Graph g = gen::grid_graph(5, 5);
+  const Pattern pattern = Pattern::from_graph(gen::path_graph(2));
+  const auto td = decomposition_of(g);
+  const DpSolution sol = solve_sequential(g, td, pattern, {});
+  EXPECT_LE(recover_assignments(sol, td, 7).size(), 7u);
+}
+
+TEST(DpEdgeCases, SingleVertexPatternAndTarget) {
+  const Graph g = Graph::from_edges(1, {});
+  const Pattern pattern = Pattern::from_graph(Graph::from_edges(1, {}));
+  const auto td = decomposition_of(g);
+  const DpSolution sol = solve_sequential(g, td, pattern, {});
+  EXPECT_TRUE(sol.accepted);
+  EXPECT_EQ(recover_assignments(sol, td, 10).size(), 1u);
+}
+
+TEST(DpEdgeCases, PatternLargerThanTarget) {
+  const Graph g = gen::path_graph(3);
+  const Pattern pattern = Pattern::from_graph(gen::path_graph(5));
+  const auto td = decomposition_of(g);
+  EXPECT_FALSE(solve_sequential(g, td, pattern, {}).accepted);
+}
+
+}  // namespace
+}  // namespace ppsi::iso

@@ -1,0 +1,218 @@
+// End-to-end pipeline tests: decision (Theorem 2.1), listing (Theorem 4.2),
+// counting, disconnected patterns (Lemma 4.1), engine agreement, and
+// soundness (witnesses verified, no false positives ever).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baseline/eppstein_sequential.hpp"
+#include "baseline/ullmann.hpp"
+#include "cover/pipeline.hpp"
+#include "graph/generators.hpp"
+
+namespace ppsi::cover {
+namespace {
+
+using iso::Assignment;
+using iso::Pattern;
+
+void verify_witness(const Graph& g, const Pattern& pattern,
+                    const Assignment& witness) {
+  std::set<Vertex> used;
+  for (const Vertex image : witness) {
+    ASSERT_NE(image, kNoVertex);
+    ASSERT_LT(image, g.num_vertices());
+    EXPECT_TRUE(used.insert(image).second) << "witness not injective";
+  }
+  for (Vertex u = 0; u < pattern.size(); ++u)
+    for (const Vertex v : pattern.graph().neighbors(u))
+      if (v > u)
+        EXPECT_TRUE(g.has_edge(witness[u], witness[v]))
+            << "witness misses pattern edge";
+}
+
+struct PipelineCase {
+  std::string name;
+  Graph g;
+  Graph h;
+};
+
+std::vector<PipelineCase> pipeline_cases() {
+  return {
+      {"grid8_p4", gen::grid_graph(8, 8), gen::path_graph(4)},
+      {"grid8_c4", gen::grid_graph(8, 8), gen::cycle_graph(4)},
+      {"grid8_c6", gen::grid_graph(8, 8), gen::cycle_graph(6)},
+      {"grid8_k3", gen::grid_graph(8, 8), gen::complete_graph(3)},
+      {"grid8_star5", gen::grid_graph(8, 8), gen::star_graph(5)},
+      {"apo60_c6", gen::apollonian(60, 11).graph(), gen::cycle_graph(6)},
+      {"apo60_k4", gen::apollonian(60, 11).graph(), gen::complete_graph(4)},
+      {"cycle30_c4", gen::cycle_graph(30), gen::cycle_graph(4)},
+      {"cycle30_p5", gen::cycle_graph(30), gen::path_graph(5)},
+      {"tree40_star4", gen::random_tree(40, 4), gen::star_graph(4)},
+      {"tree40_c3", gen::random_tree(40, 4), gen::complete_graph(3)},
+      {"wheel12_k3", gen::wheel(12).graph(), gen::complete_graph(3)},
+  };
+}
+
+class Decision : public ::testing::TestWithParam<int> {};
+
+TEST_P(Decision, MatchesOracleAndVerifiesWitness) {
+  const PipelineCase c = pipeline_cases()[GetParam()];
+  const Pattern pattern = Pattern::from_graph(c.h);
+  const auto oracle = baseline::ullmann_decide(c.g, pattern);
+  const DecisionResult ours = find_pattern(c.g, pattern, {});
+  EXPECT_EQ(ours.found, oracle.found) << c.name;
+  if (ours.found) {
+    ASSERT_TRUE(ours.witness.has_value());
+    verify_witness(c.g, pattern, *ours.witness);
+  }
+}
+
+TEST_P(Decision, AllEnginesAgree) {
+  const PipelineCase c = pipeline_cases()[GetParam()];
+  const Pattern pattern = Pattern::from_graph(c.h);
+  PipelineOptions opts;
+  opts.max_runs = 3;
+  std::set<bool> answers;
+  for (const EngineKind engine :
+       {EngineKind::kSparse, EngineKind::kSequential, EngineKind::kParallel}) {
+    opts.engine = engine;
+    answers.insert(find_pattern(c.g, pattern, opts).found);
+  }
+  EXPECT_EQ(answers.size(), 1u) << c.name << ": engines disagree";
+}
+
+TEST_P(Decision, EppsteinBaselineAgrees) {
+  const PipelineCase c = pipeline_cases()[GetParam()];
+  const Pattern pattern = Pattern::from_graph(c.h);
+  const auto ours = find_pattern(c.g, pattern, {});
+  const auto epp = baseline::eppstein_decide(c.g, pattern);
+  EXPECT_EQ(ours.found, epp.found) << c.name;
+  if (epp.found && epp.witness.has_value())
+    verify_witness(c.g, pattern, *epp.witness);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, Decision, ::testing::Range(0, 12));
+
+TEST(Decision, NeverFalsePositive) {
+  // Soundness is deterministic: repeated queries for absent patterns must
+  // return false on every seed.
+  const Graph g = gen::grid_graph(9, 9);  // bipartite: no odd cycles
+  const Pattern c3 = Pattern::from_graph(gen::cycle_graph(3));
+  const Pattern c5 = Pattern::from_graph(gen::cycle_graph(5));
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    PipelineOptions opts;
+    opts.seed = seed;
+    opts.max_runs = 2;
+    EXPECT_FALSE(find_pattern(g, c3, opts).found);
+    EXPECT_FALSE(find_pattern(g, c5, opts).found);
+  }
+}
+
+TEST(Decision, SingleRunFindsPlantedPatternOften) {
+  // Theorem 2.1: one run succeeds with probability >= 1/2 when the pattern
+  // occurs. Empirical success rate over seeds must clear 1/2.
+  const Graph g = gen::grid_graph(12, 12);
+  const Pattern pattern = Pattern::from_graph(gen::cycle_graph(4));
+  int hits = 0;
+  const int trials = 60;
+  for (int t = 0; t < trials; ++t) {
+    if (run_once(g, pattern, 10'000 + t, {}).found) ++hits;
+  }
+  EXPECT_GT(hits, trials / 2) << hits << "/" << trials;
+}
+
+TEST(Listing, MatchesBruteForceOnGrid) {
+  const Graph g = gen::grid_graph(6, 6);
+  const Pattern pattern = Pattern::from_graph(gen::cycle_graph(4));
+  const ListingResult ours = list_occurrences(g, pattern, {});
+  const auto expect = baseline::brute_force_list(g, pattern, 1 << 20);
+  const std::set<Assignment> a(ours.occurrences.begin(),
+                               ours.occurrences.end());
+  const std::set<Assignment> b(expect.begin(), expect.end());
+  EXPECT_EQ(a, b);
+  EXPECT_GT(ours.iterations, 0u);
+}
+
+TEST(Listing, MatchesUllmannOnApollonian) {
+  const Graph g = gen::apollonian(40, 21).graph();
+  const Pattern pattern = Pattern::from_graph(gen::complete_graph(4));
+  const ListingResult ours = list_occurrences(g, pattern, {});
+  const auto expect = baseline::ullmann_list(g, pattern, 1 << 20);
+  EXPECT_EQ(ours.occurrences.size(), expect.size());
+}
+
+TEST(Listing, StressSeeds) {
+  // The stopping rule must never truncate: across seeds the result is the
+  // same complete set.
+  const Graph g = gen::grid_graph(5, 5);
+  const Pattern pattern = Pattern::from_graph(gen::path_graph(3));
+  const std::size_t expect =
+      baseline::brute_force_list(g, pattern, 1 << 20).size();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    PipelineOptions opts;
+    opts.seed = seed;
+    EXPECT_EQ(list_occurrences(g, pattern, opts).occurrences.size(), expect);
+  }
+}
+
+TEST(Counting, AssignmentsAndSubgraphs) {
+  const Graph g = gen::grid_graph(5, 5);
+  const Pattern pattern = Pattern::from_graph(gen::cycle_graph(4));
+  const CountResult count = count_occurrences(g, pattern, {});
+  // 16 unit squares; each square is one subgraph with 8 automorphic maps.
+  EXPECT_EQ(count.subgraphs, 16u);
+  EXPECT_EQ(count.assignments, 16u * 8u);
+}
+
+TEST(Disconnected, TwoComponents) {
+  const Graph g = gen::grid_graph(7, 7);
+  const Pattern pattern = Pattern::from_graph(
+      gen::disjoint_union({gen::cycle_graph(4), gen::path_graph(3)}));
+  const DecisionResult r = find_pattern_disconnected(g, pattern, {});
+  ASSERT_TRUE(r.found);
+  verify_witness(g, pattern, *r.witness);
+}
+
+TEST(Disconnected, ThreeComponents) {
+  const Graph g = gen::apollonian(50, 3).graph();
+  const Pattern pattern = Pattern::from_graph(gen::disjoint_union(
+      {gen::complete_graph(3), gen::path_graph(2), gen::path_graph(2)}));
+  const DecisionResult r = find_pattern_disconnected(g, pattern, {});
+  ASSERT_TRUE(r.found);
+  verify_witness(g, pattern, *r.witness);
+}
+
+TEST(Disconnected, AbsentComponentIsNotFound) {
+  // One component is a triangle; grids have none, so the whole pattern is
+  // absent regardless of the other component.
+  const Graph g = gen::grid_graph(6, 6);
+  const Pattern pattern = Pattern::from_graph(
+      gen::disjoint_union({gen::complete_graph(3), gen::path_graph(2)}));
+  PipelineOptions opts;
+  opts.max_runs = 30;  // cap the l^k attempt budget for the test
+  EXPECT_FALSE(find_pattern_disconnected(g, pattern, opts).found);
+}
+
+TEST(Disconnected, FallsBackToConnected) {
+  const Graph g = gen::grid_graph(5, 5);
+  const Pattern pattern = Pattern::from_graph(gen::path_graph(3));
+  EXPECT_TRUE(find_pattern_disconnected(g, pattern, {}).found);
+}
+
+TEST(Pipeline, PatternLargerThanGraph) {
+  const Graph g = gen::path_graph(3);
+  const Pattern pattern = Pattern::from_graph(gen::path_graph(6));
+  EXPECT_FALSE(find_pattern(g, pattern, {}).found);
+}
+
+TEST(Pipeline, RejectsDisconnectedPatternInConnectedDriver) {
+  const Graph g = gen::grid_graph(4, 4);
+  const Pattern pattern = Pattern::from_graph(
+      gen::disjoint_union({gen::path_graph(2), gen::path_graph(2)}));
+  EXPECT_THROW(find_pattern(g, pattern, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ppsi::cover

@@ -1,0 +1,179 @@
+// Lemma 3.2 / Appendix A tests: layer numbers, path decomposition
+// properties, tree-contraction evaluation (including the regression for
+// the composition-table erratum found during the reproduction).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/rng.hpp"
+#include "treepath/tree_paths.hpp"
+
+namespace ppsi::treepath {
+namespace {
+
+Forest random_binary_forest(std::uint64_t seed, std::size_t n) {
+  support::Rng rng(seed);
+  Forest f;
+  f.parent.assign(n, kNoNode);
+  std::vector<int> kids(n, 0);
+  for (std::size_t v = 1; v < n; ++v) {
+    while (true) {
+      const auto p = static_cast<NodeId>(rng.next_below(v));
+      if (kids[p] < 2) {
+        f.parent[v] = p;
+        ++kids[p];
+        break;
+      }
+    }
+  }
+  return f;
+}
+
+Forest path_forest(std::size_t n) {
+  Forest f;
+  f.parent.assign(n, kNoNode);
+  for (std::size_t v = 1; v < n; ++v)
+    f.parent[v] = static_cast<NodeId>(v - 1);
+  return f;
+}
+
+Forest complete_binary(std::uint32_t depth) {
+  const std::size_t n = (1u << (depth + 1)) - 1;
+  Forest f;
+  f.parent.assign(n, kNoNode);
+  for (std::size_t v = 1; v < n; ++v)
+    f.parent[v] = static_cast<NodeId>((v - 1) / 2);
+  return f;
+}
+
+/// Checks the Lemma 3.2 properties of a decomposition.
+void check_path_decomposition(const Forest& f, const PathDecomposition& pd) {
+  const std::size_t n = f.size();
+  // Layers are monotone toward the root.
+  for (NodeId v = 0; v < n; ++v) {
+    if (f.parent[v] != kNoNode) EXPECT_GE(pd.layer[f.parent[v]], pd.layer[v]);
+  }
+  // Paths partition the nodes; nodes of one path share the layer and form
+  // a chain under parent pointers.
+  std::vector<int> seen(n, 0);
+  for (const auto& path : pd.paths) {
+    ASSERT_FALSE(path.empty());
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      EXPECT_EQ(pd.layer[path[i]], pd.layer[path[0]]);
+      ++seen[path[i]];
+      if (i > 0) EXPECT_EQ(f.parent[path[i - 1]], path[i]);
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) EXPECT_EQ(seen[v], 1);
+  // "Vertices in the i-th layer have no children in a layer larger than i"
+  // is the monotonicity above. Layer count bound: <= log2(#nodes) + 1.
+  if (n > 0) {
+    EXPECT_LE(pd.num_layers,
+              static_cast<std::uint32_t>(std::log2(static_cast<double>(n))) +
+                  2);
+  }
+}
+
+class RandomForests : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomForests, ContractionMatchesSequential) {
+  const int seed = GetParam();
+  support::Rng rng(seed + 1000);
+  const std::size_t n = 1 + rng.next_below(300);
+  const Forest f = random_binary_forest(seed, n);
+  const auto seq = layer_numbers_sequential(f);
+  support::Metrics metrics;
+  const auto con = layer_numbers_contraction(f, &metrics);
+  EXPECT_EQ(seq, con);
+  EXPECT_GT(metrics.rounds(), 0u);
+}
+
+TEST_P(RandomForests, DecompositionProperties) {
+  const int seed = GetParam();
+  support::Rng rng(seed + 2000);
+  const std::size_t n = 1 + rng.next_below(400);
+  const Forest f = random_binary_forest(seed, n);
+  check_path_decomposition(f, decompose_into_paths(f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomForests, ::testing::Range(0, 25));
+
+TEST(TreePaths, PathGraphIsOnePath) {
+  const Forest f = path_forest(50);
+  const PathDecomposition pd = decompose_into_paths(f);
+  EXPECT_EQ(pd.num_layers, 1u);
+  ASSERT_EQ(pd.paths.size(), 1u);
+  EXPECT_EQ(pd.paths[0].size(), 50u);
+  // Bottom-first: the leaf (node 49) first, root (0) last.
+  EXPECT_EQ(pd.paths[0].front(), 49u);
+  EXPECT_EQ(pd.paths[0].back(), 0u);
+}
+
+TEST(TreePaths, CompleteBinaryTreeLayers) {
+  const Forest f = complete_binary(6);
+  const auto layer = layer_numbers_sequential(f);
+  // In a complete binary tree every internal node is a tie: layer = height.
+  EXPECT_EQ(layer[0], 6u);
+  const PathDecomposition pd = decompose_into_paths(f, layer);
+  EXPECT_EQ(pd.num_layers, 7u);
+  // Every path is a single node.
+  for (const auto& path : pd.paths) EXPECT_EQ(path.size(), 1u);
+}
+
+TEST(TreePaths, CaterpillarHasTwoLayers) {
+  // Spine 0-1-2-...-9 (parents toward 0), plus a leaf hanging off each
+  // spine node: spine nodes have two children (next spine + leaf) = ties.
+  Forest f;
+  const std::size_t spine = 10;
+  f.parent.assign(2 * spine, kNoNode);
+  for (std::size_t v = 1; v < spine; ++v)
+    f.parent[v] = static_cast<NodeId>(v - 1);
+  for (std::size_t v = 0; v < spine; ++v)
+    f.parent[spine + v] = static_cast<NodeId>(v);
+  const auto layer = layer_numbers_sequential(f);
+  for (std::size_t v = 0; v + 1 < spine; ++v) EXPECT_EQ(layer[v], 1u);
+  EXPECT_EQ(layer[spine - 1], 0u);  // last spine node has only the leaf
+  check_path_decomposition(f, decompose_into_paths(f, layer));
+}
+
+TEST(TreeContraction, ErratumRegression) {
+  // Regression for the Appendix A composition-table erratum: this tree
+  // exercises the composition f_{!=a} o f_{!=a-1}, where the paper's
+  // two-function family is not closed (see tree_contraction.cpp).
+  Forest f;
+  f.parent = {kNoNode, 0,  0,  2, 2,  1, 5,  5, 1,
+              8,       8,  4,  4, 11, 11};
+  const auto seq = layer_numbers_sequential(f);
+  const auto con = layer_numbers_contraction(f);
+  EXPECT_EQ(seq, con);
+}
+
+TEST(TreeContraction, RoundsLogarithmicOnChains) {
+  for (const std::size_t n : {100u, 1000u, 10000u}) {
+    const Forest f = path_forest(n);
+    support::Metrics metrics;
+    layer_numbers_contraction(f, &metrics);
+    // Pointer jumping: ~log2(n) rounds, never linear.
+    EXPECT_LT(metrics.rounds(),
+              4 * static_cast<std::uint64_t>(std::log2(n)) + 8);
+  }
+}
+
+TEST(TreeContraction, RejectsNonBinary) {
+  Forest f;
+  f.parent = {kNoNode, 0, 0, 0};  // three children
+  EXPECT_THROW(layer_numbers_contraction(f), std::invalid_argument);
+}
+
+TEST(TreePaths, MultiRootForest) {
+  Forest f;
+  f.parent = {kNoNode, 0, kNoNode, 2, 2};
+  const PathDecomposition pd = decompose_into_paths(f);
+  check_path_decomposition(f, pd);
+  EXPECT_GE(pd.paths.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ppsi::treepath

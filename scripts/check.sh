@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Local mirror of the CI tier-1 verify: configure, build everything, and run
+# every test suite under both OMP_NUM_THREADS=1 and =4 (the two variants are
+# registered by CMake; plain ctest runs both).
+#
+# Usage: scripts/check.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(getconf _NPROCESSORS_ONLN)"

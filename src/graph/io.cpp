@@ -43,6 +43,8 @@ Graph read_dimacs(std::istream& in) {
     ls >> kind;
     if (kind == 'c') continue;
     if (kind == 'p') {
+      if (has_header)
+        throw std::invalid_argument("read_dimacs: duplicate problem line");
       std::string fmt;
       if (!(ls >> fmt >> n >> m) || (fmt != "edge" && fmt != "col"))
         throw std::invalid_argument("read_dimacs: bad problem line");
@@ -63,6 +65,9 @@ Graph read_dimacs(std::istream& in) {
     throw std::invalid_argument("read_dimacs: unknown line kind");
   }
   if (!has_header) throw std::invalid_argument("read_dimacs: empty input");
+  if (edges.size() != m)
+    throw std::invalid_argument(
+        "read_dimacs: edge count does not match problem line");
   return Graph::from_edges(static_cast<Vertex>(n), edges);
 }
 

@@ -1,0 +1,128 @@
+// Differential test: the tree-decomposition DP against the independent
+// baselines — brute-force enumeration, Ullmann backtracking, and Eppstein's
+// sequential pipeline — on hundreds of seeded random small instances, plus
+// the randomized cover pipeline's decisions against the exact answer.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "baseline/eppstein_sequential.hpp"
+#include "baseline/ullmann.hpp"
+#include "cover/pipeline.hpp"
+#include "graph/generators.hpp"
+#include "isomorphism/pattern.hpp"
+#include "isomorphism/sequential_dp.hpp"
+#include "isomorphism/sparse_dp.hpp"
+#include "testing/random_inputs.hpp"
+#include "testing/witness_checks.hpp"
+#include "treedecomp/greedy_decomposition.hpp"
+
+namespace ppsi::baseline {
+namespace {
+
+constexpr std::size_t kListLimit = 1 << 18;
+
+struct Instance {
+  Graph g;
+  iso::Pattern pattern;
+  std::string context;
+};
+
+Instance small_instance(std::uint64_t seed) {
+  std::string family;
+  Instance inst;
+  inst.g = ppsi::testing::random_target(seed, &family);
+  inst.pattern = ppsi::testing::random_pattern(seed, 2, 4);
+  inst.context = "seed " + std::to_string(seed) + " family " + family +
+                 " n=" + std::to_string(inst.g.num_vertices()) +
+                 " k=" + std::to_string(inst.pattern.size());
+  return inst;
+}
+
+class DpVersusBaselines : public ::testing::TestWithParam<int> {};
+
+// Full listing agreement: DP == brute force == Ullmann, as assignment sets.
+TEST_P(DpVersusBaselines, ListingsAgree) {
+  const auto inst = small_instance(GetParam());
+  const auto td = treedecomp::binarize(
+      treedecomp::greedy_decomposition(inst.g));
+  const iso::DpSolution sol = iso::solve_sparse(inst.g, td, inst.pattern, {});
+  const auto dp_list = iso::recover_assignments(sol, td, kListLimit);
+  const auto brute = brute_force_list(inst.g, inst.pattern, kListLimit);
+  const auto ullmann = ullmann_list(inst.g, inst.pattern, kListLimit);
+
+  const std::set<iso::Assignment> dp_set(dp_list.begin(), dp_list.end());
+  const std::set<iso::Assignment> brute_set(brute.begin(), brute.end());
+  const std::set<iso::Assignment> ullmann_set(ullmann.begin(), ullmann.end());
+  EXPECT_EQ(dp_set, brute_set) << inst.context << " [dp vs brute]";
+  EXPECT_EQ(ullmann_set, brute_set) << inst.context << " [ullmann vs brute]";
+  EXPECT_EQ(sol.accepted, !brute_set.empty()) << inst.context;
+
+  for (const iso::Assignment& a : brute_set)
+    ppsi::testing::expect_valid_embedding(inst.g, inst.pattern, a,
+                                          inst.context.c_str());
+}
+
+// Decision agreement of the deterministic baselines, with witness checks.
+TEST_P(DpVersusBaselines, DecisionsAgree) {
+  const auto inst = small_instance(1000 + GetParam());
+  const UllmannResult ullmann = ullmann_decide(inst.g, inst.pattern);
+  const auto brute = brute_force_list(inst.g, inst.pattern, 1);
+  EXPECT_EQ(ullmann.found, !brute.empty()) << inst.context;
+  if (ullmann.found) {
+    ASSERT_TRUE(ullmann.witness.has_value()) << inst.context;
+    ppsi::testing::expect_valid_embedding(inst.g, inst.pattern,
+                                          *ullmann.witness,
+                                          inst.context.c_str());
+  }
+  // Eppstein's pipeline requires a connected pattern (always true here).
+  ASSERT_TRUE(inst.pattern.is_connected()) << inst.context;
+  const EppsteinResult eppstein = eppstein_decide(inst.g, inst.pattern);
+  EXPECT_EQ(eppstein.found, ullmann.found) << inst.context;
+  if (eppstein.found) {
+    ASSERT_TRUE(eppstein.witness.has_value()) << inst.context;
+    ppsi::testing::expect_valid_embedding(inst.g, inst.pattern,
+                                          *eppstein.witness,
+                                          inst.context.c_str());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DpVersusBaselines, ::testing::Range(0, 120));
+
+// The Monte Carlo cover pipeline: "found" answers must carry a checkable
+// witness, and with the default w.h.p. run budget the decision must match
+// the exact baseline on these seeded instances (fixed seeds keep this
+// deterministic and reproducible).
+class PipelineVersusExact : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelineVersusExact, DecisionMatchesUllmann) {
+  const auto inst = small_instance(2000 + GetParam());
+  cover::PipelineOptions options;
+  options.seed = 77 + GetParam();
+  const cover::DecisionResult ours = cover::find_pattern(
+      inst.g, inst.pattern, options);
+  const bool exact = ullmann_decide(inst.g, inst.pattern).found;
+  EXPECT_EQ(ours.found, exact) << inst.context;
+  if (ours.found) {
+    ASSERT_TRUE(ours.witness.has_value()) << inst.context;
+    ppsi::testing::expect_valid_embedding(inst.g, inst.pattern, *ours.witness,
+                                          inst.context.c_str());
+  }
+}
+
+TEST_P(PipelineVersusExact, CountMatchesBruteForce) {
+  const auto inst = small_instance(3000 + GetParam());
+  cover::PipelineOptions options;
+  options.seed = 7 + GetParam();
+  const cover::CountResult count =
+      cover::count_occurrences(inst.g, inst.pattern, options);
+  const auto brute = brute_force_list(inst.g, inst.pattern, kListLimit);
+  EXPECT_EQ(count.assignments, brute.size()) << inst.context;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineVersusExact, ::testing::Range(0, 60));
+
+}  // namespace
+}  // namespace ppsi::baseline

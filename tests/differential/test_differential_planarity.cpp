@@ -1,0 +1,107 @@
+// Differential test: the left-right planarity test against the generators'
+// combinatorial embeddings (every generated planar graph must be accepted,
+// every embedding must validate) and against Kuratowski's theorem (every
+// K5 / K3,3 subdivision must be rejected, alone or planted next to planar
+// components) — over hundreds of seeded random instances.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "planar/lr_planarity.hpp"
+#include "planar/rotation_system.hpp"
+#include "testing/random_inputs.hpp"
+
+namespace ppsi::planar {
+namespace {
+
+class AcceptsGeneratedPlanar : public ::testing::TestWithParam<int> {};
+
+// Every graph our planar generators produce is planar by construction; the
+// LR test must accept it and the shipped embedding must validate.
+TEST_P(AcceptsGeneratedPlanar, EmbeddedFamilies) {
+  const std::uint64_t seed = GetParam();
+  support::Rng rng(seed, /*stream=*/0xacce97);
+  EmbeddedGraph eg;
+  std::string family;
+  switch (rng.next_below(4)) {
+    case 0:
+      family = "apollonian+deletions";
+      eg = ppsi::testing::random_embedded_planar(seed);
+      break;
+    case 1:
+      family = "grid+deletions";
+      eg = ppsi::testing::random_embedded_grid(seed);
+      break;
+    case 2: {
+      family = "subdivided solid";
+      const auto base = rng.next_below(3);
+      eg = base == 0 ? gen::tetrahedron()
+                     : base == 1 ? gen::octahedron() : gen::icosahedron();
+      eg = gen::loop_subdivide(eg, 1 + static_cast<int>(rng.next_below(2)));
+      break;
+    }
+    default:
+      family = "wheel";
+      eg = gen::wheel(ppsi::testing::pick(rng, 4, 24));
+      break;
+  }
+  const std::string context = "seed " + std::to_string(seed) + " " + family;
+  EXPECT_TRUE(eg.validate_planar()) << context;
+  EXPECT_TRUE(is_planar(eg.graph())) << context;
+}
+
+// Abstract planar families (no embedding shipped): outerplanar
+// triangulations, trees, and their disjoint unions.
+TEST_P(AcceptsGeneratedPlanar, AbstractFamilies) {
+  const std::uint64_t seed = 7000 + GetParam();
+  support::Rng rng(seed, /*stream=*/0xab57);
+  const std::string context = "seed " + std::to_string(seed);
+  EXPECT_TRUE(is_planar(ppsi::testing::random_outerplanar(seed))) << context;
+  EXPECT_TRUE(is_planar(gen::random_tree(ppsi::testing::pick(rng, 1, 40),
+                                         rng.next_u64())))
+      << context;
+  EXPECT_TRUE(is_planar(gen::disjoint_union(
+      {ppsi::testing::random_outerplanar(seed + 1),
+       ppsi::testing::random_embedded_planar(seed + 2).graph()})))
+      << context;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AcceptsGeneratedPlanar,
+                         ::testing::Range(0, 100));
+
+class RejectsKuratowski : public ::testing::TestWithParam<int> {};
+
+// Subdivisions preserve non-planarity: randomly subdivided K5 and K3,3 must
+// be rejected, including when planted beside planar components (a graph is
+// planar iff every component is).
+TEST_P(RejectsKuratowski, SubdividedK5AndK33) {
+  const std::uint64_t seed = GetParam();
+  support::Rng rng(seed, /*stream=*/0x4e9ec7);
+  const Graph base = rng.next_bool() ? gen::complete_graph(5)
+                                     : gen::complete_bipartite(3, 3);
+  const Graph sub = ppsi::testing::random_subdivision(
+      base, rng.next_u64(), /*max_per_edge=*/4);
+  const std::string context = "seed " + std::to_string(seed) +
+                              " n=" + std::to_string(sub.num_vertices());
+  EXPECT_FALSE(is_planar(sub)) << context;
+
+  const Graph planted = gen::disjoint_union(
+      {ppsi::testing::random_outerplanar(seed + 1), sub,
+       gen::random_tree(ppsi::testing::pick(rng, 2, 10), rng.next_u64())});
+  EXPECT_FALSE(is_planar(planted)) << context << " [planted]";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RejectsKuratowski, ::testing::Range(0, 100));
+
+TEST(Kuratowski, MinimalObstructions) {
+  EXPECT_FALSE(is_planar(gen::complete_graph(5)));
+  EXPECT_FALSE(is_planar(gen::complete_bipartite(3, 3)));
+  EXPECT_TRUE(is_planar(gen::complete_graph(4)));
+  EXPECT_TRUE(is_planar(gen::complete_bipartite(2, 3)));
+}
+
+}  // namespace
+}  // namespace ppsi::planar

@@ -5,51 +5,18 @@
 
 #include <gtest/gtest.h>
 
-#include <queue>
 #include <set>
 
 #include "connectivity/articulation.hpp"
-
 #include "graph/ops.hpp"
 #include "connectivity/flow_connectivity.hpp"
 #include "connectivity/vertex_connectivity.hpp"
 #include "graph/components.hpp"
 #include "graph/generators.hpp"
+#include "testing/witness_checks.hpp"
 
 namespace ppsi::connectivity {
 namespace {
-
-/// Oracle: is the graph still connected after removing `cut`?
-bool disconnects(const Graph& g, const std::vector<Vertex>& cut) {
-  std::vector<char> removed(g.num_vertices(), 0);
-  for (const Vertex v : cut) removed[v] = 1;
-  Vertex start = kNoVertex;
-  std::size_t remaining = 0;
-  for (Vertex v = 0; v < g.num_vertices(); ++v) {
-    if (!removed[v]) {
-      ++remaining;
-      start = v;
-    }
-  }
-  if (remaining <= 1) return false;
-  std::queue<Vertex> queue;
-  std::vector<char> seen(g.num_vertices(), 0);
-  queue.push(start);
-  seen[start] = 1;
-  std::size_t visited = 1;
-  while (!queue.empty()) {
-    const Vertex u = queue.front();
-    queue.pop();
-    for (const Vertex w : g.neighbors(u)) {
-      if (!removed[w] && !seen[w]) {
-        seen[w] = 1;
-        ++visited;
-        queue.push(w);
-      }
-    }
-  }
-  return visited != remaining;
-}
 
 /// Brute-force articulation points.
 std::vector<Vertex> brute_articulation(const Graph& g) {
@@ -110,7 +77,7 @@ TEST(FlowConnectivity, MinCutIsARealCut) {
     const FlowConnectivityResult r = vertex_connectivity_flow(g);
     if (r.connectivity > 0 && r.connectivity < g.num_vertices() - 1) {
       ASSERT_EQ(r.min_cut.size(), r.connectivity);
-      EXPECT_TRUE(disconnects(g, r.min_cut));
+      testing::expect_valid_separator(g, r.min_cut, "flow min cut");
     }
   }
 }
@@ -156,7 +123,8 @@ TEST_P(PlanarConnectivity, MatchesExpectedAndFlow) {
       << c.name;
   if (!ours.witness_cut.empty()) {
     EXPECT_EQ(ours.witness_cut.size(), ours.connectivity) << c.name;
-    EXPECT_TRUE(disconnects(c.eg.graph(), ours.witness_cut)) << c.name;
+    testing::expect_valid_separator(c.eg.graph(), ours.witness_cut,
+                                    c.name.c_str());
   }
 }
 
@@ -218,7 +186,7 @@ TEST(PlanarConnectivity, WitnessCutsAreMinimum) {
   const auto ours = planar_vertex_connectivity(eg, opts);
   ASSERT_EQ(ours.connectivity, 4u);
   ASSERT_EQ(ours.witness_cut.size(), 4u);
-  EXPECT_TRUE(disconnects(eg.graph(), ours.witness_cut));
+  testing::expect_valid_separator(eg.graph(), ours.witness_cut);
 }
 
 }  // namespace

@@ -126,8 +126,9 @@ TEST(SeparatingCover, MinorStructureIsSound) {
     }
     // Original-to-original edges are real edges of g.
     for (const auto& [u, v] : slice.graph.edge_list()) {
-      if (slice.is_original[u] && slice.is_original[v])
+      if (slice.is_original[u] && slice.is_original[v]) {
         EXPECT_TRUE(g.has_edge(slice.origin_of[u], slice.origin_of[v]));
+      }
     }
   }
 }

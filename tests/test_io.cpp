@@ -7,9 +7,22 @@
 
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "testing/random_inputs.hpp"
 
 namespace ppsi::io {
 namespace {
+
+std::string edge_list_string(const Graph& g) {
+  std::stringstream buffer;
+  write_edge_list(g, buffer);
+  return buffer.str();
+}
+
+std::string dimacs_string(const Graph& g) {
+  std::stringstream buffer;
+  write_dimacs(g, buffer);
+  return buffer.str();
+}
 
 TEST(EdgeListIo, RoundTrip) {
   const Graph g = gen::apollonian(40, 3).graph();
@@ -33,6 +46,32 @@ TEST(DimacsIo, RoundTrip) {
   const Graph h = read_dimacs(buffer);
   EXPECT_EQ(h.edge_list(), g.edge_list());
 }
+
+// write -> read -> write must be byte-identical. Readers build graphs with
+// from_edges (sorted, deduplicated adjacency), so any parsed graph
+// serializes canonically; rotation-order graphs are normalized the same way
+// before the first write.
+class ByteIdenticalRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(ByteIdenticalRoundTrip, EdgeList) {
+  const Graph raw = testing::random_target(GetParam());
+  const Graph g = Graph::from_edges(raw.num_vertices(), raw.edge_list());
+  const std::string first = edge_list_string(g);
+  std::stringstream in(first);
+  EXPECT_EQ(edge_list_string(read_edge_list(in)), first)
+      << "seed " << GetParam();
+}
+
+TEST_P(ByteIdenticalRoundTrip, Dimacs) {
+  const Graph raw = testing::random_target(GetParam());
+  const Graph g = Graph::from_edges(raw.num_vertices(), raw.edge_list());
+  const std::string first = dimacs_string(g);
+  std::stringstream in(first);
+  EXPECT_EQ(dimacs_string(read_dimacs(in)), first) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ByteIdenticalRoundTrip,
+                         ::testing::Range(0, 25));
 
 TEST(DimacsIo, ParsesCommentsAndHeader) {
   std::stringstream in(
@@ -58,6 +97,14 @@ TEST(EdgeListIo, RejectsMalformed) {
     std::stringstream in("3 1\n0 7\n");  // out of range
     EXPECT_THROW(read_edge_list(in), std::invalid_argument);
   }
+  {
+    std::stringstream in("3 1\n0 x\n");  // non-numeric endpoint
+    EXPECT_THROW(read_edge_list(in), std::invalid_argument);
+  }
+  {
+    std::stringstream in("");  // empty input
+    EXPECT_THROW(read_edge_list(in), std::invalid_argument);
+  }
 }
 
 TEST(DimacsIo, RejectsMalformed) {
@@ -75,6 +122,21 @@ TEST(DimacsIo, RejectsMalformed) {
   }
   {
     std::stringstream in("");
+    EXPECT_THROW(read_dimacs(in), std::invalid_argument);
+  }
+  {
+    // Fewer edges than the problem line declares.
+    std::stringstream in("p edge 3 2\ne 1 2\n");
+    EXPECT_THROW(read_dimacs(in), std::invalid_argument);
+  }
+  {
+    // More edges than the problem line declares.
+    std::stringstream in("p edge 3 1\ne 1 2\ne 2 3\n");
+    EXPECT_THROW(read_dimacs(in), std::invalid_argument);
+  }
+  {
+    // Two problem lines.
+    std::stringstream in("p edge 3 1\np edge 3 1\ne 1 2\n");
     EXPECT_THROW(read_dimacs(in), std::invalid_argument);
   }
 }

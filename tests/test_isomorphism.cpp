@@ -12,6 +12,7 @@
 #include "isomorphism/pattern.hpp"
 #include "isomorphism/sequential_dp.hpp"
 #include "isomorphism/sparse_dp.hpp"
+#include "testing/witness_checks.hpp"
 #include "treedecomp/greedy_decomposition.hpp"
 
 namespace ppsi::iso {
@@ -235,16 +236,8 @@ TEST(Recovery, WitnessesAreRealOccurrences) {
   ASSERT_TRUE(sol.accepted);
   const auto assignments = recover_assignments(sol, td, 50);
   ASSERT_FALSE(assignments.empty());
-  for (const Assignment& a : assignments) {
-    std::set<Vertex> used;
-    for (Vertex image : a) {
-      ASSERT_NE(image, kNoVertex);
-      EXPECT_TRUE(used.insert(image).second);
-    }
-    for (Vertex u = 0; u < pattern.size(); ++u)
-      for (Vertex v : pattern.graph().neighbors(u))
-        if (v > u) EXPECT_TRUE(g.has_edge(a[u], a[v]));
-  }
+  for (const Assignment& a : assignments)
+    testing::expect_valid_embedding(g, pattern, a, "recovered witness");
 }
 
 TEST(Recovery, LimitIsRespected) {

@@ -10,6 +10,7 @@
 #include "baseline/ullmann.hpp"
 #include "cover/pipeline.hpp"
 #include "graph/generators.hpp"
+#include "testing/witness_checks.hpp"
 
 namespace ppsi::cover {
 namespace {
@@ -19,17 +20,7 @@ using iso::Pattern;
 
 void verify_witness(const Graph& g, const Pattern& pattern,
                     const Assignment& witness) {
-  std::set<Vertex> used;
-  for (const Vertex image : witness) {
-    ASSERT_NE(image, kNoVertex);
-    ASSERT_LT(image, g.num_vertices());
-    EXPECT_TRUE(used.insert(image).second) << "witness not injective";
-  }
-  for (Vertex u = 0; u < pattern.size(); ++u)
-    for (const Vertex v : pattern.graph().neighbors(u))
-      if (v > u)
-        EXPECT_TRUE(g.has_edge(witness[u], witness[v]))
-            << "witness misses pattern edge";
+  testing::expect_valid_embedding(g, pattern, witness, "pipeline witness");
 }
 
 struct PipelineCase {

@@ -80,7 +80,9 @@ TEST(Pack, IndicesAndValues) {
   ASSERT_EQ(idx.size(), expect_count);
   for (std::size_t j = 0; j < idx.size(); ++j) {
     EXPECT_TRUE(keep(idx[j]));
-    if (j > 0) EXPECT_LT(idx[j - 1], idx[j]);
+    if (j > 0) {
+      EXPECT_LT(idx[j - 1], idx[j]);
+    }
   }
   std::vector<int> values(n);
   std::iota(values.begin(), values.end(), 0);

@@ -53,7 +53,9 @@ void check_path_decomposition(const Forest& f, const PathDecomposition& pd) {
   const std::size_t n = f.size();
   // Layers are monotone toward the root.
   for (NodeId v = 0; v < n; ++v) {
-    if (f.parent[v] != kNoNode) EXPECT_GE(pd.layer[f.parent[v]], pd.layer[v]);
+    if (f.parent[v] != kNoNode) {
+      EXPECT_GE(pd.layer[f.parent[v]], pd.layer[v]);
+    }
   }
   // Paths partition the nodes; nodes of one path share the layer and form
   // a chain under parent pointers.
@@ -63,7 +65,9 @@ void check_path_decomposition(const Forest& f, const PathDecomposition& pd) {
     for (std::size_t i = 0; i < path.size(); ++i) {
       EXPECT_EQ(pd.layer[path[i]], pd.layer[path[0]]);
       ++seen[path[i]];
-      if (i > 0) EXPECT_EQ(f.parent[path[i - 1]], path[i]);
+      if (i > 0) {
+        EXPECT_EQ(f.parent[path[i - 1]], path[i]);
+      }
     }
   }
   for (NodeId v = 0; v < n; ++v) EXPECT_EQ(seen[v], 1);

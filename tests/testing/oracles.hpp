@@ -1,0 +1,54 @@
+#pragma once
+
+// Exhaustive reference oracles for the differential suites. Exponential
+// time; keep instances at n <= 12 or so.
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "graph/components.hpp"
+#include "graph/graph.hpp"
+#include "support/types.hpp"
+#include "testing/witness_checks.hpp"
+
+namespace ppsi::testing {
+
+struct BruteConnectivity {
+  std::uint32_t connectivity = 0;
+  /// A minimum separator (empty for disconnected or complete graphs).
+  std::vector<Vertex> min_cut;
+};
+
+/// Brute-force vertex connectivity: the size of the smallest vertex subset
+/// whose removal disconnects g (n - 1 for complete graphs, 0 when already
+/// disconnected or trivial). Enumerates all subsets by increasing size.
+inline BruteConnectivity brute_force_vertex_connectivity(const Graph& g) {
+  const Vertex n = g.num_vertices();
+  BruteConnectivity result;
+  if (n <= 1) return result;
+  if (connected_components(g).count > 1) return result;
+  for (std::uint32_t size = 1; size + 2 <= n; ++size) {
+    // All subsets of {0..n-1} with `size` elements via combination walk.
+    std::vector<Vertex> cut(size);
+    for (std::uint32_t i = 0; i < size; ++i) cut[i] = i;
+    while (true) {
+      if (removal_disconnects(g, cut)) {
+        result.connectivity = size;
+        result.min_cut = cut;
+        return result;
+      }
+      // Next combination.
+      int i = static_cast<int>(size) - 1;
+      while (i >= 0 && cut[i] == n - size + i) --i;
+      if (i < 0) break;
+      ++cut[i];
+      for (std::uint32_t j = i + 1; j < size; ++j) cut[j] = cut[j - 1] + 1;
+    }
+  }
+  // No separator of any size < n - 1: complete graph, connectivity n - 1.
+  result.connectivity = n - 1;
+  return result;
+}
+
+}  // namespace ppsi::testing

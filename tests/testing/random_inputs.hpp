@@ -1,0 +1,151 @@
+#pragma once
+
+// Seeded random test-instance generators for the differential suites.
+//
+// Everything here is a deterministic function of its seed (built on
+// support::Rng streams and the generators in graph/generators.hpp), so a
+// failing instance can be reproduced from the test name alone. The
+// families are chosen to exercise the regimes the paper cares about:
+// bounded-treewidth planar targets (Apollonian networks and grids with
+// random deletions), outerplanar graphs, trees, and sparse G(n, p) noise.
+
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "isomorphism/pattern.hpp"
+#include "planar/rotation_system.hpp"
+#include "support/rng.hpp"
+#include "support/types.hpp"
+
+namespace ppsi::testing {
+
+/// Uniform integer in [lo, hi].
+inline Vertex pick(support::Rng& rng, Vertex lo, Vertex hi) {
+  return lo + static_cast<Vertex>(rng.next_below(hi - lo + 1));
+}
+
+/// Random connected embedded planar graph: an Apollonian network with a
+/// random number of connectivity-preserving edge deletions. Spans
+/// connectivity values 1..3 and treewidth 3.
+inline planar::EmbeddedGraph random_embedded_planar(std::uint64_t seed,
+                                                    Vertex min_n = 8,
+                                                    Vertex max_n = 24) {
+  support::Rng rng(seed, /*stream=*/0x41a9a);
+  const Vertex n = pick(rng, min_n, max_n);
+  const std::size_t deletions = rng.next_below(n);
+  return gen::delete_random_edges(gen::apollonian(n, rng.next_u64()),
+                                  deletions, rng.next_u64());
+}
+
+/// Random grid with connectivity-preserving random deletions.
+inline planar::EmbeddedGraph random_embedded_grid(std::uint64_t seed,
+                                                  Vertex min_side = 2,
+                                                  Vertex max_side = 6) {
+  support::Rng rng(seed, /*stream=*/0x9a1d);
+  const Vertex rows = pick(rng, min_side, max_side);
+  const Vertex cols = pick(rng, min_side, max_side);
+  const std::size_t deletions = rng.next_below(rows * cols / 2 + 1);
+  return gen::delete_random_edges(gen::embedded_grid(rows, cols), deletions,
+                                  rng.next_u64());
+}
+
+/// Random maximal outerplanar graph: a cycle plus a random triangulation of
+/// its interior (non-crossing chords via recursive interval splitting).
+/// Treewidth 2, connectivity 2.
+inline Graph random_outerplanar(std::uint64_t seed, Vertex min_n = 4,
+                                Vertex max_n = 20) {
+  support::Rng rng(seed, /*stream=*/0x0c7e4);
+  const Vertex n = pick(rng, min_n, max_n);
+  EdgeList edges;
+  for (Vertex v = 0; v < n; ++v) edges.emplace_back(v, (v + 1) % n);
+  // Triangulate [lo, hi] segments of the cycle with non-crossing chords.
+  std::vector<std::pair<Vertex, Vertex>> stack{{0, n - 1}};
+  while (!stack.empty()) {
+    const auto [lo, hi] = stack.back();
+    stack.pop_back();
+    if (hi - lo < 2) continue;
+    const Vertex mid = pick(rng, lo + 1, hi - 1);
+    if (mid - lo >= 2) edges.emplace_back(lo, mid);
+    if (hi - mid >= 2) edges.emplace_back(mid, hi);
+    stack.push_back({lo, mid});
+    stack.push_back({mid, hi});
+  }
+  return Graph::from_edges(n, edges);
+}
+
+/// Random small connected pattern: a uniform random tree plus a few random
+/// extra edges (patterns stay within the engines' k <= 16 limit).
+inline iso::Pattern random_pattern(std::uint64_t seed, Vertex min_k = 2,
+                                   Vertex max_k = 5) {
+  support::Rng rng(seed, /*stream=*/0x9a77e12);
+  const Vertex k = pick(rng, min_k, max_k);
+  Graph tree = gen::random_tree(k, rng.next_u64());
+  EdgeList edges = tree.edge_list();
+  const std::size_t extra = rng.next_below(k);
+  for (std::size_t i = 0; i < extra; ++i) {
+    const Vertex u = static_cast<Vertex>(rng.next_below(k));
+    const Vertex v = static_cast<Vertex>(rng.next_below(k));
+    if (u != v) edges.emplace_back(u, v);
+  }
+  return iso::Pattern::from_graph(Graph::from_edges(k, edges));
+}
+
+/// Random target drawn from a mix of families (planar-with-deletions,
+/// grid-with-deletions, outerplanar, tree, sparse G(n, p)); `family_name`
+/// (optional) receives a label for failure messages.
+inline Graph random_target(std::uint64_t seed, std::string* family_name =
+                                                   nullptr) {
+  support::Rng rng(seed, /*stream=*/0x7a49e7);
+  const char* name = "";
+  Graph g;
+  switch (rng.next_below(5)) {
+    case 0:
+      name = "planar";
+      g = random_embedded_planar(rng.next_u64()).graph();
+      break;
+    case 1:
+      name = "grid";
+      g = random_embedded_grid(rng.next_u64()).graph();
+      break;
+    case 2:
+      name = "outerplanar";
+      g = random_outerplanar(rng.next_u64());
+      break;
+    case 3:
+      name = "tree";
+      g = gen::random_tree(pick(rng, 4, 24), rng.next_u64());
+      break;
+    default:
+      name = "gnp";
+      g = gen::gnp(pick(rng, 6, 16), 0.15 + 0.15 * rng.next_double(),
+                   rng.next_u64());
+      break;
+  }
+  if (family_name != nullptr) *family_name = name;
+  return g;
+}
+
+/// Subdivides every edge of g a random number of times in [0, max_per_edge].
+/// Subdivision preserves (non-)planarity, so subdivided K5 / K3,3 stay
+/// non-planar (Kuratowski).
+inline Graph random_subdivision(const Graph& g, std::uint64_t seed,
+                                std::uint32_t max_per_edge = 3) {
+  support::Rng rng(seed, /*stream=*/0x5abd1);
+  Vertex next = g.num_vertices();
+  EdgeList edges;
+  for (const auto& [u, v] : g.edge_list()) {
+    Vertex prev = u;
+    const std::uint32_t cuts =
+        static_cast<std::uint32_t>(rng.next_below(max_per_edge + 1));
+    for (std::uint32_t i = 0; i < cuts; ++i) {
+      edges.emplace_back(prev, next);
+      prev = next++;
+    }
+    edges.emplace_back(prev, v);
+  }
+  return Graph::from_edges(next, edges);
+}
+
+}  // namespace ppsi::testing

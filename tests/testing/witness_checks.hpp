@@ -1,0 +1,125 @@
+#pragma once
+
+// Witness verification helpers shared by the unit and differential suites.
+//
+// Engines must not just report the right decision — every witness they hand
+// back has to be checkable against the host graph. These helpers verify an
+// assignment really is a subgraph embedding and a cut really separates.
+
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "isomorphism/pattern.hpp"
+#include "isomorphism/sequential_dp.hpp"
+#include "support/types.hpp"
+
+namespace ppsi::testing {
+
+/// True iff g minus `cut` is disconnected (fewer than 2 surviving vertices
+/// counts as NOT disconnected, matching the connectivity convention).
+inline bool removal_disconnects(const Graph& g,
+                                const std::vector<Vertex>& cut) {
+  std::vector<char> removed(g.num_vertices(), 0);
+  for (const Vertex v : cut) removed[v] = 1;
+  Vertex start = kNoVertex;
+  std::size_t remaining = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (!removed[v]) {
+      ++remaining;
+      start = v;
+    }
+  }
+  if (remaining <= 1) return false;
+  std::queue<Vertex> queue;
+  std::vector<char> seen(g.num_vertices(), 0);
+  queue.push(start);
+  seen[start] = 1;
+  std::size_t visited = 1;
+  while (!queue.empty()) {
+    const Vertex u = queue.front();
+    queue.pop();
+    for (const Vertex w : g.neighbors(u)) {
+      if (!removed[w] && !seen[w]) {
+        seen[w] = 1;
+        ++visited;
+        queue.push(w);
+      }
+    }
+  }
+  return visited != remaining;
+}
+
+/// Checks that `assignment` is a complete injective pattern -> g map that
+/// carries every pattern edge to a g edge (subgraph isomorphism witness).
+inline ::testing::AssertionResult valid_embedding(
+    const Graph& g, const iso::Pattern& pattern,
+    const iso::Assignment& assignment) {
+  if (assignment.size() != pattern.size())
+    return ::testing::AssertionFailure()
+           << "assignment has " << assignment.size() << " entries, pattern has "
+           << pattern.size();
+  std::set<Vertex> used;
+  for (std::uint32_t u = 0; u < pattern.size(); ++u) {
+    const Vertex image = assignment[u];
+    if (image == kNoVertex)
+      return ::testing::AssertionFailure()
+             << "pattern vertex " << u << " is unmapped";
+    if (image >= g.num_vertices())
+      return ::testing::AssertionFailure()
+             << "pattern vertex " << u << " maps to out-of-range " << image;
+    if (!used.insert(image).second)
+      return ::testing::AssertionFailure()
+             << "image " << image << " is used twice (not injective)";
+  }
+  for (std::uint32_t u = 0; u < pattern.size(); ++u) {
+    for (const Vertex v : pattern.graph().neighbors(u)) {
+      if (v > u && !g.has_edge(assignment[u], assignment[v]))
+        return ::testing::AssertionFailure()
+               << "pattern edge (" << u << "," << v << ") maps to non-edge ("
+               << assignment[u] << "," << assignment[v] << ")";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Checks that `cut` is a real vertex separator of g: in-range distinct
+/// vertices whose removal disconnects the remainder.
+inline ::testing::AssertionResult valid_separator(
+    const Graph& g, const std::vector<Vertex>& cut) {
+  std::set<Vertex> distinct;
+  for (const Vertex v : cut) {
+    if (v >= g.num_vertices())
+      return ::testing::AssertionFailure()
+             << "cut vertex " << v << " is out of range";
+    if (!distinct.insert(v).second)
+      return ::testing::AssertionFailure()
+             << "cut vertex " << v << " appears twice";
+  }
+  if (!removal_disconnects(g, cut)) {
+    std::ostringstream desc;
+    for (const Vertex v : cut) desc << ' ' << v;
+    return ::testing::AssertionFailure()
+           << "removing {" << desc.str() << " } leaves the graph connected";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// EXPECT-style wrappers, named per the harness conventions.
+inline void expect_valid_embedding(const Graph& g, const iso::Pattern& pattern,
+                                   const iso::Assignment& assignment,
+                                   const char* context = "") {
+  EXPECT_TRUE(valid_embedding(g, pattern, assignment)) << context;
+}
+
+inline void expect_valid_separator(const Graph& g,
+                                   const std::vector<Vertex>& cut,
+                                   const char* context = "") {
+  EXPECT_TRUE(valid_separator(g, cut)) << context;
+}
+
+}  // namespace ppsi::testing

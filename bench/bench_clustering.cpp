@@ -1,18 +1,28 @@
 // E2/E3 — Lemma 2.3 and Observation 1 (Figure 2).
 //
-// Exponential start time beta-clustering: measured edge-cut rate vs the
-// 1/beta bound, measured cluster radius vs the O(beta log n) bound, rounds,
-// and the Observation 1 retention probability (a fixed connected k-pattern
-// stays inside one cluster with probability >= 1/2 under 2k-clustering).
+// Exponential start time beta-clustering. Cases:
+//   est/<graph>/beta=<b>   — measured edge-cut rate vs the 1/beta bound,
+//                            measured cluster radius vs the O(beta log n)
+//                            bound, rounds, cluster count
+//   retention/<pattern>    — Observation 1: a fixed connected k-pattern
+//                            stays inside one cluster under 2k-clustering
+//                            with probability >= 1/2 (counter `retained`
+//                            averages to the estimate across trials)
 
 #include <cmath>
-#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "cluster/est_clustering.hpp"
 #include "graph/generators.hpp"
 #include "graph/ops.hpp"
+#include "harness/corpus.hpp"
+#include "harness/harness.hpp"
 
 using namespace ppsi;
+using bench::Corpus;
+using bench::Registry;
+using bench::Trial;
 
 namespace {
 
@@ -32,74 +42,83 @@ double max_cluster_radius(const Graph& g, const cluster::Clustering& c) {
   return worst;
 }
 
-}  // namespace
-
-int main() {
-  std::printf("E2 / Lemma 2.3: exponential start time clustering\n");
-  std::printf(
-      "graph          n      beta  cut-rate   1/beta   max-radius  "
-      "beta*log2(n)  rounds  clusters\n");
-  const int trials = 20;
-  for (const char* which : {"grid", "apollonian"}) {
-    const Graph g = std::string(which) == "grid"
-                        ? gen::grid_graph(60, 60)
-                        : gen::apollonian(3600, 5).graph();
-    const double lg = std::log2(static_cast<double>(g.num_vertices()));
+void register_benchmarks(Registry& reg, const Corpus& corpus) {
+  struct Target {
+    const char* name;
+    Graph g;
+  };
+  const std::vector<Target> targets = {
+      {"grid", corpus.grid(60, 60)},
+      {"apollonian", corpus.apollonian(3600, 5).graph()},
+  };
+  for (const Target& t : targets) {
     for (const double beta : {2.0, 4.0, 8.0, 16.0}) {
-      std::uint64_t cut = 0, total = 0, rounds = 0;
-      double radius = 0;
-      Vertex clusters = 0;
-      for (int t = 0; t < trials; ++t) {
-        support::Metrics metrics;
-        const auto c = cluster::est_clustering(g, beta, 100 + t, &metrics);
-        for (const auto& [u, v] : g.edge_list()) {
-          ++total;
-          cut += c.cluster_of[u] != c.cluster_of[v] ? 1 : 0;
-        }
-        radius = std::max(radius, max_cluster_radius(g, c));
-        rounds += metrics.rounds();
-        clusters += c.count;
-      }
-      std::printf(
-          "%-12s %6u %7.1f  %8.4f  %7.4f   %10.1f  %12.1f  %6.1f  %8.1f\n",
-          which, g.num_vertices(), beta,
-          static_cast<double>(cut) / static_cast<double>(total), 1.0 / beta,
-          radius, beta * lg, static_cast<double>(rounds) / trials,
-          static_cast<double>(clusters) / trials);
+      const std::string name =
+          std::string("est/") + t.name + "/beta=" + std::to_string(
+              static_cast<int>(beta));
+      reg.add(name,
+              [g = t.g, beta](Trial& trial) {
+                support::Metrics metrics;
+                cluster::Clustering c;
+                trial.measure([&] {
+                  c = cluster::est_clustering(g, beta, trial.seed(), &metrics);
+                });
+                trial.record(metrics);
+                std::uint64_t cut = 0, total = 0;
+                for (const auto& [u, v] : g.edge_list()) {
+                  ++total;
+                  cut += c.cluster_of[u] != c.cluster_of[v] ? 1 : 0;
+                }
+                const double lg =
+                    std::log2(static_cast<double>(g.num_vertices()));
+                trial.counter("cut_rate", static_cast<double>(cut) /
+                                              static_cast<double>(total));
+                trial.counter("bound_cut_rate", 1.0 / beta);
+                trial.counter("max_radius", max_cluster_radius(g, c));
+                trial.counter("bound_radius", beta * lg);
+                trial.counter("clusters", c.count);
+              },
+              {.repeats = 10});
     }
   }
 
-  std::printf(
-      "\nE3 / Observation 1: retention of a fixed k-pattern under "
-      "2k-clustering\n");
-  std::printf("pattern    k   retained  trials  bound\n");
-  const Graph g = gen::grid_graph(40, 40);
+  // Observation 1: retention of a fixed k-pattern under 2k-clustering.
+  // Side floored at 8 so the fixed occurrences below stay inside the grid.
+  const Vertex cols = corpus.side(40, 8);
+  const Graph g = gen::grid_graph(cols, cols);
+  const Vertex mid = (cols / 2) * cols + cols / 2;
   struct Occ {
     const char* name;
     std::vector<Vertex> vertices;
     std::uint32_t k;
   };
-  const Vertex mid = 20 * 40 + 20;
   const std::vector<Occ> occurrences = {
       {"edge", {mid, mid + 1}, 2},
       {"P3", {mid, mid + 1, mid + 2}, 3},
-      {"C4", {mid, mid + 1, mid + 40, mid + 41}, 4},
+      {"C4", {mid, mid + 1, mid + cols, mid + cols + 1}, 4},
       {"C6",
-       {mid, mid + 1, mid + 2, mid + 40, mid + 41, mid + 42},
+       {mid, mid + 1, mid + 2, mid + cols, mid + cols + 1, mid + cols + 2},
        6},
   };
-  const int obs_trials = 400;
   for (const Occ& occ : occurrences) {
-    int kept = 0;
-    for (int t = 0; t < obs_trials; ++t) {
-      const auto c = cluster::est_clustering(g, 2.0 * occ.k, 999 + t);
-      bool same = true;
-      for (const Vertex v : occ.vertices)
-        same = same && c.cluster_of[v] == c.cluster_of[occ.vertices[0]];
-      kept += same ? 1 : 0;
-    }
-    std::printf("%-9s %2u   %8.3f  %6d  >= 0.5\n", occ.name, occ.k,
-                static_cast<double>(kept) / obs_trials, obs_trials);
+    reg.add(std::string("retention/") + occ.name,
+            [g, occ](Trial& trial) {
+              cluster::Clustering c;
+              trial.measure([&] {
+                c = cluster::est_clustering(g, 2.0 * occ.k, trial.seed());
+              });
+              bool same = true;
+              for (const Vertex v : occ.vertices)
+                same = same && c.cluster_of[v] == c.cluster_of[occ.vertices[0]];
+              trial.counter("retained", same ? 1.0 : 0.0);
+              trial.counter("bound", 0.5);
+            },
+            {.repeats = corpus.reps(200), .warmup = 0});
   }
-  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return ppsi::bench::run_main(argc, argv, "clustering", register_benchmarks);
 }

@@ -1,77 +1,99 @@
 // E10 — Lemma 5.2/5.3 (Figures 6, 7): planar vertex connectivity.
 //
-// Measured: our separating-cycle algorithm vs the flow baseline over an n
-// sweep on families of every relevant connectivity value. Expected shape:
-// the flow baseline's time grows near-quadratically (n flow computations of
-// linear size each), ours near-linearly, with a crossover at moderate n —
-// the relationship Table 1 row "this paper" vs the classical algorithms
-// predicts. Both must agree on every instance.
+// Cases `<family>/<base-n>/{ours,flow}` time the paper's separating-cycle
+// algorithm and the flow baseline on the same instance. Expected shape
+// across a family's n sweep: the flow baseline's time grows
+// near-quadratically (n flow computations of linear size each), ours
+// near-linearly — the Table 1 row "this paper" vs the classical
+// algorithms. The `ours` case cross-checks against the flow answer
+// (counter `agrees`; both are exact w.h.p., disagreement is a bug) and a
+// corpus case covers the seeded random planar family shared with the
+// differential tests.
 
-#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
 
 #include "connectivity/flow_connectivity.hpp"
 #include "connectivity/vertex_connectivity.hpp"
 #include "graph/generators.hpp"
-#include "support/timer.hpp"
+#include "harness/corpus.hpp"
+#include "harness/harness.hpp"
 
 using namespace ppsi;
+using bench::Corpus;
+using bench::Registry;
+using bench::Trial;
 
 namespace {
 
-void row(const char* name, const planar::EmbeddedGraph& eg,
-         std::uint32_t expected) {
-  connectivity::VertexConnectivityOptions opts;
-  opts.max_runs = 4;
-  support::Timer t1;
-  const auto ours = connectivity::planar_vertex_connectivity(eg, opts);
-  const double ours_s = t1.seconds();
-  support::Timer t2;
-  const auto flow = connectivity::vertex_connectivity_flow(eg.graph());
-  const double flow_s = t2.seconds();
-  std::printf(
-      "%-12s %6u  %4u  %4u  %4u  %8.3f  %9.3f  %8llu  %12llu  %s\n", name,
-      eg.graph().num_vertices(), ours.connectivity, flow.connectivity,
-      expected, ours_s, flow_s,
-      static_cast<unsigned long long>(ours.metrics.work() / 1000),
-      static_cast<unsigned long long>(flow.augmentations),
-      ours.connectivity == flow.connectivity ? "agree" : "DISAGREE");
+void add_pair(Registry& reg, const std::string& stem,
+              const planar::EmbeddedGraph& eg, std::uint32_t expected) {
+  // The flow cross-check is deterministic on the fixed instance; cache it
+  // across warmups/trials/thread sweeps.
+  auto flow_k = std::make_shared<std::optional<std::uint32_t>>();
+  reg.add(stem + "/ours", [eg, expected, flow_k](Trial& trial) {
+    connectivity::VertexConnectivityOptions opts;
+    opts.max_runs = 4;
+    connectivity::VertexConnectivityResult ours;
+    trial.measure(
+        [&] { ours = connectivity::planar_vertex_connectivity(eg, opts); });
+    trial.record(ours.metrics);
+    if (!flow_k->has_value())
+      *flow_k = connectivity::vertex_connectivity_flow(eg.graph()).connectivity;
+    trial.counter("connectivity", ours.connectivity);
+    trial.counter("expected", expected);
+    trial.counter("agrees", ours.connectivity == **flow_k ? 1 : 0);
+  });
+  reg.add(stem + "/flow", [eg](Trial& trial) {
+    connectivity::FlowConnectivityResult flow;
+    trial.measure(
+        [&] { flow = connectivity::vertex_connectivity_flow(eg.graph()); });
+    trial.counter("connectivity", flow.connectivity);
+    trial.counter("augmentations", static_cast<double>(flow.augmentations));
+  });
+}
+
+void register_benchmarks(Registry& reg, const Corpus& corpus) {
+  // Connectivity 2: grids.
+  for (const Vertex side : {10u, 20u, 40u}) {
+    add_pair(reg, "grid2/" + std::to_string(side),
+             corpus.embedded_grid(side, side), 2);
+  }
+  // Connectivity 3: Apollonian networks.
+  for (const Vertex n : {50u, 200u, 800u}) {
+    add_pair(reg, "apollonian3/" + std::to_string(n),
+             corpus.apollonian(n, 17), 3);
+  }
+  // Connectivity 4: antiprisms and subdivided octahedra.
+  for (const Vertex k : {8u, 32u, 128u}) {
+    add_pair(reg, "antiprism4/" + std::to_string(k),
+             gen::antiprism(corpus.n(k)), 4);
+  }
+  add_pair(reg, "octa-sub1/4", gen::loop_subdivide(gen::octahedron(), 1), 4);
+  add_pair(reg, "octa-sub2/4", gen::loop_subdivide(gen::octahedron(), 2), 4);
+  // Connectivity 5: icosahedron and its subdivision (every probe negative:
+  // the most expensive case).
+  add_pair(reg, "icosa5/0", gen::icosahedron(), 5);
+  add_pair(reg, "icosa5/1", gen::loop_subdivide(gen::icosahedron(), 1), 5);
+  // Random planar graphs of mixed connectivity, from the shared corpus
+  // families (per-trial seed: each repetition draws a fresh instance).
+  reg.add("random-planar/corpus", [&corpus](Trial& trial) {
+    const auto eg = corpus.random_planar(trial.seed());
+    connectivity::VertexConnectivityOptions opts;
+    opts.max_runs = 4;
+    connectivity::VertexConnectivityResult ours;
+    trial.measure(
+        [&] { ours = connectivity::planar_vertex_connectivity(eg, opts); });
+    trial.record(ours.metrics);
+    const auto flow = connectivity::vertex_connectivity_flow(eg.graph());
+    trial.counter("agrees", ours.connectivity == flow.connectivity ? 1 : 0);
+  });
 }
 
 }  // namespace
 
-int main() {
-  std::printf("E10 / Section 5: planar vertex connectivity\n");
-  std::printf(
-      "family            n  ours  flow  expd  ours[s]    flow[s]  "
-      "work/1k  flow-augments  check\n");
-  // Connectivity 2: grids.
-  for (const Vertex side : {10u, 20u, 40u}) {
-    row("grid(2)", gen::embedded_grid(side, side), 2);
-  }
-  // Connectivity 3: Apollonian networks.
-  for (const Vertex n : {50u, 200u, 800u}) {
-    row("apollonian(3)", gen::apollonian(n, 17), 3);
-  }
-  // Connectivity 4: antiprisms and subdivided octahedra.
-  for (const Vertex k : {8u, 32u, 128u}) {
-    row("antiprism(4)", gen::antiprism(k), 4);
-  }
-  row("octa-sub1(4)", gen::loop_subdivide(gen::octahedron(), 1), 4);
-  row("octa-sub2(4)", gen::loop_subdivide(gen::octahedron(), 2), 4);
-  // Connectivity 5: icosahedron and its subdivision (every probe negative:
-  // the most expensive case).
-  row("icosa(5)", gen::icosahedron(), 5);
-  row("icosa-sub1(5)", gen::loop_subdivide(gen::icosahedron(), 1), 5);
-  // Random planar graphs of mixed connectivity.
-  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
-    const auto eg =
-        gen::delete_random_edges(gen::apollonian(120, seed), 40, seed + 9);
-    row("random-planar", eg, connectivity::vertex_connectivity_flow(
-                                  eg.graph()).connectivity);
-  }
-  std::printf(
-      "\nShape check: ours grows near-linearly in n per family while the\n"
-      "flow baseline's augmentations grow ~n^2-ish; both columns agree on\n"
-      "every row (the Monte Carlo answer is correct w.h.p.).\n");
-  return 0;
+int main(int argc, char** argv) {
+  return ppsi::bench::run_main(argc, argv, "connectivity",
+                               register_benchmarks);
 }

@@ -1,89 +1,120 @@
 // E4 — Theorem 2.4 (Figure 3): the parallel treewidth k-d cover.
 //
-// Measured: per-vertex slice multiplicity (bound: d+1 level windows),
-// total cover size vs (d+1) n, measured decomposition width of the slices
-// vs the 3d bound, and the coverage probability of a fixed occurrence
-// (bound: >= 1/2).
+// Cases:
+//   kd/<graph>/d=<d>     — per-vertex slice multiplicity (bound d+1 level
+//                          windows), total cover size vs (d+1) n, measured
+//                          decomposition width of the slices vs 3d
+//   coverage/<pattern>   — probability that a fixed occurrence lands inside
+//                          one slice (bound >= 1/2; counter `covered`
+//                          averages to the estimate)
 
-#include <cstdio>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "cover/kd_cover.hpp"
 #include "graph/generators.hpp"
+#include "harness/corpus.hpp"
+#include "harness/harness.hpp"
 #include "treedecomp/greedy_decomposition.hpp"
 
 using namespace ppsi;
+using bench::Corpus;
+using bench::Registry;
+using bench::Trial;
 
-int main() {
-  std::printf("E4 / Theorem 2.4: parallel treewidth k-d cover\n");
-  std::printf(
-      "graph          n    d  slices  total/n  (<=d+1)  max-mult  width  "
-      "3d-bound\n");
+namespace {
+
+void register_benchmarks(Registry& reg, const Corpus& corpus) {
   struct Target {
     const char* name;
     Graph g;
   };
   const std::vector<Target> targets = {
-      {"grid", gen::grid_graph(50, 50)},
-      {"apollonian", gen::apollonian(2500, 9).graph()},
-      {"thin-grid", gen::grid_graph(8, 300)},
+      {"grid", corpus.grid(50, 50)},
+      {"apollonian", corpus.apollonian(2500, 9).graph()},
+      {"thin-grid", gen::grid_graph(8, corpus.n(300, 20))},
   };
   for (const Target& t : targets) {
     for (const std::uint32_t d : {1u, 2u, 3u, 4u}) {
-      const cover::Cover cover = cover::build_kd_cover(t.g, d, 8.0, 31, 2);
-      std::size_t total = 0;
-      int width = -1;
-      std::vector<std::uint32_t> mult(t.g.num_vertices(), 0);
-      for (const cover::Slice& slice : cover.slices) {
-        total += slice.graph.num_vertices();
-        for (const Vertex v : slice.origin_of) ++mult[v];
-        width = std::max(width,
-                         treedecomp::greedy_decomposition(slice.graph).width());
-      }
-      std::uint32_t max_mult = 0;
-      for (const std::uint32_t m : mult) max_mult = std::max(max_mult, m);
-      std::printf("%-12s %6u  %u  %6zu  %7.2f  %7u  %8u  %5d  %8u\n", t.name,
-                  t.g.num_vertices(), d, cover.slices.size(),
-                  static_cast<double>(total) / t.g.num_vertices(), d + 1,
-                  max_mult, width, 3 * d);
+      reg.add(std::string("kd/") + t.name + "/d=" + std::to_string(d),
+              [g = t.g, d](Trial& trial) {
+                cover::Cover cover;
+                trial.measure([&] {
+                  cover = cover::build_kd_cover(g, d, 8.0, trial.seed(), 2);
+                });
+                trial.record(cover.metrics);
+                std::size_t total = 0;
+                int width = -1;
+                std::vector<std::uint32_t> mult(g.num_vertices(), 0);
+                for (const cover::Slice& slice : cover.slices) {
+                  total += slice.graph.num_vertices();
+                  for (const Vertex v : slice.origin_of) ++mult[v];
+                  width = std::max(
+                      width,
+                      treedecomp::greedy_decomposition(slice.graph).width());
+                }
+                std::uint32_t max_mult = 0;
+                for (const std::uint32_t m : mult)
+                  max_mult = std::max(max_mult, m);
+                trial.counter("slices", static_cast<double>(cover.slices.size()));
+                trial.counter("total_per_n", static_cast<double>(total) /
+                                                 g.num_vertices());
+                trial.counter("bound_mult", d + 1);
+                trial.counter("max_mult", max_mult);
+                trial.counter("width", width);
+                trial.counter("bound_width", 3 * d);
+              },
+              {.repeats = 3});
     }
   }
 
-  std::printf("\nCoverage probability of a fixed occurrence (bound 1/2):\n");
-  std::printf("pattern  d  covered  trials\n");
-  const Graph g = gen::grid_graph(30, 30);
-  const Vertex mid = 15 * 30 + 15;
+  // Coverage probability of a fixed occurrence (bound 1/2). Side floored at
+  // 8 so the fixed occurrences stay inside the grid.
+  const Vertex cols = corpus.side(30, 8);
+  const Graph g = gen::grid_graph(cols, cols);
+  const Vertex mid = (cols / 2) * cols + cols / 2;
   struct Occ {
     const char* name;
     std::vector<Vertex> vertices;
     std::uint32_t k, d;
   };
   const std::vector<Occ> occs = {
-      {"C4", {mid, mid + 1, mid + 30, mid + 31}, 4, 2},
+      {"C4", {mid, mid + 1, mid + cols, mid + cols + 1}, 4, 2},
       {"P4", {mid, mid + 1, mid + 2, mid + 3}, 4, 3},
-      {"C6", {mid, mid + 1, mid + 2, mid + 30, mid + 31, mid + 32}, 6, 3},
+      {"C6",
+       {mid, mid + 1, mid + 2, mid + cols, mid + cols + 1, mid + cols + 2},
+       6, 3},
   };
-  const int trials = 300;
   for (const Occ& occ : occs) {
-    int covered = 0;
-    for (int t = 0; t < trials; ++t) {
-      const cover::Cover cover =
-          cover::build_kd_cover(g, occ.d, 2.0 * occ.k, 5000 + t, occ.k);
-      bool found = false;
-      for (const cover::Slice& slice : cover.slices) {
-        const std::set<Vertex> members(slice.origin_of.begin(),
-                                       slice.origin_of.end());
-        bool all = true;
-        for (const Vertex v : occ.vertices) all = all && members.contains(v);
-        if (all) {
-          found = true;
-          break;
-        }
-      }
-      covered += found ? 1 : 0;
-    }
-    std::printf("%-7s %u  %6.3f  %6d\n", occ.name, occ.d,
-                static_cast<double>(covered) / trials, trials);
+    reg.add(std::string("coverage/") + occ.name,
+            [g, occ](Trial& trial) {
+              cover::Cover cover;
+              trial.measure([&] {
+                cover = cover::build_kd_cover(g, occ.d, 2.0 * occ.k,
+                                              trial.seed(), occ.k);
+              });
+              bool found = false;
+              for (const cover::Slice& slice : cover.slices) {
+                const std::set<Vertex> members(slice.origin_of.begin(),
+                                               slice.origin_of.end());
+                bool all = true;
+                for (const Vertex v : occ.vertices)
+                  all = all && members.contains(v);
+                if (all) {
+                  found = true;
+                  break;
+                }
+              }
+              trial.counter("covered", found ? 1.0 : 0.0);
+              trial.counter("bound", 0.5);
+            },
+            {.repeats = corpus.reps(150), .warmup = 0});
   }
-  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return ppsi::bench::run_main(argc, argv, "cover", register_benchmarks);
 }

@@ -1,79 +1,107 @@
 // E5 — Theorem 2.1 / Lemma 3.1: the decision pipeline's scaling.
 //
-// Measured: wall time and instrumented work per vertex over an n sweep for
-// k in {3,4,5,6} patterns (bound: O((3k)^{3k+1} n log n) work), rounds of
-// the parallel engine (bound: O(k log^2 n)), and the per-run success
-// probability on positive instances (bound: >= 1/2).
+// Cases:
+//   grid/<side>/<pat>, apollonian/<n>/<pat>
+//       — wall time and instrumented work per vertex over an n sweep for
+//         k in {3..6} patterns (bound: O((3k)^{3k+1} n log n) work), rounds
+//         of the parallel engine (bound: O(k log^2 n), counter
+//         `bound_rounds`)
+//   success/<pat>  — per-run success probability on positive instances
+//                    (bound >= 1/2; counter `found` averages to it)
+//   corpus/mixed   — one decision on the seeded random-target/pattern
+//                    families shared with the differential tests
 
 #include <cmath>
-#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "cover/pipeline.hpp"
 #include "graph/generators.hpp"
-#include "support/timer.hpp"
+#include "harness/corpus.hpp"
+#include "harness/harness.hpp"
 
 using namespace ppsi;
+using bench::Corpus;
+using bench::Registry;
+using bench::Trial;
 
-int main() {
-  std::printf("E5 / Theorem 2.1: decision scaling\n");
-  std::printf(
-      "target          n  pat  k  | time[s]  work/n  rounds  k*log2(n)^2\n");
-  struct Pat {
-    const char* name;
-    Graph h;
-  };
-  const std::vector<Pat> pats = {
-      {"K3", gen::complete_graph(3)},
-      {"C4", gen::cycle_graph(4)},
-      {"C5", gen::cycle_graph(5)},
-      {"C6", gen::cycle_graph(6)},
-  };
-  for (const Vertex side : {25u, 50u, 100u, 200u}) {
-    const Graph g = gen::grid_graph(side, side);
-    for (const Pat& p : pats) {
-      const iso::Pattern pattern = iso::Pattern::from_graph(p.h);
-      cover::PipelineOptions opts;
-      opts.engine = cover::EngineKind::kParallel;
-      opts.max_runs = 4;
-      support::Timer timer;
-      const auto r = cover::find_pattern(g, pattern, opts);
-      const double lg = std::log2(static_cast<double>(g.num_vertices()));
-      std::printf("grid      %8u  %-3s %u  | %7.3f  %6.1f  %6llu  %10.1f\n",
-                  g.num_vertices(), p.name, pattern.size(), timer.seconds(),
-                  static_cast<double>(r.metrics.work()) / g.num_vertices(),
-                  static_cast<unsigned long long>(r.metrics.rounds()),
-                  pattern.size() * lg * lg);
-    }
+namespace {
+
+struct Pat {
+  const char* name;
+  Graph h;
+};
+
+std::vector<Pat> patterns() {
+  return {{"K3", gen::complete_graph(3)},
+          {"C4", gen::cycle_graph(4)},
+          {"C5", gen::cycle_graph(5)},
+          {"C6", gen::cycle_graph(6)}};
+}
+
+void add_decision(Registry& reg, const std::string& name, const Graph& g,
+                  const Pat& p) {
+  const iso::Pattern pattern = iso::Pattern::from_graph(p.h);
+  reg.add(name, [g, pattern](Trial& trial) {
+    cover::PipelineOptions opts;
+    opts.engine = cover::EngineKind::kParallel;
+    opts.max_runs = 4;
+    opts.seed = trial.seed();
+    cover::DecisionResult r;
+    trial.measure([&] { r = cover::find_pattern(g, pattern, opts); });
+    trial.record(r.metrics);
+    const double lg = std::log2(static_cast<double>(g.num_vertices()));
+    trial.counter("found", r.found ? 1.0 : 0.0);
+    trial.counter("work_per_n", static_cast<double>(r.metrics.work()) /
+                                    g.num_vertices());
+    trial.counter("bound_rounds", pattern.size() * lg * lg);
+  });
+}
+
+void register_benchmarks(Registry& reg, const Corpus& corpus) {
+  for (const Vertex base : {25u, 50u, 100u, 200u}) {
+    const Graph g = corpus.grid(base, base);
+    for (const Pat& p : patterns())
+      add_decision(reg, "grid/" + std::to_string(base) + "/" + p.name, g, p);
   }
-  for (const Vertex n : {1000u, 4000u, 16000u}) {
-    const Graph g = gen::apollonian(n, 3).graph();
-    for (const Pat& p : pats) {
-      const iso::Pattern pattern = iso::Pattern::from_graph(p.h);
-      cover::PipelineOptions opts;
-      opts.engine = cover::EngineKind::kParallel;
-      opts.max_runs = 4;
-      support::Timer timer;
-      const auto r = cover::find_pattern(g, pattern, opts);
-      const double lg = std::log2(static_cast<double>(g.num_vertices()));
-      std::printf("apollonian%8u  %-3s %u  | %7.3f  %6.1f  %6llu  %10.1f\n",
-                  g.num_vertices(), p.name, pattern.size(), timer.seconds(),
-                  static_cast<double>(r.metrics.work()) / g.num_vertices(),
-                  static_cast<unsigned long long>(r.metrics.rounds()),
-                  pattern.size() * lg * lg);
-    }
+  for (const Vertex base : {1000u, 4000u, 16000u}) {
+    const Graph g = corpus.apollonian(base, 3).graph();
+    for (const Pat& p : patterns())
+      add_decision(reg, "apollonian/" + std::to_string(base) + "/" + p.name,
+                   g, p);
   }
 
-  std::printf("\nPer-run success probability on positive instances "
-              "(bound >= 1/2):\n");
-  const Graph g = gen::grid_graph(40, 40);
-  for (const Pat& p : {pats[1], pats[3]}) {
+  // Per-run success probability on positive instances (bound >= 1/2).
+  const Graph g = corpus.grid(40, 40);
+  for (const Pat& p : {patterns()[1], patterns()[3]}) {
     const iso::Pattern pattern = iso::Pattern::from_graph(p.h);
-    int hits = 0;
-    const int trials = 60;
-    for (int t = 0; t < trials; ++t)
-      hits += cover::run_once(g, pattern, 7000 + t, {}).found ? 1 : 0;
-    std::printf("  %-3s: %5.3f (%d/%d)\n", p.name,
-                static_cast<double>(hits) / trials, hits, trials);
+    reg.add(std::string("success/") + p.name,
+            [g, pattern](Trial& trial) {
+              cover::DecisionResult r;
+              trial.measure(
+                  [&] { r = cover::run_once(g, pattern, trial.seed(), {}); });
+              trial.counter("found", r.found ? 1.0 : 0.0);
+              trial.counter("bound", 0.5);
+            },
+            {.repeats = corpus.reps(60), .warmup = 0});
   }
-  return 0;
+
+  // Seeded random corpus families (fresh instance per trial).
+  reg.add("corpus/mixed", [&corpus](Trial& trial) {
+    const Graph target = corpus.random_target(trial.seed());
+    const iso::Pattern pattern = corpus.random_pattern(trial.seed() + 1);
+    cover::PipelineOptions opts;
+    opts.max_runs = 4;
+    opts.seed = trial.seed();
+    cover::DecisionResult r;
+    trial.measure([&] { r = cover::find_pattern(target, pattern, opts); });
+    trial.record(r.metrics);
+    trial.counter("found", r.found ? 1.0 : 0.0);
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return ppsi::bench::run_main(argc, argv, "decision", register_benchmarks);
 }

@@ -1,17 +1,23 @@
 // E8 — Lemma 4.1 (§4.1): disconnected patterns by random color splitting.
 //
-// Measured: the number of coloring attempts until an occurrence of an
-// l-component pattern is found, against the l^k prediction (a fixed
-// occurrence is colored consistently with probability l^-k).
+// One case per l-component pattern on a target with a single 4-cycle;
+// counters: mean coloring attempts until an occurrence is found against the
+// l^k prediction (a fixed occurrence is colored consistently with
+// probability l^-k), and the success rate.
 
 #include <cmath>
-#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "cover/pipeline.hpp"
 #include "graph/generators.hpp"
-#include "support/timer.hpp"
+#include "harness/corpus.hpp"
+#include "harness/harness.hpp"
 
 using namespace ppsi;
+using bench::Corpus;
+using bench::Registry;
+using bench::Trial;
 
 namespace {
 
@@ -28,47 +34,47 @@ Graph path_with_one_square(Vertex path_len) {
   return Graph::from_edges(path_len + 3, edges);
 }
 
-}  // namespace
-
-int main() {
-  std::printf("E8 / Lemma 4.1: disconnected patterns\n");
-  std::printf("pattern                l  k  mean-attempts  found  trials\n");
-  const Graph g = path_with_one_square(60);
+void register_benchmarks(Registry& reg, const Corpus& corpus) {
+  const Graph g = path_with_one_square(corpus.n(60, 12));
   struct Case {
     const char* name;
     Graph h;
   };
   const std::vector<Case> cases = {
-      {"P2 + P2", gen::disjoint_union({gen::path_graph(2),
-                                       gen::path_graph(2)})},
-      {"C4 + P2", gen::disjoint_union({gen::cycle_graph(4),
-                                       gen::path_graph(2)})},
-      {"C4 + P3", gen::disjoint_union({gen::cycle_graph(4),
-                                       gen::path_graph(3)})},
-      {"C4 + P2 + P2",
+      {"P2+P2",
+       gen::disjoint_union({gen::path_graph(2), gen::path_graph(2)})},
+      {"C4+P2",
+       gen::disjoint_union({gen::cycle_graph(4), gen::path_graph(2)})},
+      {"C4+P3",
+       gen::disjoint_union({gen::cycle_graph(4), gen::path_graph(3)})},
+      {"C4+P2+P2",
        gen::disjoint_union({gen::cycle_graph(4), gen::path_graph(2),
                             gen::path_graph(2)})},
   };
-  const int trials = 15;
   for (const Case& c : cases) {
     const iso::Pattern pattern = iso::Pattern::from_graph(c.h);
     const auto l = static_cast<std::uint32_t>(pattern.components().size());
-    std::uint64_t attempts = 0;
-    int found = 0;
-    for (int t = 0; t < trials; ++t) {
-      cover::PipelineOptions opts;
-      opts.seed = 40'000 + static_cast<std::uint64_t>(t);
-      const auto r = cover::find_pattern_disconnected(g, pattern, opts);
-      attempts += r.runs;
-      found += r.found ? 1 : 0;
-    }
-    std::printf("%-20s %2u %2u  %13.1f  %5d  %6d   (l^k = %.0f)\n", c.name, l,
-                pattern.size(), static_cast<double>(attempts) / trials, found,
-                trials,
-                std::pow(static_cast<double>(l), pattern.size()));
+    reg.add(std::string("split/") + c.name,
+            [g, pattern, l](Trial& trial) {
+              cover::PipelineOptions opts;
+              opts.seed = trial.seed();
+              cover::DecisionResult r;
+              trial.measure([&] {
+                r = cover::find_pattern_disconnected(g, pattern, opts);
+              });
+              trial.record(r.metrics);
+              trial.counter("attempts", static_cast<double>(r.runs));
+              trial.counter("found", r.found ? 1.0 : 0.0);
+              trial.counter("l_pow_k",
+                            std::pow(static_cast<double>(l), pattern.size()));
+            },
+            {.repeats = corpus.reps(15, 3)});
   }
-  std::printf(
-      "\nShape check: mean attempts track l^k (each attempt succeeds when\n"
-      "the k pattern vertices draw their component's color: prob l^-k).\n");
-  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return ppsi::bench::run_main(argc, argv, "disconnected",
+                               register_benchmarks);
 }

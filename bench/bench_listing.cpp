@@ -1,59 +1,73 @@
 // E9 — Theorem 4.2 / Observation 2: listing all occurrences.
 //
-// Measured: completeness of the returned set (vs Ullmann), iterations of
-// the coin-run stopping rule vs the log2(x) + O(log n) prediction, and the
-// time scaling with the number of occurrences x.
+// One case per (target, pattern): the measured region is our listing; the
+// Ullmann reference listing runs untimed to check completeness. Counters:
+// occurrence count x, completeness (1 = sets agree), iterations of the
+// coin-run stopping rule vs the log2(x) + O(log n) prediction.
 
 #include <cmath>
-#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "baseline/ullmann.hpp"
 #include "cover/pipeline.hpp"
 #include "graph/generators.hpp"
-#include "support/timer.hpp"
+#include "harness/corpus.hpp"
+#include "harness/harness.hpp"
 
 using namespace ppsi;
+using bench::Corpus;
+using bench::Registry;
+using bench::Trial;
 
-int main() {
-  std::printf("E9 / Theorem 4.2: listing all occurrences\n");
-  std::printf(
-      "target        n  pat |       x  complete  iters  log2(x)+log2(n)  "
-      "time[s]\n");
+namespace {
+
+void register_benchmarks(Registry& reg, const Corpus& corpus) {
   struct Row {
-    const char* tname;
+    std::string name;
     Graph g;
-    const char* pname;
     Graph h;
   };
   const std::vector<Row> rows = {
-      {"grid", gen::grid_graph(8, 8), "C4", gen::cycle_graph(4)},
-      {"grid", gen::grid_graph(16, 16), "C4", gen::cycle_graph(4)},
-      {"grid", gen::grid_graph(24, 24), "C4", gen::cycle_graph(4)},
-      {"grid", gen::grid_graph(12, 12), "P3", gen::path_graph(3)},
-      {"apollonian", gen::apollonian(150, 5).graph(), "K3",
+      {"grid/8/C4", corpus.grid(8, 8), gen::cycle_graph(4)},
+      {"grid/16/C4", corpus.grid(16, 16), gen::cycle_graph(4)},
+      {"grid/24/C4", corpus.grid(24, 24), gen::cycle_graph(4)},
+      {"grid/12/P3", corpus.grid(12, 12), gen::path_graph(3)},
+      {"apollonian/150/K3", corpus.apollonian(150, 5).graph(),
        gen::complete_graph(3)},
-      {"apollonian", gen::apollonian(150, 5).graph(), "K4",
+      {"apollonian/150/K4", corpus.apollonian(150, 5).graph(),
        gen::complete_graph(4)},
-      {"cycle", gen::cycle_graph(60), "P4", gen::path_graph(4)},
+      {"cycle/60/P4", corpus.cycle(60), gen::path_graph(4)},
   };
   for (const Row& row : rows) {
     const iso::Pattern pattern = iso::Pattern::from_graph(row.h);
-    support::Timer timer;
-    const auto ours = cover::list_occurrences(row.g, pattern, {});
-    const double secs = timer.seconds();
-    const auto expect = baseline::ullmann_list(row.g, pattern, 1u << 24);
-    const bool complete = ours.occurrences.size() == expect.size();
-    const double x = static_cast<double>(expect.size());
-    std::printf("%-10s %5u  %-3s | %7zu  %8s  %5u  %15.1f  %7.2f\n", row.tname,
-                row.g.num_vertices(), row.pname, ours.occurrences.size(),
-                complete ? "yes" : "NO", ours.iterations,
-                std::log2(std::max(2.0, x)) +
-                    std::log2(static_cast<double>(row.g.num_vertices())),
-                secs);
+    // The exponential Ullmann reference listing is deterministic on the
+    // fixed (target, pattern); cache it across warmups/trials/thread sweeps.
+    auto expected = std::make_shared<std::optional<std::size_t>>();
+    reg.add(row.name, [g = row.g, pattern, expected](Trial& trial) {
+      cover::PipelineOptions opts;
+      opts.seed = trial.seed();
+      cover::ListingResult ours;
+      trial.measure([&] { ours = cover::list_occurrences(g, pattern, opts); });
+      trial.record(ours.metrics);
+      if (!expected->has_value())
+        *expected = baseline::ullmann_list(g, pattern, 1u << 24).size();
+      const double x = static_cast<double>(**expected);
+      trial.counter("x", x);
+      trial.counter("complete",
+                    ours.occurrences.size() == **expected ? 1.0 : 0.0);
+      trial.counter("iters", ours.iterations);
+      trial.counter("bound_iters",
+                    std::log2(std::max(2.0, x)) +
+                        std::log2(static_cast<double>(g.num_vertices())));
+    });
   }
-  std::printf(
-      "\nShape check: iterations stay within a small multiple of\n"
-      "log2(x) + log2(n) (Theorem 4.2's iteration bound), and the sets are\n"
-      "complete on every row.\n");
-  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return ppsi::bench::run_main(argc, argv, "listing", register_benchmarks);
 }

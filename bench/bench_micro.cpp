@@ -1,89 +1,109 @@
-// Microbenchmarks of the substrates (google-benchmark): graph building,
-// BFS, clustering, components, tree decomposition, planarity testing.
+// Microbenchmarks of the substrates: graph building, BFS, clustering,
+// components, tree decomposition, planarity testing, mesh subdivision.
+//
+// Each case measures one substrate call on a corpus instance; where a
+// throughput is meaningful, the `items_per_s` counter reports processed
+// items (edges or vertices) per second of the trial's measured region.
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <string>
 
 #include "cluster/est_clustering.hpp"
 #include "cluster/parallel_bfs.hpp"
 #include "graph/components.hpp"
 #include "graph/generators.hpp"
+#include "harness/corpus.hpp"
+#include "harness/harness.hpp"
 #include "planar/lr_planarity.hpp"
 #include "treedecomp/greedy_decomposition.hpp"
 
 using namespace ppsi;
+using bench::Corpus;
+using bench::Registry;
+using bench::Trial;
 
 namespace {
 
-void BM_GraphBuild(benchmark::State& state) {
-  const auto side = static_cast<Vertex>(state.range(0));
-  EdgeList edges = gen::grid_graph(side, side).edge_list();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(Graph::from_edges(side * side, edges));
-  }
-  state.SetItemsProcessed(state.iterations() * edges.size());
+// Guards against sub-tick measured regions (items / 0 -> inf, which JSON
+// cannot represent).
+double per_second(double items, const ppsi::bench::Trial& trial) {
+  return items / std::max(trial.measured_seconds(), 1e-9);
 }
-BENCHMARK(BM_GraphBuild)->Arg(50)->Arg(200);
 
-void BM_ParallelBfs(benchmark::State& state) {
-  const auto side = static_cast<Vertex>(state.range(0));
-  const Graph g = gen::grid_graph(side, side);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(cluster::parallel_bfs(g, Vertex{0}));
+void register_benchmarks(Registry& reg, const Corpus& corpus) {
+  for (const Vertex base : {50u, 200u}) {
+    const Vertex side = corpus.side(base);
+    reg.add("graph_build/grid/" + std::to_string(base), [side](Trial& trial) {
+      const EdgeList edges = gen::grid_graph(side, side).edge_list();
+      trial.measure([&] { Graph::from_edges(side * side, edges); });
+      trial.counter("items_per_s",
+                    per_second(static_cast<double>(edges.size()), trial));
+    });
   }
-  state.SetItemsProcessed(state.iterations() * g.num_vertices());
-}
-BENCHMARK(BM_ParallelBfs)->Arg(100)->Arg(300);
 
-void BM_EstClustering(benchmark::State& state) {
-  const auto side = static_cast<Vertex>(state.range(0));
-  const Graph g = gen::grid_graph(side, side);
-  std::uint64_t seed = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(cluster::est_clustering(g, 8.0, ++seed));
+  for (const Vertex base : {100u, 300u}) {
+    reg.add("parallel_bfs/grid/" + std::to_string(base),
+            [g = corpus.grid(base, base)](Trial& trial) {
+              trial.measure([&] { cluster::parallel_bfs(g, Vertex{0}); });
+              trial.counter(
+                  "items_per_s",
+                  per_second(static_cast<double>(g.num_vertices()), trial));
+            });
   }
-  state.SetItemsProcessed(state.iterations() * g.num_vertices());
-}
-BENCHMARK(BM_EstClustering)->Arg(100)->Arg(300);
 
-void BM_ComponentsParallel(benchmark::State& state) {
-  const auto n = static_cast<Vertex>(state.range(0));
-  const Graph g = gen::apollonian(n, 3).graph();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(connected_components_parallel(g));
+  for (const Vertex base : {100u, 300u}) {
+    reg.add("est_clustering/grid/" + std::to_string(base),
+            [g = corpus.grid(base, base)](Trial& trial) {
+              support::Metrics metrics;
+              trial.measure([&] {
+                cluster::est_clustering(g, 8.0, trial.seed(), &metrics);
+              });
+              trial.record(metrics);
+            });
   }
-  state.SetItemsProcessed(state.iterations() * g.num_vertices());
-}
-BENCHMARK(BM_ComponentsParallel)->Arg(10000)->Arg(40000);
 
-void BM_GreedyDecomposition(benchmark::State& state) {
-  const auto n = static_cast<Vertex>(state.range(0));
-  const Graph g = gen::apollonian(n, 5).graph();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(treedecomp::greedy_decomposition(g));
+  for (const Vertex base : {10000u, 40000u}) {
+    reg.add("components/apollonian/" + std::to_string(base),
+            [g = corpus.apollonian(base, 3).graph()](Trial& trial) {
+              trial.measure([&] { connected_components_parallel(g); });
+              trial.counter(
+                  "items_per_s",
+                  per_second(static_cast<double>(g.num_vertices()), trial));
+            });
   }
-  state.SetItemsProcessed(state.iterations() * g.num_vertices());
-}
-BENCHMARK(BM_GreedyDecomposition)->Arg(1000)->Arg(4000);
 
-void BM_LrPlanarity(benchmark::State& state) {
-  const auto n = static_cast<Vertex>(state.range(0));
-  const Graph g = gen::apollonian(n, 7).graph();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(planar::is_planar(g));
+  for (const Vertex base : {1000u, 4000u}) {
+    reg.add("greedy_decomposition/apollonian/" + std::to_string(base),
+            [g = corpus.apollonian(base, 5).graph()](Trial& trial) {
+              int width = 0;
+              trial.measure([&] {
+                width = treedecomp::greedy_decomposition(g).width();
+              });
+              trial.counter("width", width);
+            });
   }
-  state.SetItemsProcessed(state.iterations() * g.num_vertices());
-}
-BENCHMARK(BM_LrPlanarity)->Arg(1000)->Arg(10000);
 
-void BM_LoopSubdivide(benchmark::State& state) {
-  const auto rounds = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        gen::loop_subdivide(gen::icosahedron(), rounds));
+  for (const Vertex base : {1000u, 10000u}) {
+    reg.add("lr_planarity/apollonian/" + std::to_string(base),
+            [g = corpus.apollonian(base, 7).graph()](Trial& trial) {
+              trial.measure([&] { planar::is_planar(g); });
+              trial.counter(
+                  "items_per_s",
+                  per_second(static_cast<double>(g.num_vertices()), trial));
+            });
+  }
+
+  for (const int rounds : {2, 4}) {
+    reg.add("loop_subdivide/icosa/" + std::to_string(rounds),
+            [rounds](Trial& trial) {
+              trial.measure(
+                  [&] { gen::loop_subdivide(gen::icosahedron(), rounds); });
+            });
   }
 }
-BENCHMARK(BM_LoopSubdivide)->Arg(2)->Arg(4);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return ppsi::bench::run_main(argc, argv, "micro", register_benchmarks);
+}

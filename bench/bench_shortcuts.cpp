@@ -1,79 +1,109 @@
 // E7 — Lemma 3.3 (Figure 5): shortcut reachability in the partial-match DAG.
 //
 // Path-graph targets produce path-shaped decomposition trees, the worst
-// case for the reachability diameter. Measured: BFS rounds of the parallel
-// engine with and without the translation-forest shortcuts, the k log n
-// reference, and the shortcut edge overhead (bound: linear).
+// case for the reachability diameter. Cases
+// `<target>/<n>/<pat>/{short,plain}` run the parallel engine with and
+// without the translation-forest shortcuts; counters carry the BFS rounds
+// (vs the k log n reference for the shortcut variant), DAG size, and the
+// shortcut edge overhead (bound: linear in the DAG). The two variants'
+// decisions are cross-checked by the differential suites
+// (tests/differential/test_differential_engines.cpp).
 
+#include <array>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "graph/generators.hpp"
+#include "harness/corpus.hpp"
+#include "harness/harness.hpp"
 #include "isomorphism/parallel_engine.hpp"
 #include "treedecomp/greedy_decomposition.hpp"
 
 using namespace ppsi;
+using bench::Corpus;
+using bench::Registry;
+using bench::Trial;
 
-int main() {
-  std::printf("E7 / Lemma 3.3: shortcut reachability\n");
-  std::printf(
-      "target        n  pat | rounds(short)  rounds(plain)  k*log2(n)  "
-      "dag-vertices  dag-edges  shortcut-edges\n");
-  struct Pat {
-    const char* name;
-    Graph h;
-  };
-  const std::vector<Pat> pats = {
-      {"P3", gen::path_graph(3)},
-      {"P5", gen::path_graph(5)},
-  };
-  for (const Vertex n : {200u, 800u, 3200u, 12800u}) {
-    const Graph g = gen::path_graph(n);
-    const auto td = treedecomp::binarize(treedecomp::greedy_decomposition(g));
-    for (const Pat& p : pats) {
-      const iso::Pattern pattern = iso::Pattern::from_graph(p.h);
-      iso::ParallelOptions with;
-      iso::ParallelOptions without;
-      without.use_shortcuts = false;
-      iso::ParallelStats s1, s2;
-      const auto a = iso::solve_parallel(g, td, pattern, with, &s1);
-      const auto b = iso::solve_parallel(g, td, pattern, without, &s2);
-      if (a.accepted != b.accepted) {
-        std::printf("ERROR: shortcut run disagrees\n");
-        return 1;
-      }
-      std::printf(
-          "path    %7u  %-3s |  %12llu  %13llu  %9.1f  %12llu  %9llu  %14llu\n",
-          n, p.name, static_cast<unsigned long long>(s1.bfs_rounds),
-          static_cast<unsigned long long>(s2.bfs_rounds),
-          pattern.size() * std::log2(static_cast<double>(n)),
-          static_cast<unsigned long long>(s1.dag_vertices),
-          static_cast<unsigned long long>(s1.dag_edges),
-          static_cast<unsigned long long>(s1.shortcut_edges));
-    }
+namespace {
+
+void add_pair(Registry& reg, const std::string& stem, const Graph& g,
+              const iso::Pattern& pattern) {
+  const auto td = std::make_shared<treedecomp::TreeDecomposition>(
+      treedecomp::binarize(treedecomp::greedy_decomposition(g)));
+  // Both variants are deterministic on (g, td, pattern); each case records
+  // its decision so whichever runs second checks cross-variant agreement —
+  // a disagreement is an engine bug and aborts the bench (exit 1), since
+  // nothing downstream gates on counters.
+  const auto decisions =
+      std::make_shared<std::array<std::optional<bool>, 2>>();
+  for (const bool use_shortcuts : {true, false}) {
+    reg.add(stem + (use_shortcuts ? "/short" : "/plain"),
+            [g, td, pattern, use_shortcuts, decisions](Trial& trial) {
+              iso::ParallelOptions opts;
+              opts.use_shortcuts = use_shortcuts;
+              iso::ParallelStats stats;
+              bool accepted = false;
+              trial.measure([&] {
+                accepted =
+                    iso::solve_parallel(g, *td, pattern, opts, &stats)
+                        .accepted;
+              });
+              (*decisions)[use_shortcuts ? 0 : 1] = accepted;
+              const auto& other = (*decisions)[use_shortcuts ? 1 : 0];
+              if (other.has_value()) {
+                if (*other != accepted) {
+                  std::fprintf(stderr,
+                               "bench_shortcuts: shortcut/plain decisions "
+                               "disagree — engine bug\n");
+                  std::exit(1);
+                }
+                trial.counter("agrees", 1.0);
+              }
+              // Deterministic structural size as instrumented work, so the
+              // CI work gate covers this suite (the engine's work is
+              // proportional to the DAG it explores).
+              trial.add_work(stats.dag_vertices + stats.dag_edges +
+                             stats.shortcut_edges);
+              trial.add_rounds(stats.bfs_rounds);
+              trial.counter("bfs_rounds",
+                            static_cast<double>(stats.bfs_rounds));
+              trial.counter("bound_rounds",
+                            pattern.size() *
+                                std::log2(static_cast<double>(
+                                    g.num_vertices())));
+              trial.counter("dag_vertices",
+                            static_cast<double>(stats.dag_vertices));
+              trial.counter("dag_edges", static_cast<double>(stats.dag_edges));
+              trial.counter("shortcut_edges",
+                            static_cast<double>(stats.shortcut_edges));
+            });
+  }
+}
+
+void register_benchmarks(Registry& reg, const Corpus& corpus) {
+  for (const Vertex base : {200u, 800u, 3200u, 12800u}) {
+    const Graph g = corpus.path(base);
+    const std::string stem = "path/" + std::to_string(base);
+    add_pair(reg, stem + "/P3", g,
+             iso::Pattern::from_graph(gen::path_graph(3)));
+    add_pair(reg, stem + "/P5", g,
+             iso::Pattern::from_graph(gen::path_graph(5)));
   }
   // A cycle target: the decomposition is again path-like.
-  for (const Vertex n : {500u, 4000u}) {
-    const Graph g = gen::cycle_graph(n);
-    const auto td = treedecomp::binarize(treedecomp::greedy_decomposition(g));
-    const iso::Pattern pattern = iso::Pattern::from_graph(gen::path_graph(4));
-    iso::ParallelStats s1, s2;
-    iso::ParallelOptions without;
-    without.use_shortcuts = false;
-    iso::solve_parallel(g, td, pattern, {}, &s1);
-    iso::solve_parallel(g, td, pattern, without, &s2);
-    std::printf(
-        "cycle   %7u  P4  |  %12llu  %13llu  %9.1f  %12llu  %9llu  %14llu\n",
-        n, static_cast<unsigned long long>(s1.bfs_rounds),
-        static_cast<unsigned long long>(s2.bfs_rounds),
-        4 * std::log2(static_cast<double>(n)),
-        static_cast<unsigned long long>(s1.dag_vertices),
-        static_cast<unsigned long long>(s1.dag_edges),
-        static_cast<unsigned long long>(s1.shortcut_edges));
+  for (const Vertex base : {500u, 4000u}) {
+    add_pair(reg, "cycle/" + std::to_string(base) + "/P4",
+             corpus.cycle(base),
+             iso::Pattern::from_graph(gen::path_graph(4)));
   }
-  std::printf(
-      "\nShape check: rounds(short) grows ~k log n while rounds(plain)\n"
-      "grows linearly with the decomposition path length; shortcut edges\n"
-      "stay within a small multiple of the DAG vertices (work-efficiency).\n");
-  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return ppsi::bench::run_main(argc, argv, "shortcuts", register_benchmarks);
 }

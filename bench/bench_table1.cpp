@@ -1,79 +1,81 @@
 // E1 — Table 1: deciding planar subgraph isomorphism.
 //
 // The paper's Table 1 compares asymptotic work/depth. We reproduce the
-// *shape* empirically: measured wall time, instrumented work and rounds for
-//   * this paper  (cover + parallel shortcut engine, one Monte Carlo run,
-//                  plus the full w.h.p. negative loop),
-//   * Eppstein    (deterministic BFS cover + sequential DP)  [19],
-//   * Ullmann     (backtracking)                             [51],
-// on grid and Apollonian targets over an n sweep. Expected shape: all three
-// near-linear on these easy positive instances, with the paper's rounds
-// polylogarithmic (vs Theta(k n) for the sequential baselines), and the
-// paper/Eppstein work insensitive to the absence of the pattern while
-// Ullmann's search degrades.
+// *shape* empirically with one case per (target, pattern, algorithm):
+//   <target>/<n>/<pat>/ours      — cover + parallel shortcut engine
+//                                  (w.h.p. decision loop); counters carry
+//                                  instrumented work and rounds
+//   <target>/<n>/<pat>/eppstein  — deterministic BFS cover + sequential DP
+//   <target>/<n>/<pat>/ullmann   — backtracking; counter `nodes` is the
+//                                  explored search-tree size
+// Expected shape: all three near-linear on these easy positive instances,
+// the paper's rounds polylogarithmic (vs Theta(k n) for the sequential
+// baselines), and ours/Eppstein insensitive to the absence of the pattern
+// (grid/K3) while Ullmann's search degrades.
 
-#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "baseline/eppstein_sequential.hpp"
 #include "baseline/ullmann.hpp"
 #include "cover/pipeline.hpp"
 #include "graph/generators.hpp"
-#include "support/timer.hpp"
+#include "harness/corpus.hpp"
+#include "harness/harness.hpp"
 
 using namespace ppsi;
+using bench::Corpus;
+using bench::Registry;
+using bench::Trial;
 
 namespace {
 
-void run_row(const char* target_name, const Graph& g, const char* pat_name,
+void add_row(Registry& reg, const std::string& stem, const Graph& g,
              const iso::Pattern& pattern) {
-  // Ours: Monte Carlo decision (w.h.p. loop), parallel engine.
-  cover::PipelineOptions opts;
-  opts.engine = cover::EngineKind::kParallel;
-  support::Timer t1;
-  const auto ours = cover::find_pattern(g, pattern, opts);
-  const double ours_s = t1.seconds();
-  // Eppstein sequential.
-  support::Timer t2;
-  const auto epp = baseline::eppstein_decide(g, pattern);
-  const double epp_s = t2.seconds();
-  // Ullmann.
-  support::Timer t3;
-  const auto ull = baseline::ullmann_decide(g, pattern);
-  const double ull_s = t3.seconds();
-  std::printf(
-      "%-12s %8u %-6s | %d %9.3f %12llu %6llu | %d %9.3f %12llu | %d %9.3f "
-      "%12llu\n",
-      target_name, g.num_vertices(), pat_name, ours.found, ours_s,
-      static_cast<unsigned long long>(ours.metrics.work()),
-      static_cast<unsigned long long>(ours.metrics.rounds()), epp.found,
-      epp_s, static_cast<unsigned long long>(epp.metrics.work()), ull.found,
-      ull_s, static_cast<unsigned long long>(ull.nodes_explored));
+  reg.add(stem + "/ours", [g, pattern](Trial& trial) {
+    cover::PipelineOptions opts;
+    opts.engine = cover::EngineKind::kParallel;
+    opts.seed = trial.seed();
+    cover::DecisionResult r;
+    trial.measure([&] { r = cover::find_pattern(g, pattern, opts); });
+    trial.record(r.metrics);
+    trial.counter("found", r.found ? 1.0 : 0.0);
+  });
+  reg.add(stem + "/eppstein", [g, pattern](Trial& trial) {
+    baseline::EppsteinResult r;
+    trial.measure([&] { r = baseline::eppstein_decide(g, pattern); });
+    trial.record(r.metrics);
+    trial.counter("found", r.found ? 1.0 : 0.0);
+  });
+  reg.add(stem + "/ullmann", [g, pattern](Trial& trial) {
+    baseline::UllmannResult r;
+    trial.measure([&] { r = baseline::ullmann_decide(g, pattern); });
+    trial.counter("found", r.found ? 1.0 : 0.0);
+    trial.counter("nodes", static_cast<double>(r.nodes_explored));
+  });
+}
+
+void register_benchmarks(Registry& reg, const Corpus& corpus) {
+  const iso::Pattern c4 = iso::Pattern::from_graph(gen::cycle_graph(4));
+  const iso::Pattern c6 = iso::Pattern::from_graph(gen::cycle_graph(6));
+  const iso::Pattern k3 = iso::Pattern::from_graph(gen::complete_graph(3));
+  for (const Vertex base : {20u, 40u, 80u, 160u}) {
+    const Graph g = corpus.grid(base, base);
+    const std::string stem = "grid/" + std::to_string(base);
+    add_row(reg, stem + "/C4", g, c4);
+    add_row(reg, stem + "/C6", g, c6);
+    add_row(reg, stem + "/K3", g, k3);  // absent: full negative loop
+  }
+  for (const Vertex base : {500u, 2000u, 8000u}) {
+    const Graph g = corpus.apollonian(base, 7).graph();
+    const std::string stem = "apollonian/" + std::to_string(base);
+    add_row(reg, stem + "/C4", g, c4);
+    add_row(reg, stem + "/C6", g, c6);
+  }
 }
 
 }  // namespace
 
-int main() {
-  std::printf("E1 / Table 1: deciding planar subgraph isomorphism\n");
-  std::printf(
-      "target            n  pat   | ours: found time[s] work rounds | "
-      "eppstein: found time[s] work | ullmann: found time[s] nodes\n");
-  const iso::Pattern c4 = iso::Pattern::from_graph(gen::cycle_graph(4));
-  const iso::Pattern c6 = iso::Pattern::from_graph(gen::cycle_graph(6));
-  const iso::Pattern k3 = iso::Pattern::from_graph(gen::complete_graph(3));
-  for (const Vertex side : {20u, 40u, 80u, 160u}) {
-    const Graph g = gen::grid_graph(side, side);
-    run_row("grid", g, "C4", c4);
-    run_row("grid", g, "C6", c6);
-    run_row("grid", g, "K3", k3);  // absent: full negative loop
-  }
-  for (const Vertex n : {500u, 2000u, 8000u}) {
-    const Graph g = gen::apollonian(n, 7).graph();
-    run_row("apollonian", g, "C4", c4);
-    run_row("apollonian", g, "C6", c6);
-  }
-  std::printf(
-      "\nShape check (Table 1): ours' rounds stay polylogarithmic while the\n"
-      "sequential baselines' critical path is their full runtime; work per\n"
-      "vertex for ours/Eppstein stays near-constant across the sweep.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return ppsi::bench::run_main(argc, argv, "table1", register_benchmarks);
 }

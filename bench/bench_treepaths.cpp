@@ -1,22 +1,29 @@
 // E6 — Lemma 3.2 / Appendix A: decomposing trees into layered paths.
 //
-// Measured: number of layers vs the log2(n)+1 bound across tree shapes,
-// and the tree-contraction evaluation's synchronous rounds and work
+// One case per tree shape and size: counters compare the number of layers
+// against the log2(n)+1 bound, and the tree-contraction evaluation's
+// synchronous rounds and work come from the instrumented metrics
 // (pointer-jumping variant: O(log n)-ish rounds, O(n log n) work; the
 // paper's fully work-efficient contraction would shave the log factor).
 //
-// Erratum (documented in EXPERIMENTS.md): the paper's Appendix A function
-// family {f_{!=i}, g_{=i}} is NOT closed under composition (f_{!=i} o
-// f_{!=i-1} escapes the family); the implementation uses the two-parameter
-// closure F(a, l) — this bench also prints the counterexample.
+// Erratum (also checked by tests/test_treepath.cpp): the paper's Appendix A
+// function family {f_{!=i}, g_{=i}} is NOT closed under composition
+// (f_{!=2}(f_{!=1}(x)) for x = 0,1,2,3 gives 2,3,3,3, while the paper's
+// table claims f_{!=max(2,1)} = f_{!=2}, which maps 1 -> 2); the
+// implementation uses the closed two-parameter family F(a, l).
 
 #include <cmath>
-#include <cstdio>
+#include <string>
 
+#include "harness/corpus.hpp"
+#include "harness/harness.hpp"
 #include "support/rng.hpp"
 #include "treepath/tree_paths.hpp"
 
 using namespace ppsi;
+using bench::Corpus;
+using bench::Registry;
+using bench::Trial;
 using treepath::Forest;
 using treepath::kNoNode;
 using treepath::NodeId;
@@ -67,34 +74,35 @@ Forest random_binary(std::size_t n, std::uint64_t seed) {
   return f;
 }
 
-void report(const char* name, const Forest& f) {
-  support::Metrics metrics;
-  const auto layers = treepath::layer_numbers_contraction(f, &metrics);
-  const auto pd = treepath::decompose_into_paths(f, layers);
-  const double lg = std::log2(static_cast<double>(f.size()));
-  std::printf("%-12s %8zu  %6u  %10.1f  %6zu  %10llu  %12llu\n", name,
-              f.size(), pd.num_layers, lg + 1, pd.paths.size(),
-              static_cast<unsigned long long>(metrics.rounds()),
-              static_cast<unsigned long long>(metrics.work()));
+void add_case(Registry& reg, const std::string& name, Forest f) {
+  reg.add(name, [f = std::move(f)](Trial& trial) {
+    support::Metrics metrics;
+    treepath::PathDecomposition pd;
+    trial.measure([&] {
+      const auto layers = treepath::layer_numbers_contraction(f, &metrics);
+      pd = treepath::decompose_into_paths(f, layers);
+    });
+    trial.record(metrics);
+    trial.counter("layers", pd.num_layers);
+    trial.counter("bound_layers",
+                  std::log2(static_cast<double>(f.size())) + 1);
+    trial.counter("paths", static_cast<double>(pd.paths.size()));
+  });
+}
+
+void register_benchmarks(Registry& reg, const Corpus& corpus) {
+  for (const std::size_t base : {1000u, 10000u, 100000u}) {
+    const std::size_t n = corpus.n(static_cast<Vertex>(base), 64);
+    const std::string suffix = "/" + std::to_string(base);
+    add_case(reg, "path" + suffix, path_tree(n));
+    add_case(reg, "complete" + suffix, complete_tree(n));
+    add_case(reg, "caterpillar" + suffix, caterpillar(n));
+    add_case(reg, "random" + suffix, random_binary(n, 42));
+  }
 }
 
 }  // namespace
 
-int main() {
-  std::printf("E6 / Lemma 3.2 + Appendix A: layered path decomposition\n");
-  std::printf(
-      "tree              n  layers  log2(n)+1   paths  contr-rounds  "
-      "contr-work\n");
-  for (const std::size_t n : {1000u, 10000u, 100000u}) {
-    report("path", path_tree(n));
-    report("complete", complete_tree(n));
-    report("caterpillar", caterpillar(n));
-    report("random", random_binary(n, 42));
-  }
-  std::printf(
-      "\nAppendix A erratum: f_{!=2}(f_{!=1}(x)) for x = 0,1,2,3 -> "
-      "2,3,3,3;\n"
-      "the paper's table claims f_{!=max(2,1)} = f_{!=2}, which maps 1 -> 2."
-      "\nThe implementation uses the closed two-parameter family F(a, l).\n");
-  return 0;
+int main(int argc, char** argv) {
+  return ppsi::bench::run_main(argc, argv, "treepaths", register_benchmarks);
 }

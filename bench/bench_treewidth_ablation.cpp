@@ -2,71 +2,89 @@
 //
 // The paper constructs width-3d decompositions of the diameter-d cover
 // slices (Eppstein/Baker); this reproduction substitutes greedy
-// elimination. The ablation compares, on real cover slices: greedy
-// min-degree, greedy min-fill, and the BFS-layer-guided order, against the
-// paper's 3d bound — and the DP cost each width implies ((w+2)^k states
-// per bag in the worst case).
+// elimination. Cases `<graph>/d=<d>/<strategy>` time one strategy over all
+// slices of one cover and report the worst slice width against the paper's
+// 3d bound (the DP cost each width implies is (w+2)^k states per bag in
+// the worst case). Reading: measured widths at or below 3d on these planar
+// slices vindicate the greedy substitution; min-fill buys slightly smaller
+// widths at higher construction cost.
 
-#include <cstdio>
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "cover/kd_cover.hpp"
 #include "graph/generators.hpp"
-#include "support/timer.hpp"
+#include "harness/corpus.hpp"
+#include "harness/harness.hpp"
 #include "treedecomp/bfs_layer_decomposition.hpp"
 #include "treedecomp/greedy_decomposition.hpp"
 
 using namespace ppsi;
+using bench::Corpus;
+using bench::Registry;
+using bench::Trial;
 
-int main() {
-  std::printf("E11: tree decomposition ablation on cover slices\n");
-  std::printf(
-      "graph          d  slices |  min-deg  min-fill  bfs-layer  3d-bound | "
-      "t(deg)[s] t(fill)[s] t(bfs)[s]\n");
+namespace {
+
+void register_benchmarks(Registry& reg, const Corpus& corpus) {
   struct Target {
     const char* name;
     Graph g;
   };
   const std::vector<Target> targets = {
-      {"grid40", gen::grid_graph(40, 40)},
-      {"apollonian2k", gen::apollonian(2000, 9).graph()},
-      {"pruned-apo", gen::delete_random_edges(gen::apollonian(1500, 4), 700,
-                                              5)
-                         .graph()},
+      {"grid40", corpus.grid(40, 40)},
+      {"apollonian2k", corpus.apollonian(2000, 9).graph()},
+      {"pruned-apo",
+       gen::delete_random_edges(corpus.apollonian(1500, 4),
+                                corpus.n(700, 100), 5)
+           .graph()},
   };
   for (const Target& t : targets) {
     for (const std::uint32_t d : {1u, 2u, 3u}) {
-      const cover::Cover cover = cover::build_kd_cover(t.g, d, 8.0, 77, 3);
-      int w_deg = -1, w_fill = -1, w_bfs = -1;
-      double t_deg = 0, t_fill = 0, t_bfs = 0;
-      for (const cover::Slice& slice : cover.slices) {
-        support::Timer t1;
-        w_deg = std::max(w_deg,
-                         treedecomp::greedy_decomposition(
-                             slice.graph, treedecomp::GreedyStrategy::kMinDegree)
-                             .width());
-        t_deg += t1.seconds();
-        support::Timer t2;
-        w_fill = std::max(w_fill,
-                          treedecomp::greedy_decomposition(
-                              slice.graph, treedecomp::GreedyStrategy::kMinFill)
-                              .width());
-        t_fill += t2.seconds();
-        support::Timer t3;
-        w_bfs = std::max(
-            w_bfs,
-            treedecomp::bfs_layer_decomposition(slice.graph, slice.bfs_root)
-                .width());
-        t_bfs += t3.seconds();
-      }
-      std::printf(
-          "%-12s  %u  %6zu |  %7d  %8d  %9d  %8u | %8.2f  %9.2f  %8.2f\n",
-          t.name, d, cover.slices.size(), w_deg, w_fill, w_bfs, 3 * d, t_deg,
-          t_fill, t_bfs);
+      // One fixed cover per (graph, d), shared by the three strategies so
+      // they decompose identical slices.
+      const auto cover = std::make_shared<cover::Cover>(
+          cover::build_kd_cover(t.g, d, 8.0, 77, 3));
+      const std::string stem =
+          std::string(t.name) + "/d=" + std::to_string(d);
+      const auto add_strategy = [&](const std::string& label, auto decompose) {
+        reg.add(stem + "/" + label,
+                [cover, d, decompose](Trial& trial) {
+                  int width = -1;
+                  trial.measure([&] {
+                    for (const cover::Slice& slice : cover->slices)
+                      width = std::max(width, decompose(slice));
+                  });
+                  trial.counter("width", width);
+                  trial.counter("bound_width", 3 * d);
+                  trial.counter("slices",
+                                static_cast<double>(cover->slices.size()));
+                });
+      };
+      add_strategy("min-deg", [](const cover::Slice& slice) {
+        return treedecomp::greedy_decomposition(
+                   slice.graph, treedecomp::GreedyStrategy::kMinDegree)
+            .width();
+      });
+      add_strategy("min-fill", [](const cover::Slice& slice) {
+        return treedecomp::greedy_decomposition(
+                   slice.graph, treedecomp::GreedyStrategy::kMinFill)
+            .width();
+      });
+      add_strategy("bfs-layer", [](const cover::Slice& slice) {
+        return treedecomp::bfs_layer_decomposition(slice.graph,
+                                                   slice.bfs_root)
+            .width();
+      });
     }
   }
-  std::printf(
-      "\nReading: measured widths sit at or below the paper's 3d bound on\n"
-      "these planar slices, vindicating the greedy substitution; min-fill\n"
-      "buys slightly smaller widths at higher construction cost.\n");
-  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return ppsi::bench::run_main(argc, argv, "treewidth_ablation",
+                               register_benchmarks);
 }

@@ -1,0 +1,79 @@
+#pragma once
+
+// Shared seeded instance corpus for the benchmarks.
+//
+// Registration functions receive a Corpus so every case draws its instances
+// from one place, and so instance sizes scale with the harness --scale flag:
+// the same registrations serve both full perf runs (scale 1) and the CI
+// smoke subset (scale << 1, scripts/bench_smoke.sh). The random families
+// reuse the seeded generators the differential tests use
+// (tests/testing/random_inputs.hpp), so bench instances and test instances
+// come from the same distributions.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "isomorphism/pattern.hpp"
+#include "planar/rotation_system.hpp"
+#include "support/types.hpp"
+#include "testing/random_inputs.hpp"
+
+namespace ppsi::bench {
+
+struct Corpus {
+  double scale = 1.0;
+
+  /// Scaled instance size for linear-size families, floored.
+  Vertex n(Vertex base, Vertex floor_n = 8) const {
+    const auto scaled = static_cast<Vertex>(
+        std::lround(static_cast<double>(base) * scale));
+    return std::max(floor_n, scaled);
+  }
+
+  /// Scaled side length (so grid areas scale ~linearly with `scale`).
+  Vertex side(Vertex base, Vertex floor_side = 4) const {
+    const auto scaled = static_cast<Vertex>(
+        std::lround(static_cast<double>(base) * std::sqrt(scale)));
+    return std::max(floor_side, scaled);
+  }
+
+  /// Scaled trial count for probability-estimate cases (these need many
+  /// repetitions at full scale but only a sanity check in smoke runs).
+  int reps(int base, int floor_reps = 2) const {
+    const auto scaled = static_cast<int>(
+        std::lround(static_cast<double>(base) * scale));
+    return std::max(floor_reps, scaled);
+  }
+
+  // Deterministic standard families (sizes already scaled).
+  Graph grid(Vertex rows, Vertex cols) const {
+    return gen::grid_graph(side(rows), side(cols));
+  }
+  planar::EmbeddedGraph embedded_grid(Vertex rows, Vertex cols) const {
+    return gen::embedded_grid(side(rows), side(cols));
+  }
+  planar::EmbeddedGraph apollonian(Vertex base_n, std::uint64_t seed) const {
+    return gen::apollonian(n(base_n), seed);
+  }
+  Graph path(Vertex base_n) const { return gen::path_graph(n(base_n)); }
+  Graph cycle(Vertex base_n) const { return gen::cycle_graph(n(base_n)); }
+
+  // Seeded random families shared with the differential tests. These are
+  // small by construction, so they are scale-independent.
+  planar::EmbeddedGraph random_planar(std::uint64_t seed) const {
+    return testing::random_embedded_planar(seed);
+  }
+  Graph random_target(std::uint64_t seed,
+                      std::string* family_name = nullptr) const {
+    return testing::random_target(seed, family_name);
+  }
+  iso::Pattern random_pattern(std::uint64_t seed) const {
+    return testing::random_pattern(seed);
+  }
+};
+
+}  // namespace ppsi::bench

@@ -1,0 +1,428 @@
+#include "harness/harness.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <utility>
+
+#include "support/rng.hpp"
+#include "support/timer.hpp"
+
+#include "harness/corpus.hpp"
+
+namespace ppsi::bench {
+
+void Trial::measure(const std::function<void()>& body) {
+  used_measure_ = true;
+  support::ScopedTimer timed(measured_seconds_);
+  body();
+}
+
+void Trial::counter(const std::string& name, double value) {
+  for (auto& [existing, v] : counters_) {
+    if (existing == name) {
+      v = value;
+      return;
+    }
+  }
+  counters_.emplace_back(name, value);
+}
+
+void Registry::add(std::string name, BenchFn fn, CaseOptions options) {
+  cases_.push_back({std::move(name), std::move(fn), options});
+}
+
+bool matches_filter(const std::string& filter, const std::string& name) {
+  if (filter.empty()) return true;
+  if (filter.find_first_of("*?") == std::string::npos)
+    return name.find(filter) != std::string::npos;
+  // Iterative glob with backtracking over the last '*'.
+  std::size_t p = 0, s = 0, star = std::string::npos, star_s = 0;
+  while (s < name.size()) {
+    if (p < filter.size() && (filter[p] == '?' || filter[p] == name[s])) {
+      ++p;
+      ++s;
+    } else if (p < filter.size() && filter[p] == '*') {
+      star = p++;
+      star_s = s;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      s = ++star_s;
+    } else {
+      return false;
+    }
+  }
+  while (p < filter.size() && filter[p] == '*') ++p;
+  return p == filter.size();
+}
+
+namespace {
+
+bool parse_int(const std::string& text, int* out) {
+  try {
+    std::size_t pos = 0;
+    const int v = std::stoi(text, &pos);
+    if (pos != text.size()) return false;
+    *out = v;
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+bool parse_thread_list(const std::string& text, std::vector<int>* out) {
+  out->clear();
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string piece =
+        text.substr(start, comma == std::string::npos ? comma : comma - start);
+    int v = 0;
+    if (!parse_int(piece, &v) || v < 1) return false;
+    // Dedupe: repeated counts would emit duplicate (suite, name, threads)
+    // records, which the JSON consumers reject.
+    if (std::find(out->begin(), out->end(), v) == out->end())
+      out->push_back(v);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return !out->empty();
+}
+
+}  // namespace
+
+bool parse_args(int argc, const char* const* argv, HarnessOptions* options,
+                std::string* error) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        *error = std::string(flag) + " requires a value";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      options->help = true;
+    } else if (arg == "--list") {
+      options->list_only = true;
+    } else if (arg == "--filter") {
+      const char* v = value("--filter");
+      if (v == nullptr) return false;
+      options->filter = v;
+    } else if (arg == "--json") {
+      const char* v = value("--json");
+      if (v == nullptr) return false;
+      options->json_path = v;
+    } else if (arg == "--repeats") {
+      const char* v = value("--repeats");
+      if (v == nullptr || !parse_int(v, &options->repeats) ||
+          options->repeats < 1) {
+        *error = "--repeats requires a positive integer";
+        return false;
+      }
+    } else if (arg == "--warmup") {
+      const char* v = value("--warmup");
+      if (v == nullptr || !parse_int(v, &options->warmup) ||
+          options->warmup < 0) {
+        *error = "--warmup requires a non-negative integer";
+        return false;
+      }
+    } else if (arg == "--threads") {
+      const char* v = value("--threads");
+      if (v == nullptr || !parse_thread_list(v, &options->threads)) {
+        *error = "--threads requires a comma-separated list of positive ints";
+        return false;
+      }
+    } else if (arg == "--scale") {
+      const char* v = value("--scale");
+      char* end = nullptr;
+      options->scale = v == nullptr ? 0 : std::strtod(v, &end);
+      // Upper bound keeps Corpus's size arithmetic (lround to 32-bit
+      // vertex counts) far from overflow; the negated form also rejects NaN.
+      if (v == nullptr || end == v || *end != '\0' ||
+          !(options->scale > 0 && options->scale <= 1024)) {
+        *error = "--scale requires a number in (0, 1024]";
+        return false;
+      }
+    } else {
+      *error = "unknown flag: " + arg;
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string usage(const std::string& suite) {
+  return "usage: bench_" + suite +
+         " [--filter GLOB] [--list] [--repeats N] [--warmup N]\n"
+         "       [--threads A,B,C] [--scale S] [--json PATH] [--help]\n"
+         "\n"
+         "Runs the '" + suite +
+         "' benchmark suite: each case runs WARMUP untimed then REPEATS\n"
+         "timed trials per thread count; results print as a table and,\n"
+         "with --json, as a ppsi-bench-v1 document (see README\n"
+         "\"Benchmarking\").\n";
+}
+
+namespace {
+
+std::string compiler_string() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+std::string build_type_string() {
+#ifdef PPSI_BUILD_TYPE
+  return PPSI_BUILD_TYPE;
+#else
+  return "unknown";
+#endif
+}
+
+std::string git_sha() {
+  if (const char* env = std::getenv("PPSI_GIT_SHA");
+      env != nullptr && *env != '\0') {
+    return env;
+  }
+  std::string sha;
+#if defined(__unix__) || defined(__APPLE__)
+  if (FILE* pipe = popen("git rev-parse HEAD 2>/dev/null", "r")) {
+    char buf[128];
+    if (std::fgets(buf, sizeof buf, pipe) != nullptr) sha = buf;
+    pclose(pipe);
+  }
+#endif
+  while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r'))
+    sha.pop_back();
+  return sha.empty() ? "unknown" : sha;
+}
+
+std::string utc_timestamp() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm_utc{};
+  gmtime_r(&now, &tm_utc);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  return buf;
+}
+
+Json stats_to_json(const support::SampleStats& s,
+                   const std::vector<double>* trials) {
+  Json out = Json::object();
+  out["median"] = s.median;
+  out["min"] = s.min;
+  out["max"] = s.max;
+  out["mean"] = s.mean;
+  out["stddev"] = s.stddev;
+  if (trials != nullptr) {
+    Json arr = Json::array();
+    for (const double t : *trials) arr.push_back(t);
+    out["trials"] = std::move(arr);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<BenchRecord> run_benchmarks(const Registry& registry,
+                                        const HarnessOptions& options,
+                                        const std::string& suite) {
+  std::vector<int> threads = options.threads;
+  if (threads.empty()) threads.push_back(omp_get_max_threads());
+
+  std::vector<BenchRecord> records;
+  for (const int t : threads) {
+    omp_set_num_threads(t);
+    for (const Case& c : registry.cases()) {
+      if (!matches_filter(options.filter, c.name)) continue;
+      const int repeats =
+          options.repeats > 0 ? options.repeats : c.options.repeats;
+      const int warmup =
+          options.warmup >= 0 ? options.warmup : c.options.warmup;
+
+      BenchRecord rec;
+      rec.suite = suite;
+      rec.name = c.name;
+      rec.threads = t;
+      rec.repeats = repeats;
+      rec.warmup = warmup;
+
+      struct CounterSum {
+        std::string name;
+        double sum = 0;
+        int count = 0;
+      };
+      std::vector<double> work_samples, round_samples;
+      std::vector<CounterSum> counter_sums;
+      for (int rep = -warmup; rep < repeats; ++rep) {
+        // Timed trial r always gets the seed derived from r itself, so
+        // seeded results are comparable across --warmup settings; warmup
+        // reps are negative, which maps to huge distinct stream indices.
+        Trial trial(rep,
+                    support::hash_combine(
+                        c.options.seed,
+                        static_cast<std::uint64_t>(
+                            static_cast<std::int64_t>(rep))));
+        support::Timer whole;
+        c.fn(trial);
+        const double elapsed =
+            trial.used_measure() ? trial.measured_seconds() : whole.seconds();
+        if (trial.is_warmup()) continue;
+        rec.trial_seconds.push_back(elapsed);
+        if (trial.work() != 0 || trial.rounds() != 0) rec.has_metrics = true;
+        work_samples.push_back(static_cast<double>(trial.work()));
+        round_samples.push_back(static_cast<double>(trial.rounds()));
+        for (const auto& [name, value] : trial.counters()) {
+          bool found = false;
+          for (CounterSum& cs : counter_sums) {
+            if (cs.name == name) {
+              cs.sum += value;
+              ++cs.count;
+              found = true;
+              break;
+            }
+          }
+          if (!found) counter_sums.push_back({name, value, 1});
+        }
+      }
+      rec.seconds = support::summarize(rec.trial_seconds);
+      rec.work = support::summarize(work_samples);
+      rec.rounds = support::summarize(round_samples);
+      // Mean over the trials that actually recorded the counter (cases may
+      // record a counter conditionally).
+      for (const CounterSum& cs : counter_sums)
+        rec.counters.emplace_back(cs.name, cs.sum / cs.count);
+      records.push_back(std::move(rec));
+    }
+  }
+  return records;
+}
+
+Json records_to_json(const std::string& suite, const HarnessOptions& options,
+                     const std::vector<BenchRecord>& records) {
+  Json doc = Json::object();
+  doc["schema"] = kSchemaName;
+  doc["schema_version"] = kSchemaVersion;
+  doc["suite"] = suite;
+  doc["git_sha"] = git_sha();
+  doc["compiler"] = compiler_string();
+  doc["build_type"] = build_type_string();
+  doc["scale"] = options.scale;
+  doc["generated_at"] = utc_timestamp();
+  doc["omp_max_threads"] = omp_get_max_threads();
+  Json benches = Json::array();
+  for (const BenchRecord& r : records) {
+    Json b = Json::object();
+    b["suite"] = r.suite;
+    b["name"] = r.name;
+    b["threads"] = r.threads;
+    b["repeats"] = r.repeats;
+    b["warmup"] = r.warmup;
+    b["seconds"] = stats_to_json(r.seconds, &r.trial_seconds);
+    if (r.has_metrics) {
+      b["work"] = stats_to_json(r.work, nullptr);
+      b["rounds"] = stats_to_json(r.rounds, nullptr);
+    }
+    Json counters = Json::object();
+    for (const auto& [name, value] : r.counters) counters[name] = value;
+    b["counters"] = std::move(counters);
+    benches.push_back(std::move(b));
+  }
+  doc["benchmarks"] = std::move(benches);
+  return doc;
+}
+
+void print_table(const std::vector<BenchRecord>& records) {
+  std::size_t width = 4;
+  for (const BenchRecord& r : records) width = std::max(width, r.name.size());
+  std::printf("%-*s  thr  reps  median[ms]     min[ms]  stddev[ms]  "
+              "      work  rounds  counters\n",
+              static_cast<int>(width), "name");
+  for (const BenchRecord& r : records) {
+    std::string counters;
+    for (const auto& [name, value] : r.counters) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%s%s=%.4g", counters.empty() ? "" : " ",
+                    name.c_str(), value);
+      counters += buf;
+    }
+    if (r.has_metrics) {
+      std::printf("%-*s  %3d  %4d  %10.3f  %10.3f  %10.3f  %10.0f  %6.0f  %s\n",
+                  static_cast<int>(width), r.name.c_str(), r.threads,
+                  r.repeats, r.seconds.median * 1e3, r.seconds.min * 1e3,
+                  r.seconds.stddev * 1e3, r.work.median, r.rounds.median,
+                  counters.c_str());
+    } else {
+      std::printf("%-*s  %3d  %4d  %10.3f  %10.3f  %10.3f  %10s  %6s  %s\n",
+                  static_cast<int>(width), r.name.c_str(), r.threads,
+                  r.repeats, r.seconds.median * 1e3, r.seconds.min * 1e3,
+                  r.seconds.stddev * 1e3, "-", "-", counters.c_str());
+    }
+  }
+}
+
+int run_main(int argc, const char* const* argv, const std::string& suite,
+             RegisterFn register_benchmarks) {
+  HarnessOptions options;
+  std::string error;
+  if (!parse_args(argc, argv, &options, &error)) {
+    std::fprintf(stderr, "bench_%s: %s\n%s", suite.c_str(), error.c_str(),
+                 usage(suite).c_str());
+    return 2;
+  }
+  if (options.help) {
+    std::fputs(usage(suite).c_str(), stdout);
+    return 0;
+  }
+
+  Corpus corpus{options.scale};
+  Registry registry;
+  register_benchmarks(registry, corpus);
+
+  if (options.list_only) {
+    for (const Case& c : registry.cases())
+      if (matches_filter(options.filter, c.name))
+        std::printf("%s\n", c.name.c_str());
+    return 0;
+  }
+
+  // run_benchmarks leaves the last sweep value in omp_set_num_threads;
+  // restore the machine default so the JSON's omp_max_threads records the
+  // runner's actual width, not the final --threads entry.
+  const int machine_threads = omp_get_max_threads();
+  const std::vector<BenchRecord> records =
+      run_benchmarks(registry, options, suite);
+  omp_set_num_threads(machine_threads);
+  if (records.empty()) {
+    std::fprintf(stderr, "bench_%s: no benchmarks match filter '%s'\n",
+                 suite.c_str(), options.filter.c_str());
+    return 1;
+  }
+  std::printf("suite: %s  (schema %s v%d)\n", suite.c_str(), kSchemaName,
+              kSchemaVersion);
+  print_table(records);
+
+  if (!options.json_path.empty()) {
+    std::ofstream out(options.json_path);
+    if (!out) {
+      std::fprintf(stderr, "bench_%s: cannot write %s\n", suite.c_str(),
+                   options.json_path.c_str());
+      return 1;
+    }
+    out << records_to_json(suite, options, records).dump();
+    std::printf("wrote %s\n", options.json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace ppsi::bench

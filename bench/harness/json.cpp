@@ -1,0 +1,136 @@
+#include "harness/json.hpp"
+
+#include <array>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace ppsi::bench {
+
+void Json::push_back(Json v) {
+  if (!is_array()) throw std::logic_error("Json::push_back on non-array");
+  std::get<Array>(value_).push_back(std::move(v));
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (!is_object()) throw std::logic_error("Json::operator[] on non-object");
+  auto& members = std::get<Object>(value_);
+  for (auto& [k, v] : members)
+    if (k == key) return v;
+  members.emplace_back(key, Json());
+  return members.back().second;
+}
+
+std::string Json::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Shortest round-trip representation; JSON has no NaN/Inf, emit null.
+void append_double(std::string& out, double d) {
+  if (!std::isfinite(d)) {
+    out += "null";
+    return;
+  }
+  std::array<char, 32> buf;
+  const auto res = std::to_chars(buf.data(), buf.data() + buf.size(), d);
+  std::string text(buf.data(), res.ptr);
+  // Keep numbers that happen to be integral recognizable as floats.
+  if (text.find_first_of(".eE") == std::string::npos) text += ".0";
+  out += text;
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, bool pretty, int depth) const {
+  const std::string pad = pretty ? std::string(2 * (depth + 1), ' ') : "";
+  const std::string close_pad = pretty ? std::string(2 * depth, ' ') : "";
+  const char* nl = pretty ? "\n" : "";
+  if (std::holds_alternative<std::nullptr_t>(value_)) {
+    out += "null";
+  } else if (const auto* b = std::get_if<bool>(&value_)) {
+    out += *b ? "true" : "false";
+  } else if (const auto* d = std::get_if<double>(&value_)) {
+    append_double(out, *d);
+  } else if (const auto* i = std::get_if<std::int64_t>(&value_)) {
+    out += std::to_string(*i);
+  } else if (const auto* s = std::get_if<std::string>(&value_)) {
+    out += '"';
+    out += escape(*s);
+    out += '"';
+  } else if (const auto* a = std::get_if<Array>(&value_)) {
+    if (a->empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    out += nl;
+    for (std::size_t i = 0; i < a->size(); ++i) {
+      out += pad;
+      (*a)[i].dump_to(out, pretty, depth + 1);
+      if (i + 1 < a->size()) out += ',';
+      out += nl;
+    }
+    out += close_pad;
+    out += ']';
+  } else {
+    const auto& o = std::get<Object>(value_);
+    if (o.empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    out += nl;
+    for (std::size_t i = 0; i < o.size(); ++i) {
+      out += pad;
+      out += '"';
+      out += escape(o[i].first);
+      out += pretty ? "\": " : "\":";
+      o[i].second.dump_to(out, pretty, depth + 1);
+      if (i + 1 < o.size()) out += ',';
+      out += nl;
+    }
+    out += close_pad;
+    out += '}';
+  }
+}
+
+std::string Json::dump(bool pretty) const {
+  std::string out;
+  dump_to(out, pretty, 0);
+  if (pretty) out += '\n';
+  return out;
+}
+
+}  // namespace ppsi::bench

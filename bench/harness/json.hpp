@@ -1,0 +1,60 @@
+#pragma once
+
+// Minimal JSON document builder for the bench harness (no third-party
+// dependencies). Covers exactly what the ppsi-bench-v1 schema needs:
+// objects with insertion-ordered keys, arrays, strings, numbers, booleans,
+// null. Emission only — the Python side (scripts/bench_compare.py) parses.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace ppsi::bench {
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(int i) : value_(static_cast<std::int64_t>(i)) {}
+  Json(std::int64_t i) : value_(i) {}
+  Json(std::uint64_t u) : value_(static_cast<std::int64_t>(u)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+
+  static Json array() { return Json(Array{}); }
+  static Json object() { return Json(Object{}); }
+
+  bool is_object() const { return std::holds_alternative<Object>(value_); }
+  bool is_array() const { return std::holds_alternative<Array>(value_); }
+
+  /// Appends to an array value (the value must be an array).
+  void push_back(Json v);
+
+  /// Object access: returns the value for `key`, inserting a null member if
+  /// absent. Insertion order is preserved on emission.
+  Json& operator[](const std::string& key);
+
+  /// Serializes with 2-space indentation when `pretty`, compact otherwise.
+  std::string dump(bool pretty = true) const;
+
+  /// JSON string escaping of `s` (without surrounding quotes).
+  static std::string escape(const std::string& s);
+
+ private:
+  explicit Json(Array a) : value_(std::move(a)) {}
+  explicit Json(Object o) : value_(std::move(o)) {}
+  void dump_to(std::string& out, bool pretty, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::int64_t, std::string, Array,
+               Object>
+      value_;
+};
+
+}  // namespace ppsi::bench

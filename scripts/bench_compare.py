@@ -1,0 +1,453 @@
+#!/usr/bin/env python3
+"""Work with ppsi-bench-v1 benchmark JSON documents.
+
+Subcommands:
+  validate FILE                 schema-check one document (exit 1 on errors)
+  merge OUT IN [IN ...]         concatenate documents into one (suite "merged"
+                                unless all inputs share a suite)
+  compare BASELINE CURRENT      diff two documents; exit 1 when CURRENT's
+                                median regresses by more than --threshold
+                                (default 0.30 = 30%) on any benchmark
+  self-test                     synthetic end-to-end check of validate/compare
+
+Benchmarks are matched by (suite, name, threads). `compare` gates on the
+median of --metric (default: seconds); benchmarks whose baseline AND current
+medians are both below --min-seconds (default 1 ms, seconds metric only) are
+skipped as noise. Benchmarks present on only one side are reported but do
+not fail the comparison (adding/removing cases is not a regression).
+
+The C++ side of the schema lives in bench/harness/harness.hpp; the CI
+perf-smoke job (.github/workflows/ci.yml) gates on `--metric work` (the
+instrumented, machine-independent operation count) and reports the
+wall-clock comparison as advisory, since runner hardware varies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+SCHEMA = "ppsi-bench-v1"
+SCHEMA_VERSION = 1
+
+TOP_LEVEL_REQUIRED = [
+    "schema",
+    "schema_version",
+    "suite",
+    "git_sha",
+    "compiler",
+    "build_type",
+    "scale",
+    "generated_at",
+    "benchmarks",
+]
+BENCH_REQUIRED = ["suite", "name", "threads", "repeats", "warmup", "seconds"]
+STATS_REQUIRED = ["median", "min", "max", "mean", "stddev"]
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def validation_errors(doc):
+    errors = []
+    for key in TOP_LEVEL_REQUIRED:
+        if key not in doc:
+            errors.append(f"missing top-level field: {key}")
+    if doc.get("schema") not in (None, SCHEMA):
+        errors.append(f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    if doc.get("schema_version") not in (None, SCHEMA_VERSION):
+        errors.append(
+            f"schema_version is {doc.get('schema_version')!r}, "
+            f"expected {SCHEMA_VERSION}"
+        )
+    benchmarks = doc.get("benchmarks", [])
+    if not isinstance(benchmarks, list):
+        errors.append("benchmarks is not a list")
+        benchmarks = []
+    seen = set()
+    for i, bench in enumerate(benchmarks):
+        where = f"benchmarks[{i}]"
+        if not isinstance(bench, dict):
+            errors.append(f"{where} is not an object")
+            continue
+        for key in BENCH_REQUIRED:
+            if key not in bench:
+                errors.append(f"{where} missing field: {key}")
+        for stats_key in ("seconds", "work", "rounds"):
+            stats = bench.get(stats_key)
+            if stats is None:
+                continue
+            for key in STATS_REQUIRED:
+                if key not in stats:
+                    errors.append(f"{where}.{stats_key} missing field: {key}")
+        key = (bench.get("suite"), bench.get("name"), bench.get("threads"))
+        if key in seen:
+            errors.append(f"{where} duplicates {key}")
+        seen.add(key)
+    return errors
+
+
+def cmd_validate(args):
+    doc = load(args.file)
+    errors = validation_errors(doc)
+    for error in errors:
+        print(f"{args.file}: {error}", file=sys.stderr)
+    if not errors:
+        print(
+            f"{args.file}: valid {SCHEMA} document, "
+            f"{len(doc['benchmarks'])} benchmark(s)"
+        )
+    return 1 if errors else 0
+
+
+def cmd_merge(args):
+    docs = [load(path) for path in args.inputs]
+    for path, doc in zip(args.inputs, docs):
+        errors = validation_errors(doc)
+        if errors:
+            for error in errors:
+                print(f"{path}: {error}", file=sys.stderr)
+            return 1
+    suites = sorted({d["suite"] for d in docs})
+    merged = dict(docs[0])
+    merged["suite"] = suites[0] if len(suites) == 1 else "merged"
+    merged["benchmarks"] = [b for d in docs for b in d["benchmarks"]]
+    errors = validation_errors(merged)
+    if errors:
+        for error in errors:
+            print(f"merged: {error}", file=sys.stderr)
+        return 1
+    with open(args.output, "w", encoding="utf-8") as f:
+        json.dump(merged, f, indent=2)
+        f.write("\n")
+    print(
+        f"wrote {args.output}: {len(merged['benchmarks'])} benchmark(s) "
+        f"from {len(docs)} document(s)"
+    )
+    return 0
+
+
+def index(doc):
+    return {
+        (b["suite"], b["name"], b["threads"]): b for b in doc["benchmarks"]
+    }
+
+
+def median_of(bench, metric):
+    stats = bench.get(metric)
+    if stats is None:
+        return None
+    return stats.get("median")
+
+
+def cmd_compare(args):
+    baseline_doc = load(args.baseline)
+    current_doc = load(args.current)
+    for path, doc in ((args.baseline, baseline_doc), (args.current, current_doc)):
+        errors = validation_errors(doc)
+        if errors:
+            for error in errors:
+                print(f"{path}: {error}", file=sys.stderr)
+            return 1
+
+    if baseline_doc.get("scale") != current_doc.get("scale"):
+        # Medians scale with instance size, so cross-scale comparisons
+        # report spurious regressions/improvements; name the real cause.
+        print(
+            f"error: scale mismatch: baseline {baseline_doc.get('scale')} "
+            f"vs current {current_doc.get('scale')} — rerun at the same "
+            "--scale (or regenerate the baseline)",
+            file=sys.stderr,
+        )
+        return 1
+
+    baseline = index(baseline_doc)
+    current = index(current_doc)
+    only_base = sorted(set(baseline) - set(current))
+    only_current = sorted(set(current) - set(baseline))
+    for key in only_base:
+        print(f"note: only in baseline: {'/'.join(map(str, key))}")
+    for key in only_current:
+        print(f"note: only in current:  {'/'.join(map(str, key))}")
+    if not set(baseline) & set(current):
+        # A gate with nothing to gate on is a failure, not a pass: this
+        # happens when cases are renamed without regenerating the baseline.
+        print(
+            "error: no common benchmarks between baseline and current",
+            file=sys.stderr,
+        )
+        return 1
+
+    regressions = []
+    improvements = []
+    compared = skipped = 0
+    for key in sorted(set(baseline) & set(current)):
+        base = median_of(baseline[key], args.metric)
+        cur = median_of(current[key], args.metric)
+        if base is None or cur is None:
+            if (base is None) != (cur is None):
+                side = "current" if cur is None else "baseline"
+                print(
+                    f"note: {args.metric} missing in {side}: "
+                    f"{'/'.join(map(str, key))}"
+                )
+            skipped += 1
+            continue
+        if (
+            args.metric == "seconds"
+            and base < args.min_seconds
+            and cur < args.min_seconds
+        ):
+            skipped += 1
+            continue
+        name = "/".join(map(str, key))
+        if base <= 0:
+            if cur <= 0:
+                skipped += 1
+            else:
+                # Appearing from a zero baseline is an unbounded regression,
+                # not an exemption.
+                compared += 1
+                regressions.append((float("inf"), name, base, cur))
+            continue
+        compared += 1
+        ratio = cur / base
+        if ratio > 1 + args.threshold:
+            regressions.append((ratio, name, base, cur))
+        elif ratio < 1 - args.threshold:
+            improvements.append((ratio, name, base, cur))
+
+    for ratio, name, base, cur in sorted(improvements):
+        print(f"improved  {ratio:6.2f}x  {name}  {base:.6g} -> {cur:.6g}")
+    for ratio, name, base, cur in sorted(regressions, reverse=True):
+        print(f"REGRESSED {ratio:6.2f}x  {name}  {base:.6g} -> {cur:.6g}")
+    print(
+        f"compared {compared} benchmark(s) on median {args.metric} "
+        f"(threshold {args.threshold:.0%}, skipped {skipped}): "
+        f"{len(regressions)} regression(s), {len(improvements)} improvement(s)"
+    )
+    if compared == 0:
+        # Common keys existed but every one was skipped (metric missing or
+        # under the noise floor): the gate checked nothing, which is a
+        # failure, not a pass.
+        print(
+            f"error: zero benchmarks compared on {args.metric} — "
+            "the gate is vacuous",
+            file=sys.stderr,
+        )
+        return 1
+    return 1 if regressions else 0
+
+
+def synthetic_doc(slowdown=1.0):
+    def bench(suite, name, threads, seconds, work):
+        return {
+            "suite": suite,
+            "name": name,
+            "threads": threads,
+            "repeats": 3,
+            "warmup": 1,
+            "seconds": {
+                "median": seconds,
+                "min": seconds * 0.9,
+                "max": seconds * 1.1,
+                "mean": seconds,
+                "stddev": seconds * 0.05,
+                "trials": [seconds * 0.9, seconds, seconds * 1.1],
+            },
+            "work": {
+                "median": work,
+                "min": work,
+                "max": work,
+                "mean": work,
+                "stddev": 0.0,
+            },
+            "counters": {"found": 1.0},
+        }
+
+    return {
+        "schema": SCHEMA,
+        "schema_version": SCHEMA_VERSION,
+        "suite": "selftest",
+        "git_sha": "0" * 40,
+        "compiler": "gcc 0.0",
+        "build_type": "RelWithDebInfo",
+        "scale": 1.0,
+        "generated_at": "1970-01-01T00:00:00Z",
+        "omp_max_threads": 4,
+        "benchmarks": [
+            bench("selftest", "fast/one", 1, 0.010 * slowdown, 1000 * slowdown),
+            bench("selftest", "fast/two", 4, 0.020, 2000),
+            # Below the default --min-seconds floor: never gates on seconds.
+            bench("selftest", "noise/tiny", 1, 0.0002 * slowdown, 10),
+        ],
+    }
+
+
+def run_compare_on(tmpdir, base_doc, cur_doc, extra_args=()):
+    import os
+
+    base_path = os.path.join(tmpdir, "base.json")
+    cur_path = os.path.join(tmpdir, "cur.json")
+    with open(base_path, "w", encoding="utf-8") as f:
+        json.dump(base_doc, f)
+    with open(cur_path, "w", encoding="utf-8") as f:
+        json.dump(cur_doc, f)
+    argv = ["compare", base_path, cur_path, *extra_args]
+    return main(argv)
+
+
+def cmd_self_test(_args):
+    import tempfile
+
+    failures = []
+
+    def check(label, got, want):
+        status = "ok" if got == want else f"FAIL (exit {got}, want {want})"
+        print(f"self-test: {label}: {status}")
+        if got != want:
+            failures.append(label)
+
+    with tempfile.TemporaryDirectory() as tmpdir:
+        check(
+            "identical documents pass",
+            run_compare_on(tmpdir, synthetic_doc(), synthetic_doc()),
+            0,
+        )
+        check(
+            "2x slowdown fails",
+            run_compare_on(tmpdir, synthetic_doc(), synthetic_doc(2.0)),
+            1,
+        )
+        check(
+            "2x slowdown fails on work metric",
+            run_compare_on(
+                tmpdir,
+                synthetic_doc(),
+                synthetic_doc(2.0),
+                ("--metric", "work"),
+            ),
+            1,
+        )
+        check(
+            "2x slowdown passes at threshold 1.5",
+            run_compare_on(
+                tmpdir, synthetic_doc(), synthetic_doc(2.0), ("--threshold", "1.5")
+            ),
+            0,
+        )
+        check(
+            "20% slowdown passes at default threshold",
+            run_compare_on(tmpdir, synthetic_doc(), synthetic_doc(1.2)),
+            0,
+        )
+        disjoint = synthetic_doc()
+        for bench in disjoint["benchmarks"]:
+            bench["name"] = "renamed/" + bench["name"]
+        check(
+            "disjoint documents fail (vacuous gate)",
+            run_compare_on(tmpdir, synthetic_doc(), disjoint),
+            1,
+        )
+        rescaled = synthetic_doc()
+        rescaled["scale"] = 0.5
+        check(
+            "scale mismatch fails",
+            run_compare_on(tmpdir, synthetic_doc(), rescaled),
+            1,
+        )
+        zero_base = synthetic_doc()
+        zero_base["benchmarks"][0]["work"]["median"] = 0.0
+        check(
+            "regression from zero-work baseline fails",
+            run_compare_on(
+                tmpdir, zero_base, synthetic_doc(), ("--metric", "work")
+            ),
+            1,
+        )
+        no_work = synthetic_doc()
+        for bench in no_work["benchmarks"]:
+            del bench["work"]
+        check(
+            "all benchmarks skipped fails (vacuous gate)",
+            run_compare_on(tmpdir, no_work, no_work, ("--metric", "work")),
+            1,
+        )
+
+        import os
+
+        bad = synthetic_doc()
+        del bad["benchmarks"][0]["seconds"]["median"]
+        bad_path = os.path.join(tmpdir, "bad.json")
+        with open(bad_path, "w", encoding="utf-8") as f:
+            json.dump(bad, f)
+        check("validate rejects missing field", main(["validate", bad_path]), 1)
+
+        good_path = os.path.join(tmpdir, "good.json")
+        with open(good_path, "w", encoding="utf-8") as f:
+            json.dump(synthetic_doc(), f)
+        check("validate accepts synthetic doc", main(["validate", good_path]), 0)
+
+        merged_path = os.path.join(tmpdir, "merged.json")
+        check(
+            "merge of a document with itself fails on duplicates",
+            main(["merge", merged_path, good_path, good_path]),
+            1,
+        )
+
+    if failures:
+        print(f"self-test: {len(failures)} failure(s)", file=sys.stderr)
+        return 1
+    print("self-test: all checks passed")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_validate = sub.add_parser("validate", help="schema-check one document")
+    p_validate.add_argument("file")
+    p_validate.set_defaults(func=cmd_validate)
+
+    p_merge = sub.add_parser("merge", help="merge documents into one")
+    p_merge.add_argument("output")
+    p_merge.add_argument("inputs", nargs="+")
+    p_merge.set_defaults(func=cmd_merge)
+
+    p_compare = sub.add_parser("compare", help="diff baseline vs current")
+    p_compare.add_argument("baseline")
+    p_compare.add_argument("current")
+    p_compare.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="allowed median regression as a fraction (default 0.30)",
+    )
+    p_compare.add_argument(
+        "--metric",
+        choices=("seconds", "work", "rounds"),
+        default="seconds",
+        help="which median to gate on (default seconds)",
+    )
+    p_compare.add_argument(
+        "--min-seconds",
+        type=float,
+        default=1e-3,
+        help="skip benchmarks faster than this on both sides "
+        "(seconds metric only, default 1e-3)",
+    )
+    p_compare.set_defaults(func=cmd_compare)
+
+    p_self = sub.add_parser("self-test", help="synthetic end-to-end check")
+    p_self.set_defaults(func=cmd_self_test)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

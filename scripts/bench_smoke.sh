@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Small-n benchmark smoke run: every suite at a reduced --scale with few
+# trials, merged into one schema-valid ppsi-bench-v1 document. Used by the
+# CI perf-smoke job (compared against bench/baselines/BENCH_smoke_baseline.json
+# by scripts/bench_compare.py) and locally around a perf change:
+#
+#   scripts/bench_smoke.sh                   # writes BENCH_smoke.json
+#   scripts/bench_smoke.sh out.json          # custom output path
+#   BUILD_DIR=build-rel scripts/bench_smoke.sh
+#
+# Tunables (env): SMOKE_SCALE (default 0.1), SMOKE_REPEATS (3),
+# SMOKE_THREADS (1,4), BUILD_DIR (build).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${1:-BENCH_smoke.json}"
+SCALE="${SMOKE_SCALE:-0.1}"
+REPEATS="${SMOKE_REPEATS:-3}"
+THREADS="${SMOKE_THREADS:-1,4}"
+
+# suite:filter entries. Filters keep the smoke run in CI-seconds territory:
+# the connectivity solids (icosahedron/octahedron subdivisions) are fixed
+# size — they don't shrink with --scale — and cost minutes per trial.
+ENTRIES=(
+  "micro:"
+  "clustering:est/*"
+  "cover:kd/*"
+  "decision:grid/*"
+  "listing:"
+  "shortcuts:"
+  "table1:grid/*"
+  "treepaths:"
+  "treewidth_ablation:"
+  "connectivity:grid2/*"
+  "connectivity:random-planar/*"
+  "disconnected:"
+)
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+files=()
+i=0
+for entry in "${ENTRIES[@]}"; do
+  suite="${entry%%:*}"
+  filter="${entry#*:}"
+  bin="$BUILD_DIR/bench_$suite"
+  if [ ! -x "$bin" ]; then
+    echo "bench_smoke: missing $bin (build with -DPPSI_BUILD_BENCH=ON)" >&2
+    exit 1
+  fi
+  json="$tmp/$i-$suite.json"
+  args=(--scale "$SCALE" --repeats "$REPEATS" --warmup 1
+        --threads "$THREADS" --json "$json")
+  if [ -n "$filter" ]; then
+    args+=(--filter "$filter")
+  fi
+  echo "bench_smoke: $bin ${args[*]}"
+  "$bin" "${args[@]}" > /dev/null
+  files+=("$json")
+  i=$((i + 1))
+done
+
+python3 scripts/bench_compare.py merge "$OUT" "${files[@]}"
+python3 scripts/bench_compare.py validate "$OUT"

@@ -1,0 +1,49 @@
+#pragma once
+
+// Sample statistics over repeated measurements.
+//
+// The bench harness reports every timed quantity as a summary of repeated
+// trials; regressions are gated on the median (robust against scheduler
+// noise in a way the mean is not), with min/stddev carried along so a noisy
+// run is distinguishable from a slow one.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace ppsi::support {
+
+struct SampleStats {
+  std::size_t count = 0;
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double median = 0;
+  double stddev = 0;  // sample stddev (n-1 denominator); 0 for n < 2
+};
+
+/// Summary statistics of `samples` (taken by value: summarizing sorts).
+inline SampleStats summarize(std::vector<double> samples) {
+  SampleStats s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.min = samples.front();
+  s.max = samples.back();
+  double sum = 0;
+  for (const double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(samples.size());
+  const std::size_t mid = samples.size() / 2;
+  s.median = samples.size() % 2 == 1
+                 ? samples[mid]
+                 : 0.5 * (samples[mid - 1] + samples[mid]);
+  if (samples.size() > 1) {
+    double ss = 0;
+    for (const double v : samples) ss += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(samples.size() - 1));
+  }
+  return s;
+}
+
+}  // namespace ppsi::support

@@ -21,4 +21,21 @@ class Timer {
   Clock::time_point start_;
 };
 
+/// Accumulates the lifetime of a scope into a running total. The bench
+/// harness uses this to time explicit measured regions, so a benchmark can
+/// exclude setup/verification from the reported seconds:
+///
+///   { ScopedTimer timed(acc); expensive_call(); }
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double& accumulator) : accumulator_(accumulator) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { accumulator_ += timer_.seconds(); }
+
+ private:
+  double& accumulator_;
+  Timer timer_;
+};
+
 }  // namespace ppsi::support

@@ -1,0 +1,250 @@
+// Unit tests for the benchmark harness (bench/harness/): filter matching,
+// CLI parsing (including rejection of unknown flags), trial execution with
+// warmup/repeats and per-trial seeds, counter averaging, and ppsi-bench-v1
+// JSON emission. The Python half of the contract (scripts/bench_compare.py)
+// is covered by the bench_compare.selftest and bench_json.* ctest entries.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "harness/harness.hpp"
+#include "harness/json.hpp"
+
+namespace ppsi::bench {
+namespace {
+
+TEST(Filter, EmptyMatchesEverything) {
+  EXPECT_TRUE(matches_filter("", "anything/at/all"));
+  EXPECT_TRUE(matches_filter("", ""));
+}
+
+TEST(Filter, SubstringWhenNoGlobChars) {
+  EXPECT_TRUE(matches_filter("grid", "est/grid/beta=2"));
+  EXPECT_TRUE(matches_filter("beta=2", "est/grid/beta=2"));
+  EXPECT_FALSE(matches_filter("apollonian", "est/grid/beta=2"));
+}
+
+TEST(Filter, GlobOverFullName) {
+  EXPECT_TRUE(matches_filter("est/*", "est/grid/beta=2"));
+  EXPECT_FALSE(matches_filter("grid/*", "est/grid/beta=2"));
+  EXPECT_TRUE(matches_filter("*/beta=2", "est/grid/beta=2"));
+  EXPECT_TRUE(matches_filter("est/*/beta=?", "est/grid/beta=2"));
+  EXPECT_FALSE(matches_filter("est/*/beta=??", "est/grid/beta=2"));
+  EXPECT_TRUE(matches_filter("*", ""));
+  EXPECT_TRUE(matches_filter("a*b*c", "a-x-b-y-c"));
+  EXPECT_FALSE(matches_filter("a*b*c", "a-x-c-y-b"));
+}
+
+TEST(Cli, ParsesEveryFlag) {
+  const char* argv[] = {"bench_x",       "--filter", "kd/*", "--repeats",
+                        "7",             "--warmup", "2",    "--threads",
+                        "1,4,8",         "--scale",  "0.25", "--json",
+                        "/tmp/out.json", "--list"};
+  HarnessOptions opts;
+  std::string error;
+  ASSERT_TRUE(parse_args(14, argv, &opts, &error)) << error;
+  EXPECT_EQ(opts.filter, "kd/*");
+  EXPECT_EQ(opts.repeats, 7);
+  EXPECT_EQ(opts.warmup, 2);
+  EXPECT_EQ(opts.threads, (std::vector<int>{1, 4, 8}));
+  EXPECT_DOUBLE_EQ(opts.scale, 0.25);
+  EXPECT_EQ(opts.json_path, "/tmp/out.json");
+  EXPECT_TRUE(opts.list_only);
+}
+
+TEST(Cli, DedupesThreadCounts) {
+  const char* argv[] = {"bench_x", "--threads", "4,1,4,1"};
+  HarnessOptions opts;
+  std::string error;
+  ASSERT_TRUE(parse_args(3, argv, &opts, &error)) << error;
+  EXPECT_EQ(opts.threads, (std::vector<int>{4, 1}));
+}
+
+TEST(Cli, RejectsUnknownFlag) {
+  const char* argv[] = {"bench_x", "--frobnicate"};
+  HarnessOptions opts;
+  std::string error;
+  EXPECT_FALSE(parse_args(2, argv, &opts, &error));
+  EXPECT_NE(error.find("--frobnicate"), std::string::npos);
+}
+
+TEST(Cli, RejectsMalformedValues) {
+  HarnessOptions opts;
+  std::string error;
+  const char* missing[] = {"bench_x", "--repeats"};
+  EXPECT_FALSE(parse_args(2, missing, &opts, &error));
+  const char* negative[] = {"bench_x", "--repeats", "-3"};
+  EXPECT_FALSE(parse_args(3, negative, &opts, &error));
+  const char* threads[] = {"bench_x", "--threads", "1,zero"};
+  EXPECT_FALSE(parse_args(3, threads, &opts, &error));
+  const char* scale[] = {"bench_x", "--scale", "0"};
+  EXPECT_FALSE(parse_args(3, scale, &opts, &error));
+}
+
+TEST(Runner, WarmupExcludedAndSeedsDistinct) {
+  Registry reg;
+  int calls = 0;
+  std::set<std::uint64_t> seeds;
+  std::vector<int> reps;
+  reg.add(
+      "case/a",
+      [&](Trial& trial) {
+        ++calls;
+        seeds.insert(trial.seed());
+        reps.push_back(trial.repetition());
+      },
+      {.repeats = 3, .warmup = 2});
+  HarnessOptions opts;
+  opts.threads = {1};
+  const auto records = run_benchmarks(reg, opts, "unit");
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(calls, 5);  // 2 warmup + 3 timed
+  EXPECT_EQ(seeds.size(), 5u);
+  EXPECT_EQ(records[0].repeats, 3);
+  EXPECT_EQ(records[0].warmup, 2);
+  EXPECT_EQ(records[0].trial_seconds.size(), 3u);  // warmups not recorded
+  EXPECT_EQ(reps, (std::vector<int>{-2, -1, 0, 1, 2}));
+}
+
+TEST(Runner, CliOverridesRepeatsAndFilters) {
+  Registry reg;
+  int a_calls = 0, b_calls = 0;
+  reg.add("group/a", [&](Trial&) { ++a_calls; }, {.repeats = 100});
+  reg.add("other/b", [&](Trial&) { ++b_calls; });
+  HarnessOptions opts;
+  opts.threads = {1};
+  opts.repeats = 2;
+  opts.warmup = 0;
+  opts.filter = "group/*";
+  const auto records = run_benchmarks(reg, opts, "unit");
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].name, "group/a");
+  EXPECT_EQ(a_calls, 2);
+  EXPECT_EQ(b_calls, 0);
+}
+
+TEST(Runner, ThreadSweepProducesOneRecordPerCount) {
+  Registry reg;
+  reg.add("case/a", [](Trial&) {}, {.repeats = 1, .warmup = 0});
+  HarnessOptions opts;
+  opts.threads = {1, 2};
+  const auto records = run_benchmarks(reg, opts, "unit");
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].threads, 1);
+  EXPECT_EQ(records[1].threads, 2);
+}
+
+TEST(Runner, CountersAverageAndMetricsAggregate) {
+  Registry reg;
+  reg.add(
+      "case/a",
+      [](Trial& trial) {
+        trial.counter("value", trial.repetition() == 0 ? 1.0 : 3.0);
+        trial.add_work(100);
+        trial.add_rounds(7);
+      },
+      {.repeats = 2, .warmup = 0});
+  HarnessOptions opts;
+  opts.threads = {1};
+  const auto records = run_benchmarks(reg, opts, "unit");
+  ASSERT_EQ(records.size(), 1u);
+  ASSERT_EQ(records[0].counters.size(), 1u);
+  EXPECT_EQ(records[0].counters[0].first, "value");
+  EXPECT_DOUBLE_EQ(records[0].counters[0].second, 2.0);
+  EXPECT_TRUE(records[0].has_metrics);
+  EXPECT_DOUBLE_EQ(records[0].work.median, 100.0);
+  EXPECT_DOUBLE_EQ(records[0].rounds.median, 7.0);
+}
+
+TEST(Runner, ConditionalCountersAverageOverRecordingTrials) {
+  Registry reg;
+  reg.add(
+      "case/a",
+      [](Trial& trial) {
+        if (trial.repetition() == 1) trial.counter("rare", 6.0);
+      },
+      {.repeats = 3, .warmup = 0});
+  HarnessOptions opts;
+  opts.threads = {1};
+  const auto records = run_benchmarks(reg, opts, "unit");
+  ASSERT_EQ(records.size(), 1u);
+  ASSERT_EQ(records[0].counters.size(), 1u);
+  // Mean over the one trial that recorded it, not over all 3 repeats.
+  EXPECT_DOUBLE_EQ(records[0].counters[0].second, 6.0);
+}
+
+TEST(Cli, RejectsNanScale) {
+  HarnessOptions opts;
+  std::string error;
+  const char* nan_scale[] = {"bench_x", "--scale", "nan"};
+  EXPECT_FALSE(parse_args(3, nan_scale, &opts, &error));
+  const char* huge[] = {"bench_x", "--scale", "1e18"};
+  EXPECT_FALSE(parse_args(3, huge, &opts, &error));
+}
+
+TEST(Runner, MeasuredRegionBeatsWholeFunction) {
+  Registry reg;
+  reg.add(
+      "case/a",
+      [](Trial& trial) {
+        volatile double sink = 0;
+        for (int i = 0; i < 2000000; ++i) sink = sink + i;  // untimed setup
+        trial.measure([] {});
+      },
+      {.repeats = 1, .warmup = 0});
+  HarnessOptions opts;
+  opts.threads = {1};
+  const auto records = run_benchmarks(reg, opts, "unit");
+  ASSERT_EQ(records.size(), 1u);
+  // The measured (empty) region is far cheaper than the setup loop.
+  EXPECT_LT(records[0].seconds.median, 1e-4);
+}
+
+TEST(Json, EscapesAndSerializes) {
+  EXPECT_EQ(Json::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  Json obj = Json::object();
+  obj["name"] = "x\"y";
+  obj["count"] = 3;
+  obj["ratio"] = 1.5;
+  obj["ok"] = true;
+  Json arr = Json::array();
+  arr.push_back(1.0);
+  arr.push_back(2.0);
+  obj["trials"] = std::move(arr);
+  EXPECT_EQ(obj.dump(/*pretty=*/false),
+            "{\"name\":\"x\\\"y\",\"count\":3,\"ratio\":1.5,\"ok\":true,"
+            "\"trials\":[1.0,2.0]}");
+}
+
+TEST(Json, SchemaFieldsPresent) {
+  Registry reg;
+  reg.add(
+      "case/a",
+      [](Trial& trial) {
+        trial.add_work(5);
+        trial.counter("found", 1.0);
+      },
+      {.repeats = 2, .warmup = 0});
+  HarnessOptions opts;
+  opts.threads = {1};
+  const auto records = run_benchmarks(reg, opts, "unit");
+  const std::string text = records_to_json("unit", opts, records).dump();
+  // Every field scripts/bench_compare.py validates must be present.
+  for (const char* field :
+       {"\"schema\": \"ppsi-bench-v1\"", "\"schema_version\": 1",
+        "\"suite\": \"unit\"", "\"git_sha\"", "\"compiler\"", "\"build_type\"",
+        "\"scale\"", "\"generated_at\"", "\"benchmarks\"",
+        "\"name\": \"case/a\"", "\"threads\": 1", "\"repeats\": 2",
+        "\"warmup\": 0", "\"seconds\"", "\"median\"", "\"min\"", "\"max\"",
+        "\"mean\"", "\"stddev\"", "\"trials\"", "\"work\"", "\"rounds\"",
+        "\"counters\"", "\"found\""}) {
+    EXPECT_NE(text.find(field), std::string::npos) << "missing " << field
+                                                   << " in:\n" << text;
+  }
+}
+
+}  // namespace
+}  // namespace ppsi::bench

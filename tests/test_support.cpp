@@ -8,6 +8,8 @@
 #include "support/metrics.hpp"
 #include "support/parallel.hpp"
 #include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/timer.hpp"
 
 namespace ppsi::support {
 namespace {
@@ -142,6 +144,46 @@ TEST(Metrics, AbsorbSequentialAndParallel) {
   par.absorb_parallel(b);
   EXPECT_EQ(par.work(), 30u);
   EXPECT_EQ(par.rounds(), 5u);  // max, not sum
+}
+
+TEST(Stats, SummarizeOddAndEven) {
+  const SampleStats odd = summarize({3.0, 1.0, 2.0});
+  EXPECT_EQ(odd.count, 3u);
+  EXPECT_DOUBLE_EQ(odd.min, 1.0);
+  EXPECT_DOUBLE_EQ(odd.max, 3.0);
+  EXPECT_DOUBLE_EQ(odd.mean, 2.0);
+  EXPECT_DOUBLE_EQ(odd.median, 2.0);
+  EXPECT_DOUBLE_EQ(odd.stddev, 1.0);
+
+  const SampleStats even = summarize({4.0, 1.0, 3.0, 2.0});
+  EXPECT_DOUBLE_EQ(even.median, 2.5);
+  EXPECT_DOUBLE_EQ(even.mean, 2.5);
+}
+
+TEST(Stats, SummarizeDegenerate) {
+  const SampleStats empty = summarize({});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.median, 0.0);
+
+  const SampleStats one = summarize({7.5});
+  EXPECT_EQ(one.count, 1u);
+  EXPECT_DOUBLE_EQ(one.median, 7.5);
+  EXPECT_DOUBLE_EQ(one.stddev, 0.0);  // undefined for n=1; reported as 0
+}
+
+TEST(Stats, ScopedTimerAccumulates) {
+  double acc = 0;
+  {
+    ScopedTimer outer(acc);
+    volatile double sink = 0;
+    for (int i = 0; i < 100000; ++i) sink = sink + i;
+  }
+  const double first = acc;
+  EXPECT_GT(first, 0.0);
+  {
+    ScopedTimer again(acc);
+  }
+  EXPECT_GE(acc, first);  // accumulates, never resets
 }
 
 TEST(Hashing, SplitmixSpreads) {

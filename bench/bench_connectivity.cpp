@@ -14,8 +14,8 @@
 #include <optional>
 #include <string>
 
+#include "api/solver.hpp"
 #include "connectivity/flow_connectivity.hpp"
-#include "connectivity/vertex_connectivity.hpp"
 #include "graph/generators.hpp"
 #include "harness/corpus.hpp"
 #include "harness/harness.hpp"
@@ -33,17 +33,17 @@ void add_pair(Registry& reg, const std::string& stem,
   // across warmups/trials/thread sweeps.
   auto flow_k = std::make_shared<std::optional<std::uint32_t>>();
   reg.add(stem + "/ours", [eg, expected, flow_k](Trial& trial) {
-    connectivity::VertexConnectivityOptions opts;
+    QueryOptions opts;
     opts.max_runs = 4;
-    connectivity::VertexConnectivityResult ours;
-    trial.measure(
-        [&] { ours = connectivity::planar_vertex_connectivity(eg, opts); });
-    trial.record(ours.metrics);
+    Solver solver(eg);
+    Result<connectivity::VertexConnectivityResult> ours;
+    trial.measure([&] { ours = solver.vertex_connectivity(opts); });
+    trial.record(ours->metrics);
     if (!flow_k->has_value())
       *flow_k = connectivity::vertex_connectivity_flow(eg.graph()).connectivity;
-    trial.counter("connectivity", ours.connectivity);
+    trial.counter("connectivity", ours->connectivity);
     trial.counter("expected", expected);
-    trial.counter("agrees", ours.connectivity == **flow_k ? 1 : 0);
+    trial.counter("agrees", ours->connectivity == **flow_k ? 1 : 0);
   });
   reg.add(stem + "/flow", [eg](Trial& trial) {
     connectivity::FlowConnectivityResult flow;
@@ -80,14 +80,14 @@ void register_benchmarks(Registry& reg, const Corpus& corpus) {
   // families (per-trial seed: each repetition draws a fresh instance).
   reg.add("random-planar/corpus", [&corpus](Trial& trial) {
     const auto eg = corpus.random_planar(trial.seed());
-    connectivity::VertexConnectivityOptions opts;
+    QueryOptions opts;
     opts.max_runs = 4;
-    connectivity::VertexConnectivityResult ours;
-    trial.measure(
-        [&] { ours = connectivity::planar_vertex_connectivity(eg, opts); });
-    trial.record(ours.metrics);
+    Solver solver(eg);
+    Result<connectivity::VertexConnectivityResult> ours;
+    trial.measure([&] { ours = solver.vertex_connectivity(opts); });
+    trial.record(ours->metrics);
     const auto flow = connectivity::vertex_connectivity_flow(eg.graph());
-    trial.counter("agrees", ours.connectivity == flow.connectivity ? 1 : 0);
+    trial.counter("agrees", ours->connectivity == flow.connectivity ? 1 : 0);
   });
 }
 

@@ -15,7 +15,7 @@
 #include <string>
 #include <vector>
 
-#include "cover/pipeline.hpp"
+#include "api/solver.hpp"
 #include "graph/generators.hpp"
 #include "harness/corpus.hpp"
 #include "harness/harness.hpp"
@@ -43,16 +43,19 @@ void add_decision(Registry& reg, const std::string& name, const Graph& g,
                   const Pat& p) {
   const iso::Pattern pattern = iso::Pattern::from_graph(p.h);
   reg.add(name, [g, pattern](Trial& trial) {
-    cover::PipelineOptions opts;
+    QueryOptions opts;
     opts.engine = cover::EngineKind::kParallel;
     opts.max_runs = 4;
     opts.seed = trial.seed();
-    cover::DecisionResult r;
-    trial.measure([&] { r = cover::find_pattern(g, pattern, opts); });
-    trial.record(r.metrics);
+    // Fresh Solver per trial: this case benchmarks the cold decision
+    // pipeline (bench_solver_reuse covers the warm/amortized path).
+    Solver solver(g);
+    Result<cover::DecisionResult> r;
+    trial.measure([&] { r = solver.find(pattern, opts); });
+    trial.record(r->metrics);
     const double lg = std::log2(static_cast<double>(g.num_vertices()));
-    trial.counter("found", r.found ? 1.0 : 0.0);
-    trial.counter("work_per_n", static_cast<double>(r.metrics.work()) /
+    trial.counter("found", r->found ? 1.0 : 0.0);
+    trial.counter("work_per_n", static_cast<double>(r->metrics.work()) /
                                     g.num_vertices());
     trial.counter("bound_rounds", pattern.size() * lg * lg);
   });
@@ -77,10 +80,11 @@ void register_benchmarks(Registry& reg, const Corpus& corpus) {
     const iso::Pattern pattern = iso::Pattern::from_graph(p.h);
     reg.add(std::string("success/") + p.name,
             [g, pattern](Trial& trial) {
-              cover::DecisionResult r;
+              Solver solver(g);
+              Result<cover::DecisionResult> r;
               trial.measure(
-                  [&] { r = cover::run_once(g, pattern, trial.seed(), {}); });
-              trial.counter("found", r.found ? 1.0 : 0.0);
+                  [&] { r = solver.find_once(pattern, trial.seed()); });
+              trial.counter("found", r->found ? 1.0 : 0.0);
               trial.counter("bound", 0.5);
             },
             {.repeats = corpus.reps(60), .warmup = 0});
@@ -88,15 +92,15 @@ void register_benchmarks(Registry& reg, const Corpus& corpus) {
 
   // Seeded random corpus families (fresh instance per trial).
   reg.add("corpus/mixed", [&corpus](Trial& trial) {
-    const Graph target = corpus.random_target(trial.seed());
+    Solver solver(corpus.random_target(trial.seed()));
     const iso::Pattern pattern = corpus.random_pattern(trial.seed() + 1);
-    cover::PipelineOptions opts;
+    QueryOptions opts;
     opts.max_runs = 4;
     opts.seed = trial.seed();
-    cover::DecisionResult r;
-    trial.measure([&] { r = cover::find_pattern(target, pattern, opts); });
-    trial.record(r.metrics);
-    trial.counter("found", r.found ? 1.0 : 0.0);
+    Result<cover::DecisionResult> r;
+    trial.measure([&] { r = solver.find(pattern, opts); });
+    trial.record(r->metrics);
+    trial.counter("found", r->found ? 1.0 : 0.0);
   });
 }
 

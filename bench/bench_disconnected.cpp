@@ -9,7 +9,7 @@
 #include <string>
 #include <vector>
 
-#include "cover/pipeline.hpp"
+#include "api/solver.hpp"
 #include "graph/generators.hpp"
 #include "harness/corpus.hpp"
 #include "harness/harness.hpp"
@@ -56,15 +56,16 @@ void register_benchmarks(Registry& reg, const Corpus& corpus) {
     const auto l = static_cast<std::uint32_t>(pattern.components().size());
     reg.add(std::string("split/") + c.name,
             [g, pattern, l](Trial& trial) {
-              cover::PipelineOptions opts;
+              QueryOptions opts;
               opts.seed = trial.seed();
-              cover::DecisionResult r;
+              Solver solver(g);
+              Result<cover::DecisionResult> r;
               trial.measure([&] {
-                r = cover::find_pattern_disconnected(g, pattern, opts);
+                r = solver.find_disconnected(pattern, opts);
               });
-              trial.record(r.metrics);
-              trial.counter("attempts", static_cast<double>(r.runs));
-              trial.counter("found", r.found ? 1.0 : 0.0);
+              trial.record(r->metrics);
+              trial.counter("attempts", static_cast<double>(r->runs));
+              trial.counter("found", r->found ? 1.0 : 0.0);
               trial.counter("l_pow_k",
                             std::pow(static_cast<double>(l), pattern.size()));
             },

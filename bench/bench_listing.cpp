@@ -11,8 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "api/solver.hpp"
 #include "baseline/ullmann.hpp"
-#include "cover/pipeline.hpp"
 #include "graph/generators.hpp"
 #include "harness/corpus.hpp"
 #include "harness/harness.hpp"
@@ -47,18 +47,19 @@ void register_benchmarks(Registry& reg, const Corpus& corpus) {
     // fixed (target, pattern); cache it across warmups/trials/thread sweeps.
     auto expected = std::make_shared<std::optional<std::size_t>>();
     reg.add(row.name, [g = row.g, pattern, expected](Trial& trial) {
-      cover::PipelineOptions opts;
+      QueryOptions opts;
       opts.seed = trial.seed();
-      cover::ListingResult ours;
-      trial.measure([&] { ours = cover::list_occurrences(g, pattern, opts); });
-      trial.record(ours.metrics);
+      Solver solver(g);
+      Result<cover::ListingResult> ours;
+      trial.measure([&] { ours = solver.list(pattern, opts); });
+      trial.record(ours->metrics);
       if (!expected->has_value())
         *expected = baseline::ullmann_list(g, pattern, 1u << 24).size();
       const double x = static_cast<double>(**expected);
       trial.counter("x", x);
       trial.counter("complete",
-                    ours.occurrences.size() == **expected ? 1.0 : 0.0);
-      trial.counter("iters", ours.iterations);
+                    ours->occurrences.size() == **expected ? 1.0 : 0.0);
+      trial.counter("iters", ours->iterations);
       trial.counter("bound_iters",
                     std::log2(std::max(2.0, x)) +
                         std::log2(static_cast<double>(g.num_vertices())));

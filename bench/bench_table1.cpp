@@ -16,9 +16,9 @@
 #include <string>
 #include <vector>
 
+#include "api/solver.hpp"
 #include "baseline/eppstein_sequential.hpp"
 #include "baseline/ullmann.hpp"
-#include "cover/pipeline.hpp"
 #include "graph/generators.hpp"
 #include "harness/corpus.hpp"
 #include "harness/harness.hpp"
@@ -33,13 +33,14 @@ namespace {
 void add_row(Registry& reg, const std::string& stem, const Graph& g,
              const iso::Pattern& pattern) {
   reg.add(stem + "/ours", [g, pattern](Trial& trial) {
-    cover::PipelineOptions opts;
+    QueryOptions opts;
     opts.engine = cover::EngineKind::kParallel;
     opts.seed = trial.seed();
-    cover::DecisionResult r;
-    trial.measure([&] { r = cover::find_pattern(g, pattern, opts); });
-    trial.record(r.metrics);
-    trial.counter("found", r.found ? 1.0 : 0.0);
+    Solver solver(g);
+    Result<cover::DecisionResult> r;
+    trial.measure([&] { r = solver.find(pattern, opts); });
+    trial.record(r->metrics);
+    trial.counter("found", r->found ? 1.0 : 0.0);
   });
   reg.add(stem + "/eppstein", [g, pattern](Trial& trial) {
     baseline::EppsteinResult r;

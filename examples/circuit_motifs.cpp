@@ -5,8 +5,9 @@
 // motifs a layout checker would look for.
 
 #include <cstdio>
+#include <cstring>
 
-#include "cover/pipeline.hpp"
+#include "api/solver.hpp"
 #include "graph/generators.hpp"
 #include "support/timer.hpp"
 
@@ -26,10 +27,16 @@ Graph cell_fabric(Vertex rows, Vertex cols) {
 
 }  // namespace
 
-int main() {
-  const Graph fabric = cell_fabric(13, 13);
+int main(int argc, char** argv) {
+  // --smoke: reduced fabric for CI smoke runs (ctest example_*.smoke).
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const Vertex side = smoke ? 8 : 13;
+  const Graph fabric = cell_fabric(side, side);
   std::printf("standard-cell fabric: n=%u m=%zu (planar, triangulated)\n",
               fabric.num_vertices(), fabric.num_edges());
+  // One layout, many motif queries: exactly the session shape ppsi::Solver
+  // caches for (each motif class reuses the covers of its size class).
+  Solver solver(fabric);
 
   struct Motif {
     const char* name;
@@ -48,10 +55,9 @@ int main() {
   for (const Motif& motif : motifs) {
     const iso::Pattern pattern = iso::Pattern::from_graph(motif.h);
     support::Timer timer;
-    const cover::CountResult count =
-        cover::count_occurrences(fabric, pattern, {});
+    const Result<cover::CountResult> count = solver.count(pattern);
     std::printf("%-7s %-28s %10zu %10zu  %8.2f\n", motif.name, motif.meaning,
-                count.subgraphs, count.assignments, timer.seconds());
+                count->subgraphs, count->assignments, timer.seconds());
   }
 
   // A motif that must NOT appear: K5 is non-planar, so any planar fabric
@@ -62,8 +68,7 @@ int main() {
     edges.emplace_back(0, 4);
     k4p = Graph::from_edges(5, edges);
   }
-  const auto r = cover::find_pattern(
-      fabric, iso::Pattern::from_graph(k4p), {});
-  std::printf("K4-with-tap present: %s\n", r.found ? "yes" : "no");
+  const auto r = solver.find(iso::Pattern::from_graph(k4p));
+  std::printf("K4-with-tap present: %s\n", r->found ? "yes" : "no");
   return 0;
 }

@@ -7,7 +7,7 @@
 
 #include <cstdio>
 
-#include "cover/pipeline.hpp"
+#include "api/solver.hpp"
 #include "graph/generators.hpp"
 #include "support/timer.hpp"
 
@@ -20,6 +20,9 @@ int main() {
   const Graph& roads = embedded.graph();
   std::printf("road network: n=%u m=%zu (planar: %s)\n", roads.num_vertices(),
               roads.num_edges(), embedded.validate_planar() ? "yes" : "no");
+  // One query session for the whole audit: motifs of one shape share the
+  // session's cached covers instead of rebuilding them per call.
+  Solver solver(roads);
 
   // Connected motifs.
   struct Motif {
@@ -35,9 +38,9 @@ int main() {
   for (const Motif& motif : motifs) {
     const iso::Pattern pattern = iso::Pattern::from_graph(motif.h);
     support::Timer timer;
-    const auto r = cover::find_pattern(roads, pattern, {});
+    const auto r = solver.find(pattern);
     std::printf("%-20s found: %-3s (%u runs, %.2fs)\n", motif.name,
-                r.found ? "yes" : "no", r.runs, timer.seconds());
+                r->found ? "yes" : "no", r->runs, timer.seconds());
   }
 
   // Disconnected pattern: two T-junctions assigned to one facility.
@@ -45,19 +48,19 @@ int main() {
       gen::disjoint_union({gen::star_graph(4), gen::star_graph(4)});
   const iso::Pattern twin = iso::Pattern::from_graph(twin_junctions);
   support::Timer timer;
-  const auto r = cover::find_pattern_disconnected(roads, twin, {});
+  const auto r = solver.find_disconnected(twin);
   std::printf("twin T-junctions     found: %-3s (%u colorings, %.2fs)\n",
-              r.found ? "yes" : "no", r.runs, timer.seconds());
-  if (r.witness.has_value()) {
+              r->found ? "yes" : "no", r->runs, timer.seconds());
+  if (r->witness.has_value()) {
     std::printf("  facility sites:");
-    for (const Vertex v : *r.witness) std::printf(" %u", v);
+    for (const Vertex v : *r->witness) std::printf(" %u", v);
     std::printf("\n");
   }
 
   // Count all triangle shortcuts (K3) — a redundancy measure.
-  const auto count = cover::count_occurrences(
-      roads, iso::Pattern::from_graph(gen::complete_graph(3)), {});
+  const auto count =
+      solver.count(iso::Pattern::from_graph(gen::complete_graph(3)));
   std::printf("triangle shortcuts: %zu distinct (after %u iterations)\n",
-              count.subgraphs, count.iterations);
+              count->subgraphs, count->iterations);
   return 0;
 }

@@ -35,6 +35,7 @@ ENTRIES=(
   "connectivity:grid2/*"
   "connectivity:random-planar/*"
   "disconnected:"
+  "solver_reuse:"
 )
 
 tmp="$(mktemp -d)"

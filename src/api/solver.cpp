@@ -1,0 +1,810 @@
+#include "api/solver.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <tuple>
+#include <utility>
+
+#include "connectivity/articulation.hpp"
+#include "connectivity/flow_connectivity.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "graph/ops.hpp"
+#include "isomorphism/sparse_dp.hpp"
+#include "planar/face_vertex_graph.hpp"
+#include "support/rng.hpp"
+#include "support/timer.hpp"
+#include "treedecomp/bfs_layer_decomposition.hpp"
+#include "treedecomp/greedy_decomposition.hpp"
+
+// GCC 12's -Wmaybe-uninitialized fires false positives in the query methods
+// below when a result struct holding a std::optional member
+// (DecisionResult::witness) is moved into Result<T>'s std::optional; the
+// member is provably engaged-or-empty. Placed after the includes so the
+// headers keep the diagnostic.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+namespace ppsi {
+
+const char* to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidOptions: return "invalid options";
+    case StatusCode::kInvalidPattern: return "invalid pattern";
+    case StatusCode::kUnsupported: return "unsupported";
+    case StatusCode::kListLimitReached: return "list limit reached";
+    case StatusCode::kWorkBudgetExceeded: return "work budget exceeded";
+    case StatusCode::kDeadlineExceeded: return "deadline exceeded";
+    case StatusCode::kEmpty: return "empty";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  std::string out = ppsi::to_string(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status validate(const QueryOptions& options) {
+  cover::PipelineOptions pipeline;
+  pipeline.seed = options.seed;
+  pipeline.max_runs = options.max_runs;
+  pipeline.engine = options.engine;
+  pipeline.decomposition = options.decomposition;
+  pipeline.use_shortcuts = options.use_shortcuts;
+  pipeline.list_limit = options.list_limit;
+  pipeline.stopping_slack = options.stopping_slack;
+  if (const char* message = cover::validate_options(pipeline))
+    return Status::InvalidOptions(message);
+  if (std::isnan(options.deadline_seconds) || options.deadline_seconds < 0)
+    return Status::InvalidOptions(
+        "deadline_seconds must be non-negative (0 disables the deadline)");
+  return Status::Ok();
+}
+
+namespace {
+
+using cover::Cover;
+using cover::CountResult;
+using cover::DecisionResult;
+using cover::ListingResult;
+using cover::Slice;
+using iso::Assignment;
+using iso::Pattern;
+
+std::uint32_t default_runs(Vertex n) {
+  const double lg = std::log2(static_cast<double>(n) + 2.0);
+  return static_cast<std::uint32_t>(2.0 * lg) + 4;
+}
+
+treedecomp::TreeDecomposition decompose_slice(
+    const Slice& slice, cover::DecompositionKind kind) {
+  using namespace treedecomp;
+  switch (kind) {
+    case cover::DecompositionKind::kGreedyMinFill:
+      return binarize(
+          greedy_decomposition(slice.graph, GreedyStrategy::kMinFill));
+    case cover::DecompositionKind::kBfsLayer:
+      return binarize(bfs_layer_decomposition(slice.graph, slice.bfs_root));
+    case cover::DecompositionKind::kGreedyMinDegree:
+      break;
+  }
+  return binarize(
+      greedy_decomposition(slice.graph, GreedyStrategy::kMinDegree));
+}
+
+iso::DpSolution solve_slice(const Slice& slice,
+                            const treedecomp::TreeDecomposition& td,
+                            const Pattern& pattern,
+                            const QueryOptions& options) {
+  if (options.engine == cover::EngineKind::kSequential) {
+    iso::DpOptions dp;
+    dp.spec = slice.spec;
+    return iso::solve_sequential(slice.graph, td, pattern, dp);
+  }
+  if (options.engine == cover::EngineKind::kSparse) {
+    iso::DpOptions dp;
+    dp.spec = slice.spec;
+    return iso::solve_sparse(slice.graph, td, pattern, dp);
+  }
+  iso::ParallelOptions par;
+  par.spec = slice.spec;
+  par.use_shortcuts = options.use_shortcuts;
+  return iso::solve_parallel(slice.graph, td, pattern, par);
+}
+
+/// Solves every slice of one cover against its memoized decompositions;
+/// returns a witness (slice-local images translated through origin_of) when
+/// some slice accepts. When `collect` is non-null, *all* occurrences of
+/// accepting slices are accumulated instead (and every slice is visited).
+bool solve_cover_impl(const Cover& cover,
+                      const std::vector<treedecomp::TreeDecomposition>& tds,
+                      const Pattern& pattern, const QueryOptions& options,
+                      DecisionResult* decision, std::set<Assignment>* collect,
+                      std::size_t limit, support::Metrics* run_depth) {
+  bool found = false;
+  // Slices are independent (solved in parallel in the PRAM reading): their
+  // work adds, their rounds compose as a maximum.
+  const auto account = [&](const iso::DpSolution& sol) {
+    if (decision == nullptr) return;
+    decision->metrics.add_work(sol.metrics.work());
+    run_depth->absorb_parallel(sol.metrics);
+    ++decision->slices_solved;
+  };
+  for (std::size_t i = 0; i < cover.slices.size(); ++i) {
+    const Slice& slice = cover.slices[i];
+    if (slice.graph.num_vertices() < pattern.size()) continue;
+    const treedecomp::TreeDecomposition& td = tds[i];
+    const iso::DpSolution sol = solve_slice(slice, td, pattern, options);
+    account(sol);
+    if (!sol.accepted) continue;
+    found = true;
+    if (collect == nullptr) {
+      if (decision != nullptr && !decision->witness.has_value()) {
+        auto assignments = iso::recover_assignments(sol, td, 1);
+        if (!assignments.empty()) {
+          Assignment witness = assignments.front();
+          for (Vertex& image : witness) image = slice.origin_of[image];
+          decision->witness = witness;
+        }
+      }
+      return true;
+    }
+    for (Assignment a : iso::recover_assignments(sol, td, limit)) {
+      for (Vertex& image : a) image = slice.origin_of[image];
+      collect->insert(std::move(a));
+    }
+    if (collect->size() >= limit) return true;
+  }
+  return found;
+}
+
+bool solve_cover(const Cover& cover,
+                 const std::vector<treedecomp::TreeDecomposition>& tds,
+                 const Pattern& pattern, const QueryOptions& options,
+                 DecisionResult* decision, std::set<Assignment>* collect,
+                 std::size_t limit) {
+  support::Metrics run_depth;
+  const bool found = solve_cover_impl(cover, tds, pattern, options, decision,
+                                      collect, limit, &run_depth);
+  if (decision != nullptr) decision->metrics.add_rounds(run_depth.rounds());
+  return found;
+}
+
+/// Work/deadline budget of one query; checked between cover runs (never
+/// inside one), so partial results always end on a run boundary.
+class Budget {
+ public:
+  explicit Budget(const QueryOptions& options)
+      : max_work_(options.max_work), deadline_(options.deadline_seconds) {}
+
+  Status check(const support::Metrics& spent) const {
+    if (max_work_ > 0 && spent.work() > max_work_)
+      return {StatusCode::kWorkBudgetExceeded,
+              "instrumented work exceeded QueryOptions::max_work"};
+    if (deadline_ > 0 && timer_.seconds() > deadline_)
+      return {StatusCode::kDeadlineExceeded,
+              "wall clock exceeded QueryOptions::deadline_seconds"};
+    return {};
+  }
+
+  /// Work budget left to forward to a sub-query (0 keeps the "unlimited"
+  /// sentinel; an exhausted budget forwards 1 so the sub-query trips on
+  /// its first run instead of running unbounded).
+  std::uint64_t remaining_work(const support::Metrics& spent) const {
+    if (max_work_ == 0) return 0;
+    const std::uint64_t used = spent.work();
+    return used >= max_work_ ? 1 : max_work_ - used;
+  }
+  /// Deadline left to forward to a sub-query (0 keeps "none"; clamped to a
+  /// positive epsilon once expired so the sub-query trips immediately).
+  double remaining_seconds() const {
+    if (deadline_ <= 0) return 0.0;
+    const double left = deadline_ - timer_.seconds();
+    return left > 1e-9 ? left : 1e-9;
+  }
+
+ private:
+  std::uint64_t max_work_;
+  double deadline_;
+  support::Timer timer_;
+};
+
+/// Cache key of one cover: everything the cover build reads besides the
+/// target graph. `k` doubles as the clustering parameter (beta = 2k) and
+/// the minimum slice size, so two patterns with equal (diameter, size)
+/// resolve to the same cover.
+struct CoverKey {
+  std::uint32_t d = 0;
+  std::uint32_t k = 0;
+  std::uint64_t seed = 0;
+  bool separating = false;
+  std::vector<std::uint8_t> in_s;  ///< empty unless separating
+
+  bool operator<(const CoverKey& other) const {
+    return std::tie(d, k, seed, separating, in_s) <
+           std::tie(other.d, other.k, other.seed, other.separating,
+                    other.in_s);
+  }
+};
+
+/// One memoized cover plus its per-kind slice decompositions. Built under
+/// `mutex`; immutable afterwards (new decomposition kinds only append map
+/// nodes, never touch existing ones).
+struct CoverEntry {
+  std::mutex mutex;
+  bool cover_ready = false;
+  Cover cover;
+  std::map<cover::DecompositionKind,
+           std::vector<treedecomp::TreeDecomposition>>
+      tds;
+  /// LRU tick, guarded by the owning Solver's cache_mutex (not `mutex`).
+  std::uint64_t last_used = 0;
+};
+
+/// Borrowed view of a cached cover; `entry` keeps the data alive across a
+/// concurrent clear_cache().
+struct CoverAccess {
+  std::shared_ptr<CoverEntry> entry;
+  const Cover* cover = nullptr;
+  const std::vector<treedecomp::TreeDecomposition>* tds = nullptr;
+  bool built_cover = false;  ///< this call built it (owns its metrics)
+};
+
+}  // namespace
+
+struct Solver::Impl {
+  Graph graph;
+  std::optional<planar::EmbeddedGraph> embedding;
+
+  std::mutex cache_mutex;
+  std::map<CoverKey, std::shared_ptr<CoverEntry>> covers;
+  std::size_t cache_capacity = kDefaultCacheCapacity;  // guarded by ^
+  std::uint64_t use_tick = 0;                          // guarded by ^
+  std::atomic<std::uint64_t> cover_hits{0};
+  std::atomic<std::uint64_t> cover_misses{0};
+  std::atomic<std::uint64_t> td_hits{0};
+  std::atomic<std::uint64_t> td_misses{0};
+  std::atomic<std::uint64_t> evictions{0};
+
+  // Lazily built vertex-connectivity state: the face-vertex graph G', a
+  // sub-Solver over it (whose cache holds the separating covers of the
+  // cycle probes), and the "original vertices" S marking.
+  std::mutex fvg_mutex;
+  std::unique_ptr<Solver> fvg_solver;
+  Vertex fvg_num_original = 0;
+  std::vector<std::uint8_t> fvg_in_s;
+
+  CoverAccess acquire_cover(const CoverKey& key,
+                            cover::DecompositionKind kind) {
+    CoverAccess access;
+    {
+      const std::lock_guard<std::mutex> lock(cache_mutex);
+      std::shared_ptr<CoverEntry>& slot = covers[key];
+      if (!slot) slot = std::make_shared<CoverEntry>();
+      slot->last_used = ++use_tick;
+      access.entry = slot;
+      // Capacity bound (0 = unlimited): evict the least-recently-used
+      // other entry. In-flight readers keep theirs alive via shared_ptr.
+      while (cache_capacity > 0 && covers.size() > cache_capacity) {
+        auto victim = covers.end();
+        for (auto it = covers.begin(); it != covers.end(); ++it) {
+          if (it->second == access.entry) continue;
+          if (victim == covers.end() ||
+              it->second->last_used < victim->second->last_used) {
+            victim = it;
+          }
+        }
+        if (victim == covers.end()) break;
+        covers.erase(victim);
+        evictions.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    CoverEntry& entry = *access.entry;
+    const std::lock_guard<std::mutex> lock(entry.mutex);
+    if (!entry.cover_ready) {
+      const double beta = 2.0 * key.k;
+      entry.cover = key.separating
+                        ? cover::build_separating_cover(graph, key.in_s, key.d,
+                                                        beta, key.seed, key.k)
+                        : cover::build_kd_cover(graph, key.d, beta, key.seed,
+                                                key.k);
+      entry.cover_ready = true;
+      access.built_cover = true;
+      cover_misses.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      cover_hits.fetch_add(1, std::memory_order_relaxed);
+    }
+    auto it = entry.tds.find(kind);
+    if (it == entry.tds.end()) {
+      std::vector<treedecomp::TreeDecomposition> tds;
+      tds.reserve(entry.cover.slices.size());
+      for (const Slice& slice : entry.cover.slices)
+        tds.push_back(decompose_slice(slice, kind));
+      it = entry.tds.emplace(kind, std::move(tds)).first;
+      td_misses.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      td_hits.fetch_add(1, std::memory_order_relaxed);
+    }
+    access.cover = &entry.cover;
+    access.tds = &it->second;
+    return access;
+  }
+
+  /// One decision-pipeline cover run against the cache. Cover-build
+  /// metrics are charged only when this run actually built the cover — a
+  /// cache hit did not perform that work.
+  DecisionResult run_once_cached(const Pattern& pattern,
+                                 std::uint64_t run_seed,
+                                 const QueryOptions& options) {
+    DecisionResult result;
+    result.runs = 1;
+    CoverKey key;
+    key.d = std::max(1u, pattern.diameter());
+    key.k = pattern.size();
+    key.seed = run_seed;
+    const CoverAccess access = acquire_cover(key, options.decomposition);
+    if (access.built_cover) result.metrics.absorb(access.cover->metrics);
+    result.found = solve_cover(*access.cover, *access.tds, pattern, options,
+                               &result, nullptr, 1);
+    return result;
+  }
+};
+
+namespace {
+
+Status require_connected(const Pattern& pattern, const char* query) {
+  if (pattern.is_connected()) return Status::Ok();
+  return Status::InvalidPattern(std::string(query) +
+                                ": connected pattern required "
+                                "(use find_disconnected)");
+}
+
+}  // namespace
+
+Solver::Solver(Graph target) : impl_(std::make_unique<Impl>()) {
+  impl_->graph = std::move(target);
+}
+
+Solver::Solver(planar::EmbeddedGraph target) : impl_(std::make_unique<Impl>()) {
+  impl_->graph = target.graph();
+  impl_->embedding = std::move(target);
+}
+
+Solver::~Solver() = default;
+Solver::Solver(Solver&&) noexcept = default;
+Solver& Solver::operator=(Solver&&) noexcept = default;
+
+const Graph& Solver::target() const { return impl_->graph; }
+bool Solver::has_embedding() const { return impl_->embedding.has_value(); }
+
+Result<DecisionResult> Solver::find(const iso::Pattern& pattern,
+                                    const QueryOptions& options) {
+  if (Status status = validate(options); !status.ok()) return status;
+  if (Status status = require_connected(pattern, "find"); !status.ok())
+    return status;
+  const Budget budget(options);
+  DecisionResult total;
+  if (impl_->graph.num_vertices() < pattern.size()) return total;
+  const std::uint32_t runs = options.max_runs > 0
+                                 ? options.max_runs
+                                 : default_runs(impl_->graph.num_vertices());
+  for (std::uint32_t r = 0; r < runs; ++r) {
+    DecisionResult one = impl_->run_once_cached(
+        pattern, support::hash_combine(options.seed, r), options);
+    total.metrics.absorb(one.metrics);
+    total.slices_solved += one.slices_solved;
+    ++total.runs;
+    if (one.found) {
+      total.found = true;
+      total.witness = std::move(one.witness);
+      return total;
+    }
+    if (Status status = budget.check(total.metrics); !status.ok())
+      return {std::move(status), std::move(total)};
+  }
+  return total;
+}
+
+Result<DecisionResult> Solver::find_once(const iso::Pattern& pattern,
+                                         std::uint64_t run_seed,
+                                         const QueryOptions& options) {
+  if (Status status = validate(options); !status.ok()) return status;
+  return impl_->run_once_cached(pattern, run_seed, options);
+}
+
+Result<ListingResult> Solver::list(const iso::Pattern& pattern,
+                                   const QueryOptions& options) {
+  if (Status status = validate(options); !status.ok()) return status;
+  if (Status status = require_connected(pattern, "list"); !status.ok())
+    return status;
+  const Budget budget(options);
+  ListingResult result;
+  std::set<Assignment> all;
+  const double lgn =
+      std::log2(static_cast<double>(impl_->graph.num_vertices()) + 2.0);
+  std::uint32_t streak = 0;
+  std::uint32_t j = 0;
+  const std::uint32_t d = std::max(1u, pattern.diameter());
+  Status interrupted;
+  while (all.size() < options.list_limit) {
+    ++j;
+    CoverKey key;
+    key.d = d;
+    key.k = pattern.size();
+    key.seed = support::hash_combine(options.seed, 0x11570 + j);
+    const CoverAccess access =
+        impl_->acquire_cover(key, options.decomposition);
+    if (access.built_cover) result.metrics.absorb(access.cover->metrics);
+    const std::size_t before = all.size();
+    // The iteration stats meter the DP solve work (the dominant cost) into
+    // the listing's metrics so bench accounting and the max_work budget see
+    // it, not just the cover builds.
+    DecisionResult iteration;
+    solve_cover(*access.cover, *access.tds, pattern, options, &iteration,
+                &all, options.list_limit);
+    result.metrics.absorb(iteration.metrics);
+    streak = all.size() == before ? streak + 1 : 0;
+    // Observation 2 / Theorem 4.2: stop once no new occurrence appeared for
+    // log2(j) + Theta(log n) iterations in a row.
+    const auto threshold = static_cast<std::uint32_t>(
+        std::ceil(std::log2(static_cast<double>(j) + 1.0) + lgn)) +
+        options.stopping_slack;
+    if (streak >= threshold) break;
+    if (interrupted = budget.check(result.metrics); !interrupted.ok()) break;
+  }
+  result.iterations = j;
+  result.occurrences.assign(all.begin(), all.end());
+  if (!interrupted.ok()) return {std::move(interrupted), std::move(result)};
+  if (all.size() >= options.list_limit)
+    return {Status(StatusCode::kListLimitReached,
+                   "listing stopped at QueryOptions::list_limit; the "
+                   "occurrence set may be incomplete"),
+            std::move(result)};
+  return result;
+}
+
+Result<CountResult> Solver::count(const iso::Pattern& pattern,
+                                  const QueryOptions& options) {
+  Result<ListingResult> listing = list(pattern, options);
+  if (!listing.has_value()) return listing.status();
+  CountResult count;
+  count.assignments = listing->occurrences.size();
+  count.iterations = listing->iterations;
+  count.metrics = listing->metrics;
+  // Distinct subgraphs: dedupe by the sorted list of edge images.
+  std::set<std::vector<std::uint64_t>> images;
+  for (const Assignment& a : listing->occurrences) {
+    std::vector<std::uint64_t> edges;
+    for (Vertex u = 0; u < pattern.size(); ++u) {
+      for (Vertex v : pattern.graph().neighbors(u)) {
+        if (v < u) continue;
+        const Vertex x = std::min(a[u], a[v]);
+        const Vertex y = std::max(a[u], a[v]);
+        edges.push_back((static_cast<std::uint64_t>(x) << 32) | y);
+      }
+    }
+    std::sort(edges.begin(), edges.end());
+    images.insert(std::move(edges));
+  }
+  count.subgraphs = images.size();
+  if (!listing.ok()) return {listing.status(), std::move(count)};
+  return count;
+}
+
+Result<DecisionResult> Solver::find_disconnected(const iso::Pattern& pattern,
+                                                 const QueryOptions& options) {
+  if (Status status = validate(options); !status.ok()) return status;
+  const auto components = pattern.components();
+  if (components.size() <= 1) return find(pattern, options);
+  const Budget budget(options);
+  DecisionResult total;
+  const Graph& g = impl_->graph;
+  if (g.num_vertices() < pattern.size()) return total;
+  const auto l = static_cast<std::uint32_t>(components.size());
+  // l^k attempts find a fixed occurrence with constant probability
+  // (Lemma 4.1); multiply by log n for w.h.p. (capped by max_runs).
+  double attempts_d = std::pow(static_cast<double>(l), pattern.size()) *
+                      (std::log2(static_cast<double>(g.num_vertices()) + 2.0));
+  if (options.max_runs > 0)
+    attempts_d = std::min(attempts_d, static_cast<double>(options.max_runs));
+  const auto attempts = static_cast<std::uint32_t>(std::min(attempts_d, 1e7));
+  // Component patterns and their back maps into the full pattern.
+  std::vector<Pattern> parts;
+  std::vector<std::vector<std::uint32_t>> back_maps;
+  for (const auto& comp : components) {
+    std::vector<std::uint32_t> back;
+    parts.push_back(pattern.component_pattern(comp, &back));
+    back_maps.push_back(std::move(back));
+  }
+  QueryOptions inner = options;
+  inner.max_runs = 3;  // constant success probability per correct coloring
+  for (std::uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    ++total.runs;
+    support::Rng rng(support::hash_combine(options.seed, 0xd15c + attempt));
+    std::vector<Vertex> color(g.num_vertices());
+    for (Vertex v = 0; v < g.num_vertices(); ++v)
+      color[v] = static_cast<Vertex>(rng.next_below(l));
+    Assignment witness(pattern.size(), kNoVertex);
+    bool all_found = true;
+    for (std::uint32_t i = 0; i < parts.size(); ++i) {
+      std::vector<Vertex> members;
+      for (Vertex v = 0; v < g.num_vertices(); ++v)
+        if (color[v] == i) members.push_back(v);
+      if (members.size() < parts[i].size()) {
+        all_found = false;
+        break;
+      }
+      // Each coloring induces a fresh subgraph, so there is nothing to
+      // cache across attempts: an ephemeral sub-Solver matches the legacy
+      // behavior exactly.
+      DerivedGraph sub = induced_subgraph(g, members);
+      const std::vector<Vertex> origin_of = std::move(sub.origin_of);
+      inner.seed = support::hash_combine(options.seed, attempt * l + i);
+      // Sub-queries inherit whatever budget is left, so one component
+      // search cannot overshoot the caller's work/deadline bound.
+      inner.max_work = budget.remaining_work(total.metrics);
+      inner.deadline_seconds = budget.remaining_seconds();
+      Solver sub_solver(std::move(sub.graph));
+      const Result<DecisionResult> part = sub_solver.find(parts[i], inner);
+      total.metrics.absorb(part->metrics);
+      total.slices_solved += part->slices_solved;
+      if (!part.ok()) return {part.status(), std::move(total)};
+      if (!part->found) {
+        all_found = false;
+        break;
+      }
+      if (part->witness.has_value()) {
+        for (std::uint32_t v = 0; v < parts[i].size(); ++v)
+          witness[back_maps[i][v]] = origin_of[(*part->witness)[v]];
+      }
+    }
+    if (all_found) {
+      total.found = true;
+      total.witness = witness;
+      return total;
+    }
+    if (Status status = budget.check(total.metrics); !status.ok())
+      return {std::move(status), std::move(total)};
+  }
+  return total;
+}
+
+Result<DecisionResult> Solver::find_separating(
+    const std::vector<std::uint8_t>& in_s, const iso::Pattern& pattern,
+    const QueryOptions& options) {
+  if (Status status = validate(options); !status.ok()) return status;
+  if (Status status = require_connected(pattern, "find_separating");
+      !status.ok())
+    return status;
+  if (in_s.size() != impl_->graph.num_vertices())
+    return Status::InvalidOptions(
+        "find_separating: in_s must mark every target vertex");
+  const Budget budget(options);
+  DecisionResult total;
+  if (impl_->graph.num_vertices() < pattern.size()) return total;
+  const std::uint32_t runs = options.max_runs > 0
+                                 ? options.max_runs
+                                 : default_runs(impl_->graph.num_vertices());
+  const std::uint32_t d = std::max(1u, pattern.diameter());
+  for (std::uint32_t r = 0; r < runs; ++r) {
+    CoverKey key;
+    key.d = d;
+    key.k = pattern.size();
+    key.seed = support::hash_combine(options.seed, 0x5e9 + r);
+    key.separating = true;
+    key.in_s = in_s;
+    const CoverAccess access =
+        impl_->acquire_cover(key, options.decomposition);
+    if (access.built_cover) total.metrics.absorb(access.cover->metrics);
+    ++total.runs;
+    DecisionResult one;
+    if (solve_cover(*access.cover, *access.tds, pattern, options, &one,
+                    nullptr, 1)) {
+      total.found = true;
+      total.witness = std::move(one.witness);
+      total.metrics.absorb(one.metrics);
+      total.slices_solved += one.slices_solved;
+      return total;
+    }
+    total.metrics.absorb(one.metrics);
+    total.slices_solved += one.slices_solved;
+    if (Status status = budget.check(total.metrics); !status.ok())
+      return {std::move(status), std::move(total)};
+  }
+  return total;
+}
+
+Result<connectivity::VertexConnectivityResult> Solver::vertex_connectivity(
+    const QueryOptions& options) {
+  using connectivity::VertexConnectivityResult;
+  if (Status status = validate(options); !status.ok()) return status;
+  if (!impl_->embedding.has_value())
+    return Status::Unsupported(
+        "vertex_connectivity: this Solver was built without an embedding; "
+        "construct it from a planar::EmbeddedGraph");
+  const Budget budget(options);
+  VertexConnectivityResult result;
+  const Graph& g = impl_->graph;
+  const Vertex n = g.num_vertices();
+  if (n <= options.small_cutoff) {
+    const connectivity::FlowConnectivityResult flow =
+        connectivity::vertex_connectivity_flow(g);
+    result.connectivity = flow.connectivity;
+    result.witness_cut = flow.min_cut;
+    return result;
+  }
+  if (connected_components(g).count != 1) {
+    result.connectivity = 0;
+    return result;
+  }
+  const std::vector<Vertex> cuts = connectivity::articulation_points(g);
+  if (!cuts.empty()) {
+    result.connectivity = 1;
+    result.witness_cut = {cuts.front()};
+    return result;
+  }
+  // 2-connected: probe S-separating cycles in the face-vertex graph, which
+  // is built once per Solver and probed through a cached sub-Solver (its
+  // cover cache persists across vertex_connectivity calls).
+  {
+    const std::lock_guard<std::mutex> lock(impl_->fvg_mutex);
+    if (!impl_->fvg_solver) {
+      const planar::FaceVertexGraph fvg =
+          planar::build_face_vertex_graph(*impl_->embedding);
+      impl_->fvg_num_original = fvg.num_original;
+      impl_->fvg_in_s.assign(fvg.graph.num_vertices(), 0);
+      for (Vertex v = 0; v < fvg.num_original; ++v) impl_->fvg_in_s[v] = 1;
+      impl_->fvg_solver = std::make_unique<Solver>(fvg.graph);
+    }
+  }
+  QueryOptions probe = options;
+  for (std::uint32_t c = 2; c <= 4; ++c) {
+    const iso::Pattern cycle =
+        iso::Pattern::from_graph(gen::cycle_graph(2 * c));
+    probe.seed = support::hash_combine(options.seed, c);
+    // Each probe inherits whatever budget is left, so a single cycle probe
+    // (itself a full find_separating run loop) cannot overshoot it.
+    probe.max_work = budget.remaining_work(result.metrics);
+    probe.deadline_seconds = budget.remaining_seconds();
+    const Result<DecisionResult> probed =
+        impl_->fvg_solver->find_separating(impl_->fvg_in_s, cycle, probe);
+    result.metrics.absorb(probed->metrics);
+    result.cycle_runs += probed->runs;
+    if (!probed.ok()) return {probed.status(), std::move(result)};
+    if (probed->found) {
+      result.connectivity = c;
+      if (probed->witness.has_value()) {
+        for (const Vertex image : *probed->witness) {
+          if (image < impl_->fvg_num_original)
+            result.witness_cut.push_back(image);
+        }
+        std::sort(result.witness_cut.begin(), result.witness_cut.end());
+        // Degenerate separating cycles (e.g. both faces of one edge on a
+        // 2-face graph) separate G' by exhausting the faces without the
+        // originals being a cut of G; verify and drop such witnesses.
+        // The connectivity *value* is unaffected (Lemma 5.1).
+        std::vector<Vertex> keep;
+        for (Vertex v = 0; v < g.num_vertices(); ++v) {
+          if (!std::binary_search(result.witness_cut.begin(),
+                                  result.witness_cut.end(), v)) {
+            keep.push_back(v);
+          }
+        }
+        if (keep.size() < 2 ||
+            connected_components(induced_subgraph(g, keep).graph).count < 2) {
+          result.witness_cut.clear();
+        }
+      }
+      return result;
+    }
+    if (Status status = budget.check(result.metrics); !status.ok())
+      return {std::move(status), std::move(result)};
+  }
+  // No separating C4/C6/C8: Euler's formula caps planar connectivity at 5.
+  result.connectivity = 5;
+  return result;
+}
+
+std::vector<Result<DecisionResult>> Solver::find_batch(
+    std::span<const iso::Pattern> patterns, const QueryOptions& options) {
+  std::vector<Result<DecisionResult>> out(patterns.size());
+  if (Status status = validate(options); !status.ok()) {
+    for (auto& slot : out) slot = status;
+    return out;
+  }
+  // Queries share the cover cache: patterns with equal (diameter, size)
+  // and the common per-run seeds resolve to the same memoized covers, so
+  // whichever task gets there first builds and the rest reuse. Nested
+  // OMP regions inside the engines collapse to serial by default.
+  //
+  // The `completed` acquire/release pair mirrors the OMP fork/join barrier
+  // with edges race detectors can see: TSan cannot observe the barrier in
+  // an uninstrumented libgomp and would otherwise flag the slot writes.
+  const auto count = static_cast<std::ptrdiff_t>(patterns.size());
+  std::atomic<std::size_t> completed{0};
+  completed.store(0, std::memory_order_release);
+#pragma omp parallel for schedule(dynamic)
+  for (std::ptrdiff_t i = 0; i < count; ++i) {
+    completed.load(std::memory_order_acquire);
+    out[static_cast<std::size_t>(i)] =
+        find(patterns[static_cast<std::size_t>(i)], options);
+    completed.fetch_add(1, std::memory_order_acq_rel);
+  }
+  while (completed.load(std::memory_order_acquire) < patterns.size()) {
+  }
+  return out;
+}
+
+CacheStats Solver::cache_stats() const {
+  CacheStats stats;
+  stats.cover_hits = impl_->cover_hits.load(std::memory_order_relaxed);
+  stats.cover_misses = impl_->cover_misses.load(std::memory_order_relaxed);
+  stats.decomposition_hits = impl_->td_hits.load(std::memory_order_relaxed);
+  stats.decomposition_misses =
+      impl_->td_misses.load(std::memory_order_relaxed);
+  stats.cover_evictions = impl_->evictions.load(std::memory_order_relaxed);
+  {
+    const std::lock_guard<std::mutex> lock(impl_->cache_mutex);
+    stats.cover_entries = impl_->covers.size();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(impl_->fvg_mutex);
+    if (impl_->fvg_solver) {
+      const CacheStats sub = impl_->fvg_solver->cache_stats();
+      stats.cover_hits += sub.cover_hits;
+      stats.cover_misses += sub.cover_misses;
+      stats.decomposition_hits += sub.decomposition_hits;
+      stats.decomposition_misses += sub.decomposition_misses;
+      stats.cover_evictions += sub.cover_evictions;
+      stats.cover_entries += sub.cover_entries;
+    }
+  }
+  return stats;
+}
+
+void Solver::set_cache_capacity(std::size_t max_covers) {
+  {
+    const std::lock_guard<std::mutex> lock(impl_->cache_mutex);
+    impl_->cache_capacity = max_covers;
+    // Shrink immediately if the cache already exceeds the new bound.
+    while (max_covers > 0 && impl_->covers.size() > max_covers) {
+      auto victim = impl_->covers.begin();
+      for (auto it = impl_->covers.begin(); it != impl_->covers.end(); ++it) {
+        if (it->second->last_used < victim->second->last_used) victim = it;
+      }
+      impl_->covers.erase(victim);
+      impl_->evictions.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  const std::lock_guard<std::mutex> lock(impl_->fvg_mutex);
+  if (impl_->fvg_solver) impl_->fvg_solver->set_cache_capacity(max_covers);
+}
+
+void Solver::clear_cache() {
+  {
+    const std::lock_guard<std::mutex> lock(impl_->cache_mutex);
+    impl_->covers.clear();
+  }
+  impl_->cover_hits.store(0, std::memory_order_relaxed);
+  impl_->cover_misses.store(0, std::memory_order_relaxed);
+  impl_->td_hits.store(0, std::memory_order_relaxed);
+  impl_->td_misses.store(0, std::memory_order_relaxed);
+  impl_->evictions.store(0, std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(impl_->fvg_mutex);
+  if (impl_->fvg_solver) impl_->fvg_solver->clear_cache();
+}
+
+}  // namespace ppsi

@@ -1,0 +1,160 @@
+#pragma once
+
+// ppsi::Solver — the query-session API.
+//
+// The paper's pipeline repeats {sample k-d cover -> solve each slice} per
+// query; everything per-target in that loop (the covers themselves, the
+// per-slice tree decompositions, the face-vertex graph of the connectivity
+// algorithm) depends only on the target graph and a handful of query
+// parameters, not on the pattern's edges. A Solver is constructed once per
+// target and memoizes that state keyed by (pattern diameter, pattern size,
+// run seed, decomposition kind), so
+//   * repeating a query with the same seed skips every cover build, and
+//   * a batch of patterns with equal (diameter, size) shares covers.
+// Results are identical to the legacy free functions (differentially
+// tested): caching only changes what gets recomputed, never what is
+// computed.
+//
+// Error model: every query returns Result<T> (api/status.hpp). Options are
+// validated eagerly; limit/budget/deadline interruptions return a non-ok
+// status carrying the partial result. Concurrent queries on one Solver are
+// safe — find_batch fans out over OMP tasks against the shared cache.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "api/status.hpp"
+#include "connectivity/vertex_connectivity.hpp"
+#include "cover/pipeline.hpp"
+#include "graph/graph.hpp"
+#include "isomorphism/pattern.hpp"
+#include "planar/rotation_system.hpp"
+
+namespace ppsi {
+
+/// One validated option set for every Solver query (superset of the legacy
+/// cover::PipelineOptions / connectivity::VertexConnectivityOptions).
+struct QueryOptions {
+  std::uint64_t seed = 1;
+  /// Cover repetitions for a w.h.p. negative answer; 0 = 2 log2(n) + 4.
+  std::uint32_t max_runs = 0;
+  cover::EngineKind engine = cover::EngineKind::kSparse;
+  cover::DecompositionKind decomposition =
+      cover::DecompositionKind::kGreedyMinDegree;
+  bool use_shortcuts = true;
+  /// Listing cap; reaching it returns StatusCode::kListLimitReached with
+  /// the truncated occurrence set. Must be positive.
+  std::size_t list_limit = 1u << 22;
+  /// Extra additive constant of the listing stopping-rule streak; at most
+  /// cover::kMaxStoppingSlack.
+  std::uint32_t stopping_slack = 4;
+  /// vertex_connectivity: below this size the exact flow baseline answers
+  /// directly.
+  Vertex small_cutoff = 8;
+  /// Instrumented-work budget (0 = unlimited), checked between cover runs;
+  /// exceeding it returns kWorkBudgetExceeded with the partial result.
+  /// Composite queries (find_disconnected, vertex_connectivity) forward
+  /// whatever budget remains to each sub-query.
+  std::uint64_t max_work = 0;
+  /// Wall-clock budget in seconds (0 = none), checked between cover runs
+  /// (and forwarded to sub-queries like max_work); exceeding it returns
+  /// kDeadlineExceeded with the partial result.
+  double deadline_seconds = 0.0;
+};
+
+/// Default Solver cache bound: at most this many covers stay resident
+/// (each is O(dn) memory); least-recently-used entries are evicted beyond
+/// it. See Solver::set_cache_capacity.
+inline constexpr std::size_t kDefaultCacheCapacity = 256;
+
+/// Eager validation; every Solver query calls this first (the legacy shims
+/// funnel through the same checks and throw instead).
+Status validate(const QueryOptions& options);
+
+/// Cache observability (cumulative since construction / clear_cache()).
+/// A "cover" entry is one {cover + memoized per-slice tree decompositions}
+/// unit; decomposition hits count queries that found the tree
+/// decompositions of their kind already built for a cached cover.
+struct CacheStats {
+  std::uint64_t cover_hits = 0;
+  std::uint64_t cover_misses = 0;
+  std::uint64_t decomposition_hits = 0;
+  std::uint64_t decomposition_misses = 0;
+  std::uint64_t cover_evictions = 0;  ///< LRU evictions at the capacity cap
+  std::uint64_t cover_entries = 0;    ///< currently resident
+};
+
+class Solver {
+ public:
+  /// Target-only construction: every query but vertex_connectivity.
+  explicit Solver(Graph target);
+  /// Embedded construction: additionally enables vertex_connectivity.
+  explicit Solver(planar::EmbeddedGraph target);
+  ~Solver();
+  Solver(Solver&&) noexcept;
+  Solver& operator=(Solver&&) noexcept;
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  const Graph& target() const;
+  bool has_embedding() const;
+
+  /// Decides occurrence of a *connected* pattern (Theorem 2.1).
+  Result<cover::DecisionResult> find(const iso::Pattern& pattern,
+                                     const QueryOptions& options = {});
+
+  /// One cover run of the decision pipeline (success-probability studies).
+  Result<cover::DecisionResult> find_once(const iso::Pattern& pattern,
+                                          std::uint64_t run_seed,
+                                          const QueryOptions& options = {});
+
+  /// Lists w.h.p. all occurrences of a connected pattern (Theorem 4.2).
+  Result<cover::ListingResult> list(const iso::Pattern& pattern,
+                                    const QueryOptions& options = {});
+
+  /// Counts occurrences by listing them.
+  Result<cover::CountResult> count(const iso::Pattern& pattern,
+                                   const QueryOptions& options = {});
+
+  /// Decides occurrence of an arbitrary (possibly disconnected) pattern by
+  /// random color splitting (§4.1, Lemma 4.1).
+  Result<cover::DecisionResult> find_disconnected(
+      const iso::Pattern& pattern, const QueryOptions& options = {});
+
+  /// Decides whether some occurrence of the connected pattern separates the
+  /// vertices marked by in_s (§5.2); uses the cached separating covers.
+  Result<cover::DecisionResult> find_separating(
+      const std::vector<std::uint8_t>& in_s, const iso::Pattern& pattern,
+      const QueryOptions& options = {});
+
+  /// Monte Carlo planar vertex connectivity (§5); requires an embedding.
+  /// The face-vertex graph and its separating covers are cached, so
+  /// repeated calls with one seed amortize.
+  Result<connectivity::VertexConnectivityResult> vertex_connectivity(
+      const QueryOptions& options = {});
+
+  /// Decides every pattern against the shared cache, fanning out across
+  /// OMP tasks. Patterns with equal (diameter, size) share cover builds.
+  /// out[i] corresponds to patterns[i].
+  std::vector<Result<cover::DecisionResult>> find_batch(
+      std::span<const iso::Pattern> patterns,
+      const QueryOptions& options = {});
+
+  /// Aggregated over this solver and the internal face-vertex sub-solver.
+  CacheStats cache_stats() const;
+  /// Drops every cached cover/decomposition (the target stays).
+  void clear_cache();
+  /// Bounds the resident covers (kDefaultCacheCapacity initially;
+  /// 0 = unlimited). Beyond the bound the least-recently-used entry is
+  /// evicted; shrinks immediately when lowered. Applies to the
+  /// face-vertex sub-solver too.
+  void set_cache_capacity(std::size_t max_covers);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace ppsi

@@ -1,0 +1,105 @@
+#pragma once
+
+// Unified error model of the ppsi::Solver query API.
+//
+// Queries return Result<T>: a Status plus, when one exists, a value. Errors
+// come in two flavours:
+//   * rejections (invalid options / pattern, unsupported query) carry no
+//     value — nothing was computed;
+//   * interruptions (listing cap, work budget, deadline) carry the partial
+//     result computed so far, so callers can decide whether a truncated
+//     answer is still useful.
+// This replaces the legacy mix of asserts, exceptions, and silent defaults
+// in the free-function API (cover/pipeline.hpp).
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace ppsi {
+
+enum class StatusCode {
+  kOk = 0,
+  /// QueryOptions (or legacy PipelineOptions) failed validation.
+  kInvalidOptions,
+  /// The pattern is unusable for this query (e.g. disconnected pattern
+  /// passed to a connected-only driver, or larger than kMaxPatternSize).
+  kInvalidPattern,
+  /// The query needs state this Solver does not have (e.g.
+  /// vertex_connectivity on a Solver built without an embedding).
+  kUnsupported,
+  /// Listing stopped at QueryOptions::list_limit; the value holds the
+  /// (possibly incomplete) occurrences found so far.
+  kListLimitReached,
+  /// QueryOptions::max_work instrumented-work budget exhausted; the value
+  /// holds the partial result.
+  kWorkBudgetExceeded,
+  /// QueryOptions::deadline_seconds wall-clock budget exhausted; the value
+  /// holds the partial result.
+  kDeadlineExceeded,
+  /// Default-constructed Result placeholder; never returned by a query.
+  kEmpty,
+};
+
+const char* to_string(StatusCode code);
+
+class Status {
+ public:
+  Status() = default;  // ok
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return {}; }
+  static Status InvalidOptions(std::string message) {
+    return {StatusCode::kInvalidOptions, std::move(message)};
+  }
+  static Status InvalidPattern(std::string message) {
+    return {StatusCode::kInvalidPattern, std::move(message)};
+  }
+  static Status Unsupported(std::string message) {
+    return {StatusCode::kUnsupported, std::move(message)};
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+  /// "<code>: <message>" for logs and test failure output.
+  std::string to_string() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A Status plus, when available, a value of type T. An ok() Result always
+/// has a value; an interrupted query (limit / budget / deadline) has a
+/// non-ok status AND a partial value; a rejected query has neither.
+template <typename T>
+class Result {
+ public:
+  /// Placeholder state (status kEmpty); overwritten before use, e.g. by
+  /// find_batch filling a pre-sized vector.
+  Result() : status_(StatusCode::kEmpty, "empty result") {}
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+  Result(Status status, T partial)
+      : status_(std::move(status)), value_(std::move(partial)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+  bool has_value() const { return value_.has_value(); }
+
+  const T& value() const& { return value_.value(); }
+  T& value() & { return value_.value(); }
+  T&& value() && { return std::move(value_).value(); }
+  const T& operator*() const { return *value_; }
+  T& operator*() { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace ppsi

@@ -1,82 +1,30 @@
+// Legacy entry point, kept as a thin deprecated shim over a temporary
+// ppsi::Solver (api/solver.cpp hosts the separating-cycle algorithm). Each
+// call rebuilds the face-vertex graph and every cover — hold a Solver
+// constructed from the EmbeddedGraph to amortize them across queries.
+
+#define PPSI_ALLOW_DEPRECATED_API
 #include "connectivity/vertex_connectivity.hpp"
 
-#include <algorithm>
+#include <stdexcept>
+#include <utility>
 
-#include "connectivity/articulation.hpp"
-#include "connectivity/flow_connectivity.hpp"
-#include "graph/components.hpp"
-#include "graph/ops.hpp"
-#include "graph/generators.hpp"
-#include "planar/face_vertex_graph.hpp"
+#include "api/solver.hpp"
 
 namespace ppsi::connectivity {
 
 VertexConnectivityResult planar_vertex_connectivity(
     const planar::EmbeddedGraph& eg, const VertexConnectivityOptions& options) {
-  VertexConnectivityResult result;
-  const Graph& g = eg.graph();
-  const Vertex n = g.num_vertices();
-  if (n <= options.small_cutoff) {
-    const FlowConnectivityResult flow = vertex_connectivity_flow(g);
-    result.connectivity = flow.connectivity;
-    result.witness_cut = flow.min_cut;
-    return result;
-  }
-  if (connected_components(g).count != 1) {
-    result.connectivity = 0;
-    return result;
-  }
-  const std::vector<Vertex> cuts = articulation_points(g);
-  if (!cuts.empty()) {
-    result.connectivity = 1;
-    result.witness_cut = {cuts.front()};
-    return result;
-  }
-  // 2-connected: probe S-separating cycles in the face-vertex graph.
-  const planar::FaceVertexGraph fvg = planar::build_face_vertex_graph(eg);
-  std::vector<std::uint8_t> in_s(fvg.graph.num_vertices(), 0);
-  for (Vertex v = 0; v < fvg.num_original; ++v) in_s[v] = 1;
-  cover::PipelineOptions pipeline;
-  pipeline.seed = options.seed;
-  pipeline.max_runs = options.max_runs;
-  pipeline.engine = options.engine;
-  for (std::uint32_t c = 2; c <= 4; ++c) {
-    const iso::Pattern cycle =
-        iso::Pattern::from_graph(gen::cycle_graph(2 * c));
-    pipeline.seed = support::hash_combine(options.seed, c);
-    const cover::DecisionResult probe =
-        cover::find_separating_pattern(fvg.graph, in_s, cycle, pipeline);
-    result.metrics.absorb(probe.metrics);
-    result.cycle_runs += probe.runs;
-    if (probe.found) {
-      result.connectivity = c;
-      if (probe.witness.has_value()) {
-        for (const Vertex image : *probe.witness) {
-          if (image < fvg.num_original) result.witness_cut.push_back(image);
-        }
-        std::sort(result.witness_cut.begin(), result.witness_cut.end());
-        // Degenerate separating cycles (e.g. both faces of one edge on a
-        // 2-face graph) separate G' by exhausting the faces without the
-        // originals being a cut of G; verify and drop such witnesses.
-        // The connectivity *value* is unaffected (Lemma 5.1).
-        std::vector<Vertex> keep;
-        for (Vertex v = 0; v < g.num_vertices(); ++v) {
-          if (!std::binary_search(result.witness_cut.begin(),
-                                  result.witness_cut.end(), v)) {
-            keep.push_back(v);
-          }
-        }
-        if (keep.size() < 2 ||
-            connected_components(induced_subgraph(g, keep).graph).count < 2) {
-          result.witness_cut.clear();
-        }
-      }
-      return result;
-    }
-  }
-  // No separating C4/C6/C8: Euler's formula caps planar connectivity at 5.
-  result.connectivity = 5;
-  return result;
+  QueryOptions query;
+  query.seed = options.seed;
+  query.max_runs = options.max_runs;
+  query.engine = options.engine;
+  query.small_cutoff = options.small_cutoff;
+  Solver solver{eg};
+  Result<VertexConnectivityResult> result = solver.vertex_connectivity(query);
+  if (!result.has_value())
+    throw std::invalid_argument(result.status().message());
+  return std::move(result).value();
 }
 
 }  // namespace ppsi::connectivity

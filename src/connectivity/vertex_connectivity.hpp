@@ -42,6 +42,12 @@ struct VertexConnectivityResult {
 
 /// Monte Carlo planar vertex connectivity (correct w.h.p.). The graph must
 /// come with its combinatorial embedding.
+///
+/// DEPRECATED: thin shim over a temporary ppsi::Solver — it rebuilds the
+/// face-vertex graph and every separating cover per call. Construct a
+/// Solver from the EmbeddedGraph and call Solver::vertex_connectivity to
+/// reuse them across queries.
+PPSI_DEPRECATED("use ppsi::Solver::vertex_connectivity (api/solver.hpp)")
 VertexConnectivityResult planar_vertex_connectivity(
     const planar::EmbeddedGraph& eg, const VertexConnectivityOptions& = {});
 

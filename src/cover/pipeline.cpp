@@ -1,310 +1,105 @@
+// Legacy free-function drivers, kept as thin deprecated shims over a
+// temporary ppsi::Solver (api/solver.cpp hosts the actual pipeline). Each
+// call pays a full Solver construction and a cold cache — callers that
+// query one target repeatedly should hold a Solver instead.
+
+#define PPSI_ALLOW_DEPRECATED_API
 #include "cover/pipeline.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <set>
+#include <stdexcept>
+#include <utility>
 
-#include "graph/ops.hpp"
-#include "isomorphism/sparse_dp.hpp"
-#include "support/rng.hpp"
-#include "treedecomp/bfs_layer_decomposition.hpp"
-#include "treedecomp/greedy_decomposition.hpp"
+#include "api/solver.hpp"
 
 namespace ppsi::cover {
+
+const char* validate_options(const PipelineOptions& options) {
+  if (options.list_limit == 0) return "list_limit must be positive";
+  if (options.stopping_slack > kMaxStoppingSlack)
+    return "stopping_slack out of range (max kMaxStoppingSlack = 64)";
+  switch (options.engine) {
+    case EngineKind::kSparse:
+    case EngineKind::kParallel:
+    case EngineKind::kSequential:
+      break;
+    default:
+      return "unknown engine kind";
+  }
+  switch (options.decomposition) {
+    case DecompositionKind::kGreedyMinDegree:
+    case DecompositionKind::kGreedyMinFill:
+    case DecompositionKind::kBfsLayer:
+      break;
+    default:
+      return "unknown decomposition kind";
+  }
+  return nullptr;
+}
+
 namespace {
 
-using iso::Assignment;
-using iso::Pattern;
-
-std::uint32_t default_runs(Vertex n) {
-  const double lg = std::log2(static_cast<double>(n) + 2.0);
-  return static_cast<std::uint32_t>(2.0 * lg) + 4;
+QueryOptions to_query(const PipelineOptions& options) {
+  QueryOptions query;
+  query.seed = options.seed;
+  query.max_runs = options.max_runs;
+  query.engine = options.engine;
+  query.decomposition = options.decomposition;
+  query.use_shortcuts = options.use_shortcuts;
+  query.list_limit = options.list_limit;
+  query.stopping_slack = options.stopping_slack;
+  return query;
 }
 
-treedecomp::TreeDecomposition decompose_slice(const Slice& slice,
-                                              const PipelineOptions& options) {
-  using namespace treedecomp;
-  switch (options.decomposition) {
-    case DecompositionKind::kGreedyMinFill:
-      return binarize(
-          greedy_decomposition(slice.graph, GreedyStrategy::kMinFill));
-    case DecompositionKind::kBfsLayer:
-      return binarize(bfs_layer_decomposition(slice.graph, slice.bfs_root));
-    case DecompositionKind::kGreedyMinDegree:
-      break;
-  }
-  return binarize(
-      greedy_decomposition(slice.graph, GreedyStrategy::kMinDegree));
-}
-
-iso::DpSolution solve_slice(const Slice& slice,
-                            const treedecomp::TreeDecomposition& td,
-                            const Pattern& pattern,
-                            const PipelineOptions& options) {
-  if (options.engine == EngineKind::kSequential) {
-    iso::DpOptions dp;
-    dp.spec = slice.spec;
-    return iso::solve_sequential(slice.graph, td, pattern, dp);
-  }
-  if (options.engine == EngineKind::kSparse) {
-    iso::DpOptions dp;
-    dp.spec = slice.spec;
-    return iso::solve_sparse(slice.graph, td, pattern, dp);
-  }
-  iso::ParallelOptions par;
-  par.spec = slice.spec;
-  par.use_shortcuts = options.use_shortcuts;
-  return iso::solve_parallel(slice.graph, td, pattern, par);
-}
-
-/// Solves every slice of one cover; returns a witness (slice-local images
-/// translated through origin_of) when some slice accepts. When `collect`
-/// is non-null, *all* occurrences of accepting slices are accumulated
-/// instead (and the function visits every slice).
-bool solve_cover_impl(const Cover& cover, const Pattern& pattern,
-                      const PipelineOptions& options,
-                      DecisionResult* decision, std::set<Assignment>* collect,
-                      std::size_t limit, support::Metrics* run_depth) {
-  bool found = false;
-  // Slices are independent (solved in parallel in the PRAM reading): their
-  // work adds, their rounds compose as a maximum.
-  const auto account = [&](const iso::DpSolution& sol) {
-    if (decision == nullptr) return;
-    decision->metrics.add_work(sol.metrics.work());
-    run_depth->absorb_parallel(sol.metrics);
-    ++decision->slices_solved;
-  };
-  for (const Slice& slice : cover.slices) {
-    if (slice.graph.num_vertices() < pattern.size()) continue;
-    const treedecomp::TreeDecomposition td = decompose_slice(slice, options);
-    const iso::DpSolution sol = solve_slice(slice, td, pattern, options);
-    account(sol);
-    if (!sol.accepted) continue;
-    found = true;
-    if (collect == nullptr) {
-      if (decision != nullptr && !decision->witness.has_value()) {
-        auto assignments = iso::recover_assignments(sol, td, 1);
-        if (!assignments.empty()) {
-          Assignment witness = assignments.front();
-          for (Vertex& image : witness) image = slice.origin_of[image];
-          decision->witness = witness;
-        }
-      }
-      return true;
-    }
-    for (Assignment a : iso::recover_assignments(sol, td, limit)) {
-      for (Vertex& image : a) image = slice.origin_of[image];
-      collect->insert(std::move(a));
-    }
-    if (collect->size() >= limit) return true;
-  }
-  return found;
-}
-
-bool solve_cover(const Cover& cover, const Pattern& pattern,
-                 const PipelineOptions& options, DecisionResult* decision,
-                 std::set<Assignment>* collect, std::size_t limit) {
-  support::Metrics run_depth;
-  const bool found =
-      solve_cover_impl(cover, pattern, options, decision, collect, limit,
-                       &run_depth);
-  if (decision != nullptr) decision->metrics.add_rounds(run_depth.rounds());
-  return found;
+/// Legacy error model: rejections throw; interruptions (the listing cap —
+/// budgets/deadlines don't exist in PipelineOptions) return the partial
+/// value exactly as the pre-Solver implementation did.
+template <typename T>
+T unwrap(Result<T> result) {
+  if (!result.has_value())
+    throw std::invalid_argument(result.status().message());
+  return std::move(result).value();
 }
 
 }  // namespace
 
-DecisionResult run_once(const Graph& g, const iso::Pattern& pattern,
-                        std::uint64_t run_seed,
-                        const PipelineOptions& options) {
-  DecisionResult result;
-  result.runs = 1;
-  const std::uint32_t d = std::max(1u, pattern.diameter());
-  const double beta = 2.0 * pattern.size();
-  const Cover cover =
-      build_kd_cover(g, d, beta, run_seed, pattern.size());
-  result.metrics.absorb(cover.metrics);
-  result.found = solve_cover(cover, pattern, options, &result, nullptr, 1);
-  return result;
-}
-
 DecisionResult find_pattern(const Graph& g, const iso::Pattern& pattern,
                             const PipelineOptions& options) {
-  support::require(pattern.is_connected(),
-                   "find_pattern: connected pattern required "
-                   "(use find_pattern_disconnected)");
-  DecisionResult total;
-  if (g.num_vertices() < pattern.size()) return total;
-  const std::uint32_t runs =
-      options.max_runs > 0 ? options.max_runs : default_runs(g.num_vertices());
-  for (std::uint32_t r = 0; r < runs; ++r) {
-    DecisionResult one = run_once(
-        g, pattern, support::hash_combine(options.seed, r), options);
-    total.metrics.absorb(one.metrics);
-    total.slices_solved += one.slices_solved;
-    ++total.runs;
-    if (one.found) {
-      total.found = true;
-      total.witness = std::move(one.witness);
-      return total;
-    }
-  }
-  return total;
+  Solver solver{g};
+  return unwrap(solver.find(pattern, to_query(options)));
 }
 
 ListingResult list_occurrences(const Graph& g, const iso::Pattern& pattern,
                                const PipelineOptions& options) {
-  support::require(pattern.is_connected(),
-                   "list_occurrences: connected pattern required");
-  ListingResult result;
-  std::set<Assignment> all;
-  const double lgn = std::log2(static_cast<double>(g.num_vertices()) + 2.0);
-  std::uint32_t streak = 0;
-  std::uint32_t j = 0;
-  const std::uint32_t d = std::max(1u, pattern.diameter());
-  const double beta = 2.0 * pattern.size();
-  while (all.size() < options.list_limit) {
-    ++j;
-    const Cover cover = build_kd_cover(
-        g, d, beta, support::hash_combine(options.seed, 0x11570 + j),
-        pattern.size());
-    result.metrics.absorb(cover.metrics);
-    const std::size_t before = all.size();
-    solve_cover(cover, pattern, options, nullptr, &all, options.list_limit);
-    streak = all.size() == before ? streak + 1 : 0;
-    // Observation 2 / Theorem 4.2: stop once no new occurrence appeared for
-    // log2(j) + Theta(log n) iterations in a row.
-    const auto threshold = static_cast<std::uint32_t>(
-        std::ceil(std::log2(static_cast<double>(j) + 1.0) + lgn)) +
-        options.stopping_slack;
-    if (streak >= threshold) break;
-  }
-  result.iterations = j;
-  result.occurrences.assign(all.begin(), all.end());
-  return result;
+  Solver solver{g};
+  return unwrap(solver.list(pattern, to_query(options)));
 }
 
 CountResult count_occurrences(const Graph& g, const iso::Pattern& pattern,
                               const PipelineOptions& options) {
-  const ListingResult listing = list_occurrences(g, pattern, options);
-  CountResult count;
-  count.assignments = listing.occurrences.size();
-  count.iterations = listing.iterations;
-  // Distinct subgraphs: dedupe by the sorted list of edge images.
-  std::set<std::vector<std::uint64_t>> images;
-  for (const Assignment& a : listing.occurrences) {
-    std::vector<std::uint64_t> edges;
-    for (Vertex u = 0; u < pattern.size(); ++u) {
-      for (Vertex v : pattern.graph().neighbors(u)) {
-        if (v < u) continue;
-        const Vertex x = std::min(a[u], a[v]);
-        const Vertex y = std::max(a[u], a[v]);
-        edges.push_back((static_cast<std::uint64_t>(x) << 32) | y);
-      }
-    }
-    std::sort(edges.begin(), edges.end());
-    images.insert(std::move(edges));
-  }
-  count.subgraphs = images.size();
-  return count;
+  Solver solver{g};
+  return unwrap(solver.count(pattern, to_query(options)));
 }
 
 DecisionResult find_pattern_disconnected(const Graph& g,
                                          const iso::Pattern& pattern,
                                          const PipelineOptions& options) {
-  const auto components = pattern.components();
-  if (components.size() <= 1) return find_pattern(g, pattern, options);
-  DecisionResult total;
-  if (g.num_vertices() < pattern.size()) return total;
-  const auto l = static_cast<std::uint32_t>(components.size());
-  // l^k attempts find a fixed occurrence with constant probability
-  // (Lemma 4.1); multiply by log n for w.h.p. (capped by max_runs).
-  double attempts_d = std::pow(static_cast<double>(l), pattern.size()) *
-                      (std::log2(static_cast<double>(g.num_vertices()) + 2.0));
-  if (options.max_runs > 0)
-    attempts_d = std::min(attempts_d, static_cast<double>(options.max_runs));
-  const auto attempts = static_cast<std::uint32_t>(
-      std::min(attempts_d, 1e7));
-  // Component patterns and their back maps into the full pattern.
-  std::vector<Pattern> parts;
-  std::vector<std::vector<std::uint32_t>> back_maps;
-  for (const auto& comp : components) {
-    std::vector<std::uint32_t> back;
-    parts.push_back(pattern.component_pattern(comp, &back));
-    back_maps.push_back(std::move(back));
-  }
-  PipelineOptions inner = options;
-  inner.max_runs = 3;  // constant success probability per correct coloring
-  for (std::uint32_t attempt = 0; attempt < attempts; ++attempt) {
-    ++total.runs;
-    support::Rng rng(support::hash_combine(options.seed, 0xd15c + attempt));
-    std::vector<Vertex> color(g.num_vertices());
-    for (Vertex v = 0; v < g.num_vertices(); ++v)
-      color[v] = static_cast<Vertex>(rng.next_below(l));
-    Assignment witness(pattern.size(), kNoVertex);
-    bool all_found = true;
-    for (std::uint32_t i = 0; i < parts.size(); ++i) {
-      std::vector<Vertex> members;
-      for (Vertex v = 0; v < g.num_vertices(); ++v)
-        if (color[v] == i) members.push_back(v);
-      if (members.size() < parts[i].size()) {
-        all_found = false;
-        break;
-      }
-      const DerivedGraph sub = induced_subgraph(g, members);
-      inner.seed = support::hash_combine(options.seed, attempt * l + i);
-      const DecisionResult part =
-          find_pattern(sub.graph, parts[i], inner);
-      total.metrics.absorb(part.metrics);
-      total.slices_solved += part.slices_solved;
-      if (!part.found) {
-        all_found = false;
-        break;
-      }
-      if (part.witness.has_value()) {
-        for (std::uint32_t v = 0; v < parts[i].size(); ++v)
-          witness[back_maps[i][v]] = sub.origin_of[(*part.witness)[v]];
-      }
-    }
-    if (all_found) {
-      total.found = true;
-      total.witness = witness;
-      return total;
-    }
-  }
-  return total;
+  Solver solver{g};
+  return unwrap(solver.find_disconnected(pattern, to_query(options)));
 }
 
 DecisionResult find_separating_pattern(const Graph& g,
                                        const std::vector<std::uint8_t>& in_s,
                                        const iso::Pattern& pattern,
                                        const PipelineOptions& options) {
-  support::require(pattern.is_connected(),
-                   "find_separating_pattern: connected pattern required");
-  DecisionResult total;
-  if (g.num_vertices() < pattern.size()) return total;
-  const std::uint32_t runs =
-      options.max_runs > 0 ? options.max_runs : default_runs(g.num_vertices());
-  const std::uint32_t d = std::max(1u, pattern.diameter());
-  const double beta = 2.0 * pattern.size();
-  for (std::uint32_t r = 0; r < runs; ++r) {
-    const Cover cover = build_separating_cover(
-        g, in_s, d, beta, support::hash_combine(options.seed, 0x5e9 + r),
-        pattern.size());
-    total.metrics.absorb(cover.metrics);
-    ++total.runs;
-    DecisionResult one;
-    if (solve_cover(cover, pattern, options, &one, nullptr, 1)) {
-      total.found = true;
-      total.witness = std::move(one.witness);
-      total.metrics.absorb(one.metrics);
-      total.slices_solved += one.slices_solved;
-      return total;
-    }
-    total.metrics.absorb(one.metrics);
-    total.slices_solved += one.slices_solved;
-  }
-  return total;
+  Solver solver{g};
+  return unwrap(solver.find_separating(in_s, pattern, to_query(options)));
+}
+
+DecisionResult run_once(const Graph& g, const iso::Pattern& pattern,
+                        std::uint64_t run_seed,
+                        const PipelineOptions& options) {
+  Solver solver{g};
+  return unwrap(solver.find_once(pattern, run_seed, to_query(options)));
 }
 
 }  // namespace ppsi::cover

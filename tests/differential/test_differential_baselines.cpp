@@ -2,6 +2,10 @@
 // baselines — brute-force enumeration, Ullmann backtracking, and Eppstein's
 // sequential pipeline — on hundreds of seeded random small instances, plus
 // the randomized cover pipeline's decisions against the exact answer.
+//
+// Deliberately exercises the deprecated free-function shims: together with
+// test_differential_solver they pin shim ≡ Solver behavior.
+#define PPSI_ALLOW_DEPRECATED_API
 
 #include <gtest/gtest.h>
 

@@ -3,6 +3,10 @@
 // articulation gate for k <= 1, and the paper's Monte Carlo separating-cycle
 // algorithm against the exact flow baseline on random embedded planar
 // graphs — over hundreds of seeded random instances.
+//
+// Deliberately exercises the deprecated planar_vertex_connectivity shim:
+// together with test_differential_solver it pins shim ≡ Solver behavior.
+#define PPSI_ALLOW_DEPRECATED_API
 
 #include <gtest/gtest.h>
 

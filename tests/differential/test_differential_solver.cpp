@@ -1,0 +1,245 @@
+// Differential test: the ppsi::Solver session API against the legacy free
+// functions it replaced, over the seeded random corpus shared with the
+// other differential suites. Three-way agreement per instance:
+//   * legacy free function (deprecated shim, exercised deliberately),
+//   * a cold Solver (fresh cache), and
+//   * the same Solver warm (identical repeated query, covers cached) —
+// decisions, witnesses, listings, counts, separating queries, and planar
+// vertex connectivity must be identical, and the warm repeat must hit the
+// cache and never exceed the cold instrumented work. find_batch is checked
+// against sequential find under whatever OMP_NUM_THREADS ctest set (the
+// .omp4 variant and the CI TSan job exercise the concurrent schedule).
+
+#define PPSI_ALLOW_DEPRECATED_API
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "api/solver.hpp"
+#include "graph/generators.hpp"
+#include "testing/random_inputs.hpp"
+#include "testing/witness_checks.hpp"
+
+namespace ppsi {
+namespace {
+
+using cover::DecisionResult;
+using cover::ListingResult;
+using iso::Pattern;
+
+struct Instance {
+  Graph g;
+  Pattern pattern;
+  std::string context;
+};
+
+Instance small_instance(std::uint64_t seed) {
+  std::string family;
+  Instance inst;
+  inst.g = ppsi::testing::random_target(seed, &family);
+  inst.pattern = ppsi::testing::random_pattern(seed, 2, 4);
+  inst.context = "seed " + std::to_string(seed) + " family " + family +
+                 " n=" + std::to_string(inst.g.num_vertices()) +
+                 " k=" + std::to_string(inst.pattern.size());
+  return inst;
+}
+
+QueryOptions query_options(const cover::PipelineOptions& options) {
+  QueryOptions query;
+  query.seed = options.seed;
+  query.max_runs = options.max_runs;
+  query.engine = options.engine;
+  query.decomposition = options.decomposition;
+  query.use_shortcuts = options.use_shortcuts;
+  query.list_limit = options.list_limit;
+  query.stopping_slack = options.stopping_slack;
+  return query;
+}
+
+class SolverVersusLegacy : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverVersusLegacy, DecisionColdAndWarmMatch) {
+  const Instance inst = small_instance(5000 + GetParam());
+  cover::PipelineOptions options;
+  options.seed = 17 + GetParam();
+  const DecisionResult legacy =
+      cover::find_pattern(inst.g, inst.pattern, options);
+
+  Solver solver(inst.g);
+  const QueryOptions query = query_options(options);
+  const Result<DecisionResult> cold = solver.find(inst.pattern, query);
+  ASSERT_TRUE(cold.ok()) << inst.context;
+  EXPECT_EQ(cold->found, legacy.found) << inst.context;
+  EXPECT_EQ(cold->runs, legacy.runs) << inst.context;
+  EXPECT_EQ(cold->slices_solved, legacy.slices_solved) << inst.context;
+  EXPECT_EQ(cold->witness, legacy.witness) << inst.context;
+  EXPECT_EQ(cold->metrics.work(), legacy.metrics.work()) << inst.context;
+
+  const Result<DecisionResult> warm = solver.find(inst.pattern, query);
+  ASSERT_TRUE(warm.ok()) << inst.context;
+  EXPECT_EQ(warm->found, legacy.found) << inst.context;
+  EXPECT_EQ(warm->runs, legacy.runs) << inst.context;
+  EXPECT_EQ(warm->witness, legacy.witness) << inst.context;
+  // The warm repeat did not rebuild covers: every run was a cache hit and
+  // the cover-construction work is gone from its accounting.
+  EXPECT_EQ(solver.cache_stats().cover_hits, legacy.runs) << inst.context;
+  EXPECT_LE(warm->metrics.work(), cold->metrics.work()) << inst.context;
+  if (legacy.found) {
+    ASSERT_TRUE(warm->witness.has_value()) << inst.context;
+    ppsi::testing::expect_valid_embedding(inst.g, inst.pattern, *warm->witness,
+                                          inst.context.c_str());
+  }
+}
+
+TEST_P(SolverVersusLegacy, ListingColdAndWarmMatch) {
+  const Instance inst = small_instance(6000 + GetParam());
+  cover::PipelineOptions options;
+  options.seed = 3 + GetParam();
+  const ListingResult legacy =
+      cover::list_occurrences(inst.g, inst.pattern, options);
+
+  Solver solver(inst.g);
+  const QueryOptions query = query_options(options);
+  const Result<ListingResult> cold = solver.list(inst.pattern, query);
+  ASSERT_TRUE(cold.ok()) << inst.context;
+  EXPECT_EQ(cold->occurrences, legacy.occurrences) << inst.context;
+  EXPECT_EQ(cold->iterations, legacy.iterations) << inst.context;
+
+  const Result<ListingResult> warm = solver.list(inst.pattern, query);
+  ASSERT_TRUE(warm.ok()) << inst.context;
+  EXPECT_EQ(warm->occurrences, legacy.occurrences) << inst.context;
+  EXPECT_EQ(warm->iterations, legacy.iterations) << inst.context;
+  EXPECT_LE(warm->metrics.work(), cold->metrics.work()) << inst.context;
+  EXPECT_GT(solver.cache_stats().cover_hits, 0u) << inst.context;
+}
+
+TEST_P(SolverVersusLegacy, CountMatchesAndCarriesMetrics) {
+  const Instance inst = small_instance(7000 + GetParam());
+  cover::PipelineOptions options;
+  options.seed = 29 + GetParam();
+  const cover::CountResult legacy =
+      cover::count_occurrences(inst.g, inst.pattern, options);
+
+  Solver solver(inst.g);
+  const auto ours = solver.count(inst.pattern, query_options(options));
+  ASSERT_TRUE(ours.ok()) << inst.context;
+  EXPECT_EQ(ours->assignments, legacy.assignments) << inst.context;
+  EXPECT_EQ(ours->subgraphs, legacy.subgraphs) << inst.context;
+  EXPECT_EQ(ours->iterations, legacy.iterations) << inst.context;
+  // Both carry the listing's instrumented work now (the bench harness
+  // records counting queries like every other result type).
+  EXPECT_EQ(ours->metrics.work(), legacy.metrics.work()) << inst.context;
+  EXPECT_GT(ours->metrics.work(), 0u) << inst.context;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverVersusLegacy, ::testing::Range(0, 40));
+
+class ConnectivityVersusLegacy : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConnectivityVersusLegacy, ColdAndWarmMatch) {
+  const std::uint64_t seed = GetParam();
+  const planar::EmbeddedGraph eg =
+      ppsi::testing::random_embedded_planar(seed, 6, 18);
+  ASSERT_TRUE(eg.validate_planar());
+  const std::string context = "seed " + std::to_string(seed);
+
+  connectivity::VertexConnectivityOptions legacy_options;
+  legacy_options.seed = seed * 13 + 5;
+  legacy_options.max_runs = 6;
+  const connectivity::VertexConnectivityResult legacy =
+      connectivity::planar_vertex_connectivity(eg, legacy_options);
+
+  QueryOptions query;
+  query.seed = legacy_options.seed;
+  query.max_runs = legacy_options.max_runs;
+  Solver solver(eg);
+  const auto cold = solver.vertex_connectivity(query);
+  ASSERT_TRUE(cold.ok()) << context;
+  EXPECT_EQ(cold->connectivity, legacy.connectivity) << context;
+  EXPECT_EQ(cold->witness_cut, legacy.witness_cut) << context;
+  EXPECT_EQ(cold->cycle_runs, legacy.cycle_runs) << context;
+
+  const auto warm = solver.vertex_connectivity(query);
+  ASSERT_TRUE(warm.ok()) << context;
+  EXPECT_EQ(warm->connectivity, legacy.connectivity) << context;
+  EXPECT_EQ(warm->witness_cut, legacy.witness_cut) << context;
+  EXPECT_LE(warm->metrics.work(), cold->metrics.work()) << context;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConnectivityVersusLegacy,
+                         ::testing::Range(0, 30));
+
+class SeparatingVersusLegacy : public ::testing::TestWithParam<int> {};
+
+TEST_P(SeparatingVersusLegacy, ColdAndWarmMatch) {
+  // S-separating C4/C6 probes on random planar targets with S = a seeded
+  // random vertex subset.
+  const std::uint64_t seed = 1000 + GetParam();
+  const Graph g = ppsi::testing::random_embedded_planar(seed, 8, 20).graph();
+  support::Rng rng(seed, /*stream=*/0x5e9a);
+  std::vector<std::uint8_t> in_s(g.num_vertices(), 0);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) in_s[v] = rng.next_bool();
+  const std::string context = "seed " + std::to_string(seed);
+
+  cover::PipelineOptions options;
+  options.seed = seed + 7;
+  options.max_runs = 5;
+  Solver solver(g);
+  const QueryOptions query = query_options(options);
+  for (const Vertex len : {4u, 6u}) {
+    const Pattern cycle = Pattern::from_graph(gen::cycle_graph(len));
+    const DecisionResult legacy =
+        cover::find_separating_pattern(g, in_s, cycle, options);
+    const auto cold = solver.find_separating(in_s, cycle, query);
+    ASSERT_TRUE(cold.ok()) << context;
+    EXPECT_EQ(cold->found, legacy.found) << context << " C" << len;
+    EXPECT_EQ(cold->witness, legacy.witness) << context << " C" << len;
+    EXPECT_EQ(cold->runs, legacy.runs) << context << " C" << len;
+    const auto warm = solver.find_separating(in_s, cycle, query);
+    ASSERT_TRUE(warm.ok()) << context;
+    EXPECT_EQ(warm->found, legacy.found) << context << " C" << len;
+    EXPECT_EQ(warm->witness, legacy.witness) << context << " C" << len;
+    EXPECT_LE(warm->metrics.work(), cold->metrics.work()) << context;
+  }
+  EXPECT_GT(solver.cache_stats().cover_hits, 0u) << context;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeparatingVersusLegacy,
+                         ::testing::Range(0, 20));
+
+TEST(SolverBatchDifferential, BatchAgreesWithLegacyUnderOmp) {
+  // One shared Solver, a mixed batch fanned out across OMP tasks (ctest
+  // runs this suite under OMP_NUM_THREADS=1 and =4; the CI TSan job reruns
+  // the 4-thread schedule under -fsanitize=thread). Every slot must agree
+  // with the stateless legacy answer.
+  const Graph g = gen::grid_graph(9, 9);
+  std::vector<Pattern> patterns;
+  for (int i = 0; i < 4; ++i) {
+    patterns.push_back(Pattern::from_graph(gen::cycle_graph(4)));
+    patterns.push_back(Pattern::from_graph(gen::cycle_graph(6)));
+    patterns.push_back(Pattern::from_graph(gen::path_graph(4)));
+    patterns.push_back(Pattern::from_graph(gen::cycle_graph(5)));  // absent
+    patterns.push_back(Pattern::from_graph(gen::star_graph(4)));
+  }
+  cover::PipelineOptions options;
+  options.seed = 99;
+  options.max_runs = 4;
+  Solver solver(g);
+  const auto batch = solver.find_batch(patterns, query_options(options));
+  ASSERT_EQ(batch.size(), patterns.size());
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    ASSERT_TRUE(batch[i].ok()) << i << ": " << batch[i].status().to_string();
+    const DecisionResult legacy =
+        cover::find_pattern(g, patterns[i], options);
+    EXPECT_EQ(batch[i]->found, legacy.found) << "pattern " << i;
+    EXPECT_EQ(batch[i]->witness, legacy.witness) << "pattern " << i;
+    EXPECT_EQ(batch[i]->runs, legacy.runs) << "pattern " << i;
+  }
+  // 5 distinct (diameter, size) classes repeated 4x: repeats were hits.
+  EXPECT_GT(solver.cache_stats().cover_hits, 0u);
+}
+
+}  // namespace
+}  // namespace ppsi

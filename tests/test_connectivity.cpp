@@ -7,6 +7,7 @@
 
 #include <set>
 
+#include "api/solver.hpp"
 #include "connectivity/articulation.hpp"
 #include "graph/ops.hpp"
 #include "connectivity/flow_connectivity.hpp"
@@ -114,10 +115,10 @@ class PlanarConnectivity : public ::testing::TestWithParam<int> {};
 TEST_P(PlanarConnectivity, MatchesExpectedAndFlow) {
   const ConnCase c = conn_cases()[GetParam()];
   ASSERT_TRUE(c.eg.validate_planar());
-  VertexConnectivityOptions opts;
+  Solver solver(c.eg);
+  QueryOptions opts;
   opts.max_runs = 6;
-  const VertexConnectivityResult ours =
-      planar_vertex_connectivity(c.eg, opts);
+  const VertexConnectivityResult ours = *solver.vertex_connectivity(opts);
   EXPECT_EQ(ours.connectivity, c.expected) << c.name;
   EXPECT_EQ(vertex_connectivity_flow(c.eg.graph()).connectivity, c.expected)
       << c.name;
@@ -137,24 +138,23 @@ TEST(PlanarConnectivity, RandomPlanarCrossValidation) {
     const auto eg =
         gen::delete_random_edges(gen::apollonian(26, seed), 8, seed * 3 + 1);
     ASSERT_TRUE(eg.validate_planar());
-    VertexConnectivityOptions opts;
+    Solver solver(eg);
+    QueryOptions opts;
     opts.seed = seed;
     opts.max_runs = 6;
-    const auto ours = planar_vertex_connectivity(eg, opts);
+    const auto ours = *solver.vertex_connectivity(opts);
     const auto flow = vertex_connectivity_flow(eg.graph());
     EXPECT_EQ(ours.connectivity, flow.connectivity) << "seed " << seed;
   }
 }
 
 TEST(PlanarConnectivity, SmallAndDegenerate) {
-  VertexConnectivityOptions opts;
-  EXPECT_EQ(planar_vertex_connectivity(gen::tetrahedron(), opts).connectivity,
+  EXPECT_EQ(Solver(gen::tetrahedron()).vertex_connectivity()->connectivity,
             3u);
-  EXPECT_EQ(planar_vertex_connectivity(gen::octahedron(), opts).connectivity,
+  EXPECT_EQ(Solver(gen::octahedron()).vertex_connectivity()->connectivity,
             4u);
-  EXPECT_EQ(planar_vertex_connectivity(gen::embedded_cycle(3), opts)
-                .connectivity,
-            2u);
+  EXPECT_EQ(
+      Solver(gen::embedded_cycle(3)).vertex_connectivity()->connectivity, 2u);
 }
 
 TEST(PlanarConnectivity, DisconnectedAndCutVertex) {
@@ -170,9 +170,10 @@ TEST(PlanarConnectivity, DisconnectedAndCutVertex) {
   rot[pendant] = {0};
   const auto eg = planar::EmbeddedGraph::from_rotations(rot);
   ASSERT_TRUE(eg.validate_planar());
-  VertexConnectivityOptions opts;
+  Solver solver(eg);
+  QueryOptions opts;
   opts.small_cutoff = 4;  // force the full machinery
-  const auto r = planar_vertex_connectivity(eg, opts);
+  const auto r = *solver.vertex_connectivity(opts);
   EXPECT_EQ(r.connectivity, 1u);
   ASSERT_EQ(r.witness_cut.size(), 1u);
   EXPECT_EQ(r.witness_cut[0], 0u);
@@ -180,13 +181,13 @@ TEST(PlanarConnectivity, DisconnectedAndCutVertex) {
 
 TEST(PlanarConnectivity, WitnessCutsAreMinimum) {
   // The returned cut must not only disconnect but have minimum size.
-  const auto eg = gen::antiprism(5);
-  VertexConnectivityOptions opts;
+  Solver solver(gen::antiprism(5));
+  QueryOptions opts;
   opts.max_runs = 6;
-  const auto ours = planar_vertex_connectivity(eg, opts);
+  const auto ours = *solver.vertex_connectivity(opts);
   ASSERT_EQ(ours.connectivity, 4u);
   ASSERT_EQ(ours.witness_cut.size(), 4u);
-  testing::expect_valid_separator(eg.graph(), ours.witness_cut);
+  testing::expect_valid_separator(solver.target(), ours.witness_cut);
 }
 
 }  // namespace

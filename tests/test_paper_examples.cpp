@@ -7,9 +7,8 @@
 
 #include <cmath>
 
+#include "api/solver.hpp"
 #include "baseline/ullmann.hpp"
-#include "connectivity/vertex_connectivity.hpp"
-#include "cover/pipeline.hpp"
 #include "graph/components.hpp"
 #include "graph/generators.hpp"
 #include "graph/ops.hpp"
@@ -93,25 +92,24 @@ TEST(Figure6, ThreeConnectedExampleHasSeparatingC6ButNoC4) {
   const planar::FaceVertexGraph fvg = planar::build_face_vertex_graph(eg);
   std::vector<std::uint8_t> in_s(fvg.graph.num_vertices(), 0);
   for (Vertex v = 0; v < fvg.num_original; ++v) in_s[v] = 1;
-  cover::PipelineOptions opts;
+  Solver solver(fvg.graph);
+  QueryOptions opts;
   opts.max_runs = 8;
   const auto c4 = iso::Pattern::from_graph(gen::cycle_graph(4));
   const auto c6 = iso::Pattern::from_graph(gen::cycle_graph(6));
-  EXPECT_FALSE(
-      cover::find_separating_pattern(fvg.graph, in_s, c4, opts).found);
-  EXPECT_TRUE(
-      cover::find_separating_pattern(fvg.graph, in_s, c6, opts).found);
+  EXPECT_FALSE(solver.find_separating(in_s, c4, opts)->found);
+  EXPECT_TRUE(solver.find_separating(in_s, c6, opts)->found);
 }
 
 TEST(Figure6, CycleAlternatesAndCutsAreFaces) {
   // A separating 2c-cycle of the bipartite face-vertex graph alternates
   // original and face vertices, so its witness contains exactly c original
   // vertices — the vertex cut.
-  const auto eg = gen::wheel(8);
-  connectivity::VertexConnectivityOptions opts;
+  Solver solver(gen::wheel(8));
+  QueryOptions opts;
   opts.small_cutoff = 4;
   opts.max_runs = 8;
-  const auto r = connectivity::planar_vertex_connectivity(eg, opts);
+  const auto r = *solver.vertex_connectivity(opts);
   EXPECT_EQ(r.connectivity, 3u);
   EXPECT_EQ(r.witness_cut.size(), 3u);
 }
@@ -141,12 +139,10 @@ TEST(Table1, WorkScalesNearLinearlyInN) {
   // Table 1 row "This paper": for fixed k the measured DP work per vertex
   // (one cover run) grows at most logarithmically. Compare n and 4n.
   const iso::Pattern pattern = iso::Pattern::from_graph(gen::cycle_graph(4));
-  cover::PipelineOptions opts;
+  QueryOptions opts;
   opts.max_runs = 2;
-  const auto small = cover::find_pattern(
-      gen::grid_graph(20, 20), pattern, opts);
-  const auto large = cover::find_pattern(
-      gen::grid_graph(40, 40), pattern, opts);
+  const auto small = *Solver(gen::grid_graph(20, 20)).find(pattern, opts);
+  const auto large = *Solver(gen::grid_graph(40, 40)).find(pattern, opts);
   const double per_vertex_small =
       static_cast<double>(small.metrics.work()) / (20.0 * 20.0);
   const double per_vertex_large =

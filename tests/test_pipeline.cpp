@@ -1,20 +1,26 @@
-// End-to-end pipeline tests: decision (Theorem 2.1), listing (Theorem 4.2),
-// counting, disconnected patterns (Lemma 4.1), engine agreement, and
-// soundness (witnesses verified, no false positives ever).
+// End-to-end pipeline tests on the ppsi::Solver API: decision (Theorem
+// 2.1), listing (Theorem 4.2), counting, disconnected patterns (Lemma 4.1),
+// engine agreement, and soundness (witnesses verified, no false positives
+// ever). The legacy free functions are covered separately by
+// tests/differential/test_differential_solver.cpp.
 
 #include <gtest/gtest.h>
 
 #include <set>
 
+#include "api/solver.hpp"
 #include "baseline/eppstein_sequential.hpp"
 #include "baseline/ullmann.hpp"
-#include "cover/pipeline.hpp"
 #include "graph/generators.hpp"
 #include "testing/witness_checks.hpp"
 
-namespace ppsi::cover {
+namespace ppsi {
 namespace {
 
+using cover::CountResult;
+using cover::DecisionResult;
+using cover::EngineKind;
+using cover::ListingResult;
 using iso::Assignment;
 using iso::Pattern;
 
@@ -52,24 +58,31 @@ TEST_P(Decision, MatchesOracleAndVerifiesWitness) {
   const PipelineCase c = pipeline_cases()[GetParam()];
   const Pattern pattern = Pattern::from_graph(c.h);
   const auto oracle = baseline::ullmann_decide(c.g, pattern);
-  const DecisionResult ours = find_pattern(c.g, pattern, {});
-  EXPECT_EQ(ours.found, oracle.found) << c.name;
-  if (ours.found) {
-    ASSERT_TRUE(ours.witness.has_value());
-    verify_witness(c.g, pattern, *ours.witness);
+  Solver solver(c.g);
+  const Result<DecisionResult> ours = solver.find(pattern);
+  ASSERT_TRUE(ours.ok()) << ours.status().to_string();
+  EXPECT_EQ(ours->found, oracle.found) << c.name;
+  if (ours->found) {
+    ASSERT_TRUE(ours->witness.has_value());
+    verify_witness(c.g, pattern, *ours->witness);
   }
 }
 
 TEST_P(Decision, AllEnginesAgree) {
   const PipelineCase c = pipeline_cases()[GetParam()];
   const Pattern pattern = Pattern::from_graph(c.h);
-  PipelineOptions opts;
+  Solver solver(c.g);
+  QueryOptions opts;
   opts.max_runs = 3;
   std::set<bool> answers;
   for (const EngineKind engine :
        {EngineKind::kSparse, EngineKind::kSequential, EngineKind::kParallel}) {
     opts.engine = engine;
-    answers.insert(find_pattern(c.g, pattern, opts).found);
+    // One solver serves all three engines: the covers are engine-independent
+    // and shared, only the per-slice DP differs.
+    const Result<DecisionResult> r = solver.find(pattern, opts);
+    ASSERT_TRUE(r.ok()) << r.status().to_string();
+    answers.insert(r->found);
   }
   EXPECT_EQ(answers.size(), 1u) << c.name << ": engines disagree";
 }
@@ -77,9 +90,11 @@ TEST_P(Decision, AllEnginesAgree) {
 TEST_P(Decision, EppsteinBaselineAgrees) {
   const PipelineCase c = pipeline_cases()[GetParam()];
   const Pattern pattern = Pattern::from_graph(c.h);
-  const auto ours = find_pattern(c.g, pattern, {});
+  Solver solver(c.g);
+  const Result<DecisionResult> ours = solver.find(pattern);
+  ASSERT_TRUE(ours.ok()) << ours.status().to_string();
   const auto epp = baseline::eppstein_decide(c.g, pattern);
-  EXPECT_EQ(ours.found, epp.found) << c.name;
+  EXPECT_EQ(ours->found, epp.found) << c.name;
   if (epp.found && epp.witness.has_value())
     verify_witness(c.g, pattern, *epp.witness);
 }
@@ -92,12 +107,13 @@ TEST(Decision, NeverFalsePositive) {
   const Graph g = gen::grid_graph(9, 9);  // bipartite: no odd cycles
   const Pattern c3 = Pattern::from_graph(gen::cycle_graph(3));
   const Pattern c5 = Pattern::from_graph(gen::cycle_graph(5));
+  Solver solver(g);
   for (std::uint64_t seed = 0; seed < 10; ++seed) {
-    PipelineOptions opts;
+    QueryOptions opts;
     opts.seed = seed;
     opts.max_runs = 2;
-    EXPECT_FALSE(find_pattern(g, c3, opts).found);
-    EXPECT_FALSE(find_pattern(g, c5, opts).found);
+    EXPECT_FALSE(solver.find(c3, opts)->found);
+    EXPECT_FALSE(solver.find(c5, opts)->found);
   }
 }
 
@@ -106,10 +122,11 @@ TEST(Decision, SingleRunFindsPlantedPatternOften) {
   // occurs. Empirical success rate over seeds must clear 1/2.
   const Graph g = gen::grid_graph(12, 12);
   const Pattern pattern = Pattern::from_graph(gen::cycle_graph(4));
+  Solver solver(g);
   int hits = 0;
   const int trials = 60;
   for (int t = 0; t < trials; ++t) {
-    if (run_once(g, pattern, 10'000 + t, {}).found) ++hits;
+    if (solver.find_once(pattern, 10'000 + t)->found) ++hits;
   }
   EXPECT_GT(hits, trials / 2) << hits << "/" << trials;
 }
@@ -117,21 +134,25 @@ TEST(Decision, SingleRunFindsPlantedPatternOften) {
 TEST(Listing, MatchesBruteForceOnGrid) {
   const Graph g = gen::grid_graph(6, 6);
   const Pattern pattern = Pattern::from_graph(gen::cycle_graph(4));
-  const ListingResult ours = list_occurrences(g, pattern, {});
+  Solver solver(g);
+  const Result<ListingResult> ours = solver.list(pattern);
+  ASSERT_TRUE(ours.ok()) << ours.status().to_string();
   const auto expect = baseline::brute_force_list(g, pattern, 1 << 20);
-  const std::set<Assignment> a(ours.occurrences.begin(),
-                               ours.occurrences.end());
+  const std::set<Assignment> a(ours->occurrences.begin(),
+                               ours->occurrences.end());
   const std::set<Assignment> b(expect.begin(), expect.end());
   EXPECT_EQ(a, b);
-  EXPECT_GT(ours.iterations, 0u);
+  EXPECT_GT(ours->iterations, 0u);
 }
 
 TEST(Listing, MatchesUllmannOnApollonian) {
   const Graph g = gen::apollonian(40, 21).graph();
   const Pattern pattern = Pattern::from_graph(gen::complete_graph(4));
-  const ListingResult ours = list_occurrences(g, pattern, {});
+  Solver solver(g);
+  const Result<ListingResult> ours = solver.list(pattern);
+  ASSERT_TRUE(ours.ok()) << ours.status().to_string();
   const auto expect = baseline::ullmann_list(g, pattern, 1 << 20);
-  EXPECT_EQ(ours.occurrences.size(), expect.size());
+  EXPECT_EQ(ours->occurrences.size(), expect.size());
 }
 
 TEST(Listing, StressSeeds) {
@@ -141,38 +162,47 @@ TEST(Listing, StressSeeds) {
   const Pattern pattern = Pattern::from_graph(gen::path_graph(3));
   const std::size_t expect =
       baseline::brute_force_list(g, pattern, 1 << 20).size();
+  Solver solver(g);
   for (std::uint64_t seed = 1; seed <= 5; ++seed) {
-    PipelineOptions opts;
+    QueryOptions opts;
     opts.seed = seed;
-    EXPECT_EQ(list_occurrences(g, pattern, opts).occurrences.size(), expect);
+    EXPECT_EQ(solver.list(pattern, opts)->occurrences.size(), expect);
   }
 }
 
 TEST(Counting, AssignmentsAndSubgraphs) {
   const Graph g = gen::grid_graph(5, 5);
   const Pattern pattern = Pattern::from_graph(gen::cycle_graph(4));
-  const CountResult count = count_occurrences(g, pattern, {});
+  Solver solver(g);
+  const Result<CountResult> count = solver.count(pattern);
+  ASSERT_TRUE(count.ok()) << count.status().to_string();
   // 16 unit squares; each square is one subgraph with 8 automorphic maps.
-  EXPECT_EQ(count.subgraphs, 16u);
-  EXPECT_EQ(count.assignments, 16u * 8u);
+  EXPECT_EQ(count->subgraphs, 16u);
+  EXPECT_EQ(count->assignments, 16u * 8u);
+  // Counting goes through listing, whose instrumented work it reports.
+  EXPECT_GT(count->metrics.work(), 0u);
 }
 
 TEST(Disconnected, TwoComponents) {
   const Graph g = gen::grid_graph(7, 7);
   const Pattern pattern = Pattern::from_graph(
       gen::disjoint_union({gen::cycle_graph(4), gen::path_graph(3)}));
-  const DecisionResult r = find_pattern_disconnected(g, pattern, {});
-  ASSERT_TRUE(r.found);
-  verify_witness(g, pattern, *r.witness);
+  Solver solver(g);
+  const Result<DecisionResult> r = solver.find_disconnected(pattern);
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  ASSERT_TRUE(r->found);
+  verify_witness(g, pattern, *r->witness);
 }
 
 TEST(Disconnected, ThreeComponents) {
   const Graph g = gen::apollonian(50, 3).graph();
   const Pattern pattern = Pattern::from_graph(gen::disjoint_union(
       {gen::complete_graph(3), gen::path_graph(2), gen::path_graph(2)}));
-  const DecisionResult r = find_pattern_disconnected(g, pattern, {});
-  ASSERT_TRUE(r.found);
-  verify_witness(g, pattern, *r.witness);
+  Solver solver(g);
+  const Result<DecisionResult> r = solver.find_disconnected(pattern);
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  ASSERT_TRUE(r->found);
+  verify_witness(g, pattern, *r->witness);
 }
 
 TEST(Disconnected, AbsentComponentIsNotFound) {
@@ -181,29 +211,38 @@ TEST(Disconnected, AbsentComponentIsNotFound) {
   const Graph g = gen::grid_graph(6, 6);
   const Pattern pattern = Pattern::from_graph(
       gen::disjoint_union({gen::complete_graph(3), gen::path_graph(2)}));
-  PipelineOptions opts;
+  Solver solver(g);
+  QueryOptions opts;
   opts.max_runs = 30;  // cap the l^k attempt budget for the test
-  EXPECT_FALSE(find_pattern_disconnected(g, pattern, opts).found);
+  EXPECT_FALSE(solver.find_disconnected(pattern, opts)->found);
 }
 
 TEST(Disconnected, FallsBackToConnected) {
   const Graph g = gen::grid_graph(5, 5);
   const Pattern pattern = Pattern::from_graph(gen::path_graph(3));
-  EXPECT_TRUE(find_pattern_disconnected(g, pattern, {}).found);
+  Solver solver(g);
+  EXPECT_TRUE(solver.find_disconnected(pattern)->found);
 }
 
 TEST(Pipeline, PatternLargerThanGraph) {
   const Graph g = gen::path_graph(3);
   const Pattern pattern = Pattern::from_graph(gen::path_graph(6));
-  EXPECT_FALSE(find_pattern(g, pattern, {}).found);
+  Solver solver(g);
+  const Result<DecisionResult> r = solver.find(pattern);
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_FALSE(r->found);
 }
 
 TEST(Pipeline, RejectsDisconnectedPatternInConnectedDriver) {
   const Graph g = gen::grid_graph(4, 4);
   const Pattern pattern = Pattern::from_graph(
       gen::disjoint_union({gen::path_graph(2), gen::path_graph(2)}));
-  EXPECT_THROW(find_pattern(g, pattern, {}), std::invalid_argument);
+  Solver solver(g);
+  const Result<DecisionResult> r = solver.find(pattern);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidPattern);
+  EXPECT_FALSE(r.has_value());
 }
 
 }  // namespace
-}  // namespace ppsi::cover
+}  // namespace ppsi

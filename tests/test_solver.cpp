@@ -1,0 +1,315 @@
+// ppsi::Solver unit tests: eager option validation and the Status model,
+// budget/deadline interruption with partial results, the listing cap,
+// cover-cache observability (hits/misses/clear), and find_batch.
+// Equivalence with the legacy free functions is covered by
+// tests/differential/test_differential_solver.cpp.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "api/solver.hpp"
+#include "graph/generators.hpp"
+
+namespace ppsi {
+namespace {
+
+using cover::DecisionResult;
+using cover::DecompositionKind;
+using cover::EngineKind;
+using iso::Pattern;
+
+Pattern cycle_pattern(Vertex k) {
+  return Pattern::from_graph(gen::cycle_graph(k));
+}
+
+TEST(QueryOptionsValidation, DefaultsAreValid) {
+  EXPECT_TRUE(validate(QueryOptions{}).ok());
+}
+
+TEST(QueryOptionsValidation, RejectsZeroListLimit) {
+  QueryOptions opts;
+  opts.list_limit = 0;
+  const Status status = validate(opts);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidOptions);
+  EXPECT_NE(status.message().find("list_limit"), std::string::npos);
+}
+
+TEST(QueryOptionsValidation, RejectsOutOfRangeStoppingSlack) {
+  QueryOptions opts;
+  opts.stopping_slack = cover::kMaxStoppingSlack + 1;
+  EXPECT_EQ(validate(opts).code(), StatusCode::kInvalidOptions);
+  opts.stopping_slack = cover::kMaxStoppingSlack;
+  EXPECT_TRUE(validate(opts).ok());
+}
+
+TEST(QueryOptionsValidation, RejectsUnknownEngineAndDecomposition) {
+  QueryOptions opts;
+  opts.engine = static_cast<EngineKind>(42);
+  EXPECT_EQ(validate(opts).code(), StatusCode::kInvalidOptions);
+  opts = {};
+  opts.decomposition = static_cast<DecompositionKind>(9);
+  EXPECT_EQ(validate(opts).code(), StatusCode::kInvalidOptions);
+}
+
+TEST(QueryOptionsValidation, RejectsNegativeDeadline) {
+  QueryOptions opts;
+  opts.deadline_seconds = -1.0;
+  EXPECT_EQ(validate(opts).code(), StatusCode::kInvalidOptions);
+}
+
+TEST(QueryOptionsValidation, QueriesRejectEagerly) {
+  // Invalid options are rejected before any work, on every entry point.
+  Solver solver(gen::grid_graph(4, 4));
+  QueryOptions bad;
+  bad.list_limit = 0;
+  const Pattern c4 = cycle_pattern(4);
+  EXPECT_EQ(solver.find(c4, bad).status().code(),
+            StatusCode::kInvalidOptions);
+  EXPECT_EQ(solver.list(c4, bad).status().code(),
+            StatusCode::kInvalidOptions);
+  EXPECT_EQ(solver.count(c4, bad).status().code(),
+            StatusCode::kInvalidOptions);
+  EXPECT_EQ(solver.find_disconnected(c4, bad).status().code(),
+            StatusCode::kInvalidOptions);
+  EXPECT_EQ(solver.find_once(c4, 1, bad).status().code(),
+            StatusCode::kInvalidOptions);
+  const std::vector<std::uint8_t> in_s(solver.target().num_vertices(), 1);
+  EXPECT_EQ(solver.find_separating(in_s, c4, bad).status().code(),
+            StatusCode::kInvalidOptions);
+  EXPECT_EQ(solver.cache_stats().cover_misses, 0u);
+}
+
+TEST(QueryOptionsValidation, LegacyShimsThrowOnInvalidOptions) {
+  // The deprecated free functions funnel through the same validation but
+  // keep their historical error model: std::invalid_argument.
+  cover::PipelineOptions bad;
+  bad.stopping_slack = cover::kMaxStoppingSlack + 1;
+  EXPECT_NE(cover::validate_options(bad), nullptr);
+  bad = {};
+  EXPECT_EQ(cover::validate_options(bad), nullptr);
+}
+
+TEST(SolverStatus, VertexConnectivityNeedsEmbedding) {
+  Solver solver(gen::grid_graph(4, 4));
+  EXPECT_FALSE(solver.has_embedding());
+  const auto r = solver.vertex_connectivity();
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+  EXPECT_FALSE(r.has_value());
+
+  Solver embedded(gen::embedded_grid(4, 4));
+  EXPECT_TRUE(embedded.has_embedding());
+  const auto ok = embedded.vertex_connectivity();
+  ASSERT_TRUE(ok.ok()) << ok.status().to_string();
+  EXPECT_EQ(ok->connectivity, 2u);
+}
+
+TEST(SolverStatus, SeparatingRejectsMismatchedMarking) {
+  Solver solver(gen::grid_graph(4, 4));
+  const std::vector<std::uint8_t> wrong_size(3, 1);
+  EXPECT_EQ(solver.find_separating(wrong_size, cycle_pattern(4)).status()
+                .code(),
+            StatusCode::kInvalidOptions);
+}
+
+TEST(SolverStatus, WorkBudgetInterruptsWithPartialResult) {
+  // C5 is absent from the bipartite grid, so the full run budget would be
+  // spent; a tiny work budget stops after the first cover run.
+  Solver solver(gen::grid_graph(8, 8));
+  QueryOptions opts;
+  opts.max_work = 1;
+  const auto r = solver.find(cycle_pattern(5), opts);
+  EXPECT_EQ(r.status().code(), StatusCode::kWorkBudgetExceeded);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_FALSE(r->found);
+  EXPECT_EQ(r->runs, 1u);
+  EXPECT_GT(r->metrics.work(), 1u);
+}
+
+TEST(SolverStatus, DeadlineInterruptsWithPartialResult) {
+  Solver solver(gen::grid_graph(8, 8));
+  QueryOptions opts;
+  opts.deadline_seconds = 1e-9;
+  const auto r = solver.find(cycle_pattern(5), opts);
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->runs, 1u);
+}
+
+TEST(SolverStatus, WorkBudgetAppliesToListing) {
+  // Listing metrics meter the DP solve work, so the budget trips even when
+  // every cover is already cached.
+  Solver solver(gen::grid_graph(6, 6));
+  QueryOptions opts;
+  opts.max_work = 1;
+  const auto cold = solver.list(cycle_pattern(4), opts);
+  EXPECT_EQ(cold.status().code(), StatusCode::kWorkBudgetExceeded);
+  ASSERT_TRUE(cold.has_value());
+  const auto warm = solver.list(cycle_pattern(4), opts);
+  EXPECT_EQ(warm.status().code(), StatusCode::kWorkBudgetExceeded);
+}
+
+TEST(SolverStatus, BudgetPropagatesIntoVertexConnectivityProbes) {
+  // A single cycle probe is a full find_separating loop; the deadline must
+  // interrupt inside it, not after it.
+  Solver solver(gen::antiprism(8));
+  QueryOptions opts;
+  opts.deadline_seconds = 1e-9;
+  const auto r = solver.vertex_connectivity(opts);
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  ASSERT_TRUE(r.has_value());
+  QueryOptions work;
+  work.max_work = 1;
+  const auto w = solver.vertex_connectivity(work);
+  EXPECT_EQ(w.status().code(), StatusCode::kWorkBudgetExceeded);
+  ASSERT_TRUE(w.has_value());
+}
+
+TEST(SolverCache, CapacityBoundEvictsLeastRecentlyUsed) {
+  Solver solver(gen::grid_graph(8, 8));
+  solver.set_cache_capacity(2);
+  QueryOptions opts;
+  opts.max_runs = 3;  // three distinct cover seeds > capacity
+  ASSERT_TRUE(solver.find(cycle_pattern(5), opts).ok());
+  CacheStats stats = solver.cache_stats();
+  EXPECT_EQ(stats.cover_misses, 3u);
+  EXPECT_LE(stats.cover_entries, 2u);
+  EXPECT_GE(stats.cover_evictions, 1u);
+  // Lowering the capacity shrinks immediately; 0 lifts the bound.
+  solver.set_cache_capacity(1);
+  EXPECT_EQ(solver.cache_stats().cover_entries, 1u);
+  solver.set_cache_capacity(0);
+  ASSERT_TRUE(solver.find(cycle_pattern(5), opts).ok());
+  EXPECT_EQ(solver.cache_stats().cover_entries, 3u);
+}
+
+TEST(SolverStatus, ListLimitReachedReturnsTruncatedSet) {
+  // The 6x6 grid holds 200 C4 assignments; a cap of 5 must interrupt.
+  Solver solver(gen::grid_graph(6, 6));
+  QueryOptions opts;
+  opts.list_limit = 5;
+  const auto r = solver.list(cycle_pattern(4), opts);
+  EXPECT_EQ(r.status().code(), StatusCode::kListLimitReached);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_GE(r->occurrences.size(), 5u);
+  // Counting propagates the interruption but still aggregates the partial
+  // listing.
+  const auto count = solver.count(cycle_pattern(4), opts);
+  EXPECT_EQ(count.status().code(), StatusCode::kListLimitReached);
+  ASSERT_TRUE(count.has_value());
+  EXPECT_GE(count->assignments, 5u);
+}
+
+TEST(SolverStatus, ToStringNamesTheCode) {
+  const Status status = Status::InvalidOptions("boom");
+  EXPECT_EQ(status.to_string(), "invalid options: boom");
+  EXPECT_TRUE(Status::Ok().ok());
+}
+
+TEST(SolverCache, RepeatedQueriesHitTheCoverCache) {
+  // A negative query (C5 on a bipartite grid) runs a deterministic number
+  // of covers, so hit/miss counts are exact.
+  Solver solver(gen::grid_graph(8, 8));
+  QueryOptions opts;
+  opts.max_runs = 3;
+  const Pattern c5 = cycle_pattern(5);
+
+  const auto cold = solver.find(c5, opts);
+  ASSERT_TRUE(cold.ok());
+  CacheStats stats = solver.cache_stats();
+  EXPECT_EQ(stats.cover_misses, 3u);
+  EXPECT_EQ(stats.cover_hits, 0u);
+  EXPECT_EQ(stats.decomposition_misses, 3u);
+  EXPECT_EQ(stats.cover_entries, 3u);
+
+  const auto warm = solver.find(c5, opts);
+  ASSERT_TRUE(warm.ok());
+  stats = solver.cache_stats();
+  EXPECT_EQ(stats.cover_misses, 3u);
+  EXPECT_EQ(stats.cover_hits, 3u);
+  EXPECT_EQ(stats.decomposition_hits, 3u);
+
+  // Identical answers; the warm query skipped the cover-build work.
+  EXPECT_EQ(warm->found, cold->found);
+  EXPECT_EQ(warm->runs, cold->runs);
+  EXPECT_LT(warm->metrics.work(), cold->metrics.work());
+
+  // A different decomposition kind reuses the covers but must build its
+  // own tree decompositions.
+  QueryOptions minfill = opts;
+  minfill.decomposition = DecompositionKind::kGreedyMinFill;
+  ASSERT_TRUE(solver.find(c5, minfill).ok());
+  stats = solver.cache_stats();
+  EXPECT_EQ(stats.cover_misses, 3u);
+  EXPECT_EQ(stats.cover_hits, 6u);
+  EXPECT_EQ(stats.decomposition_misses, 6u);
+
+  solver.clear_cache();
+  stats = solver.cache_stats();
+  EXPECT_EQ(stats.cover_entries, 0u);
+  EXPECT_EQ(stats.cover_hits, 0u);
+  ASSERT_TRUE(solver.find(c5, opts).ok());
+  EXPECT_EQ(solver.cache_stats().cover_misses, 3u);
+}
+
+TEST(SolverCache, VertexConnectivityReusesFaceVertexState) {
+  Solver solver(gen::antiprism(8));
+  QueryOptions opts;
+  opts.max_runs = 4;
+  const auto cold = solver.vertex_connectivity(opts);
+  ASSERT_TRUE(cold.ok()) << cold.status().to_string();
+  const CacheStats after_cold = solver.cache_stats();
+  EXPECT_GT(after_cold.cover_misses, 0u);
+  const auto warm = solver.vertex_connectivity(opts);
+  ASSERT_TRUE(warm.ok());
+  const CacheStats after_warm = solver.cache_stats();
+  EXPECT_EQ(warm->connectivity, cold->connectivity);
+  EXPECT_EQ(after_warm.cover_misses, after_cold.cover_misses);
+  EXPECT_GT(after_warm.cover_hits, after_cold.cover_hits);
+  EXPECT_LT(warm->metrics.work(), cold->metrics.work());
+}
+
+TEST(SolverBatch, MatchesSequentialFindsAndFlagsBadPatterns) {
+  Solver solver(gen::grid_graph(10, 10));
+  QueryOptions opts;
+  opts.max_runs = 4;
+  std::vector<Pattern> patterns = {
+      cycle_pattern(4),
+      cycle_pattern(6),
+      cycle_pattern(4),  // duplicate: shares every cover with patterns[0]
+      Pattern::from_graph(gen::path_graph(4)),
+      Pattern::from_graph(
+          gen::disjoint_union({gen::path_graph(2), gen::path_graph(2)})),
+      cycle_pattern(5),  // absent (bipartite target)
+  };
+  const auto batch = solver.find_batch(patterns, opts);
+  ASSERT_EQ(batch.size(), patterns.size());
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    if (i == 4) {
+      EXPECT_EQ(batch[i].status().code(), StatusCode::kInvalidPattern);
+      continue;
+    }
+    ASSERT_TRUE(batch[i].ok()) << i << ": " << batch[i].status().to_string();
+    const auto solo = solver.find(patterns[i], opts);
+    ASSERT_TRUE(solo.ok());
+    EXPECT_EQ(batch[i]->found, solo->found) << "pattern " << i;
+    EXPECT_EQ(batch[i]->witness, solo->witness) << "pattern " << i;
+  }
+  // The duplicated C4 shared the first C4's covers within the batch.
+  const CacheStats stats = solver.cache_stats();
+  EXPECT_GT(stats.cover_hits, 0u);
+}
+
+TEST(SolverBatch, InvalidOptionsFailEverySlot) {
+  Solver solver(gen::grid_graph(4, 4));
+  QueryOptions bad;
+  bad.list_limit = 0;
+  const std::vector<Pattern> patterns = {cycle_pattern(4), cycle_pattern(6)};
+  const auto batch = solver.find_batch(patterns, bad);
+  ASSERT_EQ(batch.size(), 2u);
+  for (const auto& r : batch)
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidOptions);
+}
+
+}  // namespace
+}  // namespace ppsi

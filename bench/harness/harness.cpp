@@ -263,6 +263,7 @@ std::vector<BenchRecord> run_benchmarks(const Registry& registry,
         int count = 0;
       };
       std::vector<double> work_samples, round_samples;
+      std::vector<double> alloc_samples, scratch_samples;
       std::vector<CounterSum> counter_sums;
       for (int rep = -warmup; rep < repeats; ++rep) {
         // Timed trial r always gets the seed derived from r itself, so
@@ -282,6 +283,8 @@ std::vector<BenchRecord> run_benchmarks(const Registry& registry,
         if (trial.work() != 0 || trial.rounds() != 0) rec.has_metrics = true;
         work_samples.push_back(static_cast<double>(trial.work()));
         round_samples.push_back(static_cast<double>(trial.rounds()));
+        alloc_samples.push_back(static_cast<double>(trial.allocs()));
+        scratch_samples.push_back(static_cast<double>(trial.scratch_peak()));
         for (const auto& [name, value] : trial.counters()) {
           bool found = false;
           for (CounterSum& cs : counter_sums) {
@@ -298,6 +301,8 @@ std::vector<BenchRecord> run_benchmarks(const Registry& registry,
       rec.seconds = support::summarize(rec.trial_seconds);
       rec.work = support::summarize(work_samples);
       rec.rounds = support::summarize(round_samples);
+      rec.allocs = support::summarize(alloc_samples);
+      rec.scratch_peak = support::summarize(scratch_samples);
       // Mean over the trials that actually recorded the counter (cases may
       // record a counter conditionally).
       for (const CounterSum& cs : counter_sums)
@@ -332,6 +337,8 @@ Json records_to_json(const std::string& suite, const HarnessOptions& options,
     if (r.has_metrics) {
       b["work"] = stats_to_json(r.work, nullptr);
       b["rounds"] = stats_to_json(r.rounds, nullptr);
+      b["allocs"] = stats_to_json(r.allocs, nullptr);
+      b["scratch_peak"] = stats_to_json(r.scratch_peak, nullptr);
     }
     Json counters = Json::object();
     for (const auto& [name, value] : r.counters) counters[name] = value;

@@ -35,8 +35,17 @@
 //         "seconds": {"median","min","max","mean","stddev","trials":[...]},
 //         "work":    {"median","min","max","mean","stddev"},   (optional)
 //         "rounds":  {"median","min","max","mean","stddev"},   (optional)
+//         "allocs":  {"median","min","max","mean","stddev"},   (optional)
+//         "scratch_peak": {same stats, bytes},                 (optional)
 //         "counters": { name: mean-across-trials, ... } } ] }
+//
+// `allocs` counts scratch-arena allocation events of the measured region
+// (support/arena.hpp); `scratch_peak` is the per-thread scratch high-water
+// mark in bytes. Both come from Trial::record(metrics) like work/rounds,
+// making the engine's steady-state-allocation behavior visible in
+// BENCH_smoke.json, not just through wall clock.
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -80,10 +89,13 @@ class Trial {
   /// the harness falls back to the wall time of the whole case function.
   void measure(const std::function<void()>& body);
 
-  /// Records instrumented work/rounds for this trial (adds across calls).
+  /// Records instrumented work/rounds for this trial (adds across calls;
+  /// allocation events add, scratch peaks max-merge).
   void record(const support::Metrics& m) {
     work_ += m.work();
     rounds_ += m.rounds();
+    allocs_ += m.allocs();
+    scratch_peak_ = std::max(scratch_peak_, m.scratch_peak_bytes());
   }
   void add_work(std::uint64_t w) { work_ += w; }
   void add_rounds(std::uint64_t r) { rounds_ += r; }
@@ -97,6 +109,8 @@ class Trial {
   double measured_seconds() const { return measured_seconds_; }
   std::uint64_t work() const { return work_; }
   std::uint64_t rounds() const { return rounds_; }
+  std::uint64_t allocs() const { return allocs_; }
+  std::uint64_t scratch_peak() const { return scratch_peak_; }
   const std::vector<std::pair<std::string, double>>& counters() const {
     return counters_;
   }
@@ -108,6 +122,8 @@ class Trial {
   double measured_seconds_ = 0;
   std::uint64_t work_ = 0;
   std::uint64_t rounds_ = 0;
+  std::uint64_t allocs_ = 0;
+  std::uint64_t scratch_peak_ = 0;
   std::vector<std::pair<std::string, double>> counters_;
 };
 
@@ -139,6 +155,8 @@ struct BenchRecord {
   support::SampleStats seconds;
   support::SampleStats work;
   support::SampleStats rounds;
+  support::SampleStats allocs;
+  support::SampleStats scratch_peak;
   bool has_metrics = false;  // any trial recorded work/rounds
   std::vector<std::pair<std::string, double>> counters;  // means, ordered
 };

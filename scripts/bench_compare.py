@@ -12,14 +12,23 @@ Subcommands:
 
 Benchmarks are matched by (suite, name, threads). `compare` gates on the
 median of --metric (default: seconds); benchmarks whose baseline AND current
-medians are both below --min-seconds (default 1 ms, seconds metric only) are
-skipped as noise. Benchmarks present on only one side are reported but do
-not fail the comparison (adding/removing cases is not a regression).
+medians are both below --min-seconds (default 1 ms, seconds/wall_ns metrics
+only) are skipped as noise. Benchmarks present on only one side are
+reported but do not fail the comparison (adding/removing cases is not a
+regression).
 
-The C++ side of the schema lives in bench/harness/harness.hpp; the CI
-perf-smoke job (.github/workflows/ci.yml) gates on `--metric work` (the
-instrumented, machine-independent operation count) and reports the
-wall-clock comparison as advisory, since runner hardware varies.
+Metrics: seconds, work, rounds, allocs (scratch-arena allocation events),
+scratch_peak (scratch high-water bytes), and wall_ns — the seconds median
+read in nanoseconds, meant for `--advisory` speedup tables.
+
+`--advisory` never fails on regressions: instead of the gate verdict it
+prints a baseline-vs-current speedup table (markdown, ready for a CI job
+summary). The CI perf-smoke job gates on `--metric work` (instrumented,
+machine-independent operation counts) and appends the
+`--metric wall_ns --advisory` table to the job summary, since runner
+hardware varies.
+
+The C++ side of the schema lives in bench/harness/harness.hpp.
 """
 
 from __future__ import annotations
@@ -76,7 +85,8 @@ def validation_errors(doc):
         for key in BENCH_REQUIRED:
             if key not in bench:
                 errors.append(f"{where} missing field: {key}")
-        for stats_key in ("seconds", "work", "rounds"):
+        for stats_key in ("seconds", "work", "rounds", "allocs",
+                          "scratch_peak"):
             stats = bench.get(stats_key)
             if stats is None:
                 continue
@@ -137,10 +147,39 @@ def index(doc):
 
 
 def median_of(bench, metric):
+    if metric == "wall_ns":
+        stats = bench.get("seconds")
+        median = None if stats is None else stats.get("median")
+        return None if median is None else median * 1e9
     stats = bench.get(metric)
     if stats is None:
         return None
     return stats.get("median")
+
+
+def format_value(value, metric):
+    if metric == "wall_ns":
+        return f"{value / 1e6:.3f} ms"
+    return f"{value:.6g}"
+
+
+def print_speedup_table(rows, metric):
+    """Markdown speedup table (baseline/current medians of --metric);
+    ready to append to a CI job summary."""
+    print(f"### Wall-clock speedup vs baseline (median {metric}, advisory)"
+          if metric == "wall_ns"
+          else f"### Speedup vs baseline (median {metric}, advisory)")
+    print()
+    print("| benchmark | threads | baseline | current | speedup |")
+    print("|---|---:|---:|---:|---:|")
+    for key, base, cur in rows:
+        suite, name, threads = key
+        speedup = base / cur if cur > 0 else float("inf")
+        print(
+            f"| {suite}/{name} | {threads} | {format_value(base, metric)} "
+            f"| {format_value(cur, metric)} | {speedup:.2f}x |"
+        )
+    print()
 
 
 def cmd_compare(args):
@@ -183,7 +222,10 @@ def cmd_compare(args):
 
     regressions = []
     improvements = []
+    table_rows = []
     compared = skipped = 0
+    min_seconds_metrics = ("seconds", "wall_ns")
+    min_floor = args.min_seconds * (1e9 if args.metric == "wall_ns" else 1.0)
     for key in sorted(set(baseline) & set(current)):
         base = median_of(baseline[key], args.metric)
         cur = median_of(current[key], args.metric)
@@ -197,9 +239,9 @@ def cmd_compare(args):
             skipped += 1
             continue
         if (
-            args.metric == "seconds"
-            and base < args.min_seconds
-            and cur < args.min_seconds
+            args.metric in min_seconds_metrics
+            and base < min_floor
+            and cur < min_floor
         ):
             skipped += 1
             continue
@@ -214,11 +256,21 @@ def cmd_compare(args):
                 regressions.append((float("inf"), name, base, cur))
             continue
         compared += 1
+        table_rows.append((key, base, cur))
         ratio = cur / base
         if ratio > 1 + args.threshold:
             regressions.append((ratio, name, base, cur))
         elif ratio < 1 - args.threshold:
             improvements.append((ratio, name, base, cur))
+
+    if args.advisory:
+        if table_rows:
+            print_speedup_table(table_rows, args.metric)
+        print(
+            f"compared {compared} benchmark(s) on median {args.metric} "
+            f"(advisory, skipped {skipped})"
+        )
+        return 0
 
     for ratio, name, base, cur in sorted(improvements):
         print(f"improved  {ratio:6.2f}x  {name}  {base:.6g} -> {cur:.6g}")
@@ -344,6 +396,26 @@ def cmd_self_test(_args):
             run_compare_on(tmpdir, synthetic_doc(), synthetic_doc(1.2)),
             0,
         )
+        check(
+            "2x slowdown fails on wall_ns metric",
+            run_compare_on(
+                tmpdir,
+                synthetic_doc(),
+                synthetic_doc(2.0),
+                ("--metric", "wall_ns"),
+            ),
+            1,
+        )
+        check(
+            "2x slowdown passes in advisory mode",
+            run_compare_on(
+                tmpdir,
+                synthetic_doc(),
+                synthetic_doc(2.0),
+                ("--metric", "wall_ns", "--advisory"),
+            ),
+            0,
+        )
         disjoint = synthetic_doc()
         for bench in disjoint["benchmarks"]:
             bench["name"] = "renamed/" + bench["name"]
@@ -429,16 +501,24 @@ def main(argv=None):
     )
     p_compare.add_argument(
         "--metric",
-        choices=("seconds", "work", "rounds"),
+        choices=("seconds", "work", "rounds", "allocs", "scratch_peak",
+                 "wall_ns"),
         default="seconds",
-        help="which median to gate on (default seconds)",
+        help="which median to gate on (default seconds; wall_ns reads the "
+        "seconds median in nanoseconds, for --advisory speedup tables)",
     )
     p_compare.add_argument(
         "--min-seconds",
         type=float,
         default=1e-3,
         help="skip benchmarks faster than this on both sides "
-        "(seconds metric only, default 1e-3)",
+        "(seconds/wall_ns metrics only, default 1e-3)",
+    )
+    p_compare.add_argument(
+        "--advisory",
+        action="store_true",
+        help="never fail on regressions; print a baseline-vs-current "
+        "speedup table (markdown, ready for a CI job summary)",
     )
     p_compare.set_defaults(func=cmd_compare)
 

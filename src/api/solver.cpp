@@ -108,20 +108,24 @@ treedecomp::TreeDecomposition decompose_slice(
 iso::DpSolution solve_slice(const Slice& slice,
                             const treedecomp::TreeDecomposition& td,
                             const Pattern& pattern,
-                            const QueryOptions& options) {
+                            const QueryOptions& options,
+                            bool release_interior) {
   if (options.engine == cover::EngineKind::kSequential) {
     iso::DpOptions dp;
     dp.spec = slice.spec;
+    dp.release_interior = release_interior;
     return iso::solve_sequential(slice.graph, td, pattern, dp);
   }
   if (options.engine == cover::EngineKind::kSparse) {
     iso::DpOptions dp;
     dp.spec = slice.spec;
+    dp.release_interior = release_interior;
     return iso::solve_sparse(slice.graph, td, pattern, dp);
   }
   iso::ParallelOptions par;
   par.spec = slice.spec;
   par.use_shortcuts = options.use_shortcuts;
+  par.release_interior = release_interior;
   return iso::solve_parallel(slice.graph, td, pattern, par);
 }
 
@@ -136,23 +140,31 @@ bool solve_cover_impl(const Cover& cover,
                       std::size_t limit, support::Metrics* run_depth) {
   bool found = false;
   // Slices are independent (solved in parallel in the PRAM reading): their
-  // work adds, their rounds compose as a maximum.
+  // work adds, their rounds compose as a maximum. Allocation events add
+  // and scratch peaks max-merge, mirroring the work/rounds split.
   const auto account = [&](const iso::DpSolution& sol) {
     if (decision == nullptr) return;
     decision->metrics.add_work(sol.metrics.work());
+    decision->metrics.add_allocs(sol.metrics.allocs());
+    decision->metrics.note_scratch_peak(sol.metrics.scratch_peak_bytes());
     run_depth->absorb_parallel(sol.metrics);
     ++decision->slices_solved;
   };
+  // Decision-only queries never recover assignments, so the engines may
+  // free each solved node as soon as its parent has consumed it.
+  const bool release_interior = options.decision_only && collect == nullptr;
   for (std::size_t i = 0; i < cover.slices.size(); ++i) {
     const Slice& slice = cover.slices[i];
     if (slice.graph.num_vertices() < pattern.size()) continue;
     const treedecomp::TreeDecomposition& td = tds[i];
-    const iso::DpSolution sol = solve_slice(slice, td, pattern, options);
+    const iso::DpSolution sol =
+        solve_slice(slice, td, pattern, options, release_interior);
     account(sol);
     if (!sol.accepted) continue;
     found = true;
     if (collect == nullptr) {
-      if (decision != nullptr && !decision->witness.has_value()) {
+      if (!release_interior && decision != nullptr &&
+          !decision->witness.has_value()) {
         auto assignments = iso::recover_assignments(sol, td, 1);
         if (!assignments.empty()) {
           Assignment witness = assignments.front();
@@ -573,7 +585,7 @@ Result<DecisionResult> Solver::find_disconnected(const iso::Pattern& pattern,
     }
     if (all_found) {
       total.found = true;
-      total.witness = witness;
+      if (!options.decision_only) total.witness = witness;
       return total;
     }
     if (Status status = budget.check(total.metrics); !status.ok())

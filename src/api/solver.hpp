@@ -62,6 +62,12 @@ struct QueryOptions {
   /// (and forwarded to sub-queries like max_work); exceeding it returns
   /// kDeadlineExceeded with the partial result.
   double deadline_seconds = 0.0;
+  /// Decision queries only: skip witness recovery and free each solved DP
+  /// node as soon as its parent has consumed it, so a query's peak memory
+  /// is one root frontier instead of the whole solved tree.
+  /// DecisionResult::witness stays empty; found/metrics are unchanged.
+  /// Ignored by listing queries (they must recover occurrences).
+  bool decision_only = false;
 };
 
 /// Default Solver cache bound: at most this many covers stay resident

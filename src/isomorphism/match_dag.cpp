@@ -3,29 +3,28 @@
 #include <algorithm>
 #include <cmath>
 
+#include "isomorphism/dp_scratch.hpp"
 #include "treepath/tree_paths.hpp"
 
 namespace ppsi::iso {
 namespace {
 
 using treedecomp::NodeId;
+using detail::DpScratch;
+using detail::PathNodeMeta;
 
 constexpr std::uint32_t kNoTarget = 0xffffffffu;
 
-/// Mutable per-path-node working data.
-struct PathNode {
-  NodeId id = 0;
-  std::vector<StateKey> states;  ///< X_1: valid; others: all locally valid
-  std::unordered_map<StateKey, std::uint32_t, StateKeyHash> index;
-  std::uint32_t base = 0;  ///< first DAG vertex id of this node's states
-  // Side child (off-path, already solved), if any.
-  bool has_side = false;
-  NodeId side = 0;
-  detail::ChildLink side_link, path_link;
-};
-
 }  // namespace
 
+// The match DAG is materialized as one flat (from, to) edge list staged in
+// the thread's scratch, then counting-sorted into a CSR adjacency right
+// before the reachability BFS. The counting sort is stable, so each
+// vertex's neighbor order equals the chronological edge-emission order —
+// exactly the per-vertex push order of the previous vector-of-vectors
+// adjacency — which keeps the BFS traversal (and its instrumented work
+// count) bit-identical while replacing one heap vector per DAG vertex with
+// three reusable flat arrays.
 PathStats solve_path(const Graph& g, const treedecomp::TreeDecomposition& td,
                      const Pattern& pattern,
                      const std::vector<BagContext>& ctxs,
@@ -35,6 +34,8 @@ PathStats solve_path(const Graph& g, const treedecomp::TreeDecomposition& td,
   stats.path_length = nodes.size();
   const StateCodec& codec = solution.codec;
   const bool sep = config.separating;
+  DpScratch& scratch = DpScratch::local();
+  const std::uint64_t allocs_before = scratch.arena.alloc_events();
 
   // ---- X_1: exact solve against its (already solved) children. ----
   std::uint64_t work = 0;
@@ -45,89 +46,115 @@ PathStats solve_path(const Graph& g, const treedecomp::TreeDecomposition& td,
   const std::size_t p = nodes.size();
   if (p > 1) {
     // ---- Candidates and per-node wiring. ----
-    std::vector<PathNode> path(p);
+    scratch.ensure_slots(p);
+    std::vector<PathNodeMeta>& path = scratch.path_meta;
+    scratch.arena.acquire(path, p);
+    path.resize(p);
     std::uint32_t next_vertex = 0;
     for (std::size_t j = 0; j < p; ++j) {
-      PathNode& pn = path[j];
+      PathNodeMeta& pn = path[j];
+      pn = PathNodeMeta{};
       pn.id = nodes[j];
       if (j == 0) {
-        pn.states = solution.nodes[pn.id].states;
-        pn.index = solution.nodes[pn.id].index;
+        const SolvedNode& solved = solution.nodes[pn.id];
+        pn.states = solved.states.data();
+        pn.num_states = static_cast<std::uint32_t>(solved.states.size());
       } else {
+        std::vector<StateKey>& cand = scratch.states_slot(j);
+        detail::StateIndexMap& cindex = scratch.index_slot(j);
+        const std::size_t cand_bytes = support::ScratchArena::bytes_of(cand);
+        const std::size_t index_bytes = cindex.capacity_bytes();
         enumerate_local_states(pattern, ctxs[pn.id], codec, sep,
                                [&](StateKey key) {
-                                 pn.index.emplace(
+                                 cindex.emplace(
                                      key, static_cast<std::uint32_t>(
-                                              pn.states.size()));
-                                 pn.states.push_back(key);
+                                              cand.size()));
+                                 cand.push_back(key);
                                });
-        stats.enumerated_states += pn.states.size();
+        scratch.arena.settle(cand_bytes,
+                             support::ScratchArena::bytes_of(cand));
+        scratch.arena.settle(index_bytes, cindex.capacity_bytes());
+        pn.states = cand.data();
+        pn.num_states = static_cast<std::uint32_t>(cand.size());
+        stats.enumerated_states += pn.num_states;
         // Wire children: the path child plus at most one side child.
         const auto& kids = td.children[pn.id];
         support::require(!kids.empty(),
                          "solve_path: path node must have the path child");
         for (NodeId kid : kids) {
           if (kid == nodes[j - 1]) continue;
-          support::require(!path[j].has_side,
+          support::require(!pn.has_side,
                            "solve_path: more than one side child");
           pn.has_side = true;
           pn.side = kid;
-          pn.side_link = {true, shared_position_mask(ctxs[pn.id], ctxs[kid])};
+          pn.side_shared = shared_position_mask(ctxs[pn.id], ctxs[kid]);
         }
-        pn.path_link = {true,
-                        shared_position_mask(ctxs[pn.id], ctxs[nodes[j - 1]])};
+        pn.path_shared = shared_position_mask(ctxs[pn.id], ctxs[nodes[j - 1]]);
       }
       pn.base = next_vertex;
-      next_vertex += static_cast<std::uint32_t>(pn.states.size());
+      next_vertex += pn.num_states;
     }
     const std::uint32_t num_state_vertices = next_vertex;
 
-    // ---- Edges. ----
-    std::vector<std::vector<std::uint32_t>> adj;
-    adj.resize(num_state_vertices);
-    std::vector<std::uint32_t> translate_target(num_state_vertices, kNoTarget);
+    // ---- Edges (flat list; pi vertices get ids past the state ids). ----
+    std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges =
+        scratch.edges;
+    const std::size_t edges_bytes = support::ScratchArena::bytes_of(edges);
+    edges.clear();
+    std::vector<std::uint32_t>& translate_target = scratch.translate_target;
+    scratch.arena.acquire_fill(translate_target,
+                               num_state_vertices, kNoTarget);
     for (std::size_t j = 0; j + 1 < p; ++j) {
-      PathNode& lo = path[j];
-      PathNode& hi = path[j + 1];
+      const PathNodeMeta& lo = path[j];
+      const PathNodeMeta& hi = path[j + 1];
       const BagContext& lo_ctx = ctxs[lo.id];
       const BagContext& hi_ctx = ctxs[hi.id];
+      const detail::StateIndexMap& hi_index = scratch.path_index[j + 1];
       // Projections of lo's states toward hi: pi vertices.
-      std::unordered_map<StateKey, std::uint32_t, StateKeyHash> pi_map;
-      for (std::uint32_t i = 0; i < lo.states.size(); ++i) {
+      detail::StateIndexMap& pi_map = scratch.pi_map;
+      const std::size_t pi_bytes = pi_map.capacity_bytes();
+      pi_map.clear();
+      pi_map.reserve(lo.num_states);
+      for (std::uint32_t i = 0; i < lo.num_states; ++i) {
         ++work;
         const auto proj = project_to_parent(lo.states[i], codec, pattern,
                                             lo_ctx, hi_ctx);
         if (!proj.has_value()) continue;
-        auto [it, fresh] = pi_map.emplace(
-            *proj, static_cast<std::uint32_t>(adj.size()));
-        if (fresh) adj.emplace_back();
-        adj[lo.base + i].push_back(it->second);
+        std::uint32_t pi_id = pi_map.find(*proj);
+        if (pi_id == support::kFlatNotFound) {
+          pi_id = next_vertex++;
+          pi_map.emplace(*proj, pi_id);
+        }
+        edges.emplace_back(lo.base + i, pi_id);
         ++stats.dag_edges;
         // Translation edge (base mode): the unique no-new-match extension
         // is exactly the projection read as a state of the parent bag.
         if (!sep) {
-          if (const auto t = hi.index.find(*proj); t != hi.index.end()) {
-            translate_target[lo.base + i] = hi.base + t->second;
+          const std::uint32_t t = hi_index.find(*proj);
+          if (t != support::kFlatNotFound) {
+            translate_target[lo.base + i] = hi.base + t;
             ++stats.translation_edges;
           }
         }
       }
+      scratch.arena.settle(pi_bytes, pi_map.capacity_bytes());
       // Heavy edges pi -> parent candidate, gated by the side child.
       const SolvedNode* side_solved =
           hi.has_side ? &solution.nodes[hi.side] : nullptr;
-      for (std::uint32_t i = 0; i < hi.states.size(); ++i) {
+      const detail::ChildLink side_link{hi.has_side, hi.side_shared};
+      const detail::ChildLink path_link{true, hi.path_shared};
+      for (std::uint32_t i = 0; i < hi.num_states; ++i) {
         detail::for_each_support_combo(
-            codec, hi_ctx, hi.states[i],
-            hi.has_side ? hi.side_link : detail::ChildLink{}, hi.path_link,
-            sep, [&](const StateKey* sl, const StateKey* sr) {
+            codec, hi_ctx, hi.states[i], side_link, path_link, sep,
+            [&](const StateKey* sl, const StateKey* sr) {
               ++work;
               if (sl != nullptr && (side_solved == nullptr ||
                                     !side_solved->sig_groups.contains(*sl))) {
                 return false;
               }
-              const auto it = pi_map.find(*sr);
-              if (it != pi_map.end()) {
-                adj[it->second].push_back(hi.base + i);
+              const std::uint32_t it = pi_map.find(*sr);
+              if (it != support::kFlatNotFound) {
+                edges.emplace_back(it, hi.base + i);
                 ++stats.dag_edges;
               }
               return false;  // enumerate every combo
@@ -136,57 +163,85 @@ PathStats solve_path(const Graph& g, const treedecomp::TreeDecomposition& td,
     }
     // Translation edges also participate in the BFS directly.
     for (std::uint32_t v = 0; v < num_state_vertices; ++v) {
-      if (translate_target[v] != kNoTarget) adj[v].push_back(translate_target[v]);
+      if (translate_target[v] != kNoTarget)
+        edges.emplace_back(v, translate_target[v]);
     }
 
     // ---- Shortcuts on the translation forest (Lemma 3.3). ----
     if (!sep && config.use_shortcuts && num_state_vertices > 0) {
-      treepath::Forest forest;
-      forest.parent.assign(num_state_vertices, treepath::kNoNode);
-      for (std::uint32_t v = 0; v < num_state_vertices; ++v)
-        forest.parent[v] = translate_target[v];
+      std::vector<std::uint32_t>& parent = scratch.forest_parent;
+      scratch.arena.acquire(parent, num_state_vertices);
+      parent.assign(translate_target.begin(), translate_target.end());
+      treepath::Forest forest;  // kNoTarget == treepath::kNoNode
+      forest.parent.swap(parent);
       const treepath::PathDecomposition fpaths =
           treepath::decompose_into_paths(forest);
+      forest.parent.swap(parent);
       std::uint32_t step = 1;
       while ((1u << step) < num_state_vertices + 2) ++step;
       for (const auto& fpath : fpaths.paths) {
         // Express edge: any vertex can leave the path in one hop
         // ("shortcut to the first vertex in a lower layer").
-        const std::uint32_t exit = forest.parent[fpath.back()];
+        const std::uint32_t exit = parent[fpath.back()];
         if (exit != treepath::kNoNode) {
           for (const std::uint32_t v : fpath) {
             if (v != fpath.back()) {
-              adj[v].push_back(exit);
+              edges.emplace_back(v, exit);
               ++stats.shortcut_edges;
             }
           }
         }
         // Marked vertices every `step` positions with exponential jumps.
-        std::vector<std::uint32_t> marked;
+        std::vector<std::uint32_t>& marked = scratch.marked;
+        scratch.arena.acquire(marked, (fpath.size() + step - 1) / step);
         for (std::size_t i = 0; i < fpath.size(); i += step)
           marked.push_back(fpath[i]);
         for (std::size_t i = 0; i < marked.size(); ++i) {
           for (std::size_t jump = 1; i + jump < marked.size(); jump *= 2) {
-            adj[marked[i]].push_back(marked[i + jump]);
+            edges.emplace_back(marked[i], marked[i + jump]);
             ++stats.shortcut_edges;
           }
         }
       }
     }
+    scratch.arena.settle(edges_bytes, support::ScratchArena::bytes_of(edges));
+
+    // ---- CSR adjacency (stable counting sort by source vertex). ----
+    const std::uint32_t num_vertices = next_vertex;
+    std::vector<std::uint32_t>& offsets = scratch.edge_offsets;
+    scratch.arena.acquire_fill(offsets, num_vertices + 1, 0u);
+    for (const auto& [from, to] : edges) ++offsets[from + 1];
+    for (std::uint32_t v = 0; v < num_vertices; ++v)
+      offsets[v + 1] += offsets[v];
+    std::vector<std::uint32_t>& cursor = scratch.edge_cursor;
+    scratch.arena.acquire(cursor, num_vertices);
+    cursor.assign(offsets.begin(), offsets.end() - 1);
+    std::vector<std::uint32_t>& targets = scratch.edge_targets;
+    scratch.arena.acquire(targets, edges.size());
+    targets.resize(edges.size());
+    for (const auto& [from, to] : edges) targets[cursor[from]++] = to;
 
     // ---- Round-counted BFS from X_1's valid states. ----
-    std::vector<char> reachable(adj.size(), 0);
-    std::vector<std::uint32_t> frontier;
-    for (std::uint32_t i = 0; i < path[0].states.size(); ++i) {
+    std::vector<char>& reachable = scratch.reachable;
+    scratch.arena.acquire_fill(reachable, num_vertices, char{0});
+    std::vector<std::uint32_t>& frontier = scratch.frontier;
+    scratch.arena.acquire(frontier, path[0].num_states);
+    for (std::uint32_t i = 0; i < path[0].num_states; ++i) {
       reachable[path[0].base + i] = 1;
       frontier.push_back(path[0].base + i);
     }
+    std::vector<std::uint32_t>& next = scratch.next_frontier;
+    scratch.arena.acquire(next, 0);
+    const std::size_t frontier_bytes =
+        support::ScratchArena::bytes_of(frontier) +
+        support::ScratchArena::bytes_of(next);
     while (!frontier.empty()) {
       ++stats.bfs_rounds;
-      std::vector<std::uint32_t> next;
+      next.clear();
       for (const std::uint32_t v : frontier) {
-        for (const std::uint32_t w : adj[v]) {
+        for (std::uint32_t e = offsets[v]; e < offsets[v + 1]; ++e) {
           ++work;
+          const std::uint32_t w = targets[e];
           if (!reachable[w]) {
             reachable[w] = 1;
             next.push_back(w);
@@ -195,29 +250,49 @@ PathStats solve_path(const Graph& g, const treedecomp::TreeDecomposition& td,
       }
       frontier.swap(next);
     }
+    scratch.arena.settle(frontier_bytes,
+                         support::ScratchArena::bytes_of(frontier) +
+                             support::ScratchArena::bytes_of(next));
 
-    // ---- Install valid states. ----
+    // ---- Install valid states (exact-sized storage per node). ----
     for (std::size_t j = 1; j < p; ++j) {
-      PathNode& pn = path[j];
+      const PathNodeMeta& pn = path[j];
+      if (config.release_interior && j + 1 < p) continue;  // freed below
       SolvedNode& out = solution.nodes[pn.id];
       out.ctx = ctxs[pn.id];
+      std::uint32_t valid = 0;
+      for (std::uint32_t i = 0; i < pn.num_states; ++i)
+        valid += reachable[pn.base + i] != 0;
       out.states.clear();
-      out.index.clear();
-      for (std::uint32_t i = 0; i < pn.states.size(); ++i) {
-        if (reachable[pn.base + i]) {
-          out.index.emplace(pn.states[i],
-                            static_cast<std::uint32_t>(out.states.size()));
-          out.states.push_back(pn.states[i]);
-        }
+      out.states.reserve(valid);
+      // out.index stays empty (see solve_node_exact: no reader outside the
+      // sparse engine's own generation).
+      for (std::uint32_t i = 0; i < pn.num_states; ++i) {
+        if (reachable[pn.base + i]) out.states.push_back(pn.states[i]);
       }
     }
-    stats.dag_vertices = adj.size();
+    stats.dag_vertices = num_vertices;
   }
 
   // Signatures toward tree parents (used by higher layers and recovery).
-  for (const NodeId x : nodes)
+  // Decision-only runs skip the interior path nodes: their signatures feed
+  // recovery alone (the path parent consumed them through the DAG), and
+  // they are about to be freed as children of the next path node.
+  for (const NodeId x : nodes) {
+    if (config.release_interior && x != nodes.back()) continue;
     detail::build_sig_groups(td, pattern, ctxs, x, solution);
+  }
+  if (config.release_interior) {
+    // Every child of a path node has now been consumed: side children and
+    // the bottom node's children via the exact solve / DAG gating, interior
+    // path nodes as the path children of their successors.
+    for (const NodeId x : nodes)
+      for (const NodeId kid : td.children[x])
+        solution.nodes[kid].release_interior();
+  }
   solution.metrics.add_work(work);
+  solution.metrics.add_allocs(scratch.arena.alloc_events() - allocs_before);
+  solution.metrics.note_scratch_peak(scratch.arena.peak_bytes());
   return stats;
 }
 

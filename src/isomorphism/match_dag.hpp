@@ -47,6 +47,9 @@ struct PathStats {
 struct PathSolveConfig {
   bool separating = false;
   bool use_shortcuts = true;  ///< Lemma 3.3 shortcuts (base mode only)
+  /// Decision-only: skip interior signature builds and free consumed
+  /// children eagerly (see DpOptions::release_interior).
+  bool release_interior = false;
 };
 
 /// Solves the path `nodes` (bottom to top). Side children of path nodes

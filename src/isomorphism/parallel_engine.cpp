@@ -44,7 +44,8 @@ DpSolution solve_parallel(const Graph& g,
   local_stats.num_layers = paths.num_layers;
   local_stats.num_paths = static_cast<std::uint32_t>(paths.paths.size());
 
-  const PathSolveConfig config{separating, options.use_shortcuts};
+  const PathSolveConfig config{separating, options.use_shortcuts,
+                               options.release_interior};
   for (std::uint32_t layer = 0; layer < paths.num_layers; ++layer) {
     const std::uint32_t begin = paths.layer_path_offsets[layer];
     const std::uint32_t end = paths.layer_path_offsets[layer + 1];

@@ -19,6 +19,9 @@ struct ParallelOptions {
   bool use_shortcuts = true; ///< Lemma 3.3 shortcuts (base mode only)
   /// Layer numbers via Appendix A tree contraction (otherwise sequential).
   bool use_tree_contraction = true;
+  /// Decision-only: free solved nodes as soon as their parent consumed
+  /// them (see DpOptions::release_interior).
+  bool release_interior = false;
 };
 
 struct ParallelStats {

@@ -1,79 +1,20 @@
 #include "isomorphism/sequential_dp.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
-#include <set>
+#include <memory>
+#include <numeric>
+#include <span>
+
+#include "isomorphism/dp_scratch.hpp"
 
 namespace ppsi::iso {
-
-namespace detail {
-
-bool for_each_support_combo(
-    const StateCodec& codec, const BagContext& ctx, StateKey state,
-    const ChildLink& left, const ChildLink& right, bool separating,
-    const std::function<bool(const StateKey*, const StateKey*)>& visit) {
-  const StateView view = view_of(codec, state.code);
-  const std::uint32_t c_mask = view.c_mask;
-  bool li = false, lo = false;
-  if (separating) local_sep_bits(ctx, codec, state, &li, &lo);
-  const bool ix = (state.sep & kSepIx) != 0;
-  const bool ox = (state.sep & kSepOx) != 0;
-
-  if (!left.present && !right.present) {
-    // Leaf: nothing below; C must be empty and the subtree bits are exactly
-    // the local contributions.
-    if (c_mask != 0) return false;
-    if (separating && (ix != li || ox != lo)) return false;
-    return visit(nullptr, nullptr);
-  }
-
-  const int iy_max = separating ? 1 : 0;
-  // Attribute every C vertex to exactly one present child: enumerate all
-  // subsets `a` of the C set for the left child (submask walk).
-  std::uint32_t a = left.present ? c_mask : 0;  // subset for the left child
-  bool done = false;
-  while (!done) {
-    if (a == 0) done = true;  // process the empty subset, then stop
-    const std::uint32_t b_mask = c_mask & ~a;  // right child's share
-    const bool split_ok =
-        (left.present || a == 0) && (right.present || b_mask == 0);
-    if (split_ok) {
-      for (int iyl = 0; iyl <= (left.present ? iy_max : 0); ++iyl) {
-        for (int iyr = 0; iyr <= (right.present ? iy_max : 0); ++iyr) {
-          if (separating && ((li || iyl || iyr) != ix)) continue;
-          for (int oyl = 0; oyl <= (left.present ? iy_max : 0); ++oyl) {
-            for (int oyr = 0; oyr <= (right.present ? iy_max : 0); ++oyr) {
-              if (separating && ((lo || oyl || oyr) != ox)) continue;
-              StateKey sig_left, sig_right;
-              if (left.present) {
-                sig_left = required_signature(state, codec, ctx,
-                                              left.shared_mask, a,
-                                              iyl != 0, oyl != 0);
-              }
-              if (right.present) {
-                sig_right = required_signature(state, codec, ctx,
-                                               right.shared_mask, b_mask,
-                                               iyr != 0, oyr != 0);
-              }
-              if (visit(left.present ? &sig_left : nullptr,
-                        right.present ? &sig_right : nullptr)) {
-                return true;
-              }
-            }
-          }
-        }
-      }
-    }
-    if (!done) a = (a - 1) & c_mask;
-  }
-  return false;
-}
-
-}  // namespace detail
 
 namespace {
 
 using detail::ChildLink;
+using detail::DpScratch;
 
 /// Gathers per-node child links and solved-children pointers.
 struct NodeEnv {
@@ -126,6 +67,13 @@ void solve_node_exact(const Graph&, const treedecomp::TreeDecomposition& td,
   node.ctx = ctxs[x];
   const StateCodec& codec = solution.codec;
   const NodeEnv env = make_env(td, ctxs, solution.nodes, x);
+  // Survivors stage through the thread's scratch; the node's storage is
+  // then sized exactly (states + flat index), so a solved node never
+  // carries growth slack and the scratch arena absorbs all churn.
+  DpScratch& scratch = DpScratch::local();
+  std::vector<StateKey>& survivors = scratch.exact_states;
+  const std::size_t bytes_before = support::ScratchArena::bytes_of(survivors);
+  survivors.clear();
   enumerate_local_states(
       pattern, node.ctx, codec, separating, [&](StateKey key) {
         if (work != nullptr) ++*work;
@@ -136,12 +84,14 @@ void solve_node_exact(const Graph&, const treedecomp::TreeDecomposition& td,
               return sig_present(env.left_node, sl) &&
                      sig_present(env.right_node, sr);
             });
-        if (supported) {
-          node.index.emplace(key,
-                             static_cast<std::uint32_t>(node.states.size()));
-          node.states.push_back(key);
-        }
+        if (supported) survivors.push_back(key);
       });
+  scratch.arena.settle(bytes_before,
+                       support::ScratchArena::bytes_of(survivors));
+  node.states.assign(survivors.begin(), survivors.end());
+  // node.index stays empty: only the generate-side sparse engine needs a
+  // state lookup (dedup during construction); the filter-side engines have
+  // no reader, so building one here would be pure dead work.
 }
 
 void build_sig_groups(const treedecomp::TreeDecomposition& td,
@@ -152,12 +102,15 @@ void build_sig_groups(const treedecomp::TreeDecomposition& td,
   if (td.parent[x] == treedecomp::kNoNode) return;
   const BagContext& parent_ctx = ctxs[td.parent[x]];
   node.shared_with_parent = shared_position_mask(parent_ctx, node.ctx);
-  node.sig_groups.clear();
+  DpScratch& scratch = DpScratch::local();
+  auto& pairs = scratch.sig_pairs;
+  scratch.arena.acquire(pairs, node.states.size());
   for (std::uint32_t i = 0; i < node.states.size(); ++i) {
     const auto sig = project_to_parent(node.states[i], solution.codec,
                                        pattern, node.ctx, parent_ctx);
-    if (sig.has_value()) node.sig_groups[*sig].push_back(i);
+    if (sig.has_value()) pairs.emplace_back(*sig, i);
   }
+  node.sig_groups.build(pairs);
 }
 
 }  // namespace detail
@@ -181,12 +134,22 @@ DpSolution solve_sequential(const Graph& g,
 
   sol.nodes.resize(td.num_nodes());
   std::uint64_t work = 0;
+  detail::DpScratch& scratch = detail::DpScratch::local();
+  const std::uint64_t allocs_before = scratch.arena.alloc_events();
   for (treedecomp::NodeId x : bottom_up_order(td)) {
     detail::solve_node_exact(g, td, pattern, ctxs, x, separating, sol, &work);
     detail::build_sig_groups(td, pattern, ctxs, x, sol);
     sol.metrics.add_rounds(1);
+    if (options.release_interior) {
+      // x consumed its children's signature groups; nothing reads them (or
+      // the children's states) again in a decision-only run.
+      for (const treedecomp::NodeId kid : td.children[x])
+        sol.nodes[kid].release_interior();
+    }
   }
   sol.metrics.add_work(work);
+  sol.metrics.add_allocs(scratch.arena.alloc_events() - allocs_before);
+  sol.metrics.note_scratch_peak(scratch.arena.peak_bytes());
 
   const SolvedNode& root = sol.nodes[td.root];
   for (std::uint32_t i = 0; i < root.states.size(); ++i) {
@@ -199,39 +162,128 @@ DpSolution solve_sequential(const Graph& g,
 
 namespace {
 
+/// Deduping, capped, k-strided assignment accumulator: candidates insert
+/// through a small open-addressing set (ordinal+1 slots over the flat item
+/// array), so membership is "first `limit` distinct in enumeration order"
+/// — exactly the std::set-based semantics it replaces — while the cap
+/// bounds the expansion work as results accumulate.
+struct AssignmentAccum {
+  std::uint32_t k = 0;
+  std::vector<Vertex> items;         ///< count * k, insertion order
+  std::vector<std::uint32_t> table;  ///< open addressing; 0 = empty
+  std::uint32_t count = 0;
+
+  void reset(std::uint32_t width) {
+    k = width;
+    items.clear();
+    count = 0;
+    if (table.size() < 64) table.resize(64);
+    std::fill(table.begin(), table.end(), 0);
+  }
+
+  static std::uint64_t hash_span(const Vertex* a, std::uint32_t k) {
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (std::uint32_t i = 0; i < k; ++i) h = support::hash_combine(h, a[i]);
+    return h;
+  }
+
+  /// Inserts unless present; returns true when new.
+  bool insert(const Vertex* a) {
+    if ((static_cast<std::size_t>(count) + 1) * 2 >= table.size()) grow();
+    const std::size_t mask = table.size() - 1;
+    std::size_t i = hash_span(a, k) & mask;
+    while (true) {
+      const std::uint32_t slot = table[i];
+      if (slot == 0) {
+        table[i] = count + 1;
+        items.insert(items.end(), a, a + k);
+        ++count;
+        return true;
+      }
+      if (std::equal(a, a + k, items.data() + (slot - 1) * std::size_t{k}))
+        return false;
+      i = (i + 1) & mask;
+    }
+  }
+
+  const Vertex* at(std::uint32_t ordinal) const {
+    return items.data() + std::size_t{ordinal} * k;
+  }
+
+  /// Ordinals sorted by lexicographic assignment order (the std::set
+  /// iteration order of the map-based recoverer).
+  void sorted_ordinals(std::vector<std::uint32_t>& out) const {
+    out.resize(count);
+    std::iota(out.begin(), out.end(), 0u);
+    std::sort(out.begin(), out.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return std::lexicographical_compare(at(a), at(a) + k, at(b),
+                                                    at(b) + k);
+              });
+  }
+
+ private:
+  void grow() {
+    std::vector<std::uint32_t> old = std::move(table);
+    table.assign(old.size() * 2, 0);
+    const std::size_t mask = table.size() - 1;
+    for (std::uint32_t ordinal = 0; ordinal < count; ++ordinal) {
+      std::size_t i = hash_span(at(ordinal), k) & mask;
+      while (table[i] != 0) i = (i + 1) & mask;
+      table[i] = ordinal + 1;
+    }
+  }
+};
+
 /// Top-down expansion of one valid state into the assignments realized in
-/// its subtree (paper §4.2.1). Memoized per (node, state); capped at
-/// `limit` assignments per state.
+/// its subtree (paper §4.2.1). Memoized per (node, state) as a (begin,
+/// count) group in one flat k-strided pool; per-state accumulation dedups
+/// and caps through AssignmentAccum (one per recursion depth), and each
+/// finished group is sorted lexicographically before entering the pool, so
+/// outputs are byte-identical to the std::set<Assignment> recoverer this
+/// replaces.
 class Recoverer {
  public:
   Recoverer(const DpSolution& sol, const treedecomp::TreeDecomposition& td,
             std::size_t limit)
-      : sol_(sol), td_(td), limit_(limit), memo_(td.num_nodes()) {}
+      : sol_(sol), td_(td), limit_(limit), k_(sol.codec.k),
+        memo_(td.num_nodes()) {
+    for (treedecomp::NodeId x = 0; x < td.num_nodes(); ++x)
+      memo_[x].assign(sol_.nodes[x].states.size(), Group{});
+  }
 
-  const std::vector<Assignment>& expand(treedecomp::NodeId x,
-                                        std::uint32_t state_idx) {
-    auto& node_memo = memo_[x];
-    if (const auto it = node_memo.find(state_idx); it != node_memo.end())
-      return it->second;
+  struct Group {
+    std::uint32_t begin = kUnset;  ///< first assignment (k-strided) in pool
+    std::uint32_t count = 0;
+  };
+  static constexpr std::uint32_t kUnset = 0xffffffffu;
+
+  Group expand(treedecomp::NodeId x, std::uint32_t state_idx) {
+    Group& slot = memo_[x][state_idx];
+    if (slot.begin != kUnset) return slot;
     const SolvedNode& node = sol_.nodes[x];
     const StateKey state = node.states[state_idx];
-    Assignment base(sol_.codec.k, kNoVertex);
-    for (std::uint32_t v = 0; v < sol_.codec.k; ++v) {
+    std::array<Vertex, kMaxPatternSize> base;
+    base.fill(kNoVertex);
+    for (std::uint32_t v = 0; v < k_; ++v) {
       const std::uint64_t val = sol_.codec.get(state.code, v);
       if (val >= kStateMapped)
         base[v] = node.ctx.vertices[val - kStateMapped];
     }
-    std::set<Assignment> results;
+    AssignmentAccum& acc = accum_at(depth_);
+    acc.reset(k_);
+    ++depth_;
     const auto& kids = td_.children[x];
     if (kids.empty()) {
-      results.insert(base);
+      ++work_;
+      acc.insert(base.data());
     } else {
       // Re-derive the support combos and expand through every valid pair.
-      detail::ChildLink left, right;
-      const SolvedNode* lnode = nullptr;
+      ChildLink left{true, shared_position_mask(node.ctx,
+                                                sol_.nodes[kids[0]].ctx)};
+      ChildLink right;
+      const SolvedNode* lnode = &sol_.nodes[kids[0]];
       const SolvedNode* rnode = nullptr;
-      left = {true, shared_position_mask(node.ctx, sol_.nodes[kids[0]].ctx)};
-      lnode = &sol_.nodes[kids[0]];
       if (kids.size() == 2) {
         right = {true,
                  shared_position_mask(node.ctx, sol_.nodes[kids[1]].ctx)};
@@ -240,63 +292,81 @@ class Recoverer {
       detail::for_each_support_combo(
           sol_.codec, node.ctx, state, left, right, sol_.separating,
           [&](const StateKey* sl, const StateKey* sr) {
-            const auto* lgroup =
-                sl != nullptr ? find_group(lnode, *sl) : nullptr;
-            const auto* rgroup =
-                sr != nullptr ? find_group(rnode, *sr) : nullptr;
-            if (sl != nullptr && lgroup == nullptr) return false;
-            if (sr != nullptr && rgroup == nullptr) return false;
-            combine(x, kids, base, lgroup, rgroup, results);
-            return results.size() >= limit_;
+            std::span<const std::uint32_t> lgroup, rgroup;
+            if (sl != nullptr) {
+              lgroup = lnode->sig_groups.group(*sl);
+              if (lgroup.empty()) return false;
+            }
+            if (sr != nullptr) {
+              rgroup = rnode->sig_groups.group(*sr);
+              if (rgroup.empty()) return false;
+            }
+            combine(kids, base.data(), sl != nullptr ? &lgroup : nullptr,
+                    sr != nullptr ? &rgroup : nullptr, acc);
+            return acc.count >= limit_;
           });
     }
-    std::vector<Assignment> out(results.begin(), results.end());
-    if (out.size() > limit_) out.resize(limit_);
-    return node_memo.emplace(state_idx, std::move(out)).first->second;
+    --depth_;
+    // Materialize: sorted (set order), contiguous in the pool.
+    acc.sorted_ordinals(order_);
+    slot.begin = static_cast<std::uint32_t>(pool_.size() / k_);
+    slot.count = acc.count;
+    // No per-group exact reserve: libstdc++ reserve allocates exactly the
+    // request, which would reallocate-and-copy the whole pool per group
+    // (quadratic); insert's geometric growth amortizes instead.
+    for (const std::uint32_t ordinal : order_)
+      pool_.insert(pool_.end(), acc.at(ordinal), acc.at(ordinal) + k_);
+    return slot;
   }
+
+  const Vertex* assignment(Group g, std::uint32_t i) const {
+    return pool_.data() + (std::size_t{g.begin} + i) * k_;
+  }
+  std::uint64_t work() const { return work_; }
 
  private:
-  static const std::vector<std::uint32_t>* find_group(const SolvedNode* node,
-                                                      StateKey sig) {
-    const auto it = node->sig_groups.find(sig);
-    return it == node->sig_groups.end() ? nullptr : &it->second;
+  AssignmentAccum& accum_at(std::size_t depth) {
+    while (accums_.size() <= depth)
+      accums_.push_back(std::make_unique<AssignmentAccum>());
+    return *accums_[depth];
   }
 
-  void combine(treedecomp::NodeId,
-               const std::vector<treedecomp::NodeId>& kids,
-               const Assignment& base,
-               const std::vector<std::uint32_t>* lgroup,
-               const std::vector<std::uint32_t>* rgroup,
-               std::set<Assignment>& results) {
-    static const std::vector<std::uint32_t> kNone = {0xffffffffu};
-    const auto& lids = lgroup != nullptr ? *lgroup : kNone;
-    const auto& rids = rgroup != nullptr ? *rgroup : kNone;
+  void combine(const std::vector<treedecomp::NodeId>& kids,
+               const Vertex* base,
+               const std::span<const std::uint32_t>* lgroup,
+               const std::span<const std::uint32_t>* rgroup,
+               AssignmentAccum& acc) {
+    static constexpr std::uint32_t kNone[1] = {0xffffffffu};
+    const std::span<const std::uint32_t> lids =
+        lgroup != nullptr ? *lgroup : std::span<const std::uint32_t>(kNone);
+    const std::span<const std::uint32_t> rids =
+        rgroup != nullptr ? *rgroup : std::span<const std::uint32_t>(kNone);
     for (const std::uint32_t li : lids) {
-      const std::vector<Assignment>* las = nullptr;
-      if (lgroup != nullptr) las = &expand(kids[0], li);
+      Group lg{};
+      if (lgroup != nullptr) lg = expand(kids[0], li);
       for (const std::uint32_t ri : rids) {
-        const std::vector<Assignment>* ras = nullptr;
-        if (rgroup != nullptr) ras = &expand(kids[1], ri);
-        merge_products(base, las, ras, results);
-        if (results.size() >= limit_) return;
+        Group rg{};
+        if (rgroup != nullptr) rg = expand(kids[1], ri);
+        merge_products(base, lgroup != nullptr ? &lg : nullptr,
+                       rgroup != nullptr ? &rg : nullptr, acc);
+        if (acc.count >= limit_) return;
       }
-      if (results.size() >= limit_) return;
+      if (acc.count >= limit_) return;
     }
   }
 
-  void merge_products(const Assignment& base,
-                      const std::vector<Assignment>* las,
-                      const std::vector<Assignment>* ras,
-                      std::set<Assignment>& results) {
-    static const std::vector<Assignment> kEmpty = {{}};
-    const auto& ls = las != nullptr ? *las : kEmpty;
-    const auto& rs = ras != nullptr ? *ras : kEmpty;
-    for (const Assignment& la : ls) {
-      for (const Assignment& ra : rs) {
-        Assignment merged = base;
+  void merge_products(const Vertex* base, const Group* lg, const Group* rg,
+                      AssignmentAccum& acc) {
+    const std::uint32_t lcount = lg != nullptr ? lg->count : 1;
+    const std::uint32_t rcount = rg != nullptr ? rg->count : 1;
+    std::array<Vertex, kMaxPatternSize> merged;
+    for (std::uint32_t la = 0; la < lcount; ++la) {
+      for (std::uint32_t ra = 0; ra < rcount; ++ra) {
+        ++work_;
+        std::copy(base, base + k_, merged.begin());
         bool ok = true;
-        const auto fold = [&](const Assignment& contribution) {
-          for (std::size_t v = 0; v < contribution.size(); ++v) {
+        const auto fold = [&](const Vertex* contribution) {
+          for (std::uint32_t v = 0; v < k_; ++v) {
             if (contribution[v] == kNoVertex) continue;
             if (merged[v] != kNoVertex && merged[v] != contribution[v]) {
               ok = false;
@@ -305,10 +375,10 @@ class Recoverer {
             merged[v] = contribution[v];
           }
         };
-        if (!la.empty()) fold(la);
-        if (ok && !ra.empty()) fold(ra);
-        if (ok) results.insert(std::move(merged));
-        if (results.size() >= limit_) return;
+        if (lg != nullptr) fold(assignment(*lg, la));
+        if (ok && rg != nullptr) fold(assignment(*rg, ra));
+        if (ok) acc.insert(merged.data());
+        if (acc.count >= limit_) return;
       }
     }
   }
@@ -316,25 +386,43 @@ class Recoverer {
   const DpSolution& sol_;
   const treedecomp::TreeDecomposition& td_;
   std::size_t limit_;
-  std::vector<std::unordered_map<std::uint32_t, std::vector<Assignment>>>
-      memo_;
+  std::uint32_t k_;
+  std::vector<std::vector<Group>> memo_;       ///< per node, per state
+  std::vector<Vertex> pool_;                   ///< finished groups, sorted
+  std::vector<std::unique_ptr<AssignmentAccum>> accums_;  ///< per depth
+  std::vector<std::uint32_t> order_;
+  std::size_t depth_ = 0;
+  std::uint64_t work_ = 0;
 };
 
 }  // namespace
 
 std::vector<Assignment> recover_assignments(
     const DpSolution& solution, const treedecomp::TreeDecomposition& td,
-    std::size_t limit) {
-  std::set<Assignment> all;
+    std::size_t limit, std::uint64_t* work) {
+  std::vector<Assignment> out;
+  if (limit == 0) return out;
   Recoverer recoverer(solution, td, limit);
+  // Cross-state dedup replicates the legacy std::set<Assignment> exactly:
+  // first `limit` distinct assignments over the per-state (sorted) groups
+  // in accepting order, returned in sorted order.
+  AssignmentAccum all;
+  all.reset(solution.codec.k);
   for (const std::uint32_t idx : solution.accepting) {
-    for (const Assignment& a : recoverer.expand(td.root, idx)) {
-      all.insert(a);
-      if (all.size() >= limit) break;
+    const Recoverer::Group group = recoverer.expand(td.root, idx);
+    for (std::uint32_t i = 0; i < group.count; ++i) {
+      all.insert(recoverer.assignment(group, i));
+      if (all.count >= limit) break;
     }
-    if (all.size() >= limit) break;
+    if (all.count >= limit) break;
   }
-  return {all.begin(), all.end()};
+  std::vector<std::uint32_t> order;
+  all.sorted_ordinals(order);
+  out.reserve(order.size());
+  for (const std::uint32_t ordinal : order)
+    out.emplace_back(all.at(ordinal), all.at(ordinal) + all.k);
+  if (work != nullptr) *work = recoverer.work();
+  return out;
 }
 
 }  // namespace ppsi::iso

@@ -11,15 +11,44 @@
 // subtree-bit combination, both required child signatures are present in
 // the children's signature indexes; leaves accept exactly the C = empty
 // states whose separating bits match the local contributions.
+//
+// ---- State-storage layout (flat engine) ----
+//
+// A SolvedNode stores its states in three exactly-sized structures:
+//   * states      — the valid StateKeys, in discovery order (the engines'
+//                   canonical order; every index below refers into it),
+//   * index       — open-addressing flat table StateKey -> state index
+//                   (support/flat_table.hpp), one contiguous bucket array,
+//   * sig_groups  — CSR signature groups toward the parent
+//                   (isomorphism/sig_index.hpp): sorted signature array +
+//                   offsets + flat state-index array.
+// All three are built once per node with exact reserves; the per-thread
+// scratch arena (isomorphism/dp_scratch.hpp) supplies every intermediate
+// buffer, so the engines do no steady-state scratch allocation after
+// warmup.
+//
+// Instrumented work counts are *layout-invariant*: the counters tick per
+// candidate state, per support combination, and per DAG edge scanned —
+// quantities fixed by the algorithm, not by how states are stored or
+// looked up. The flat rewrite therefore reports bit-identical work to the
+// hash-map engine it replaced (pinned by the differential suites), while
+// the wall clock drops.
+//
+// Decision-only callers can set release_interior: once a node's parent has
+// consumed its signature groups, the node's storage is freed eagerly, so
+// the peak memory of a decision query is one root frontier instead of the
+// whole solved tree. Witness recovery needs the full tree and must leave
+// it unset.
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "graph/graph.hpp"
 #include "isomorphism/pattern.hpp"
+#include "isomorphism/sig_index.hpp"
 #include "isomorphism/state_enumeration.hpp"
+#include "support/flat_table.hpp"
 #include "support/metrics.hpp"
 #include "treedecomp/tree_decomposition.hpp"
 
@@ -32,11 +61,22 @@ using Assignment = std::vector<Vertex>;
 struct SolvedNode {
   BagContext ctx;
   std::vector<StateKey> states;  ///< valid states
-  std::unordered_map<StateKey, std::uint32_t, StateKeyHash> index;
-  /// Projection toward the parent -> indices of valid states projecting to it.
-  std::unordered_map<StateKey, std::vector<std::uint32_t>, StateKeyHash>
-      sig_groups;
+  /// StateKey -> index into `states` (open addressing). Maintained only by
+  /// the generate-side sparse engine, which needs the lookup to dedup
+  /// states as it constructs them; the filter-side engines
+  /// (sequential/parallel) have no reader and leave it empty.
+  support::FlatMap<StateKey, StateKeyHash> index;
+  /// CSR groups: projection toward the parent -> valid-state indices.
+  SigIndex sig_groups;
   std::uint64_t shared_with_parent = 0;  ///< parent positions (set on parent)
+
+  /// Frees the solved storage (decision-only queries, once the parent has
+  /// consumed this node).
+  void release_interior() {
+    std::vector<StateKey>().swap(states);
+    index = {};
+    sig_groups.release();
+  }
 };
 
 struct DpSolution {
@@ -50,6 +90,9 @@ struct DpSolution {
 
 struct DpOptions {
   SeparatingSpec spec;  ///< separating configuration (disabled by default)
+  /// Free each node's storage as soon as its parent consumed it; leaves
+  /// only the root solved. Decision-only (recovery impossible afterwards).
+  bool release_interior = false;
 };
 
 /// Eppstein's sequential bottom-up DP. `td` must be binary.
@@ -59,10 +102,14 @@ DpSolution solve_sequential(const Graph& g,
 
 /// Recovers up to `limit` complete assignments realizing the accepting root
 /// states (top-down over valid children, paper §4.2.1). Each assignment is
-/// a full injective pattern -> target map; duplicates are removed.
+/// a full injective pattern -> target map; duplicates are removed and the
+/// cap is enforced *during* accumulation, so a small limit bounds the
+/// expansion work. `work`, when non-null, receives the instrumented
+/// recovery operation count (kept separate from DpSolution::metrics so
+/// solve-side work stays comparable across engines).
 std::vector<Assignment> recover_assignments(
     const DpSolution& solution, const treedecomp::TreeDecomposition& td,
-    std::size_t limit);
+    std::size_t limit, std::uint64_t* work = nullptr);
 
 // ---- Shared internals (used by the parallel engine as well) ----
 
@@ -83,14 +130,75 @@ struct ChildLink {
 /// consistent with `state`; visit returns true to stop the enumeration.
 /// For absent children the respective signature must be the empty
 /// contribution (all-U, zero bits); combos violating that are skipped.
-bool for_each_support_combo(
-    const StateCodec& codec, const BagContext& ctx, StateKey state,
-    const ChildLink& left, const ChildLink& right, bool separating,
-    const std::function<bool(const StateKey*, const StateKey*)>& visit);
+/// `visit` is a templated visitor (header-defined so the support check of
+/// the innermost DP loop inlines); a std::function still binds when type
+/// erasure is wanted.
+template <class Visit>
+bool for_each_support_combo(const StateCodec& codec, const BagContext& ctx,
+                            StateKey state, const ChildLink& left,
+                            const ChildLink& right, bool separating,
+                            Visit&& visit) {
+  const StateView view = view_of(codec, state.code);
+  const std::uint32_t c_mask = view.c_mask;
+  bool li = false, lo = false;
+  if (separating) local_sep_bits(ctx, codec, state, &li, &lo);
+  const bool ix = (state.sep & kSepIx) != 0;
+  const bool ox = (state.sep & kSepOx) != 0;
+
+  if (!left.present && !right.present) {
+    // Leaf: nothing below; C must be empty and the subtree bits are exactly
+    // the local contributions.
+    if (c_mask != 0) return false;
+    if (separating && (ix != li || ox != lo)) return false;
+    return visit(nullptr, nullptr);
+  }
+
+  const int iy_max = separating ? 1 : 0;
+  // Attribute every C vertex to exactly one present child: enumerate all
+  // subsets `a` of the C set for the left child (submask walk).
+  std::uint32_t a = left.present ? c_mask : 0;  // subset for the left child
+  bool done = false;
+  while (!done) {
+    if (a == 0) done = true;  // process the empty subset, then stop
+    const std::uint32_t b_mask = c_mask & ~a;  // right child's share
+    const bool split_ok =
+        (left.present || a == 0) && (right.present || b_mask == 0);
+    if (split_ok) {
+      for (int iyl = 0; iyl <= (left.present ? iy_max : 0); ++iyl) {
+        for (int iyr = 0; iyr <= (right.present ? iy_max : 0); ++iyr) {
+          if (separating && ((li || iyl || iyr) != ix)) continue;
+          for (int oyl = 0; oyl <= (left.present ? iy_max : 0); ++oyl) {
+            for (int oyr = 0; oyr <= (right.present ? iy_max : 0); ++oyr) {
+              if (separating && ((lo || oyl || oyr) != ox)) continue;
+              StateKey sig_left, sig_right;
+              if (left.present) {
+                sig_left = required_signature(state, codec, ctx,
+                                              left.shared_mask, a,
+                                              iyl != 0, oyl != 0);
+              }
+              if (right.present) {
+                sig_right = required_signature(state, codec, ctx,
+                                               right.shared_mask, b_mask,
+                                               iyr != 0, oyr != 0);
+              }
+              if (visit(left.present ? &sig_left : nullptr,
+                        right.present ? &sig_right : nullptr)) {
+                return true;
+              }
+            }
+          }
+        }
+      }
+    }
+    if (!done) a = (a - 1) & c_mask;
+  }
+  return false;
+}
 
 /// Solves one node exactly against its (already solved) children:
 /// enumerates the locally valid states and keeps the supported ones.
-/// Fills solution.nodes[x].states/index; sig_groups are built separately.
+/// Fills solution.nodes[x].states/index with exact reserves, staging
+/// through the thread's scratch; sig_groups are built separately.
 void solve_node_exact(const Graph& g, const treedecomp::TreeDecomposition& td,
                       const Pattern& pattern,
                       const std::vector<BagContext>& ctxs,

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "isomorphism/dp_scratch.hpp"
+
 namespace ppsi::iso {
 namespace {
 
@@ -59,8 +61,8 @@ struct NodeGen {
   SolvedNode& out;
 
   void emit(StateKey key) {
-    if (out.index.emplace(key, static_cast<std::uint32_t>(out.states.size()))
-            .second) {
+    if (out.index.emplace(key,
+                          static_cast<std::uint32_t>(out.states.size()))) {
       out.states.push_back(key);
     }
   }
@@ -202,6 +204,8 @@ DpSolution solve_sparse(const Graph& g,
     ctxs[x] = make_bag_context(g, td.bags[x], options.spec);
   sol.nodes.resize(td.num_nodes());
   std::uint64_t work = 0;
+  detail::DpScratch& scratch = detail::DpScratch::local();
+  const std::uint64_t allocs_before = scratch.arena.alloc_events();
 
   for (const treedecomp::NodeId x : bottom_up_order(td)) {
     SolvedNode& node = sol.nodes[x];
@@ -220,9 +224,8 @@ DpSolution solve_sparse(const Graph& g,
       const SolvedNode& child = sol.nodes[kids[0]];
       const std::uint64_t shared =
           shared_position_mask(node.ctx, ctxs[kids[0]]);
-      for (const auto& [sig, group] : child.sig_groups) {
+      for (const StateKey& sig : child.sig_groups.sigs()) {
         ++work;
-        (void)group;
         // The signature itself is the forced base (U/C/mapped fields).
         const StateView view = view_of(codec, sig.code);
         gen.expand(sig.code, view.u_mask, shared,
@@ -250,16 +253,33 @@ DpSolution solve_sparse(const Graph& g,
         return support::hash_combine(
             key_code, sig.sep & kSepLabelMask & shared_lr);
       };
-      std::unordered_map<std::uint64_t, std::vector<StateKey>> buckets;
-      for (const auto& [sig, group] : right.sig_groups) {
-        (void)group;
-        buckets[join_key(sig)].push_back(sig);
-      }
-      for (const auto& [sig_l, group_l] : left.sig_groups) {
-        (void)group_l;
-        const auto it = buckets.find(join_key(sig_l));
-        if (it == buckets.end()) continue;
-        for (const StateKey sig_r : it->second) {
+      // Flat hash join: right signatures sorted by (join key, signature);
+      // signatures are unique and fed in ascending order, so each key
+      // group keeps the sorted-signature order a hash bucket would have
+      // been filled in (in-place std::sort — stable_sort would heap-
+      // allocate a merge buffer per join node). Grouping is by the exact
+      // 64-bit key, so the enumerated (l, r) pairs — and the work count —
+      // match the bucket map this replaces.
+      auto& join_pairs = scratch.join_pairs;
+      scratch.arena.acquire(join_pairs, right.sig_groups.size());
+      for (const StateKey& sig : right.sig_groups.sigs())
+        join_pairs.emplace_back(join_key(sig), sig);
+      std::sort(join_pairs.begin(), join_pairs.end());
+      const auto key_less = [](const auto& entry, std::uint64_t key) {
+        return entry.first < key;
+      };
+      const auto key_greater = [](std::uint64_t key, const auto& entry) {
+        return key < entry.first;
+      };
+      for (const StateKey& sig_l : left.sig_groups.sigs()) {
+        const std::uint64_t key = join_key(sig_l);
+        const auto lo = std::lower_bound(join_pairs.begin(),
+                                         join_pairs.end(), key, key_less);
+        const auto hi = std::upper_bound(lo, join_pairs.end(), key,
+                                         key_greater);
+        if (lo == hi) continue;
+        for (auto it = lo; it != hi; ++it) {
+          const StateKey sig_r = it->second;
           ++work;
           // Labels must agree wherever both children see the vertex.
           const std::uint64_t both = shared_lr & kSepLabelMask;
@@ -280,8 +300,14 @@ DpSolution solve_sparse(const Graph& g,
     work += node.states.size();
     detail::build_sig_groups(td, pattern, ctxs, x, sol);
     sol.metrics.add_rounds(1);
+    if (options.release_interior) {
+      for (const treedecomp::NodeId kid : kids)
+        sol.nodes[kid].release_interior();
+    }
   }
   sol.metrics.add_work(work);
+  sol.metrics.add_allocs(scratch.arena.alloc_events() - allocs_before);
+  sol.metrics.note_scratch_peak(scratch.arena.peak_bytes());
 
   const SolvedNode& root = sol.nodes[td.root];
   for (std::uint32_t i = 0; i < root.states.size(); ++i) {

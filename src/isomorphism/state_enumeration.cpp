@@ -72,127 +72,6 @@ BagContext make_bag_context(const Graph& g, std::vector<Vertex> bag,
   return ctx;
 }
 
-namespace {
-
-/// Connected components of the unmapped bag positions in G[bag].
-/// Returns the component masks.
-std::vector<std::uint64_t> unmapped_components(const BagContext& ctx,
-                                               std::uint64_t unmapped) {
-  std::vector<std::uint64_t> comps;
-  std::uint64_t todo = unmapped;
-  while (todo != 0) {
-    const int seed = std::countr_zero(todo);
-    std::uint64_t comp = 1ULL << seed;
-    std::uint64_t frontier = comp;
-    while (frontier != 0) {
-      std::uint64_t next = 0;
-      std::uint64_t f = frontier;
-      while (f != 0) {
-        const int p = std::countr_zero(f);
-        f &= f - 1;
-        next |= ctx.gadj[p] & unmapped & ~comp;
-      }
-      comp |= next;
-      frontier = next;
-    }
-    comps.push_back(comp);
-    todo &= ~comp;
-  }
-  return comps;
-}
-
-struct Enumerator {
-  const Pattern& pattern;
-  const BagContext& ctx;
-  const StateCodec& codec;
-  bool separating;
-  const std::function<void(StateKey)>& emit;
-
-  std::uint64_t code = 0;
-  std::uint64_t used = 0;  // positions already used as images
-
-  void emit_base() const {
-    if (!separating) {
-      emit({code, 0});
-      return;
-    }
-    const StateView view = view_of(codec, code);
-    const std::uint64_t unmapped = ctx.all_mask & ~view.image_mask;
-    const auto comps = unmapped_components(ctx, unmapped);
-    support::require(comps.size() <= 24,
-                     "separating enumeration: too many bag components");
-    const std::uint32_t combos = 1u << comps.size();
-    for (std::uint32_t lab = 0; lab < combos; ++lab) {
-      std::uint64_t inside = 0;
-      for (std::size_t i = 0; i < comps.size(); ++i)
-        if ((lab >> i) & 1u) inside |= comps[i];
-      const bool li = (inside & ctx.s_mask) != 0;
-      const bool lo = ((unmapped & ~inside) & ctx.s_mask) != 0;
-      for (int ix = li ? 1 : 0; ix <= 1; ++ix) {
-        for (int ox = lo ? 1 : 0; ox <= 1; ++ox) {
-          std::uint64_t sep = inside;
-          if (ix) sep |= kSepIx;
-          if (ox) sep |= kSepOx;
-          emit({code, sep});
-        }
-      }
-    }
-  }
-
-  void recurse(std::uint32_t v) {
-    if (v == codec.k) {
-      emit_base();
-      return;
-    }
-    const std::uint32_t earlier = pattern.adj_mask(v) & ((1u << v) - 1);
-    bool earlier_has_c = false;
-    bool earlier_has_u = false;
-    std::uint64_t must_be_adjacent = ctx.all_mask;
-    for (std::uint32_t rest = earlier; rest != 0; rest &= rest - 1) {
-      const auto w = static_cast<std::uint32_t>(std::countr_zero(rest));
-      const std::uint64_t val = codec.get(code, w);
-      if (val == kStateC) {
-        earlier_has_c = true;
-      } else if (val == kStateU) {
-        earlier_has_u = true;
-      } else {
-        must_be_adjacent &= ctx.gadj[val - kStateMapped];
-      }
-    }
-    // Choice U: forbidden when an earlier pattern neighbor is already C.
-    if (!earlier_has_c) {
-      code = codec.set(code, v, kStateU);
-      recurse(v + 1);
-    }
-    // Choice C: forbidden when an earlier pattern neighbor is U.
-    if (!earlier_has_u) {
-      code = codec.set(code, v, kStateC);
-      recurse(v + 1);
-    }
-    // Choice mapped: free allowed positions adjacent to all mapped earlier
-    // pattern neighbors.
-    std::uint64_t positions = ctx.allowed_mask & ~used & must_be_adjacent;
-    while (positions != 0) {
-      const int p = std::countr_zero(positions);
-      positions &= positions - 1;
-      code = codec.set(code, v, kStateMapped + static_cast<std::uint64_t>(p));
-      used |= 1ULL << p;
-      recurse(v + 1);
-      used &= ~(1ULL << p);
-    }
-    code = codec.set(code, v, kStateU);  // restore a clean field
-  }
-};
-
-}  // namespace
-
-void enumerate_local_states(const Pattern& pattern, const BagContext& ctx,
-                            const StateCodec& codec, bool separating,
-                            const std::function<void(StateKey)>& emit) {
-  Enumerator e{pattern, ctx, codec, separating, emit};
-  e.recurse(0);
-}
-
 bool locally_valid(const Pattern& pattern, const BagContext& ctx,
                    const StateCodec& codec, bool separating, StateKey key) {
   const StateView view = view_of(codec, key.code);
@@ -229,9 +108,10 @@ bool locally_valid(const Pattern& pattern, const BagContext& ctx,
   const std::uint64_t inside = key.sep & kSepLabelMask;
   if ((inside & ~unmapped) != 0) return false;  // labels only on unmapped
   // Uniform labels per component of G[bag - image].
-  for (const std::uint64_t comp : unmapped_components(ctx, unmapped)) {
-    const std::uint64_t in = comp & inside;
-    if (in != 0 && in != comp) return false;
+  const ComponentScan scan = unmapped_components(ctx, unmapped);
+  for (std::uint32_t i = 0; i < scan.count; ++i) {
+    const std::uint64_t in = scan.comps[i] & inside;
+    if (in != 0 && in != scan.comps[i]) return false;
   }
   bool li = false, lo = false;
   local_sep_bits(ctx, codec, key, &li, &lo);

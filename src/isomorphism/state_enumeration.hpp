@@ -26,10 +26,12 @@
 //     are labeled uniformly), and ix/ox are at least the local S
 //     contributions.
 
+#include <array>
+#include <bit>
 #include <cstdint>
 #include <functional>
 #include <optional>
-#include <unordered_map>
+#include <type_traits>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -51,6 +53,11 @@ struct StateKey {
   std::uint64_t sep = 0;   ///< separating extension (0 in base mode)
 
   bool operator==(const StateKey&) const = default;
+  /// Lexicographic (code, sep) order — the sort key of the CSR signature
+  /// layout (see SolvedNode in sequential_dp.hpp).
+  friend bool operator<(const StateKey& a, const StateKey& b) {
+    return a.code != b.code ? a.code < b.code : a.sep < b.sep;
+  }
 };
 
 struct StateKeyHash {
@@ -126,12 +133,146 @@ BagContext make_bag_context(const Graph& g, std::vector<Vertex> bag,
 
 // ---- Local enumeration and checks ----
 
+/// Component masks of the unmapped bag positions in G[bag], without heap
+/// allocation (a bag has at most kSepInsideBits positions, so at most that
+/// many components).
+struct ComponentScan {
+  std::array<std::uint64_t, kSepInsideBits> comps;
+  std::uint32_t count = 0;
+};
+
+/// Connected components of `unmapped` in G[bag].
+inline ComponentScan unmapped_components(const BagContext& ctx,
+                                         std::uint64_t unmapped) {
+  ComponentScan scan;
+  std::uint64_t todo = unmapped;
+  while (todo != 0) {
+    const int seed = std::countr_zero(todo);
+    std::uint64_t comp = 1ULL << seed;
+    std::uint64_t frontier = comp;
+    while (frontier != 0) {
+      std::uint64_t next = 0;
+      std::uint64_t f = frontier;
+      while (f != 0) {
+        const int p = std::countr_zero(f);
+        f &= f - 1;
+        next |= ctx.gadj[p] & unmapped & ~comp;
+      }
+      comp |= next;
+      frontier = next;
+    }
+    scan.comps[scan.count++] = comp;
+    todo &= ~comp;
+  }
+  return scan;
+}
+
+namespace detail {
+
+/// Depth-first enumeration of the locally valid states (see the header
+/// comment). Defined in the header so `emit` devirtualizes: the innermost
+/// DP loop calls it once per candidate state, and a type-erased callback
+/// (the previous std::function design) cost an indirect call plus spilled
+/// registers per state.
+template <class Emit>
+struct Enumerator {
+  const Pattern& pattern;
+  const BagContext& ctx;
+  const StateCodec& codec;
+  bool separating;
+  Emit& emit;
+
+  std::uint64_t code = 0;
+  std::uint64_t used = 0;  // positions already used as images
+
+  void emit_base() const {
+    if (!separating) {
+      emit(StateKey{code, 0});
+      return;
+    }
+    const StateView view = view_of(codec, code);
+    const std::uint64_t unmapped = ctx.all_mask & ~view.image_mask;
+    const ComponentScan scan = unmapped_components(ctx, unmapped);
+    support::require(scan.count <= 24,
+                     "separating enumeration: too many bag components");
+    const std::uint32_t combos = 1u << scan.count;
+    for (std::uint32_t lab = 0; lab < combos; ++lab) {
+      std::uint64_t inside = 0;
+      for (std::uint32_t i = 0; i < scan.count; ++i)
+        if ((lab >> i) & 1u) inside |= scan.comps[i];
+      const bool li = (inside & ctx.s_mask) != 0;
+      const bool lo = ((unmapped & ~inside) & ctx.s_mask) != 0;
+      for (int ix = li ? 1 : 0; ix <= 1; ++ix) {
+        for (int ox = lo ? 1 : 0; ox <= 1; ++ox) {
+          std::uint64_t sep = inside;
+          if (ix) sep |= kSepIx;
+          if (ox) sep |= kSepOx;
+          emit(StateKey{code, sep});
+        }
+      }
+    }
+  }
+
+  void recurse(std::uint32_t v) {
+    if (v == codec.k) {
+      emit_base();
+      return;
+    }
+    const std::uint32_t earlier = pattern.adj_mask(v) & ((1u << v) - 1);
+    bool earlier_has_c = false;
+    bool earlier_has_u = false;
+    std::uint64_t must_be_adjacent = ctx.all_mask;
+    for (std::uint32_t rest = earlier; rest != 0; rest &= rest - 1) {
+      const auto w = static_cast<std::uint32_t>(std::countr_zero(rest));
+      const std::uint64_t val = codec.get(code, w);
+      if (val == kStateC) {
+        earlier_has_c = true;
+      } else if (val == kStateU) {
+        earlier_has_u = true;
+      } else {
+        must_be_adjacent &= ctx.gadj[val - kStateMapped];
+      }
+    }
+    // Choice U: forbidden when an earlier pattern neighbor is already C.
+    if (!earlier_has_c) {
+      code = codec.set(code, v, kStateU);
+      recurse(v + 1);
+    }
+    // Choice C: forbidden when an earlier pattern neighbor is U.
+    if (!earlier_has_u) {
+      code = codec.set(code, v, kStateC);
+      recurse(v + 1);
+    }
+    // Choice mapped: free allowed positions adjacent to all mapped earlier
+    // pattern neighbors.
+    std::uint64_t positions = ctx.allowed_mask & ~used & must_be_adjacent;
+    while (positions != 0) {
+      const int p = std::countr_zero(positions);
+      positions &= positions - 1;
+      code = codec.set(code, v, kStateMapped + static_cast<std::uint64_t>(p));
+      used |= 1ULL << p;
+      recurse(v + 1);
+      used &= ~(1ULL << p);
+    }
+    code = codec.set(code, v, kStateU);  // restore a clean field
+  }
+};
+
+}  // namespace detail
+
 /// Calls emit(key) for every locally valid state of the bag. In separating
 /// mode each base state is expanded into its component labelings and the
-/// consistent (ix, ox) variants.
+/// consistent (ix, ox) variants. `emit` is a templated visitor (any
+/// callable taking StateKey) so the per-state dispatch inlines; passing a
+/// std::function still works where type erasure is wanted.
+template <class Emit>
 void enumerate_local_states(const Pattern& pattern, const BagContext& ctx,
                             const StateCodec& codec, bool separating,
-                            const std::function<void(StateKey)>& emit);
+                            Emit&& emit) {
+  detail::Enumerator<std::remove_reference_t<Emit>> e{pattern, ctx, codec,
+                                                      separating, emit};
+  e.recurse(0);
+}
 
 /// Full local-validity check of an arbitrary key (used by tests and as a
 /// defensive cross-check; enumeration only produces valid keys).

@@ -50,6 +50,25 @@ TEST(StateCodec, RejectsOversizedCombination) {
   EXPECT_NO_THROW(StateCodec::make(8, 62));
 }
 
+TEST(StateCodec, BoundaryAtExactlySixtyFourBits) {
+  // bits = ceil(log2(max_bag + 2)); the codec must accept k * bits == 64
+  // exactly and reject the first bag width that pushes past it.
+  const StateCodec full = StateCodec::make(16, 14);  // bits 4 -> 64 bits
+  EXPECT_EQ(full.bits * full.k, 64u);
+  EXPECT_THROW(StateCodec::make(16, 15), std::invalid_argument);  // bits 5
+  EXPECT_NO_THROW(StateCodec::make(8, 254));  // bits 8 -> 64 bits
+  EXPECT_THROW(StateCodec::make(8, 255), std::invalid_argument);  // bits 9
+  // The top field of a full-width codec round-trips without clobbering
+  // its neighbors (a shift/mask bug at the 64-bit edge would).
+  std::uint64_t code = 0;
+  code = full.set(code, 15, kStateMapped + 13);
+  code = full.set(code, 14, kStateC);
+  code = full.set(code, 0, kStateMapped + 2);
+  EXPECT_EQ(full.get(code, 15), kStateMapped + 13);
+  EXPECT_EQ(full.get(code, 14), kStateC);
+  EXPECT_EQ(full.get(code, 0), kStateMapped + 2);
+}
+
 TEST(Pattern, MasksAndDiameter) {
   const Pattern p = Pattern::from_graph(gen::cycle_graph(6));
   EXPECT_EQ(p.size(), 6u);
@@ -246,6 +265,23 @@ TEST(Recovery, LimitIsRespected) {
   const auto td = decomposition_of(g);
   const DpSolution sol = solve_sequential(g, td, pattern, {});
   EXPECT_LE(recover_assignments(sol, td, 7).size(), 7u);
+}
+
+TEST(Recovery, TinyLimitBoundsWork) {
+  // High-multiplicity instance: a 2-path has one occurrence per directed
+  // edge of the grid. The cap must be enforced during accumulation, so a
+  // tiny limit performs a small fraction of the full expansion work.
+  const Graph g = gen::grid_graph(6, 6);
+  const Pattern pattern = Pattern::from_graph(gen::path_graph(2));
+  const auto td = decomposition_of(g);
+  const DpSolution sol = solve_sequential(g, td, pattern, {});
+  ASSERT_TRUE(sol.accepted);
+  std::uint64_t work_small = 0, work_full = 0;
+  EXPECT_EQ(recover_assignments(sol, td, 2, &work_small).size(), 2u);
+  const auto all = recover_assignments(sol, td, 1 << 20, &work_full);
+  EXPECT_EQ(all.size(), 120u);  // 2 * 60 grid edges
+  EXPECT_GT(work_small, 0u);
+  EXPECT_LT(work_small * 4, work_full);
 }
 
 TEST(DpEdgeCases, SingleVertexPatternAndTarget) {

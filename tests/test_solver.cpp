@@ -300,6 +300,71 @@ TEST(SolverBatch, MatchesSequentialFindsAndFlagsBadPatterns) {
   EXPECT_GT(stats.cover_hits, 0u);
 }
 
+TEST(SolverDecisionOnly, MatchesFindWithoutWitnessAtIdenticalWork) {
+  // decision_only skips witness recovery and releases interior DP state;
+  // neither may change found or the instrumented work (recovery work is
+  // metered separately and eager release frees, never recomputes).
+  Solver solver(gen::grid_graph(8, 8));
+  QueryOptions opts;
+  opts.max_runs = 4;
+  QueryOptions decision = opts;
+  decision.decision_only = true;
+  for (const Pattern& pattern :
+       {cycle_pattern(4), cycle_pattern(6), cycle_pattern(5)}) {
+    // Warm the cover cache first: a cold query also absorbs cover-build
+    // metrics, which would mask the DP-side comparison.
+    ASSERT_TRUE(solver.find(pattern, opts).ok());
+    const auto with_witness = solver.find(pattern, opts);
+    const auto without = solver.find(pattern, decision);
+    ASSERT_TRUE(with_witness.ok());
+    ASSERT_TRUE(without.ok());
+    EXPECT_EQ(without->found, with_witness->found);
+    EXPECT_FALSE(without->witness.has_value());
+    EXPECT_EQ(without->metrics.work(), with_witness->metrics.work());
+    EXPECT_EQ(without->metrics.rounds(), with_witness->metrics.rounds());
+  }
+}
+
+TEST(SolverDecisionOnly, EveryEngineAgrees) {
+  Solver solver(gen::grid_graph(6, 6));
+  for (const auto engine : {EngineKind::kSequential, EngineKind::kSparse,
+                            EngineKind::kParallel}) {
+    QueryOptions opts;
+    opts.max_runs = 3;
+    opts.engine = engine;
+    opts.decision_only = true;
+    const auto c4 = solver.find(cycle_pattern(4), opts);
+    const auto c5 = solver.find(cycle_pattern(5), opts);
+    ASSERT_TRUE(c4.ok());
+    ASSERT_TRUE(c5.ok());
+    EXPECT_TRUE(c4->found) << static_cast<int>(engine);
+    EXPECT_FALSE(c4->witness.has_value());
+    EXPECT_FALSE(c5->found) << static_cast<int>(engine);  // bipartite grid
+  }
+}
+
+TEST(SolverScratch, AllocationCounterGoesFlatAcrossRepeatedQueries) {
+  // The per-thread scratch arena warms up on the first query of a shape;
+  // repeating the identical query must then run with zero scratch
+  // allocation events (the sequential engine pins the query to one
+  // thread, so the counter is deterministic).
+  Solver solver(gen::grid_graph(8, 8));
+  QueryOptions opts;
+  opts.max_runs = 3;
+  opts.engine = EngineKind::kSequential;
+  const Pattern c4 = cycle_pattern(4);
+  const auto cold = solver.find(c4, opts);
+  ASSERT_TRUE(cold.ok());
+  const auto warm = solver.find(c4, opts);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->metrics.allocs(), 0u)
+      << "steady-state scratch allocation in the DP engine";
+  // The scratch high-water mark is visible and stable.
+  EXPECT_GT(warm->metrics.scratch_peak_bytes(), 0u);
+  EXPECT_EQ(warm->metrics.scratch_peak_bytes(),
+            cold->metrics.scratch_peak_bytes());
+}
+
 TEST(SolverBatch, InvalidOptionsFailEverySlot) {
   Solver solver(gen::grid_graph(4, 4));
   QueryOptions bad;

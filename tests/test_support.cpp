@@ -146,6 +146,31 @@ TEST(Metrics, AbsorbSequentialAndParallel) {
   EXPECT_EQ(par.rounds(), 5u);  // max, not sum
 }
 
+TEST(Metrics, AllocAndScratchCountersCompose) {
+  Metrics a, b;
+  a.add_allocs(2);
+  a.note_scratch_peak(100);
+  b.add_allocs(3);
+  b.note_scratch_peak(70);
+  Metrics total;
+  total.absorb(a);
+  total.absorb(b);
+  EXPECT_EQ(total.allocs(), 5u);          // events add
+  EXPECT_EQ(total.scratch_peak_bytes(), 100u);  // peaks max-merge
+  Metrics par;
+  par.absorb_parallel(a);
+  par.absorb_parallel(b);
+  EXPECT_EQ(par.allocs(), 5u);
+  EXPECT_EQ(par.scratch_peak_bytes(), 100u);
+  // Copy and reset carry all four counters.
+  const Metrics copy = total;
+  EXPECT_EQ(copy.allocs(), 5u);
+  EXPECT_EQ(copy.scratch_peak_bytes(), 100u);
+  total.reset();
+  EXPECT_EQ(total.allocs(), 0u);
+  EXPECT_EQ(total.scratch_peak_bytes(), 0u);
+}
+
 TEST(Stats, SummarizeOddAndEven) {
   const SampleStats odd = summarize({3.0, 1.0, 2.0});
   EXPECT_EQ(odd.count, 3u);

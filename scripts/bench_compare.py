@@ -8,6 +8,11 @@ Subcommands:
   compare BASELINE CURRENT      diff two documents; exit 1 when CURRENT's
                                 median regresses by more than --threshold
                                 (default 0.30 = 30%) on any benchmark
+  scaling FILE                  thread-scaling table of one document: for
+                                every benchmark recorded at more than one
+                                thread count, the wall medians per count and
+                                the min->max-threads speedup (markdown,
+                                ready for a CI job summary; never fails)
   self-test                     synthetic end-to-end check of validate/compare
 
 Benchmarks are matched by (suite, name, threads). `compare` gates on the
@@ -294,6 +299,55 @@ def cmd_compare(args):
     return 1 if regressions else 0
 
 
+def cmd_scaling(args):
+    doc = load(args.file)
+    errors = validation_errors(doc)
+    if errors:
+        for error in errors:
+            print(f"{args.file}: {error}", file=sys.stderr)
+        return 1
+    # Group records by (suite, name); only multi-thread-count groups scale.
+    groups = {}
+    for bench in doc["benchmarks"]:
+        groups.setdefault((bench["suite"], bench["name"]), []).append(bench)
+    rows = []
+    for key in sorted(groups):
+        records = sorted(groups[key], key=lambda b: b["threads"])
+        if len(records) < 2:
+            continue
+        by_threads = {
+            b["threads"]: b["seconds"]["median"] for b in records
+        }
+        low = records[0]
+        high = records[-1]
+        speedup = (
+            low["seconds"]["median"] / high["seconds"]["median"]
+            if high["seconds"]["median"] > 0
+            else float("inf")
+        )
+        rows.append((key, by_threads, high["threads"], speedup))
+    if not rows:
+        print("no benchmark was recorded at more than one thread count")
+        return 0
+    thread_counts = sorted({t for _, by, _, _ in rows for t in by})
+    print("### Thread scaling (median wall clock, advisory)")
+    print()
+    header = " | ".join(f"{t}t" for t in thread_counts)
+    print(f"| benchmark | {header} | speedup |")
+    print("|---|" + "---:|" * (len(thread_counts) + 1))
+    for (suite, name), by_threads, max_threads, speedup in rows:
+        cells = " | ".join(
+            f"{by_threads[t] * 1e3:.3f} ms" if t in by_threads else "-"
+            for t in thread_counts
+        )
+        print(
+            f"| {suite}/{name} | {cells} | {speedup:.2f}x "
+            f"@ {max_threads}t |"
+        )
+    print()
+    return 0
+
+
 def synthetic_doc(slowdown=1.0):
     def bench(suite, name, threads, seconds, work):
         return {
@@ -463,6 +517,20 @@ def cmd_self_test(_args):
             json.dump(synthetic_doc(), f)
         check("validate accepts synthetic doc", main(["validate", good_path]), 0)
 
+        sweep = synthetic_doc()
+        four_t = dict(sweep["benchmarks"][0])
+        four_t["threads"] = 4
+        four_t["seconds"] = dict(four_t["seconds"])
+        four_t["seconds"]["median"] = four_t["seconds"]["median"] / 2
+        sweep["benchmarks"].append(four_t)
+        sweep_path = os.path.join(tmpdir, "sweep.json")
+        with open(sweep_path, "w", encoding="utf-8") as f:
+            json.dump(sweep, f)
+        check("scaling table renders a thread sweep",
+              main(["scaling", sweep_path]), 0)
+        check("scaling accepts a sweep-free document",
+              main(["scaling", good_path]), 0)
+
         merged_path = os.path.join(tmpdir, "merged.json")
         check(
             "merge of a document with itself fails on duplicates",
@@ -521,6 +589,12 @@ def main(argv=None):
         "speedup table (markdown, ready for a CI job summary)",
     )
     p_compare.set_defaults(func=cmd_compare)
+
+    p_scaling = sub.add_parser(
+        "scaling", help="thread-scaling table of one document"
+    )
+    p_scaling.add_argument("file")
+    p_scaling.set_defaults(func=cmd_scaling)
 
     p_self = sub.add_parser("self-test", help="synthetic end-to-end check")
     p_self.set_defaults(func=cmd_self_test)

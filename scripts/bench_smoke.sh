@@ -9,7 +9,8 @@
 #   BUILD_DIR=build-rel scripts/bench_smoke.sh
 #
 # Tunables (env): SMOKE_SCALE (default 0.1), SMOKE_REPEATS (3),
-# SMOKE_THREADS (1,4), BUILD_DIR (build).
+# SMOKE_THREADS (1,4), SMOKE_SCALING_THREADS (1,2,4,8 — the scaling
+# suite's sweep), BUILD_DIR (build).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,6 +19,7 @@ OUT="${1:-BENCH_smoke.json}"
 SCALE="${SMOKE_SCALE:-0.1}"
 REPEATS="${SMOKE_REPEATS:-3}"
 THREADS="${SMOKE_THREADS:-1,4}"
+SCALING_THREADS="${SMOKE_SCALING_THREADS:-1,2,4,8}"
 
 # suite:filter entries. Filters keep the smoke run in CI-seconds territory:
 # the connectivity solids (icosahedron/octahedron subdivisions) are fixed
@@ -36,6 +38,7 @@ ENTRIES=(
   "connectivity:random-planar/*"
   "disconnected:"
   "solver_reuse:"
+  "scaling:"
 )
 
 tmp="$(mktemp -d)"
@@ -52,8 +55,14 @@ for entry in "${ENTRIES[@]}"; do
     exit 1
   fi
   json="$tmp/$i-$suite.json"
+  threads="$THREADS"
+  # The scaling suite exists to sweep threads: it gets the full 1/2/4/8
+  # sweep so the JSON carries the whole scaling curve per case.
+  if [ "$suite" = "scaling" ]; then
+    threads="$SCALING_THREADS"
+  fi
   args=(--scale "$SCALE" --repeats "$REPEATS" --warmup 1
-        --threads "$THREADS" --json "$json")
+        --threads "$threads" --json "$json")
   if [ -n "$filter" ]; then
     args+=(--filter "$filter")
   fi

@@ -11,6 +11,8 @@
 #include <tuple>
 #include <utility>
 
+#include <omp.h>
+
 #include "connectivity/articulation.hpp"
 #include "connectivity/flow_connectivity.hpp"
 #include "graph/components.hpp"
@@ -18,7 +20,9 @@
 #include "graph/ops.hpp"
 #include "isomorphism/sparse_dp.hpp"
 #include "planar/face_vertex_graph.hpp"
+#include "support/parallel.hpp"
 #include "support/rng.hpp"
+#include "support/scheduler.hpp"
 #include "support/timer.hpp"
 #include "treedecomp/bfs_layer_decomposition.hpp"
 #include "treedecomp/greedy_decomposition.hpp"
@@ -109,7 +113,8 @@ iso::DpSolution solve_slice(const Slice& slice,
                             const treedecomp::TreeDecomposition& td,
                             const Pattern& pattern,
                             const QueryOptions& options,
-                            bool release_interior) {
+                            bool release_interior,
+                            const support::CancelScope& cancel) {
   if (options.engine == cover::EngineKind::kSequential) {
     iso::DpOptions dp;
     dp.spec = slice.spec;
@@ -126,19 +131,96 @@ iso::DpSolution solve_slice(const Slice& slice,
   par.spec = slice.spec;
   par.use_shortcuts = options.use_shortcuts;
   par.release_interior = release_interior;
+  par.cancel = cancel;  // path tasks of an obsolete slice skip themselves
   return iso::solve_parallel(slice.graph, td, pattern, par);
 }
+
+/// One slice's task result. `solved` means the task ran to completion;
+/// cancelled slices leave it false and their (partial) solution is never
+/// read: cancellation requires a strictly smaller accepting index, and the
+/// replay below stops at the smallest one.
+struct SliceOutcome {
+  iso::DpSolution sol;
+  bool solved = false;
+};
 
 /// Solves every slice of one cover against its memoized decompositions;
 /// returns a witness (slice-local images translated through origin_of) when
 /// some slice accepts. When `collect` is non-null, *all* occurrences of
 /// accepting slices are accumulated instead (and every slice is visited).
-bool solve_cover_impl(const Cover& cover,
+///
+/// Phase 1 submits one task per slice into the shared scheduler (whose path
+/// tasks, for the parallel engine, join the same pool — slices and paths
+/// interleave freely). Decision queries cancel cooperatively: the first
+/// accepting slice lowers a CancelWatermark and queued/in-flight tasks of
+/// strictly larger index skip themselves. Phase 2 replays the results in
+/// slice-index order with exactly the old sequential loop's arithmetic, so
+/// outputs, metric sums, and the early-exit accounting cut are bit-identical
+/// to the pre-scheduler engine for every thread count: cancellation can only
+/// discard work the replay would never have accounted.
+///
+/// Deliberate tradeoff: collect-mode (listing) queries solve every slice in
+/// Phase 1 even when the old loop would have stopped mid-cover at
+/// `limit` — whether a replay prefix satisfies the limit depends on the
+/// deduplicated union of recovered occurrences, which only the sequential
+/// replay can decide. Metering is unaffected (the replay stops accounting
+/// at the same slice the old loop stopped at); only wall time is spent,
+/// and only when a listing actually hits its limit mid-cover.
+bool solve_all_slices(const Cover& cover,
                       const std::vector<treedecomp::TreeDecomposition>& tds,
                       const Pattern& pattern, const QueryOptions& options,
                       DecisionResult* decision, std::set<Assignment>* collect,
                       std::size_t limit, support::Metrics* run_depth) {
-  bool found = false;
+  // Decision-only queries never recover assignments, so the engines may
+  // free each solved node as soon as its parent has consumed it.
+  const bool release_interior = options.decision_only && collect == nullptr;
+  const bool decision_mode = collect == nullptr;
+  const std::size_t num_slices = cover.slices.size();
+
+  // ---- Phase 1: solve all (needed) slices on the shared task pool. ----
+  std::vector<SliceOutcome> outcomes(num_slices);
+  support::CancelWatermark watermark;
+  support::TaskGraph graph;
+  std::vector<std::uint32_t> task_of_slice;  // task ids, in slice order
+  for (std::size_t i = 0; i < num_slices; ++i) {
+    const Slice& slice = cover.slices[i];
+    if (slice.graph.num_vertices() < pattern.size()) continue;
+    task_of_slice.push_back(graph.add([&, i] {
+      const support::CancelScope scope{
+          decision_mode ? &watermark : nullptr,
+          static_cast<std::uint32_t>(i)};
+      if (scope.cancelled()) return;  // a smaller slice index accepted
+      SliceOutcome& out = outcomes[i];
+      out.sol = solve_slice(cover.slices[i], tds[i], pattern, options,
+                            release_interior, scope);
+      if (scope.cancelled()) {
+        out.sol = {};  // partial (paths skipped): free it, never read it
+        return;
+      }
+      out.solved = true;
+      if (decision_mode && out.sol.accepted)
+        watermark.accept(static_cast<std::uint32_t>(i));
+    }));
+  }
+  if (decision_mode) {
+    // Bounded speculation: a decision query stops accounting at the first
+    // accepting slice, so slices solved beyond it are wasted wall time.
+    // Window edges (task j gates task j+W) keep at most W slice tasks in
+    // flight with a low-index completion bias: the scheduler stays fully
+    // occupied, the watermark drops as early as the old sequential loop
+    // found its answer, and the cancelled tail skips itself. Without them
+    // a work-stealing schedule may stack every speculative slice before
+    // the accepting one completes (observed: 20x wall regression on warm
+    // single-thread decisions). W tracks the team size; the edge structure
+    // never affects results — the replay below decides those.
+    const std::uint32_t window =
+        2 * static_cast<std::uint32_t>(std::max(1, omp_get_max_threads()));
+    for (std::size_t j = 0; j + window < task_of_slice.size(); ++j)
+      graph.add_edge(task_of_slice[j], task_of_slice[j + window]);
+  }
+  support::Scheduler::run(graph);
+
+  // ---- Phase 2: deterministic replay in slice-index order. ----
   // Slices are independent (solved in parallel in the PRAM reading): their
   // work adds, their rounds compose as a maximum. Allocation events add
   // and scratch peaks max-merge, mirroring the work/rounds split.
@@ -150,17 +232,22 @@ bool solve_cover_impl(const Cover& cover,
     run_depth->absorb_parallel(sol.metrics);
     ++decision->slices_solved;
   };
-  // Decision-only queries never recover assignments, so the engines may
-  // free each solved node as soon as its parent has consumed it.
-  const bool release_interior = options.decision_only && collect == nullptr;
-  for (std::size_t i = 0; i < cover.slices.size(); ++i) {
+  bool found = false;
+  for (std::size_t i = 0; i < num_slices; ++i) {
     const Slice& slice = cover.slices[i];
     if (slice.graph.num_vertices() < pattern.size()) continue;
+    SliceOutcome& outcome = outcomes[i];
+    // Every slice the replay reaches completed: cancellation needs a
+    // strictly smaller accepting index, at which the replay stops first.
+    support::require(outcome.solved,
+                     "solve_all_slices: replay reached a cancelled slice");
+    const iso::DpSolution& sol = outcome.sol;
     const treedecomp::TreeDecomposition& td = tds[i];
-    const iso::DpSolution sol =
-        solve_slice(slice, td, pattern, options, release_interior);
     account(sol);
-    if (!sol.accepted) continue;
+    if (!sol.accepted) {
+      outcome.sol = {};  // accounted; free before replaying the rest
+      continue;
+    }
     found = true;
     if (collect == nullptr) {
       if (!release_interior && decision != nullptr &&
@@ -178,6 +265,7 @@ bool solve_cover_impl(const Cover& cover,
       for (Vertex& image : a) image = slice.origin_of[image];
       collect->insert(std::move(a));
     }
+    outcome.sol = {};
     if (collect->size() >= limit) return true;
   }
   return found;
@@ -189,7 +277,7 @@ bool solve_cover(const Cover& cover,
                  DecisionResult* decision, std::set<Assignment>* collect,
                  std::size_t limit) {
   support::Metrics run_depth;
-  const bool found = solve_cover_impl(cover, tds, pattern, options, decision,
+  const bool found = solve_all_slices(cover, tds, pattern, options, decision,
                                       collect, limit, &run_depth);
   if (decision != nullptr) decision->metrics.add_rounds(run_depth.rounds());
   return found;
@@ -341,10 +429,22 @@ struct Solver::Impl {
     }
     auto it = entry.tds.find(kind);
     if (it == entry.tds.end()) {
-      std::vector<treedecomp::TreeDecomposition> tds;
-      tds.reserve(entry.cover.slices.size());
-      for (const Slice& slice : entry.cover.slices)
-        tds.push_back(decompose_slice(slice, kind));
+      // Slices decompose independently, so the build fans out across the
+      // team (each iteration fills its own pre-sized slot; results are
+      // per-slice deterministic, so the assembled vector is too). This
+      // runs under entry.mutex, so it must be parallel_for, never a
+      // TaskGraph: a task suspension here could pick up an arbitrary
+      // sibling query task that takes the same mutex (see the locking
+      // discipline in support/scheduler.hpp). Grain 1: decompositions are
+      // orders of magnitude heavier than a loop iteration's overhead.
+      std::vector<treedecomp::TreeDecomposition> tds(
+          entry.cover.slices.size());
+      support::parallel_for(
+          0, tds.size(),
+          [&](std::size_t i) {
+            tds[i] = decompose_slice(entry.cover.slices[i], kind);
+          },
+          /*grain=*/1);
       it = entry.tds.emplace(kind, std::move(tds)).first;
       td_misses.fetch_add(1, std::memory_order_relaxed);
     } else {
@@ -739,24 +839,18 @@ std::vector<Result<DecisionResult>> Solver::find_batch(
   }
   // Queries share the cover cache: patterns with equal (diameter, size)
   // and the common per-run seeds resolve to the same memoized covers, so
-  // whichever task gets there first builds and the rest reuse. Nested
-  // OMP regions inside the engines collapse to serial by default.
+  // whichever task gets there first builds and the rest reuse.
   //
-  // The `completed` acquire/release pair mirrors the OMP fork/join barrier
-  // with edges race detectors can see: TSan cannot observe the barrier in
-  // an uninstrumented libgomp and would otherwise flag the slot writes.
-  const auto count = static_cast<std::ptrdiff_t>(patterns.size());
-  std::atomic<std::size_t> completed{0};
-  completed.store(0, std::memory_order_release);
-#pragma omp parallel for schedule(dynamic)
-  for (std::ptrdiff_t i = 0; i < count; ++i) {
-    completed.load(std::memory_order_acquire);
-    out[static_cast<std::size_t>(i)] =
-        find(patterns[static_cast<std::size_t>(i)], options);
-    completed.fetch_add(1, std::memory_order_acq_rel);
-  }
-  while (completed.load(std::memory_order_acquire) < patterns.size()) {
-  }
+  // One query task per pattern on the shared scheduler pool: the nested
+  // slice and path tasks each query spawns join the same team instead of
+  // collapsing into serial nested OMP regions, so a lone large query in
+  // the batch still uses every idle thread. Scheduler::run carries the
+  // TSan-visible fork/join edges the old manual `completed` counter
+  // provided (libgomp's own barriers are uninstrumented).
+  support::TaskGraph graph;
+  for (std::size_t i = 0; i < patterns.size(); ++i)
+    graph.add([&, i] { out[i] = find(patterns[i], options); });
+  support::Scheduler::run(graph);
   return out;
 }
 

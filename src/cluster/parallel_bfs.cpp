@@ -24,9 +24,14 @@ BfsResult parallel_bfs(const Graph& g, std::span<const Vertex> sources,
   }
   std::uint64_t work = frontier.size();
   std::uint32_t level = 0;
+  // `next` persists across levels (cleared, capacity kept): the old
+  // per-level vector reallocated its way up to the widest frontier on
+  // every level of every BFS. The same grain constant the fork-join
+  // primitives use decides when a frontier is worth a parallel expansion.
+  std::vector<Vertex> next;
   while (!frontier.empty()) {
     ++level;
-    std::vector<Vertex> next;
+    next.clear();
     if (frontier.size() < support::kDefaultGrain) {
       // Serial expansion of small frontiers.
       for (Vertex u : frontier) {

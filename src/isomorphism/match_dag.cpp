@@ -28,7 +28,7 @@ constexpr std::uint32_t kNoTarget = 0xffffffffu;
 PathStats solve_path(const Graph& g, const treedecomp::TreeDecomposition& td,
                      const Pattern& pattern,
                      const std::vector<BagContext>& ctxs,
-                     const std::vector<treedecomp::NodeId>& nodes,
+                     std::span<const treedecomp::NodeId> nodes,
                      const PathSolveConfig& config, DpSolution& solution) {
   PathStats stats;
   stats.path_length = nodes.size();

@@ -24,6 +24,7 @@
 // the O(k log n) bound.
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -57,10 +58,12 @@ struct PathSolveConfig {
 /// SolvedNode holds its valid states and its signature index toward its
 /// tree parent. X_1 (= nodes.front()) is solved exactly against its
 /// children; the remaining nodes are solved by shortcut reachability.
+/// Thread-safe for distinct paths (per-thread scratch; writes only the
+/// SolvedNodes of `nodes` and of their already-consumed children).
 PathStats solve_path(const Graph& g, const treedecomp::TreeDecomposition& td,
                      const Pattern& pattern,
                      const std::vector<BagContext>& ctxs,
-                     const std::vector<treedecomp::NodeId>& nodes,
+                     std::span<const treedecomp::NodeId> nodes,
                      const PathSolveConfig& config, DpSolution& solution);
 
 }  // namespace ppsi::iso

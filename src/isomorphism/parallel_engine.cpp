@@ -1,13 +1,68 @@
 #include "isomorphism/parallel_engine.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <omp.h>
 
 #include "support/parallel.hpp"
+#include "support/scheduler.hpp"
 #include "treepath/tree_paths.hpp"
 
 namespace ppsi::iso {
+namespace {
+
+/// Task-graph schedule: one task per path; a path's ready-counter is its
+/// number of child paths (paths whose top node's tree parent lies in it),
+/// so it starts the moment its own children finish — the slowest path of a
+/// layer no longer holds back unrelated paths of the next. Task ids equal
+/// path ids, so per-path stats land in pre-sized slots.
+void run_paths_task_graph(const Graph& g,
+                          const treedecomp::TreeDecomposition& td,
+                          const Pattern& pattern,
+                          const std::vector<BagContext>& ctxs,
+                          const treepath::PathDecomposition& paths,
+                          const PathSolveConfig& config,
+                          const support::CancelScope& cancel,
+                          DpSolution& sol, std::vector<PathStats>& per_path) {
+  const std::size_t num_paths = paths.paths.size();
+  support::TaskGraph graph;
+  for (std::size_t pi = 0; pi < num_paths; ++pi) {
+    graph.add([&, pi] {
+      if (cancel.cancelled()) return;  // owning slice query already accepted
+      per_path[pi] =
+          solve_path(g, td, pattern, ctxs, paths.paths[pi], config, sol);
+    });
+  }
+  for (std::uint32_t pi = 0; pi < num_paths; ++pi) {
+    const treedecomp::NodeId top = paths.paths[pi].back();
+    const treedecomp::NodeId parent = td.parent[top];
+    if (parent != treedecomp::kNoNode)
+      graph.add_edge(pi, paths.path_of[parent]);
+  }
+  support::Scheduler::run(graph);
+}
+
+/// Reference schedule: all paths of a layer in parallel, full barrier
+/// between layers (the pre-scheduler engine, kept for A/B benchmarking;
+/// results and instrumented counts are bit-identical to the task graph).
+void run_paths_layer_barrier(const Graph& g,
+                             const treedecomp::TreeDecomposition& td,
+                             const Pattern& pattern,
+                             const std::vector<BagContext>& ctxs,
+                             const treepath::PathDecomposition& paths,
+                             const PathSolveConfig& config, DpSolution& sol,
+                             std::vector<PathStats>& per_path) {
+  for (std::uint32_t layer = 0; layer < paths.num_layers; ++layer) {
+    const std::uint32_t begin = paths.layer_path_offsets[layer];
+    const std::uint32_t end = paths.layer_path_offsets[layer + 1];
+#pragma omp parallel for schedule(dynamic)
+    for (std::uint32_t pi = begin; pi < end; ++pi) {
+      per_path[pi] =
+          solve_path(g, td, pattern, ctxs, paths.paths[pi], config, sol);
+    }
+  }
+}
+
+}  // namespace
 
 DpSolution solve_parallel(const Graph& g,
                           const treedecomp::TreeDecomposition& td,
@@ -46,20 +101,26 @@ DpSolution solve_parallel(const Graph& g,
 
   const PathSolveConfig config{separating, options.use_shortcuts,
                                options.release_interior};
+  // One per-solve stats array indexed by path id (hoisted out of the old
+  // per-layer loop); tasks write disjoint slots.
+  std::vector<PathStats> per_path(paths.paths.size());
+  if (options.schedule == ParallelSchedule::kTaskGraph) {
+    run_paths_task_graph(g, td, pattern, ctxs, paths, config, options.cancel,
+                         sol, per_path);
+  } else {
+    run_paths_layer_barrier(g, td, pattern, ctxs, paths, config, sol,
+                            per_path);
+  }
+
+  // Canonical-order fold: identical arithmetic to the old per-layer loop,
+  // independent of the schedule that produced per_path. The critical path
+  // of a layer is its slowest path; layers compose sequentially.
   for (std::uint32_t layer = 0; layer < paths.num_layers; ++layer) {
     const std::uint32_t begin = paths.layer_path_offsets[layer];
     const std::uint32_t end = paths.layer_path_offsets[layer + 1];
-    std::vector<PathStats> per_path(end - begin);
-#pragma omp parallel for schedule(dynamic)
-    for (std::uint32_t pi = begin; pi < end; ++pi) {
-      std::vector<treedecomp::NodeId> nodes(paths.paths[pi].begin(),
-                                            paths.paths[pi].end());
-      per_path[pi - begin] =
-          solve_path(g, td, pattern, ctxs, nodes, config, sol);
-    }
-    // Critical path: the slowest path of this layer.
     std::uint64_t layer_rounds = 0;
-    for (const PathStats& ps : per_path) {
+    for (std::uint32_t pi = begin; pi < end; ++pi) {
+      const PathStats& ps = per_path[pi];
       layer_rounds = std::max(layer_rounds, ps.bfs_rounds);
       local_stats.dag_vertices += ps.dag_vertices;
       local_stats.dag_edges += ps.dag_edges;

@@ -6,6 +6,7 @@
 // per-index RNG streams, see rng.hpp).
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <numeric>
@@ -21,6 +22,22 @@ inline int num_threads() { return omp_get_max_threads(); }
 /// Grain below which parallel loops fall back to serial execution.
 inline constexpr std::size_t kDefaultGrain = 2048;
 
+namespace detail {
+
+// Fork/join epochs mirroring parallel_for's region boundaries with edges
+// TSan can see (libgomp's futex barriers are uninstrumented, and the
+// region's shared-variable struct is written at the call site, after every
+// caller statement — only an in-region handshake can order it). Thread 0
+// is the caller: its release-increment inside the region is ordered after
+// the caller's setup; workers acquire it after the entry barrier before
+// first touching shared state, and release their own increment on the way
+// out for the caller's post-region acquire. Same pattern as
+// support/scheduler.cpp's region epochs.
+inline std::atomic<std::uint64_t> pfor_fork_epoch{0};
+inline std::atomic<std::uint64_t> pfor_join_epoch{0};
+
+}  // namespace detail
+
 /// Applies f(i) for i in [begin, end). One PRAM round over `end - begin`
 /// items; f must be safe to run concurrently for distinct i.
 template <typename F>
@@ -32,9 +49,26 @@ void parallel_for(std::size_t begin, std::size_t end, F&& f,
     for (std::size_t i = begin; i < end; ++i) f(i);
     return;
   }
-#pragma omp parallel for schedule(static)
-  for (std::size_t i = begin; i < end; ++i) f(i);
+#pragma omp parallel default(shared)
+  {
+    if (omp_get_thread_num() == 0)
+      detail::pfor_fork_epoch.fetch_add(1, std::memory_order_release);
+#pragma omp barrier
+    detail::pfor_fork_epoch.load(std::memory_order_acquire);
+#pragma omp for schedule(static)
+    for (std::size_t i = begin; i < end; ++i) f(i);
+    detail::pfor_join_epoch.fetch_add(1, std::memory_order_release);
+  }
+  detail::pfor_join_epoch.load(std::memory_order_acquire);
 }
+
+/// One per-thread accumulator slot, padded to a cache line so adjacent
+/// threads' partials never share one (the unpadded layout made every
+/// partial-write a coherence miss on its neighbors).
+template <typename T>
+struct alignas(alignof(T) > 64 ? alignof(T) : 64) PaddedAccumulator {
+  T value;
+};
 
 /// Parallel reduction of f(i) over [begin, end) with a commutative,
 /// associative combiner; `identity` is the combiner's neutral element.
@@ -49,17 +83,18 @@ T parallel_reduce(std::size_t begin, std::size_t end, T identity, F&& f,
     return acc;
   }
   const int threads = num_threads();
-  std::vector<T> partial(static_cast<std::size_t>(threads), identity);
+  std::vector<PaddedAccumulator<T>> partial(static_cast<std::size_t>(threads),
+                                            PaddedAccumulator<T>{identity});
 #pragma omp parallel
   {
     const int t = omp_get_thread_num();
     T acc = identity;
 #pragma omp for schedule(static) nowait
     for (std::size_t i = begin; i < end; ++i) acc = combine(acc, f(i));
-    partial[static_cast<std::size_t>(t)] = acc;
+    partial[static_cast<std::size_t>(t)].value = acc;
   }
   T acc = identity;
-  for (const T& p : partial) acc = combine(acc, p);
+  for (const PaddedAccumulator<T>& p : partial) acc = combine(acc, p.value);
   return acc;
 }
 

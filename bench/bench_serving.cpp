@@ -1,0 +1,149 @@
+// E14 — the serving layer: SolverPool under concurrent closed-loop clients.
+//
+// Cases sweep the offered load against one pool with two targets:
+//   serving/pool/clients=<c> — c client threads, each submitting a fixed
+//       number of find_async queries round-robin across targets and
+//       patterns, waiting for each result before submitting the next
+//       (closed loop). Counters report the observed query latency
+//       distribution (`latency_p50_us`, `latency_p95_us`) plus the
+//       completed-query throughput (`queries_per_s`).
+//   serving/pool/admission=<k> — a fixed 4-client load with the admission
+//       width swept, isolating the FIFO queue's effect on tail latency.
+//
+// Every shard is primed with the full pattern set before the measured
+// region, so each measured query is a cover-cache hit and the summed work
+// metric — the CI gate — is exactly (queries x warm per-query work),
+// independent of client interleaving. Latency counters are wall-clock
+// observations and vary run to run; the comparer gates on work, not on
+// counters or seconds.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/solver_pool.hpp"
+#include "graph/generators.hpp"
+#include "harness/corpus.hpp"
+#include "harness/harness.hpp"
+
+using namespace ppsi;
+using bench::Corpus;
+using bench::Registry;
+using bench::Trial;
+
+namespace {
+
+/// Fixed-seed options so every (target, pattern) query is one cache entry.
+QueryOptions serving_options() {
+  QueryOptions opts;
+  opts.seed = 23;
+  opts.max_runs = 3;
+  return opts;
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+/// One closed-loop sweep: `clients` threads, `queries_per_client` queries
+/// each, against a fresh pool with `max_concurrent` admission slots.
+/// Returns the summed per-query work into `total` and the latency samples.
+void run_sweep(const std::vector<Graph>& targets,
+               const std::vector<iso::Pattern>& patterns,
+               std::uint32_t max_concurrent, int clients,
+               int queries_per_client, Trial& trial) {
+  PoolOptions popts;
+  popts.max_concurrent = max_concurrent;
+  SolverPool pool(popts);
+  std::vector<TargetId> ids;
+  ids.reserve(targets.size());
+  for (const Graph& g : targets) ids.push_back(pool.add_target(g));
+
+  // Prime every (shard, pattern) pair: the measured queries below are all
+  // cache hits, making the summed work independent of interleaving.
+  const QueryOptions opts = serving_options();
+  for (const TargetId id : ids)
+    for (const iso::Pattern& p : patterns) pool.solver(id).find(p, opts);
+
+  const int total_queries = clients * queries_per_client;
+  std::vector<double> latencies(static_cast<std::size_t>(total_queries), 0.0);
+  std::vector<std::uint64_t> work(static_cast<std::size_t>(clients), 0);
+  double elapsed = 0.0;
+  trial.measure([&] {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        for (int q = 0; q < queries_per_client; ++q) {
+          const int slot = c * queries_per_client + q;
+          const std::size_t which =
+              static_cast<std::size_t>(c + q);  // round-robin mix
+          const auto start = std::chrono::steady_clock::now();
+          auto pending =
+              pool.find_async(ids[which % ids.size()],
+                              patterns[which % patterns.size()], opts);
+          const auto& r = pending.get();
+          const auto stop = std::chrono::steady_clock::now();
+          latencies[static_cast<std::size_t>(slot)] =
+              std::chrono::duration<double>(stop - start).count();
+          if (r.has_value())
+            work[static_cast<std::size_t>(c)] += r->metrics.work();
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            t0)
+                  .count();
+  });
+
+  support::Metrics total;
+  for (const std::uint64_t w : work) total.add_work(w);
+  trial.record(total);
+  std::sort(latencies.begin(), latencies.end());
+  trial.counter("latency_p50_us", percentile(latencies, 0.50) * 1e6);
+  trial.counter("latency_p95_us", percentile(latencies, 0.95) * 1e6);
+  trial.counter("queries", total_queries);
+  if (elapsed > 0)
+    trial.counter("queries_per_s",
+                  static_cast<double>(total_queries) / elapsed);
+}
+
+void register_benchmarks(Registry& reg, const Corpus& corpus) {
+  const std::vector<Graph> targets = {corpus.grid(24, 24),
+                                      corpus.grid(30, 20)};
+  const std::vector<iso::Pattern> patterns = {
+      iso::Pattern::from_graph(gen::cycle_graph(4)),
+      iso::Pattern::from_graph(gen::path_graph(5)),
+  };
+  const int queries_per_client = corpus.reps(16, 4);
+
+  for (const int clients : {1, 2, 4, 8}) {
+    reg.add("serving/pool/clients=" + std::to_string(clients),
+            [=](Trial& trial) {
+              run_sweep(targets, patterns, /*max_concurrent=*/4, clients,
+                        queries_per_client, trial);
+            });
+  }
+  for (const std::uint32_t admission : {1u, 2u, 4u}) {
+    reg.add("serving/pool/admission=" + std::to_string(admission),
+            [=](Trial& trial) {
+              run_sweep(targets, patterns, admission, /*clients=*/4,
+                        queries_per_client, trial);
+            });
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return ppsi::bench::run_main(argc, argv, "serving", register_benchmarks);
+}

@@ -1,0 +1,92 @@
+#pragma once
+
+// Budget — the work/deadline/cancellation envelope of one Solver query.
+//
+// Constructed once per query from its QueryOptions, then consulted from two
+// kinds of checkpoint:
+//   * coarse: Budget::check between cover runs / listing iterations (and
+//     once at query entry, so a pre-cancelled token or pre-expired deadline
+//     never starts work), mapping each exhausted resource to its status;
+//   * fine: the armed DeadlineClock and the CancelToken are threaded into
+//     every slice/path CancelScope and the per-node DP loops, so a deadline
+//     or cancellation preempts *mid-cover* instead of overshooting by up to
+//     one full cover run (the work budget stays coarse by design: work is
+//     only known after the deterministic replay accounts it).
+//
+// Forwarding to sub-queries (find_disconnected components,
+// vertex_connectivity probes) must respect the option sentinels: both
+// `max_work = 0` and `deadline_seconds = 0` mean "unlimited", so an
+// exhausted budget forwards the smallest *positive* remainder (1 unit of
+// work / 1 ns) instead of rounding to the sentinel and granting the
+// sub-query unlimited room. Pinned by the Budget tests in
+// tests/test_solver.cpp. Lives in a header (not solver.cpp) precisely so
+// those boundary semantics stay unit-testable.
+
+#include <cstdint>
+
+#include "api/solver.hpp"
+#include "api/status.hpp"
+#include "support/cancel.hpp"
+#include "support/metrics.hpp"
+
+namespace ppsi {
+
+class Budget {
+ public:
+  explicit Budget(const QueryOptions& options)
+      : max_work_(options.max_work), token_(options.cancel) {
+    if (options.deadline_seconds > 0) deadline_.arm(options.deadline_seconds);
+  }
+  Budget(const Budget&) = delete;
+  Budget& operator=(const Budget&) = delete;
+
+  /// Cancellation outranks the work budget outranks the deadline (a
+  /// cancelled query reports kCancelled even if its deadline also passed
+  /// while it wound down). The work bound is exclusive: spending exactly
+  /// max_work is within budget.
+  Status check(const support::Metrics& spent) const {
+    if (token_ != nullptr && token_->cancelled())
+      return {StatusCode::kCancelled,
+              "query cancelled through its CancelToken"};
+    if (max_work_ > 0 && spent.work() > max_work_)
+      return {StatusCode::kWorkBudgetExceeded,
+              "instrumented work exceeded QueryOptions::max_work"};
+    if (deadline_.expired())
+      return {StatusCode::kDeadlineExceeded,
+              "wall clock exceeded QueryOptions::deadline_seconds"};
+    return {};
+  }
+
+  /// Work budget left to forward to a sub-query (0 keeps the "unlimited"
+  /// sentinel; an exhausted budget forwards 1 so the sub-query trips on
+  /// its first check instead of running unbounded).
+  std::uint64_t remaining_work(const support::Metrics& spent) const {
+    if (max_work_ == 0) return 0;
+    const std::uint64_t used = spent.work();
+    return used >= max_work_ ? 1 : max_work_ - used;
+  }
+
+  /// Deadline left to forward to a sub-query (0 keeps "none"; clamped to a
+  /// positive epsilon once expired — a remainder that rounded to 0 would
+  /// collide with the "no deadline" sentinel and grant unlimited time).
+  double remaining_seconds() const {
+    if (!deadline_.armed()) return 0.0;
+    const double left = deadline_.remaining_seconds();
+    return left > 1e-9 ? left : 1e-9;
+  }
+
+  /// The query's cancellation token (nullptr when it has none) and armed
+  /// deadline (nullptr when none): what solve_all_slices threads into the
+  /// slice/path/DP-node cancellation scopes for mid-cover preemption.
+  const support::CancelToken* token() const { return token_; }
+  const support::DeadlineClock* deadline() const {
+    return deadline_.armed() ? &deadline_ : nullptr;
+  }
+
+ private:
+  std::uint64_t max_work_;
+  const support::CancelToken* token_;
+  support::DeadlineClock deadline_;
+};
+
+}  // namespace ppsi

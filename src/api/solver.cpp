@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <condition_variable>
 #include <cstddef>
 #include <map>
 #include <mutex>
@@ -13,6 +14,7 @@
 
 #include <omp.h>
 
+#include "api/budget.hpp"
 #include "connectivity/articulation.hpp"
 #include "connectivity/flow_connectivity.hpp"
 #include "graph/components.hpp"
@@ -47,6 +49,7 @@ const char* to_string(StatusCode code) {
     case StatusCode::kListLimitReached: return "list limit reached";
     case StatusCode::kWorkBudgetExceeded: return "work budget exceeded";
     case StatusCode::kDeadlineExceeded: return "deadline exceeded";
+    case StatusCode::kCancelled: return "cancelled";
     case StatusCode::kEmpty: return "empty";
   }
   return "unknown";
@@ -119,12 +122,14 @@ iso::DpSolution solve_slice(const Slice& slice,
     iso::DpOptions dp;
     dp.spec = slice.spec;
     dp.release_interior = release_interior;
+    dp.cancel = cancel;  // per-node checks preempt mid-slice
     return iso::solve_sequential(slice.graph, td, pattern, dp);
   }
   if (options.engine == cover::EngineKind::kSparse) {
     iso::DpOptions dp;
     dp.spec = slice.spec;
     dp.release_interior = release_interior;
+    dp.cancel = cancel;
     return iso::solve_sparse(slice.graph, td, pattern, dp);
   }
   iso::ParallelOptions par;
@@ -137,64 +142,95 @@ iso::DpSolution solve_slice(const Slice& slice,
 
 /// One slice's task result. `solved` means the task ran to completion;
 /// cancelled slices leave it false and their (partial) solution is never
-/// read: cancellation requires a strictly smaller accepting index, and the
-/// replay below stops at the smallest one.
+/// read: watermark cancellation requires a strictly smaller accepting (or
+/// limit-reaching) index, at which the replay stops first, and token/
+/// deadline preemption stops the replay at the first unsolved slice.
 struct SliceOutcome {
   iso::DpSolution sol;
   bool solved = false;
 };
 
+/// Maps a mid-cover preemption to its interruption status. Both sources
+/// are monotone, so whichever is observed here is the one the slices saw;
+/// cancellation outranks the deadline (mirrors Budget::check).
+Status interruption_cause(const support::CancelToken* token,
+                          const support::DeadlineClock* deadline) {
+  if (token != nullptr && token->cancelled())
+    return {StatusCode::kCancelled, "query cancelled through its CancelToken"};
+  if (deadline != nullptr && deadline->expired())
+    return {StatusCode::kDeadlineExceeded,
+            "wall clock exceeded QueryOptions::deadline_seconds"};
+  support::require(false, "solve_all_slices: unsolved slice without a cause");
+  return {};
+}
+
 /// Solves every slice of one cover against its memoized decompositions;
 /// returns a witness (slice-local images translated through origin_of) when
-/// some slice accepts. When `collect` is non-null, *all* occurrences of
-/// accepting slices are accumulated instead (and every slice is visited).
+/// some slice accepts. When `collect` is non-null, all occurrences of
+/// accepting slices are accumulated instead.
 ///
-/// Phase 1 submits one task per slice into the shared scheduler (whose path
-/// tasks, for the parallel engine, join the same pool — slices and paths
-/// interleave freely). Decision queries cancel cooperatively: the first
-/// accepting slice lowers a CancelWatermark and queued/in-flight tasks of
-/// strictly larger index skip themselves. Phase 2 replays the results in
-/// slice-index order with exactly the old sequential loop's arithmetic, so
-/// outputs, metric sums, and the early-exit accounting cut are bit-identical
-/// to the pre-scheduler engine for every thread count: cancellation can only
-/// discard work the replay would never have accounted.
+/// One task per slice goes into the shared scheduler (whose path tasks, for
+/// the parallel engine, join the same pool — slices and paths interleave
+/// freely), and the results are replayed in slice-index order with exactly
+/// the old sequential loop's arithmetic, so outputs, metric sums, and the
+/// early-exit accounting cut are bit-identical to the pre-scheduler engine
+/// for every thread count: cancellation can only discard work the replay
+/// would never have accounted.
 ///
-/// Deliberate tradeoff: collect-mode (listing) queries solve every slice in
-/// Phase 1 even when the old loop would have stopped mid-cover at
-/// `limit` — whether a replay prefix satisfies the limit depends on the
-/// deduplicated union of recovered occurrences, which only the sequential
-/// replay can decide. Metering is unaffected (the replay stops accounting
-/// at the same slice the old loop stopped at); only wall time is spent,
-/// and only when a listing actually hits its limit mid-cover.
+/// Cooperative cancellation has three sources, all carried by each slice's
+/// CancelScope (and threaded into the engines' path tasks / per-node DP
+/// loops):
+///   * the watermark: in decision mode the first accepting slice lowers
+///     it; in collect mode the replay task that satisfies `limit` does —
+///     either way the speculative tail of strictly larger indices skips
+///     itself (the PR 5 "wall-only tradeoff" of solving every listing
+///     slice after a mid-cover limit hit is gone);
+///   * the query's CancelToken and armed DeadlineClock (from `budget`):
+///     these preempt *mid-cover* (even mid-slice); the replay then stops
+///     at the first unsolved slice, reports the cause through `*interrupt`,
+///     and everything accounted before it is the documented partial
+///     result. Absent token/deadline the old completion invariant holds
+///     unchanged.
+///
+/// Decision mode replays after the graph completes. Collect mode replays
+/// *inside* the graph — a chain of per-slice replay tasks (R_i needs S_i
+/// and R_{i-1}) serializes the std::set insertion in slice-index order
+/// while later slices are still solving, which is what lets a mid-cover
+/// limit hit cancel the tail at all.
 bool solve_all_slices(const Cover& cover,
                       const std::vector<treedecomp::TreeDecomposition>& tds,
                       const Pattern& pattern, const QueryOptions& options,
-                      DecisionResult* decision, std::set<Assignment>* collect,
-                      std::size_t limit, support::Metrics* run_depth) {
+                      const Budget& budget, DecisionResult* decision,
+                      std::set<Assignment>* collect, std::size_t limit,
+                      support::Metrics* run_depth, Status* interrupt) {
   // Decision-only queries never recover assignments, so the engines may
   // free each solved node as soon as its parent has consumed it.
   const bool release_interior = options.decision_only && collect == nullptr;
   const bool decision_mode = collect == nullptr;
   const std::size_t num_slices = cover.slices.size();
+  const support::CancelToken* token = budget.token();
+  const support::DeadlineClock* deadline = budget.deadline();
 
-  // ---- Phase 1: solve all (needed) slices on the shared task pool. ----
+  // ---- Solve all (needed) slices on the shared task pool. ----
   std::vector<SliceOutcome> outcomes(num_slices);
   support::CancelWatermark watermark;
   support::TaskGraph graph;
-  std::vector<std::uint32_t> task_of_slice;  // task ids, in slice order
+  std::vector<std::uint32_t> task_of_slice;   // task ids, in slice order
+  std::vector<std::size_t> slice_of_task;     // inverse of the above
   for (std::size_t i = 0; i < num_slices; ++i) {
     const Slice& slice = cover.slices[i];
     if (slice.graph.num_vertices() < pattern.size()) continue;
+    slice_of_task.push_back(i);
     task_of_slice.push_back(graph.add([&, i] {
-      const support::CancelScope scope{
-          decision_mode ? &watermark : nullptr,
-          static_cast<std::uint32_t>(i)};
-      if (scope.cancelled()) return;  // a smaller slice index accepted
+      const support::CancelScope scope{&watermark,
+                                       static_cast<std::uint32_t>(i), token,
+                                       deadline};
+      if (scope.cancelled()) return;  // obsolete index, or preempted query
       SliceOutcome& out = outcomes[i];
       out.sol = solve_slice(cover.slices[i], tds[i], pattern, options,
                             release_interior, scope);
       if (scope.cancelled()) {
-        out.sol = {};  // partial (paths skipped): free it, never read it
+        out.sol = {};  // partial (paths/nodes skipped): free it, never read
         return;
       }
       out.solved = true;
@@ -202,28 +238,11 @@ bool solve_all_slices(const Cover& cover,
         watermark.accept(static_cast<std::uint32_t>(i));
     }));
   }
-  if (decision_mode) {
-    // Bounded speculation: a decision query stops accounting at the first
-    // accepting slice, so slices solved beyond it are wasted wall time.
-    // Window edges (task j gates task j+W) keep at most W slice tasks in
-    // flight with a low-index completion bias: the scheduler stays fully
-    // occupied, the watermark drops as early as the old sequential loop
-    // found its answer, and the cancelled tail skips itself. Without them
-    // a work-stealing schedule may stack every speculative slice before
-    // the accepting one completes (observed: 20x wall regression on warm
-    // single-thread decisions). W tracks the team size; the edge structure
-    // never affects results — the replay below decides those.
-    const std::uint32_t window =
-        2 * static_cast<std::uint32_t>(std::max(1, omp_get_max_threads()));
-    for (std::size_t j = 0; j + window < task_of_slice.size(); ++j)
-      graph.add_edge(task_of_slice[j], task_of_slice[j + window]);
-  }
-  support::Scheduler::run(graph);
 
-  // ---- Phase 2: deterministic replay in slice-index order. ----
-  // Slices are independent (solved in parallel in the PRAM reading): their
-  // work adds, their rounds compose as a maximum. Allocation events add
-  // and scratch peaks max-merge, mirroring the work/rounds split.
+  // Replay accounting, shared by both modes. Slices are independent
+  // (solved in parallel in the PRAM reading): their work adds, their
+  // rounds compose as a maximum. Allocation events add and scratch peaks
+  // max-merge, mirroring the work/rounds split.
   const auto account = [&](const iso::DpSolution& sol) {
     if (decision == nullptr) return;
     decision->metrics.add_work(sol.metrics.work());
@@ -232,15 +251,103 @@ bool solve_all_slices(const Cover& cover,
     run_depth->absorb_parallel(sol.metrics);
     ++decision->slices_solved;
   };
-  bool found = false;
+
+  // Bounded speculation: both modes stop accounting early (decision: first
+  // accepting slice; collect: the slice whose occurrences satisfy the
+  // limit), so slices solved beyond that point are wasted wall time.
+  // Window edges (progress at index j gates slice task j+W) keep at most
+  // W slice tasks in flight with a low-index completion bias: the
+  // scheduler stays fully occupied, the watermark drops as early as the
+  // old sequential loop stopped, and the cancelled tail skips itself.
+  // Without them a work-stealing schedule may stack every speculative
+  // slice before the stopping one completes (observed: 20x wall
+  // regression on warm single-thread decisions). W tracks the team size;
+  // the edge structure never affects results — the replay decides those.
+  const std::uint32_t window =
+      2 * static_cast<std::uint32_t>(std::max(1, omp_get_max_threads()));
+
+  // Collect mode: in-graph replay chain. replay_slice(i) runs with every
+  // smaller replay done (chain edges), so the limit cut it computes is the
+  // same one the old sequential loop computed; limit_reached/stopped are
+  // written and read only under that serialization.
+  struct ReplayState {
+    bool found = false;
+    bool limit_reached = false;
+    bool stopped = false;  ///< token/deadline preemption observed
+  } replay;
+  const auto replay_slice = [&](std::size_t i) {
+    if (replay.limit_reached || replay.stopped) return;
+    SliceOutcome& outcome = outcomes[i];
+    if (!outcome.solved) {
+      // Only a query-wide preemption can leave a slice the replay reaches
+      // unsolved: watermark cancellation needs a strictly smaller
+      // limit-reaching index, at which the replay stopped first.
+      support::require(token != nullptr || deadline != nullptr,
+                       "solve_all_slices: replay reached a cancelled slice");
+      replay.stopped = true;
+      return;
+    }
+    const Slice& slice = cover.slices[i];
+    const iso::DpSolution& sol = outcome.sol;
+    account(sol);
+    if (!sol.accepted) {
+      outcome.sol = {};  // accounted; free before replaying the rest
+      return;
+    }
+    replay.found = true;
+    for (Assignment a : iso::recover_assignments(sol, tds[i], limit)) {
+      for (Vertex& image : a) image = slice.origin_of[image];
+      collect->insert(std::move(a));
+    }
+    outcome.sol = {};
+    if (collect->size() >= limit) {
+      replay.limit_reached = true;
+      // Drop the speculative tail: queued/in-flight slice tasks of
+      // strictly larger index skip themselves. Outputs and accounted work
+      // of every completed (replayed) slice are untouched.
+      watermark.accept(static_cast<std::uint32_t>(i));
+    }
+  };
+
+  if (decision_mode) {
+    for (std::size_t j = 0; j + window < task_of_slice.size(); ++j)
+      graph.add_edge(task_of_slice[j], task_of_slice[j + window]);
+  } else {
+    std::vector<std::uint32_t> replay_tasks;
+    replay_tasks.reserve(task_of_slice.size());
+    for (std::size_t t = 0; t < task_of_slice.size(); ++t) {
+      const std::size_t i = slice_of_task[t];
+      const std::uint32_t r = graph.add([&, i] { replay_slice(i); });
+      graph.add_edge(task_of_slice[t], r);
+      if (t > 0) graph.add_edge(replay_tasks[t - 1], r);
+      replay_tasks.push_back(r);
+    }
+    // The window gates on replay progress, so the limit verdict (not just
+    // slice completion) bounds how far ahead the solves speculate.
+    for (std::size_t j = 0; j + window < task_of_slice.size(); ++j)
+      graph.add_edge(replay_tasks[j], task_of_slice[j + window]);
+  }
+  support::Scheduler::run(graph);
+
+  if (!decision_mode) {
+    if (replay.stopped) *interrupt = interruption_cause(token, deadline);
+    return replay.found;
+  }
+
+  // ---- Decision mode: deterministic replay in slice-index order. ----
   for (std::size_t i = 0; i < num_slices; ++i) {
     const Slice& slice = cover.slices[i];
     if (slice.graph.num_vertices() < pattern.size()) continue;
     SliceOutcome& outcome = outcomes[i];
-    // Every slice the replay reaches completed: cancellation needs a
-    // strictly smaller accepting index, at which the replay stops first.
-    support::require(outcome.solved,
-                     "solve_all_slices: replay reached a cancelled slice");
+    if (!outcome.solved) {
+      // As in replay_slice: an unsolved slice here means the query itself
+      // was preempted (the watermark alone stops the replay at its
+      // accepting index before reaching any cancelled slice).
+      support::require(token != nullptr || deadline != nullptr,
+                       "solve_all_slices: replay reached a cancelled slice");
+      *interrupt = interruption_cause(token, deadline);
+      return false;
+    }
     const iso::DpSolution& sol = outcome.sol;
     const treedecomp::TreeDecomposition& td = tds[i];
     account(sol);
@@ -248,79 +355,33 @@ bool solve_all_slices(const Cover& cover,
       outcome.sol = {};  // accounted; free before replaying the rest
       continue;
     }
-    found = true;
-    if (collect == nullptr) {
-      if (!release_interior && decision != nullptr &&
-          !decision->witness.has_value()) {
-        auto assignments = iso::recover_assignments(sol, td, 1);
-        if (!assignments.empty()) {
-          Assignment witness = assignments.front();
-          for (Vertex& image : witness) image = slice.origin_of[image];
-          decision->witness = witness;
-        }
+    if (!release_interior && decision != nullptr &&
+        !decision->witness.has_value()) {
+      auto assignments = iso::recover_assignments(sol, td, 1);
+      if (!assignments.empty()) {
+        Assignment witness = assignments.front();
+        for (Vertex& image : witness) image = slice.origin_of[image];
+        decision->witness = witness;
       }
-      return true;
     }
-    for (Assignment a : iso::recover_assignments(sol, td, limit)) {
-      for (Vertex& image : a) image = slice.origin_of[image];
-      collect->insert(std::move(a));
-    }
-    outcome.sol = {};
-    if (collect->size() >= limit) return true;
+    return true;
   }
-  return found;
+  return false;
 }
 
 bool solve_cover(const Cover& cover,
                  const std::vector<treedecomp::TreeDecomposition>& tds,
                  const Pattern& pattern, const QueryOptions& options,
-                 DecisionResult* decision, std::set<Assignment>* collect,
-                 std::size_t limit) {
+                 const Budget& budget, DecisionResult* decision,
+                 std::set<Assignment>* collect, std::size_t limit,
+                 Status* interrupt) {
   support::Metrics run_depth;
-  const bool found = solve_all_slices(cover, tds, pattern, options, decision,
-                                      collect, limit, &run_depth);
+  const bool found =
+      solve_all_slices(cover, tds, pattern, options, budget, decision,
+                       collect, limit, &run_depth, interrupt);
   if (decision != nullptr) decision->metrics.add_rounds(run_depth.rounds());
   return found;
 }
-
-/// Work/deadline budget of one query; checked between cover runs (never
-/// inside one), so partial results always end on a run boundary.
-class Budget {
- public:
-  explicit Budget(const QueryOptions& options)
-      : max_work_(options.max_work), deadline_(options.deadline_seconds) {}
-
-  Status check(const support::Metrics& spent) const {
-    if (max_work_ > 0 && spent.work() > max_work_)
-      return {StatusCode::kWorkBudgetExceeded,
-              "instrumented work exceeded QueryOptions::max_work"};
-    if (deadline_ > 0 && timer_.seconds() > deadline_)
-      return {StatusCode::kDeadlineExceeded,
-              "wall clock exceeded QueryOptions::deadline_seconds"};
-    return {};
-  }
-
-  /// Work budget left to forward to a sub-query (0 keeps the "unlimited"
-  /// sentinel; an exhausted budget forwards 1 so the sub-query trips on
-  /// its first run instead of running unbounded).
-  std::uint64_t remaining_work(const support::Metrics& spent) const {
-    if (max_work_ == 0) return 0;
-    const std::uint64_t used = spent.work();
-    return used >= max_work_ ? 1 : max_work_ - used;
-  }
-  /// Deadline left to forward to a sub-query (0 keeps "none"; clamped to a
-  /// positive epsilon once expired so the sub-query trips immediately).
-  double remaining_seconds() const {
-    if (deadline_ <= 0) return 0.0;
-    const double left = deadline_ - timer_.seconds();
-    return left > 1e-9 ? left : 1e-9;
-  }
-
- private:
-  std::uint64_t max_work_;
-  double deadline_;
-  support::Timer timer_;
-};
 
 /// Cache key of one cover: everything the cover build reads besides the
 /// target graph. `k` doubles as the clustering parameter (beta = 2k) and
@@ -457,10 +518,13 @@ struct Solver::Impl {
 
   /// One decision-pipeline cover run against the cache. Cover-build
   /// metrics are charged only when this run actually built the cover — a
-  /// cache hit did not perform that work.
+  /// cache hit did not perform that work. A mid-cover preemption (token /
+  /// deadline, threaded through `budget`) reports through `*interrupt`;
+  /// the returned result then holds the partially-accounted run.
   DecisionResult run_once_cached(const Pattern& pattern,
                                  std::uint64_t run_seed,
-                                 const QueryOptions& options) {
+                                 const QueryOptions& options,
+                                 const Budget& budget, Status* interrupt) {
     DecisionResult result;
     result.runs = 1;
     CoverKey key;
@@ -470,8 +534,30 @@ struct Solver::Impl {
     const CoverAccess access = acquire_cover(key, options.decomposition);
     if (access.built_cover) result.metrics.absorb(access.cover->metrics);
     result.found = solve_cover(*access.cover, *access.tds, pattern, options,
-                               &result, nullptr, 1);
+                               budget, &result, nullptr, 1, interrupt);
     return result;
+  }
+
+  // In-flight async queries (find_async & co). The destructor drains them
+  // so a detached query never outlives the Solver it references.
+  std::mutex async_mutex;
+  std::condition_variable async_done;
+  std::size_t async_inflight = 0;  // guarded by async_mutex
+
+  void async_begin() {
+    const std::lock_guard<std::mutex> lock(async_mutex);
+    ++async_inflight;
+  }
+  void async_end() {
+    {
+      const std::lock_guard<std::mutex> lock(async_mutex);
+      --async_inflight;
+    }
+    async_done.notify_all();
+  }
+  void drain_async() {
+    std::unique_lock<std::mutex> lock(async_mutex);
+    async_done.wait(lock, [&] { return async_inflight == 0; });
   }
 };
 
@@ -495,7 +581,10 @@ Solver::Solver(planar::EmbeddedGraph target) : impl_(std::make_unique<Impl>()) {
   impl_->embedding = std::move(target);
 }
 
-Solver::~Solver() = default;
+Solver::~Solver() {
+  // Detached async queries reference this Solver; never die under them.
+  if (impl_) impl_->drain_async();
+}
 Solver::Solver(Solver&&) noexcept = default;
 Solver& Solver::operator=(Solver&&) noexcept = default;
 
@@ -509,13 +598,19 @@ Result<DecisionResult> Solver::find(const iso::Pattern& pattern,
     return status;
   const Budget budget(options);
   DecisionResult total;
+  // Entry check: a pre-cancelled token or pre-expired deadline returns
+  // before any cover is built or solved (runs == 0, empty partial result).
+  if (Status status = budget.check(total.metrics); !status.ok())
+    return {std::move(status), std::move(total)};
   if (impl_->graph.num_vertices() < pattern.size()) return total;
   const std::uint32_t runs = options.max_runs > 0
                                  ? options.max_runs
                                  : default_runs(impl_->graph.num_vertices());
   for (std::uint32_t r = 0; r < runs; ++r) {
+    Status interrupt;
     DecisionResult one = impl_->run_once_cached(
-        pattern, support::hash_combine(options.seed, r), options);
+        pattern, support::hash_combine(options.seed, r), options, budget,
+        &interrupt);
     total.metrics.absorb(one.metrics);
     total.slices_solved += one.slices_solved;
     ++total.runs;
@@ -524,6 +619,9 @@ Result<DecisionResult> Solver::find(const iso::Pattern& pattern,
       total.witness = std::move(one.witness);
       return total;
     }
+    // Mid-cover preemption first (it carries the precise cause), then the
+    // coarse between-runs budget check.
+    if (!interrupt.ok()) return {std::move(interrupt), std::move(total)};
     if (Status status = budget.check(total.metrics); !status.ok())
       return {std::move(status), std::move(total)};
   }
@@ -534,7 +632,14 @@ Result<DecisionResult> Solver::find_once(const iso::Pattern& pattern,
                                          std::uint64_t run_seed,
                                          const QueryOptions& options) {
   if (Status status = validate(options); !status.ok()) return status;
-  return impl_->run_once_cached(pattern, run_seed, options);
+  const Budget budget(options);
+  if (Status status = budget.check({}); !status.ok())
+    return {std::move(status), DecisionResult{}};
+  Status interrupt;
+  DecisionResult one =
+      impl_->run_once_cached(pattern, run_seed, options, budget, &interrupt);
+  if (!interrupt.ok()) return {std::move(interrupt), std::move(one)};
+  return one;
 }
 
 Result<ListingResult> Solver::list(const iso::Pattern& pattern,
@@ -544,6 +649,8 @@ Result<ListingResult> Solver::list(const iso::Pattern& pattern,
     return status;
   const Budget budget(options);
   ListingResult result;
+  if (Status status = budget.check(result.metrics); !status.ok())
+    return {std::move(status), std::move(result)};
   std::set<Assignment> all;
   const double lgn =
       std::log2(static_cast<double>(impl_->graph.num_vertices()) + 2.0);
@@ -565,9 +672,10 @@ Result<ListingResult> Solver::list(const iso::Pattern& pattern,
     // the listing's metrics so bench accounting and the max_work budget see
     // it, not just the cover builds.
     DecisionResult iteration;
-    solve_cover(*access.cover, *access.tds, pattern, options, &iteration,
-                &all, options.list_limit);
+    solve_cover(*access.cover, *access.tds, pattern, options, budget,
+                &iteration, &all, options.list_limit, &interrupted);
     result.metrics.absorb(iteration.metrics);
+    if (!interrupted.ok()) break;  // mid-cover preemption (token/deadline)
     streak = all.size() == before ? streak + 1 : 0;
     // Observation 2 / Theorem 4.2: stop once no new occurrence appeared for
     // log2(j) + Theta(log n) iterations in a row.
@@ -623,6 +731,8 @@ Result<DecisionResult> Solver::find_disconnected(const iso::Pattern& pattern,
   if (components.size() <= 1) return find(pattern, options);
   const Budget budget(options);
   DecisionResult total;
+  if (Status status = budget.check(total.metrics); !status.ok())
+    return {std::move(status), std::move(total)};
   const Graph& g = impl_->graph;
   if (g.num_vertices() < pattern.size()) return total;
   const auto l = static_cast<std::uint32_t>(components.size());
@@ -706,6 +816,8 @@ Result<DecisionResult> Solver::find_separating(
         "find_separating: in_s must mark every target vertex");
   const Budget budget(options);
   DecisionResult total;
+  if (Status status = budget.check(total.metrics); !status.ok())
+    return {std::move(status), std::move(total)};
   if (impl_->graph.num_vertices() < pattern.size()) return total;
   const std::uint32_t runs = options.max_runs > 0
                                  ? options.max_runs
@@ -722,9 +834,10 @@ Result<DecisionResult> Solver::find_separating(
         impl_->acquire_cover(key, options.decomposition);
     if (access.built_cover) total.metrics.absorb(access.cover->metrics);
     ++total.runs;
+    Status interrupt;
     DecisionResult one;
-    if (solve_cover(*access.cover, *access.tds, pattern, options, &one,
-                    nullptr, 1)) {
+    if (solve_cover(*access.cover, *access.tds, pattern, options, budget,
+                    &one, nullptr, 1, &interrupt)) {
       total.found = true;
       total.witness = std::move(one.witness);
       total.metrics.absorb(one.metrics);
@@ -733,6 +846,7 @@ Result<DecisionResult> Solver::find_separating(
     }
     total.metrics.absorb(one.metrics);
     total.slices_solved += one.slices_solved;
+    if (!interrupt.ok()) return {std::move(interrupt), std::move(total)};
     if (Status status = budget.check(total.metrics); !status.ok())
       return {std::move(status), std::move(total)};
   }
@@ -749,6 +863,8 @@ Result<connectivity::VertexConnectivityResult> Solver::vertex_connectivity(
         "construct it from a planar::EmbeddedGraph");
   const Budget budget(options);
   VertexConnectivityResult result;
+  if (Status status = budget.check(result.metrics); !status.ok())
+    return {std::move(status), std::move(result)};
   const Graph& g = impl_->graph;
   const Vertex n = g.num_vertices();
   if (n <= options.small_cutoff) {
@@ -852,6 +968,60 @@ std::vector<Result<DecisionResult>> Solver::find_batch(
     graph.add([&, i] { out[i] = find(patterns[i], options); });
   support::Scheduler::run(graph);
   return out;
+}
+
+// The async entry points share one shape: allocate the rendezvous state,
+// point the query's cancellation at its token (the PendingResult owns the
+// query's lifetime, so its token overrides any caller-supplied one), and
+// run the blocking twin detached on the serving pool. The relative
+// deadline arms inside the blocking call, i.e. when execution starts —
+// queue time does not consume deadline, and results stay bit-identical to
+// the blocking API. async_begin/async_end bracket the detached query so
+// ~Solver can drain.
+
+PendingResult<DecisionResult> Solver::find_async(iso::Pattern pattern,
+                                                 const QueryOptions& options) {
+  auto shared = std::make_shared<detail::PendingShared<DecisionResult>>();
+  QueryOptions opts = options;
+  opts.cancel = &shared->token;
+  impl_->async_begin();
+  Impl* impl = impl_.get();
+  support::Scheduler::submit(
+      [this, impl, shared, pattern = std::move(pattern), opts] {
+        shared->set(find(pattern, opts));
+        impl->async_end();
+      });
+  return PendingResult<DecisionResult>(std::move(shared));
+}
+
+PendingResult<ListingResult> Solver::list_async(iso::Pattern pattern,
+                                                const QueryOptions& options) {
+  auto shared = std::make_shared<detail::PendingShared<ListingResult>>();
+  QueryOptions opts = options;
+  opts.cancel = &shared->token;
+  impl_->async_begin();
+  Impl* impl = impl_.get();
+  support::Scheduler::submit(
+      [this, impl, shared, pattern = std::move(pattern), opts] {
+        shared->set(list(pattern, opts));
+        impl->async_end();
+      });
+  return PendingResult<ListingResult>(std::move(shared));
+}
+
+PendingResult<CountResult> Solver::count_async(iso::Pattern pattern,
+                                               const QueryOptions& options) {
+  auto shared = std::make_shared<detail::PendingShared<CountResult>>();
+  QueryOptions opts = options;
+  opts.cancel = &shared->token;
+  impl_->async_begin();
+  Impl* impl = impl_.get();
+  support::Scheduler::submit(
+      [this, impl, shared, pattern = std::move(pattern), opts] {
+        shared->set(count(pattern, opts));
+        impl->async_end();
+      });
+  return PendingResult<CountResult>(std::move(shared));
 }
 
 CacheStats Solver::cache_stats() const {

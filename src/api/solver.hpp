@@ -25,12 +25,14 @@
 #include <span>
 #include <vector>
 
+#include "api/pending.hpp"
 #include "api/status.hpp"
 #include "connectivity/vertex_connectivity.hpp"
 #include "cover/pipeline.hpp"
 #include "graph/graph.hpp"
 #include "isomorphism/pattern.hpp"
 #include "planar/rotation_system.hpp"
+#include "support/cancel.hpp"
 
 namespace ppsi {
 
@@ -58,10 +60,18 @@ struct QueryOptions {
   /// Composite queries (find_disconnected, vertex_connectivity) forward
   /// whatever budget remains to each sub-query.
   std::uint64_t max_work = 0;
-  /// Wall-clock budget in seconds (0 = none), checked between cover runs
-  /// (and forwarded to sub-queries like max_work); exceeding it returns
-  /// kDeadlineExceeded with the partial result.
+  /// Wall-clock budget in seconds (0 = none), forwarded to sub-queries
+  /// like max_work. Enforced cooperatively *inside* cover runs (slice
+  /// tasks, path tasks, and the per-node DP loops all check it), so an
+  /// exceeded deadline preempts mid-cover and returns kDeadlineExceeded
+  /// with the partial result accounted up to the preemption point.
   double deadline_seconds = 0.0;
+  /// Optional cooperative cancellation token (borrowed; must outlive the
+  /// query). Once token->cancel() is called the query stops at the same
+  /// checkpoints the deadline uses and returns kCancelled carrying the
+  /// partial result. The *_async queries install their PendingResult's
+  /// own token here, overriding any caller-supplied one.
+  const support::CancelToken* cancel = nullptr;
   /// Decision queries only: skip witness recovery and free each solved DP
   /// node as soon as its parent has consumed it, so a query's peak memory
   /// is one root frontier instead of the whole solved tree.
@@ -143,10 +153,34 @@ class Solver {
 
   /// Decides every pattern against the shared cache, fanning out across
   /// OMP tasks. Patterns with equal (diameter, size) share cover builds.
-  /// out[i] corresponds to patterns[i].
+  /// out[i] corresponds to patterns[i]. options.cancel (if set) is shared
+  /// by every query of the batch.
   std::vector<Result<cover::DecisionResult>> find_batch(
       std::span<const iso::Pattern> patterns,
       const QueryOptions& options = {});
+
+  // ---- Asynchronous serving API ----
+  //
+  // Each *_async query returns immediately; the query runs detached on the
+  // shared serving pool (support::Scheduler::submit) and fulfills the
+  // PendingResult exactly once with the same Result<T> its blocking twin
+  // would have produced — results and work counters are bit-identical
+  // (pinned by tests/differential/test_differential_async.cpp). The
+  // relative deadline (deadline_seconds) starts when the query begins
+  // executing, not when it is enqueued. PendingResult::cancel() requests
+  // cooperative cancellation (see QueryOptions::cancel). The Solver must
+  // not be moved while async queries are pending; the destructor drains
+  // them (cancel first for a prompt exit).
+
+  /// Asynchronous find (patterns are copied into the detached query).
+  PendingResult<cover::DecisionResult> find_async(
+      iso::Pattern pattern, const QueryOptions& options = {});
+  /// Asynchronous list.
+  PendingResult<cover::ListingResult> list_async(
+      iso::Pattern pattern, const QueryOptions& options = {});
+  /// Asynchronous count.
+  PendingResult<cover::CountResult> count_async(
+      iso::Pattern pattern, const QueryOptions& options = {});
 
   /// Aggregated over this solver and the internal face-vertex sub-solver.
   CacheStats cache_stats() const;

@@ -1,0 +1,235 @@
+#include "api/solver_pool.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "support/scheduler.hpp"
+#include "support/types.hpp"
+
+namespace ppsi {
+
+namespace {
+
+/// One queued query, type-erased. `run` executes the query (or, when its
+/// token was cancelled while queued, builds the kCancelled short-circuit)
+/// outside the pool mutex and returns the outcome; `publish` then fulfills
+/// the PendingResult and is called *under* the pool mutex after the
+/// counters update, so a consumer that observed a ready handle also
+/// observes consistent PoolStats. `cancel` flips the token.
+struct Job {
+  struct Outcome {
+    std::function<void()> publish;
+    bool ran = false;  ///< false: skipped at admission (cancelled queued)
+  };
+  std::function<Outcome()> run;
+  std::function<void()> cancel;
+};
+
+}  // namespace
+
+struct SolverPool::Impl {
+  PoolOptions options;
+
+  mutable std::mutex mutex;
+  std::condition_variable drained;
+  std::vector<std::unique_ptr<Solver>> targets;  // stable shard addresses
+  std::deque<Job> queue;
+  std::uint32_t running = 0;
+  bool shutting_down = false;
+  std::uint64_t submitted = 0;
+  std::uint64_t started = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t cancelled_before_start = 0;
+
+  /// Admits queued jobs up to max_concurrent. Caller holds `mutex`.
+  /// Scheduler::submit only enqueues (it never runs the job inline), so
+  /// holding the pool mutex across it cannot deadlock.
+  void dispatch_locked() {
+    while (running < options.max_concurrent && !queue.empty()) {
+      Job job = std::move(queue.front());
+      queue.pop_front();
+      ++running;
+      ++started;
+      support::Scheduler::submit([this, job = std::move(job)] {
+        Job::Outcome outcome = job.run();
+        const std::lock_guard<std::mutex> lock(mutex);
+        --running;
+        if (outcome.ran) {
+          ++completed;
+        } else {
+          ++cancelled_before_start;
+        }
+        dispatch_locked();
+        // Publish after the counters, still under the mutex: once a
+        // consumer sees the handle ready, stats() reflects the query, and
+        // ~SolverPool cannot return before a running query's result is
+        // visible. (Lock order is pool mutex -> PendingShared mutex;
+        // consumers never take them in the other order.)
+        outcome.publish();
+        // Notify under the mutex too: ~SolverPool destroys this Impl as
+        // soon as its predicate holds, so the notify must not straddle
+        // the unlock (the cv would die under it).
+        drained.notify_all();
+      });
+    }
+  }
+
+  /// Enqueues one query. `query` receives the handle's CancelToken and
+  /// returns the finished Result<T>.
+  template <typename T, typename Query>
+  PendingResult<T> enqueue(Query query) {
+    auto shared = std::make_shared<detail::PendingShared<T>>();
+    Job job;
+    job.cancel = [shared] { shared->token.cancel(); };
+    job.run = [shared, query = std::move(query)]() -> Job::Outcome {
+      if (shared->token.cancelled()) {
+        Result<T> skipped(
+            Status(StatusCode::kCancelled,
+                   "query cancelled before admission; no work was done"),
+            T{});
+        return {[shared, skipped = std::move(skipped)]() mutable {
+                  shared->set(std::move(skipped));
+                },
+                false};
+      }
+      Result<T> result = query(shared->token);
+      return {[shared, result = std::move(result)]() mutable {
+                shared->set(std::move(result));
+              },
+              true};
+    };
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      // During shutdown new queries short-circuit like queued ones.
+      if (shutting_down) job.cancel();
+      ++submitted;
+      queue.push_back(std::move(job));
+      dispatch_locked();
+    }
+    return PendingResult<T>(std::move(shared));
+  }
+
+  Solver* shard(TargetId id) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (id >= targets.size()) return nullptr;
+    return targets[id].get();
+  }
+};
+
+SolverPool::SolverPool(PoolOptions options)
+    : impl_(std::make_unique<Impl>()) {
+  support::require(options.max_concurrent > 0,
+                   "SolverPool: max_concurrent must be positive");
+  impl_->options = options;
+}
+
+SolverPool::~SolverPool() {
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  impl_->shutting_down = true;
+  // Queued queries resolve to kCancelled at admission; running ones finish
+  // (their owners may still be waiting on the results).
+  for (Job& job : impl_->queue) job.cancel();
+  impl_->drained.wait(
+      lock, [&] { return impl_->running == 0 && impl_->queue.empty(); });
+}
+
+TargetId SolverPool::add_target(Graph target) {
+  auto solver = std::make_unique<Solver>(std::move(target));
+  solver->set_cache_capacity(impl_->options.cache_capacity_per_target);
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->targets.push_back(std::move(solver));
+  return static_cast<TargetId>(impl_->targets.size() - 1);
+}
+
+TargetId SolverPool::add_target(planar::EmbeddedGraph target) {
+  auto solver = std::make_unique<Solver>(std::move(target));
+  solver->set_cache_capacity(impl_->options.cache_capacity_per_target);
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->targets.push_back(std::move(solver));
+  return static_cast<TargetId>(impl_->targets.size() - 1);
+}
+
+std::size_t SolverPool::num_targets() const {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->targets.size();
+}
+
+Solver& SolverPool::solver(TargetId id) {
+  Solver* shard = impl_->shard(id);
+  support::require(shard != nullptr, "SolverPool::solver: unknown TargetId");
+  return *shard;
+}
+
+namespace {
+
+/// Already-resolved rejection handle (unknown TargetId).
+template <typename T>
+PendingResult<T> rejected(Status status) {
+  auto shared = std::make_shared<detail::PendingShared<T>>();
+  shared->set(Result<T>(std::move(status)));
+  return PendingResult<T>(std::move(shared));
+}
+
+Status unknown_target() {
+  return Status::InvalidOptions("SolverPool: unknown TargetId");
+}
+
+}  // namespace
+
+PendingResult<cover::DecisionResult> SolverPool::find_async(
+    TargetId id, iso::Pattern pattern, const QueryOptions& options) {
+  Solver* shard = impl_->shard(id);
+  if (shard == nullptr)
+    return rejected<cover::DecisionResult>(unknown_target());
+  return impl_->enqueue<cover::DecisionResult>(
+      [shard, pattern = std::move(pattern),
+       options](const support::CancelToken& token) {
+        QueryOptions opts = options;
+        opts.cancel = &token;
+        return shard->find(pattern, opts);
+      });
+}
+
+PendingResult<cover::ListingResult> SolverPool::list_async(
+    TargetId id, iso::Pattern pattern, const QueryOptions& options) {
+  Solver* shard = impl_->shard(id);
+  if (shard == nullptr) return rejected<cover::ListingResult>(unknown_target());
+  return impl_->enqueue<cover::ListingResult>(
+      [shard, pattern = std::move(pattern),
+       options](const support::CancelToken& token) {
+        QueryOptions opts = options;
+        opts.cancel = &token;
+        return shard->list(pattern, opts);
+      });
+}
+
+PendingResult<cover::CountResult> SolverPool::count_async(
+    TargetId id, iso::Pattern pattern, const QueryOptions& options) {
+  Solver* shard = impl_->shard(id);
+  if (shard == nullptr) return rejected<cover::CountResult>(unknown_target());
+  return impl_->enqueue<cover::CountResult>(
+      [shard, pattern = std::move(pattern),
+       options](const support::CancelToken& token) {
+        QueryOptions opts = options;
+        opts.cancel = &token;
+        return shard->count(pattern, opts);
+      });
+}
+
+PoolStats SolverPool::stats() const {
+  PoolStats stats;
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  stats.submitted = impl_->submitted;
+  stats.started = impl_->started;
+  stats.completed = impl_->completed;
+  stats.cancelled_before_start = impl_->cancelled_before_start;
+  stats.queued = impl_->queue.size();
+  stats.running = impl_->running;
+  return stats;
+}
+
+}  // namespace ppsi

@@ -1,0 +1,87 @@
+#pragma once
+
+// SolverPool — multi-tenant serving front-end over per-target Solvers.
+//
+// A pool owns several targets, each behind its own Solver shard (so cover
+// caches never mix across tenants), and admits asynchronous queries
+// through one fair FIFO queue: at most PoolOptions::max_concurrent queries
+// execute at a time, strictly in submission order, on the shared serving
+// threads (support::Scheduler::submit). Inside one admitted query the
+// full slice/path task parallelism of the engines still applies — admission
+// bounds *queries*, not threads.
+//
+// Every submission returns a PendingResult<T> owning the query's
+// CancelToken:
+//   * cancelled while still queued: the query is skipped at admission and
+//     resolves to kCancelled without doing any work;
+//   * cancelled while executing: the cooperative checkpoints preempt it
+//     mid-cover and it resolves to kCancelled with the partial result;
+//   * cancelled after completion: a no-op.
+// Destroying the pool cancels everything still queued, waits for running
+// queries to finish, then tears down the shards.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "api/pending.hpp"
+#include "api/solver.hpp"
+
+namespace ppsi {
+
+/// Index of one target within its pool (dense, in add_target order).
+using TargetId = std::uint32_t;
+
+struct PoolOptions {
+  /// Queries admitted concurrently; further submissions wait in FIFO
+  /// order. Must be positive.
+  std::uint32_t max_concurrent = 2;
+  /// Per-shard cover-cache capacity (Solver::set_cache_capacity).
+  std::size_t cache_capacity_per_target = kDefaultCacheCapacity;
+};
+
+/// Cumulative admission counters (stats() snapshots them atomically).
+struct PoolStats {
+  std::uint64_t submitted = 0;  ///< enqueued queries
+  std::uint64_t started = 0;    ///< dequeued for execution (incl. skipped)
+  std::uint64_t completed = 0;  ///< ran to a result
+  std::uint64_t cancelled_before_start = 0;  ///< skipped at admission
+  std::uint64_t queued = 0;     ///< currently waiting
+  std::uint64_t running = 0;    ///< currently executing
+};
+
+class SolverPool {
+ public:
+  explicit SolverPool(PoolOptions options = {});
+  ~SolverPool();
+  SolverPool(const SolverPool&) = delete;
+  SolverPool& operator=(const SolverPool&) = delete;
+
+  /// Registers a target; queries reference it by the returned id.
+  TargetId add_target(Graph target);
+  /// Embedded registration (enables vertex_connectivity on the shard).
+  TargetId add_target(planar::EmbeddedGraph target);
+  std::size_t num_targets() const;
+
+  /// Direct shard access (e.g. for blocking queries or cache_stats).
+  /// Blocking queries bypass the pool's admission queue.
+  Solver& solver(TargetId id);
+
+  /// Asynchronous queries against one target; see the header comment for
+  /// admission and cancellation semantics. An unknown id rejects with
+  /// kInvalidOptions (the handle is already resolved).
+  PendingResult<cover::DecisionResult> find_async(
+      TargetId id, iso::Pattern pattern, const QueryOptions& options = {});
+  PendingResult<cover::ListingResult> list_async(
+      TargetId id, iso::Pattern pattern, const QueryOptions& options = {});
+  PendingResult<cover::CountResult> count_async(
+      TargetId id, iso::Pattern pattern, const QueryOptions& options = {});
+
+  PoolStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace ppsi

@@ -6,9 +6,9 @@
 // come in two flavours:
 //   * rejections (invalid options / pattern, unsupported query) carry no
 //     value — nothing was computed;
-//   * interruptions (listing cap, work budget, deadline) carry the partial
-//     result computed so far, so callers can decide whether a truncated
-//     answer is still useful.
+//   * interruptions (listing cap, work budget, deadline, cancellation)
+//     carry the partial result computed so far, so callers can decide
+//     whether a truncated answer is still useful.
 // This replaces the legacy mix of asserts, exceptions, and silent defaults
 // in the free-function API (cover/pipeline.hpp).
 
@@ -37,6 +37,9 @@ enum class StatusCode {
   /// QueryOptions::deadline_seconds wall-clock budget exhausted; the value
   /// holds the partial result.
   kDeadlineExceeded,
+  /// The query was cancelled through its CancelToken (QueryOptions::cancel
+  /// or PendingResult::cancel()); the value holds the partial result.
+  kCancelled,
   /// Default-constructed Result placeholder; never returned by a query.
   kEmpty,
 };

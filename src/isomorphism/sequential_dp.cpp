@@ -136,7 +136,16 @@ DpSolution solve_sequential(const Graph& g,
   std::uint64_t work = 0;
   detail::DpScratch& scratch = detail::DpScratch::local();
   const std::uint64_t allocs_before = scratch.arena.alloc_events();
+  bool preempted = false;
   for (treedecomp::NodeId x : bottom_up_order(td)) {
+    // Deadline/token preemption point: one check per node keeps the poll
+    // cost negligible against a node's solve work while bounding the
+    // overshoot to a single node. The partial solution is discarded by
+    // the caller (its own scope check sees the same monotone sources).
+    if (options.cancel.cancelled()) {
+      preempted = true;
+      break;
+    }
     detail::solve_node_exact(g, td, pattern, ctxs, x, separating, sol, &work);
     detail::build_sig_groups(td, pattern, ctxs, x, sol);
     sol.metrics.add_rounds(1);
@@ -150,6 +159,7 @@ DpSolution solve_sequential(const Graph& g,
   sol.metrics.add_work(work);
   sol.metrics.add_allocs(scratch.arena.alloc_events() - allocs_before);
   sol.metrics.note_scratch_peak(scratch.arena.peak_bytes());
+  if (preempted) return sol;  // partial; accepted stays false
 
   const SolvedNode& root = sol.nodes[td.root];
   for (std::uint32_t i = 0; i < root.states.size(); ++i) {

@@ -50,6 +50,7 @@
 #include "isomorphism/state_enumeration.hpp"
 #include "support/flat_table.hpp"
 #include "support/metrics.hpp"
+#include "support/scheduler.hpp"
 #include "treedecomp/tree_decomposition.hpp"
 
 namespace ppsi::iso {
@@ -93,6 +94,12 @@ struct DpOptions {
   /// Free each node's storage as soon as its parent consumed it; leaves
   /// only the root solved. Decision-only (recovery impossible afterwards).
   bool release_interior = false;
+  /// Cooperative cancellation, checked once per decomposition node: a
+  /// cancelled engine stops mid-tree and returns its partial solution with
+  /// accepted == false. Callers must treat such a solution as garbage
+  /// (the caller's own scope check distinguishes "not accepted" from
+  /// "cancelled"). Default scope: never cancels.
+  support::CancelScope cancel;
 };
 
 /// Eppstein's sequential bottom-up DP. `td` must be binary.

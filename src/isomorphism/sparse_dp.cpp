@@ -207,7 +207,14 @@ DpSolution solve_sparse(const Graph& g,
   detail::DpScratch& scratch = detail::DpScratch::local();
   const std::uint64_t allocs_before = scratch.arena.alloc_events();
 
+  bool preempted = false;
   for (const treedecomp::NodeId x : bottom_up_order(td)) {
+    // Deadline/token preemption point (see solve_sequential): the partial
+    // solution is discarded by the caller.
+    if (options.cancel.cancelled()) {
+      preempted = true;
+      break;
+    }
     SolvedNode& node = sol.nodes[x];
     node.ctx = ctxs[x];
     NodeGen gen{codec, pattern, node.ctx, separating, node};
@@ -308,6 +315,7 @@ DpSolution solve_sparse(const Graph& g,
   sol.metrics.add_work(work);
   sol.metrics.add_allocs(scratch.arena.alloc_events() - allocs_before);
   sol.metrics.note_scratch_peak(scratch.arena.peak_bytes());
+  if (preempted) return sol;  // partial; accepted stays false
 
   const SolvedNode& root = sol.nodes[td.root];
   for (std::uint32_t i = 0; i < root.states.size(); ++i) {

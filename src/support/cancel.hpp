@@ -1,0 +1,77 @@
+#pragma once
+
+// Per-query cancellation and deadline primitives for the serving layer.
+//
+// CancelWatermark (support/scheduler.hpp) cancels *within* one cover run:
+// "first accepting index wins" lowers a monotone index mark and queued work
+// above it skips itself. A CancelToken generalizes that across a whole
+// query: any thread may flip it, every cooperative checkpoint (slice tasks,
+// path tasks, per-node DP loops, between-runs budget checks) observes it,
+// and the query returns StatusCode::kCancelled carrying whatever partial
+// result the deterministic replay had already accounted — the same shape
+// as a work/deadline interruption.
+//
+// DeadlineClock is the wall-clock twin: armed once with an absolute
+// deadline, then polled from the same checkpoints, so an exceeded
+// QueryOptions::deadline_seconds preempts *mid-cover* instead of only
+// between cover runs. Both are monotone (once cancelled/expired, forever
+// cancelled/expired), which keeps interrupted runs replayable: a
+// checkpoint that observed "keep going" can never be contradicted by an
+// earlier one.
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+
+namespace ppsi::support {
+
+/// One query's cancellation flag. cancel() may be called from any thread,
+/// any number of times; cancelled() is a cheap acquire-load, safe to poll
+/// from hot loops. Monotone: never resets.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// An absolute wall-clock deadline. arm() before publishing to other
+/// threads (armed_ is intentionally plain: it is written once, before the
+/// clock becomes shared, and read-only afterwards); expired() is then safe
+/// to poll concurrently. Unarmed clocks never expire.
+class DeadlineClock {
+ public:
+  DeadlineClock() = default;
+
+  /// Sets the deadline `seconds` from now. Call at most once, before the
+  /// clock is shared with other threads.
+  void arm(double seconds) {
+    deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(seconds));
+    armed_ = true;
+  }
+
+  bool armed() const { return armed_; }
+  bool expired() const { return armed_ && Clock::now() >= deadline_; }
+
+  /// Seconds until expiry (negative once expired); +inf when unarmed.
+  double remaining_seconds() const {
+    if (!armed_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(deadline_ - Clock::now()).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point deadline_{};
+  bool armed_ = false;
+};
+
+}  // namespace ppsi::support

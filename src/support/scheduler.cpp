@@ -2,7 +2,12 @@
 
 #include <omp.h>
 
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <memory>
 #include <mutex>
+#include <thread>
 #include <utility>
 
 #include "support/types.hpp"
@@ -168,6 +173,92 @@ std::atomic<std::uint64_t> fork_epoch{0};
 std::atomic<std::uint64_t> join_epoch{0};
 
 }  // namespace
+
+namespace {
+
+// The detached serving pool behind Scheduler::submit. Plain std::threads,
+// not OMP: each serving thread must be able to open OMP parallel regions
+// of its own (a submitted query calls Scheduler::run), which a thread that
+// is itself an OMP task could not do without nesting inside the submitting
+// team. Lazily started on first submit; the function-local singleton joins
+// its (idle, queue drained by callers waiting on their results) threads at
+// static destruction.
+class ServingPool {
+ public:
+  static ServingPool& instance() {
+    static ServingPool pool;
+    return pool;
+  }
+
+  static std::size_t thread_count() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return std::clamp(hw / 2u, 2u, 8u);
+  }
+
+  void submit(std::function<void()> job) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(job));
+      if (threads_.empty()) {
+        const std::size_t n = thread_count();
+        threads_.reserve(n);
+        for (std::size_t i = 0; i < n; ++i)
+          threads_.emplace_back([this] { worker_loop(); });
+      }
+    }
+    ready_.notify_one();
+  }
+
+  ~ServingPool() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    ready_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> job;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        ready_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stop_ and drained
+        job = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      job();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;  // guarded by mutex_ until started
+  bool stop_ = false;
+};
+
+}  // namespace
+
+void Scheduler::submit(std::function<void()> job) {
+  ServingPool::instance().submit(std::move(job));
+}
+
+void Scheduler::submit(TaskGraph graph, std::function<void()> on_complete) {
+  // shared_ptr: std::function requires copyable callables, and the graph
+  // must survive until the serving thread runs it.
+  auto owned = std::make_shared<TaskGraph>(std::move(graph));
+  submit([owned, on_complete = std::move(on_complete)] {
+    Scheduler::run(*owned);
+    if (on_complete) on_complete();
+  });
+}
+
+std::size_t Scheduler::serving_threads() {
+  return ServingPool::thread_count();
+}
 
 void Scheduler::run(TaskGraph& graph) {
   if (graph.size() == 0) return;

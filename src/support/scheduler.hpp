@@ -51,12 +51,17 @@
 // and queued work keyed by a strictly greater index skips itself. The
 // watermark is monotone decreasing, so anything at or below the final
 // watermark is guaranteed to have run to completion — which is what makes
-// cancelled runs replayable deterministically (see api/solver.cpp).
+// cancelled runs replayable deterministically (see api/solver.cpp). A
+// CancelScope additionally carries the query-wide CancelToken and
+// DeadlineClock (support/cancel.hpp), so one checkpoint covers all three
+// cancellation sources.
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
 #include <vector>
+
+#include "support/cancel.hpp"
 
 namespace ppsi::support {
 
@@ -96,14 +101,21 @@ class CancelWatermark {
   std::atomic<std::uint32_t> mark_{kNone};
 };
 
-/// One submission's view of the watermark: the subject's own index plus the
-/// shared mark. Default-constructed scopes never cancel (solo queries).
+/// One submission's view of every cancellation source: the subject's own
+/// index against the shared watermark, plus the query-wide CancelToken and
+/// DeadlineClock when the query has them. Default-constructed scopes never
+/// cancel (solo queries). All three sources are monotone, so a scope that
+/// reported cancelled() stays cancelled.
 struct CancelScope {
   const CancelWatermark* watermark = nullptr;
   std::uint32_t index = 0;
+  const CancelToken* token = nullptr;
+  const DeadlineClock* deadline = nullptr;
 
   bool cancelled() const {
-    return watermark != nullptr && watermark->obsolete(index);
+    if (watermark != nullptr && watermark->obsolete(index)) return true;
+    if (token != nullptr && token->cancelled()) return true;
+    return deadline != nullptr && deadline->expired();
   }
 };
 
@@ -152,6 +164,22 @@ class Scheduler {
   /// team; the caller participates in executing descendants while waiting).
   /// A graph is single-use: run it once.
   static void run(TaskGraph& graph);
+
+  /// Detached submission for the serving layer: enqueues `job` on a small
+  /// process-wide pool of serving threads and returns immediately. Jobs
+  /// drain in FIFO submission order (up to serving_threads() run
+  /// concurrently); a job is free to open OMP parallel regions of its own
+  /// — i.e. to call Scheduler::run — each serving thread owns an
+  /// independent team. Completion is the caller's to observe (e.g. through
+  /// a PendingResult); the pool drains and joins at process exit.
+  static void submit(std::function<void()> job);
+
+  /// Convenience: runs `graph` detached, then `on_complete` (if any).
+  /// The graph is owned by the submission; both run on a serving thread.
+  static void submit(TaskGraph graph, std::function<void()> on_complete);
+
+  /// Number of serving threads backing submit().
+  static std::size_t serving_threads();
 };
 
 }  // namespace ppsi::support

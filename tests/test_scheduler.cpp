@@ -12,7 +12,9 @@
 #include <omp.h>
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "support/scheduler.hpp"
@@ -236,6 +238,130 @@ TEST(TaskGraph, CancelledTasksSkipDeterministically) {
 TEST(CancelScope, DefaultScopeNeverCancels) {
   const CancelScope scope;
   EXPECT_FALSE(scope.cancelled());
+}
+
+TEST(CancelToken, CancelIsStickyAndVisible) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.cancel();
+  EXPECT_TRUE(token.cancelled());
+  token.cancel();  // idempotent
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(DeadlineClock, UnarmedClockNeverExpires) {
+  const DeadlineClock clock;
+  EXPECT_FALSE(clock.armed());
+  EXPECT_FALSE(clock.expired());
+  EXPECT_GT(clock.remaining_seconds(), 1e18);  // +inf
+}
+
+TEST(DeadlineClock, ArmedClockExpiresAndGoesNegative) {
+  DeadlineClock clock;
+  clock.arm(1e-9);
+  EXPECT_TRUE(clock.armed());
+  while (!clock.expired()) {  // the nanosecond passes almost immediately
+  }
+  EXPECT_TRUE(clock.expired());
+  EXPECT_LE(clock.remaining_seconds(), 0.0);
+}
+
+TEST(DeadlineClock, GenerousDeadlineStaysUnexpired) {
+  DeadlineClock clock;
+  clock.arm(3600.0);
+  EXPECT_FALSE(clock.expired());
+  EXPECT_GT(clock.remaining_seconds(), 3000.0);
+}
+
+TEST(CancelScope, EverySourceCancelsIndependently) {
+  CancelWatermark mark;
+  CancelToken token;
+  DeadlineClock deadline;
+  deadline.arm(3600.0);
+  CancelScope scope{&mark, 5, &token, &deadline};
+  EXPECT_FALSE(scope.cancelled());
+
+  mark.accept(2);  // index 5 is beyond the accepted minimum
+  EXPECT_TRUE(scope.cancelled());
+
+  CancelScope surviving{&mark, 1, &token, &deadline};
+  EXPECT_FALSE(surviving.cancelled());
+  token.cancel();
+  EXPECT_TRUE(surviving.cancelled());
+
+  DeadlineClock expired;
+  expired.arm(1e-9);
+  CancelScope timed{nullptr, 0, nullptr, &expired};
+  while (!timed.cancelled()) {
+  }
+  EXPECT_TRUE(timed.cancelled());
+}
+
+TEST(ServingPool, SubmitRunsDetachedJobs) {
+  std::mutex mutex;
+  std::condition_variable done;
+  int completed = 0;
+  constexpr int kJobs = 8;
+  for (int i = 0; i < kJobs; ++i) {
+    Scheduler::submit([&] {
+      const std::lock_guard<std::mutex> lock(mutex);
+      ++completed;
+      done.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mutex);
+  done.wait(lock, [&] { return completed == kJobs; });
+  EXPECT_EQ(completed, kJobs);
+  EXPECT_GE(Scheduler::serving_threads(), 2u);
+}
+
+TEST(ServingPool, SubmittedTaskGraphRunsToCompletion) {
+  // The TaskGraph overload runs the whole graph (dependencies honored) on
+  // a serving thread, then the completion callback.
+  std::mutex mutex;
+  std::condition_variable done;
+  bool finished = false;
+  std::atomic<int> order_violations{0};
+  std::atomic<int> ran{0};
+  TaskGraph graph;
+  const std::uint32_t first = graph.add([&] {
+    ran.fetch_add(1);
+  });
+  const std::uint32_t second = graph.add([&] {
+    if (ran.load() != 1) order_violations.fetch_add(1);
+    ran.fetch_add(1);
+  });
+  graph.add_edge(first, second);
+  Scheduler::submit(std::move(graph), [&] {
+    const std::lock_guard<std::mutex> lock(mutex);
+    finished = true;
+    done.notify_all();
+  });
+  std::unique_lock<std::mutex> lock(mutex);
+  done.wait(lock, [&] { return finished; });
+  EXPECT_EQ(ran.load(), 2);
+  EXPECT_EQ(order_violations.load(), 0);
+}
+
+TEST(ServingPool, SubmittedJobsCanOpenTheirOwnTaskGraphs) {
+  // A serving thread is a plain thread: jobs on it run nested Scheduler
+  // work of their own (this is how *_async queries execute).
+  std::mutex mutex;
+  std::condition_variable done;
+  int total = -1;
+  Scheduler::submit([&] {
+    std::atomic<int> sum{0};
+    TaskGraph graph;
+    for (int i = 1; i <= 10; ++i)
+      graph.add([&sum, i] { sum.fetch_add(i); });
+    Scheduler::run(graph);
+    const std::lock_guard<std::mutex> lock(mutex);
+    total = sum.load();
+    done.notify_all();
+  });
+  std::unique_lock<std::mutex> lock(mutex);
+  done.wait(lock, [&] { return total >= 0; });
+  EXPECT_EQ(total, 55);
 }
 
 }  // namespace

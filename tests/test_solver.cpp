@@ -10,8 +10,10 @@
 
 #include <vector>
 
+#include "api/budget.hpp"
 #include "api/solver.hpp"
 #include "graph/generators.hpp"
+#include "support/cancel.hpp"
 
 namespace ppsi {
 namespace {
@@ -135,7 +137,10 @@ TEST(SolverStatus, DeadlineInterruptsWithPartialResult) {
   const auto r = solver.find(cycle_pattern(5), opts);
   EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
   ASSERT_TRUE(r.has_value());
-  EXPECT_EQ(r->runs, 1u);
+  // An immediately-expired deadline preempts at the entry check (runs == 0)
+  // or, at the latest, mid-first-cover (runs == 1): it no longer pays for a
+  // full cover run.
+  EXPECT_LE(r->runs, 1u);
 }
 
 TEST(SolverStatus, WorkBudgetAppliesToListing) {
@@ -374,6 +379,236 @@ TEST(SolverScratch, AllocationCounterGoesFlatAcrossRepeatedQueries) {
   EXPECT_GT(warm->metrics.scratch_peak_bytes(), 0u);
   EXPECT_EQ(warm->metrics.scratch_peak_bytes(),
             cold->metrics.scratch_peak_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// Budget boundary semantics. These pin the sub-query forwarding rules at the
+// exhaustion edges: both option sentinels (max_work = 0, deadline_seconds =
+// 0) mean "unlimited", so an exhausted budget must forward the smallest
+// positive remainder instead of rounding onto the sentinel.
+
+TEST(BudgetBoundaries, WorkBoundIsExclusive) {
+  QueryOptions opts;
+  opts.max_work = 5;
+  const Budget budget(opts);
+  support::Metrics at_bound;
+  at_bound.add_work(5);
+  EXPECT_TRUE(budget.check(at_bound).ok());  // spending exactly max_work is fine
+  support::Metrics over;
+  over.add_work(6);
+  EXPECT_EQ(budget.check(over).code(), StatusCode::kWorkBudgetExceeded);
+}
+
+TEST(BudgetBoundaries, ExhaustedWorkForwardsOneNotTheSentinel) {
+  QueryOptions opts;
+  opts.max_work = 5;
+  const Budget budget(opts);
+  support::Metrics spent;
+  EXPECT_EQ(budget.remaining_work(spent), 5u);
+  spent.add_work(3);
+  EXPECT_EQ(budget.remaining_work(spent), 2u);
+  spent.add_work(2);  // exactly exhausted
+  EXPECT_EQ(budget.remaining_work(spent), 1u);
+  spent.add_work(100);  // overshot
+  EXPECT_EQ(budget.remaining_work(spent), 1u);
+}
+
+TEST(BudgetBoundaries, UnlimitedBudgetsKeepTheirSentinels) {
+  const Budget budget{QueryOptions{}};
+  support::Metrics spent;
+  spent.add_work(1u << 20);
+  EXPECT_EQ(budget.remaining_work(spent), 0u);
+  EXPECT_EQ(budget.remaining_seconds(), 0.0);
+  EXPECT_EQ(budget.deadline(), nullptr);
+  EXPECT_EQ(budget.token(), nullptr);
+}
+
+TEST(BudgetBoundaries, ExpiredDeadlineForwardsEpsilonNotTheSentinel) {
+  QueryOptions opts;
+  opts.deadline_seconds = 1e-9;
+  const Budget budget(opts);
+  while (budget.check({}).ok()) {  // spin the nanosecond out
+  }
+  EXPECT_EQ(budget.check({}).code(), StatusCode::kDeadlineExceeded);
+  // The remainder rounds toward 0 but must stay positive: 0 would read as
+  // "no deadline" and grant the sub-query unlimited time.
+  EXPECT_GT(budget.remaining_seconds(), 0.0);
+  EXPECT_LE(budget.remaining_seconds(), 1e-9);
+}
+
+TEST(BudgetBoundaries, ForwardedEpsilonArmsTheSubQuery) {
+  QueryOptions opts;
+  opts.deadline_seconds = 1e-9;
+  const Budget budget(opts);
+  while (budget.check({}).ok()) {
+  }
+  // Inherit the remainder exactly as composite queries do.
+  QueryOptions sub;
+  sub.deadline_seconds = budget.remaining_seconds();
+  const Budget sub_budget(sub);
+  // The epsilon is a real (armed) deadline: the sub-query trips at its
+  // first checkpoint instead of running without one.
+  ASSERT_NE(sub_budget.deadline(), nullptr);
+  while (sub_budget.check({}).ok()) {
+  }
+  EXPECT_EQ(sub_budget.check({}).code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(BudgetBoundaries, CancellationOutranksWorkAndDeadline) {
+  support::CancelToken token;
+  QueryOptions opts;
+  opts.max_work = 1;
+  opts.deadline_seconds = 1e-9;
+  opts.cancel = &token;
+  const Budget budget(opts);
+  token.cancel();
+  support::Metrics spent;
+  spent.add_work(100);  // every resource is exhausted at once
+  EXPECT_EQ(budget.check(spent).code(), StatusCode::kCancelled);
+}
+
+// ---------------------------------------------------------------------------
+// Cooperative cancellation through QueryOptions::cancel.
+
+TEST(SolverCancellation, PreCancelledTokenDoesNoWork) {
+  Solver solver(gen::grid_graph(8, 8));
+  support::CancelToken token;
+  token.cancel();
+  QueryOptions opts;
+  opts.cancel = &token;
+  const auto find = solver.find(cycle_pattern(4), opts);
+  EXPECT_EQ(find.status().code(), StatusCode::kCancelled);
+  ASSERT_TRUE(find.has_value());
+  EXPECT_EQ(find->runs, 0u);
+  EXPECT_EQ(find->metrics.work(), 0u);
+  const auto list = solver.list(cycle_pattern(4), opts);
+  EXPECT_EQ(list.status().code(), StatusCode::kCancelled);
+  ASSERT_TRUE(list.has_value());
+  EXPECT_TRUE(list->occurrences.empty());
+  EXPECT_EQ(list->metrics.work(), 0u);
+  // The entry check kept the cover cache cold: no cover was built for a
+  // dead query.
+  EXPECT_EQ(solver.cache_stats().cover_misses, 0u);
+}
+
+TEST(SolverStatus, DeadlinePreemptsMidCover) {
+  // On a target where one cover run takes well over the deadline, the
+  // deadline must preempt *inside* the run — observable as strictly fewer
+  // slices solved than a complete run, not merely as an early return at the
+  // next between-runs checkpoint.
+  const Graph g = gen::grid_graph(40, 40);
+  const Pattern c5 = cycle_pattern(5);  // absent: the grid is bipartite
+
+  QueryOptions full;
+  full.max_runs = 1;
+  Solver reference(g);
+  const auto complete = reference.find(c5, full);
+  ASSERT_TRUE(complete.ok());
+  ASSERT_GT(complete->slices_solved, 0u);
+
+  QueryOptions tight = full;
+  tight.deadline_seconds = 1e-3;
+  Solver solver(g);
+  const auto r = solver.find(c5, tight);
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_LE(r->runs, 1u);
+  EXPECT_LT(r->slices_solved, complete->slices_solved);
+}
+
+// ---------------------------------------------------------------------------
+// Asynchronous queries (Solver::*_async on the shared serving pool).
+
+TEST(SolverAsync, FindAsyncMatchesBlockingFind) {
+  // Fresh solver per measurement: cover-build metrics are charged only to
+  // the query that built the cover, so a warm/cold mix would skew the
+  // comparison.
+  const Graph g = gen::grid_graph(8, 8);
+  const Pattern c4 = cycle_pattern(4);
+  QueryOptions opts;
+  opts.max_runs = 3;
+
+  Solver blocking_solver(g);
+  const auto blocking = blocking_solver.find(c4, opts);
+  ASSERT_TRUE(blocking.ok());
+
+  Solver async_solver(g);
+  auto pending = async_solver.find_async(c4, opts);
+  ASSERT_TRUE(pending.valid());
+  const auto& async = pending.get();
+  ASSERT_TRUE(async.ok()) << async.status().to_string();
+  EXPECT_EQ(async->found, blocking->found);
+  EXPECT_EQ(async->witness, blocking->witness);
+  EXPECT_EQ(async->runs, blocking->runs);
+  EXPECT_EQ(async->slices_solved, blocking->slices_solved);
+  EXPECT_EQ(async->metrics.work(), blocking->metrics.work());
+  EXPECT_EQ(async->metrics.rounds(), blocking->metrics.rounds());
+}
+
+TEST(SolverAsync, CancelAfterCompletionIsANoOp) {
+  Solver solver(gen::grid_graph(6, 6));
+  auto pending = solver.find_async(cycle_pattern(4));
+  ASSERT_TRUE(pending.get().ok());
+  const bool found = pending.get()->found;
+  pending.cancel();  // the stored result is never overwritten
+  EXPECT_TRUE(pending.get().ok());
+  EXPECT_EQ(pending.get()->found, found);
+}
+
+TEST(SolverAsync, CancelMidFlightResolvesToACleanStatus) {
+  Solver solver(gen::grid_graph(24, 24));
+  QueryOptions opts;
+  opts.max_runs = 8;
+  auto pending = solver.find_async(cycle_pattern(5), opts);
+  pending.cancel();
+  const auto& r = pending.get();
+  ASSERT_TRUE(r.has_value());
+  // Depending on scheduling the cancel lands before the query starts (no
+  // work at all), mid-cover (partial result), or after it already finished
+  // (a no-op); each outcome is legal, only the status set is pinned.
+  if (!r.ok()) {
+    EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+  }
+  EXPECT_FALSE(r->found);  // C5 is absent from the bipartite grid
+}
+
+TEST(SolverAsync, DestructorDrainsInFlightQueries) {
+  PendingResult<DecisionResult> pending;
+  {
+    Solver solver(gen::grid_graph(10, 10));
+    pending = solver.find_async(cycle_pattern(5));
+    // ~Solver blocks until the detached query released the internals.
+  }
+  ASSERT_TRUE(pending.valid());
+  EXPECT_TRUE(pending.ready());
+  EXPECT_TRUE(pending.get().has_value());
+}
+
+TEST(SolverAsync, ListAndCountAsyncMatchBlocking) {
+  const Graph g = gen::grid_graph(6, 6);
+  const Pattern c4 = cycle_pattern(4);
+  QueryOptions opts;
+  opts.seed = 11;
+
+  Solver blocking_solver(g);
+  const auto list = blocking_solver.list(c4, opts);
+  const auto count = blocking_solver.count(c4, opts);
+  ASSERT_TRUE(list.ok());
+  ASSERT_TRUE(count.ok());
+
+  Solver async_solver(g);
+  auto pending_list = async_solver.list_async(c4, opts);
+  const auto& alist = pending_list.get();
+  ASSERT_TRUE(alist.ok());
+  EXPECT_EQ(alist->occurrences, list->occurrences);
+  EXPECT_EQ(alist->iterations, list->iterations);
+
+  Solver count_solver(g);
+  auto pending_count = count_solver.count_async(c4, opts);
+  const auto& acount = pending_count.get();
+  ASSERT_TRUE(acount.ok());
+  EXPECT_EQ(acount->assignments, count->assignments);
+  EXPECT_EQ(acount->subgraphs, count->subgraphs);
 }
 
 TEST(SolverBatch, InvalidOptionsFailEverySlot) {

@@ -1,0 +1,192 @@
+// SolverPool unit tests: FIFO admission order, cancellation in every state
+// (queued / running / finished), per-target shard isolation, unknown-target
+// rejection, and the stats counters. Timing-sensitive assertions are phrased
+// so every legal schedule passes; the deterministic ones (admission order at
+// max_concurrent = 1) are exact.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "api/solver_pool.hpp"
+#include "graph/generators.hpp"
+
+namespace ppsi {
+namespace {
+
+using cover::DecisionResult;
+using iso::Pattern;
+
+Pattern cycle_pattern(Vertex k) {
+  return Pattern::from_graph(gen::cycle_graph(k));
+}
+
+TEST(SolverPool, AnswersAcrossMultipleTargets) {
+  SolverPool pool;
+  const TargetId with_c4 = pool.add_target(gen::grid_graph(6, 6));
+  const TargetId without_c4 = pool.add_target(gen::path_graph(12));
+  ASSERT_EQ(pool.num_targets(), 2u);
+
+  QueryOptions opts;
+  opts.max_runs = 3;
+  auto hit = pool.find_async(with_c4, cycle_pattern(4), opts);
+  auto miss = pool.find_async(without_c4, cycle_pattern(4), opts);
+  ASSERT_TRUE(hit.get().ok());
+  ASSERT_TRUE(miss.get().ok());
+  EXPECT_TRUE(hit.get()->found);
+  EXPECT_FALSE(miss.get()->found);
+}
+
+TEST(SolverPool, ShardsKeepSeparateCaches) {
+  SolverPool pool;
+  const TargetId a = pool.add_target(gen::grid_graph(6, 6));
+  const TargetId b = pool.add_target(gen::grid_graph(6, 6));
+  QueryOptions opts;
+  opts.max_runs = 2;
+  pool.find_async(a, cycle_pattern(4), opts).wait();
+  // Same pattern against the identical twin target: its shard starts cold.
+  pool.find_async(b, cycle_pattern(4), opts).wait();
+  EXPECT_GT(pool.solver(a).cache_stats().cover_misses, 0u);
+  EXPECT_GT(pool.solver(b).cache_stats().cover_misses, 0u);
+  EXPECT_EQ(pool.solver(b).cache_stats().cover_hits,
+            pool.solver(a).cache_stats().cover_hits);
+}
+
+TEST(SolverPool, AdmissionIsFifoAtOneSlot) {
+  // With one admission slot queries execute strictly in submission order,
+  // so by the time a later query resolves every earlier one already has.
+  PoolOptions options;
+  options.max_concurrent = 1;
+  SolverPool pool(options);
+  const TargetId id = pool.add_target(gen::grid_graph(10, 10));
+  QueryOptions opts;
+  opts.max_runs = 2;
+
+  std::vector<PendingResult<DecisionResult>> handles;
+  for (int i = 0; i < 4; ++i)
+    handles.push_back(pool.find_async(id, cycle_pattern(5), opts));
+  handles.back().wait();
+  for (auto& earlier : handles) EXPECT_TRUE(earlier.ready());
+
+  const PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.submitted, 4u);
+  EXPECT_EQ(stats.completed, 4u);
+  EXPECT_EQ(stats.cancelled_before_start, 0u);
+  EXPECT_EQ(stats.queued, 0u);
+}
+
+TEST(SolverPool, CancelWhileQueuedSkipsWithoutWork) {
+  // One long-running query holds the single admission slot; a queued
+  // victim cancelled before it is admitted must resolve to kCancelled with
+  // an empty result and count as cancelled_before_start.
+  PoolOptions options;
+  options.max_concurrent = 1;
+  SolverPool pool(options);
+  const TargetId id = pool.add_target(gen::grid_graph(12, 12));
+  QueryOptions slow;
+  slow.max_runs = 4;
+
+  auto blocker = pool.find_async(id, cycle_pattern(5), slow);
+  auto victim = pool.find_async(id, cycle_pattern(5), slow);
+  victim.cancel();
+  const auto& r = victim.get();
+  // The blocker may or may not still be running when the victim resolves;
+  // either way the victim never executed.
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->runs, 0u);
+  EXPECT_EQ(r->metrics.work(), 0u);
+  ASSERT_TRUE(blocker.get().ok());
+
+  const PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.cancelled_before_start, 1u);
+}
+
+TEST(SolverPool, CancelWhileRunningPreemptsMidCover) {
+  SolverPool pool;
+  const TargetId id = pool.add_target(gen::grid_graph(24, 24));
+  QueryOptions opts;
+  opts.max_runs = 8;
+  auto pending = pool.find_async(id, cycle_pattern(5), opts);
+  pending.cancel();
+  const auto& r = pending.get();
+  ASSERT_TRUE(r.has_value());
+  // The cancel may land while queued, mid-run, or after completion; the
+  // status set is what the contract pins.
+  if (!r.ok()) {
+    EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+  }
+  EXPECT_FALSE(r->found);  // C5 is absent from the bipartite grid
+}
+
+TEST(SolverPool, CancelAfterCompletionIsANoOp) {
+  SolverPool pool;
+  const TargetId id = pool.add_target(gen::grid_graph(6, 6));
+  auto pending = pool.find_async(id, cycle_pattern(4));
+  ASSERT_TRUE(pending.get().ok());
+  pending.cancel();
+  EXPECT_TRUE(pending.get().ok());
+  EXPECT_TRUE(pending.get()->found);
+}
+
+TEST(SolverPool, UnknownTargetRejectsWithoutEnqueueing) {
+  SolverPool pool;
+  pool.add_target(gen::grid_graph(4, 4));
+  auto pending = pool.find_async(7, cycle_pattern(4));
+  ASSERT_TRUE(pending.valid());
+  EXPECT_TRUE(pending.ready());  // resolved immediately, nothing queued
+  EXPECT_EQ(pending.get().status().code(), StatusCode::kInvalidOptions);
+  EXPECT_EQ(pool.stats().submitted, 0u);
+}
+
+TEST(SolverPool, RejectsNonPositiveConcurrency) {
+  PoolOptions options;
+  options.max_concurrent = 0;
+  EXPECT_THROW(SolverPool{options}, std::exception);
+}
+
+TEST(SolverPool, DestructorCancelsQueuedAndWaitsForRunning) {
+  PoolOptions options;
+  options.max_concurrent = 1;
+  std::vector<PendingResult<DecisionResult>> handles;
+  {
+    SolverPool pool(options);
+    const TargetId id = pool.add_target(gen::grid_graph(12, 12));
+    QueryOptions opts;
+    opts.max_runs = 3;
+    for (int i = 0; i < 3; ++i)
+      handles.push_back(pool.find_async(id, cycle_pattern(5), opts));
+    // ~SolverPool: queued queries resolve to kCancelled, running ones
+    // finish before the shards are torn down.
+  }
+  for (auto& pending : handles) {
+    ASSERT_TRUE(pending.ready());
+    const auto& r = pending.get();
+    ASSERT_TRUE(r.has_value());
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+      EXPECT_EQ(r->metrics.work(), 0u);
+    }
+  }
+  // The head query was already admitted, so at least one ran to a result.
+  EXPECT_TRUE(handles.front().get().ok());
+}
+
+TEST(SolverPool, ListAndCountRunThroughAdmission) {
+  SolverPool pool;
+  const TargetId id = pool.add_target(gen::grid_graph(6, 6));
+  QueryOptions opts;
+  opts.seed = 5;
+  auto list = pool.list_async(id, cycle_pattern(4), opts);
+  auto count = pool.count_async(id, cycle_pattern(4), opts);
+  ASSERT_TRUE(list.get().ok());
+  ASSERT_TRUE(count.get().ok());
+  EXPECT_FALSE(list.get()->occurrences.empty());
+  EXPECT_EQ(count.get()->assignments, list.get()->occurrences.size());
+  EXPECT_EQ(pool.stats().completed, 2u);
+}
+
+}  // namespace
+}  // namespace ppsi

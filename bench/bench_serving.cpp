@@ -8,7 +8,14 @@
 //       distribution (`latency_p50_us`, `latency_p95_us`) plus the
 //       completed-query throughput (`queries_per_s`).
 //   serving/pool/admission=<k> — a fixed 4-client load with the admission
-//       width swept, isolating the FIFO queue's effect on tail latency.
+//       width swept, isolating the admission queue's effect on tail latency.
+//   serving/pool/mixed/policy=<fifo|priority> — two interactive clients
+//       share two admission slots with six bulk clients; the cases differ
+//       only in PoolOptions::policy, so comparing their
+//       `interactive_p95_us` counters measures what strict-priority
+//       dispatch (plus parking) buys over submission order. No Admission
+//       deadlines are set — the policy may reorder and park but never
+//       shed, so the summed work stays identical across the two cases.
 //
 // Every shard is primed with the full pattern set before the measured
 // region, so each measured query is a cover-cache hit and the summed work
@@ -117,6 +124,83 @@ void run_sweep(const std::vector<Graph>& targets,
                   static_cast<double>(total_queries) / elapsed);
 }
 
+/// Mixed-priority closed loop: interactive clients compete with bulk
+/// clients for two admission slots, so the admission queue — not the
+/// engines — decides the interactive tail latency.
+void run_mixed_sweep(const std::vector<Graph>& targets,
+                     const std::vector<iso::Pattern>& patterns,
+                     AdmissionPolicy policy, int queries_per_client,
+                     Trial& trial) {
+  constexpr int kInteractiveClients = 2;
+  constexpr int kBulkClients = 6;
+  constexpr int kClients = kInteractiveClients + kBulkClients;
+  PoolOptions popts;
+  popts.max_concurrent = 2;
+  popts.policy = policy;
+  SolverPool pool(popts);
+  std::vector<TargetId> ids;
+  ids.reserve(targets.size());
+  for (const Graph& g : targets) ids.push_back(pool.add_target(g));
+
+  const QueryOptions opts = serving_options();
+  for (const TargetId id : ids)
+    for (const iso::Pattern& p : patterns) pool.solver(id).find(p, opts);
+
+  const int total_queries = kClients * queries_per_client;
+  std::vector<double> latencies(static_cast<std::size_t>(total_queries), 0.0);
+  std::vector<std::uint64_t> work(static_cast<std::size_t>(kClients), 0);
+  double elapsed = 0.0;
+  trial.measure([&] {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(kClients));
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        Admission admission;
+        admission.priority = c < kInteractiveClients ? Priority::kInteractive
+                                                     : Priority::kBulk;
+        for (int q = 0; q < queries_per_client; ++q) {
+          const int slot = c * queries_per_client + q;
+          const std::size_t which = static_cast<std::size_t>(c + q);
+          const auto start = std::chrono::steady_clock::now();
+          auto pending =
+              pool.find_async(ids[which % ids.size()],
+                              patterns[which % patterns.size()], opts,
+                              admission);
+          const auto& r = pending.get();
+          const auto stop = std::chrono::steady_clock::now();
+          latencies[static_cast<std::size_t>(slot)] =
+              std::chrono::duration<double>(stop - start).count();
+          if (r.has_value())
+            work[static_cast<std::size_t>(c)] += r->metrics.work();
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            t0)
+                  .count();
+  });
+
+  support::Metrics total;
+  for (const std::uint64_t w : work) total.add_work(w);
+  trial.record(total);
+  const auto split =
+      static_cast<std::size_t>(kInteractiveClients * queries_per_client);
+  std::vector<double> interactive(latencies.begin(),
+                                  latencies.begin() + split);
+  std::vector<double> bulk(latencies.begin() + split, latencies.end());
+  std::sort(interactive.begin(), interactive.end());
+  std::sort(bulk.begin(), bulk.end());
+  trial.counter("interactive_p50_us", percentile(interactive, 0.50) * 1e6);
+  trial.counter("interactive_p95_us", percentile(interactive, 0.95) * 1e6);
+  trial.counter("bulk_p95_us", percentile(bulk, 0.95) * 1e6);
+  trial.counter("queries", total_queries);
+  if (elapsed > 0)
+    trial.counter("queries_per_s",
+                  static_cast<double>(total_queries) / elapsed);
+}
+
 void register_benchmarks(Registry& reg, const Corpus& corpus) {
   const std::vector<Graph> targets = {corpus.grid(24, 24),
                                       corpus.grid(30, 20)};
@@ -140,6 +224,14 @@ void register_benchmarks(Registry& reg, const Corpus& corpus) {
                         queries_per_client, trial);
             });
   }
+  reg.add("serving/pool/mixed/policy=fifo", [=](Trial& trial) {
+    run_mixed_sweep(targets, patterns, AdmissionPolicy::kFifo,
+                    queries_per_client, trial);
+  });
+  reg.add("serving/pool/mixed/policy=priority", [=](Trial& trial) {
+    run_mixed_sweep(targets, patterns, AdmissionPolicy::kPriority,
+                    queries_per_client, trial);
+  });
 }
 
 }  // namespace

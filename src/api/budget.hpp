@@ -21,6 +21,11 @@
 // sub-query unlimited room. Pinned by the Budget tests in
 // tests/test_solver.cpp. Lives in a header (not solver.cpp) precisely so
 // those boundary semantics stay unit-testable.
+//
+// Serving-layer extras: the budget also carries the query's ParkGate
+// (cooperative suspend/resume at slice boundaries) and can credit parked
+// time back to the deadline clock — suspension pauses the wall-clock
+// budget instead of silently consuming it.
 
 #include <cstdint>
 
@@ -34,7 +39,9 @@ namespace ppsi {
 class Budget {
  public:
   explicit Budget(const QueryOptions& options)
-      : max_work_(options.max_work), token_(options.cancel) {
+      : max_work_(options.max_work),
+        token_(options.cancel),
+        park_(options.park) {
     if (options.deadline_seconds > 0) deadline_.arm(options.deadline_seconds);
   }
   Budget(const Budget&) = delete;
@@ -83,10 +90,26 @@ class Budget {
     return deadline_.armed() ? &deadline_ : nullptr;
   }
 
+  /// The serving layer's suspend/resume gate (nullptr for blocking
+  /// queries): solve_all_slices polls it at slice boundaries and parks the
+  /// whole query between slice rounds when the pool asked for the slot.
+  support::ParkGate* park() const { return park_; }
+
+  /// Credits `seconds` spent parked back to the execution deadline — the
+  /// budget clock pauses while a query is suspended, so a parked query is
+  /// not charged wall time it never had. No-op without an armed deadline.
+  /// Called from the query's own thread right after its park() returns,
+  /// while every checkpoint that could poll the clock is quiescent (the
+  /// slice graph has drained; the next round has not started).
+  void credit_parked(double seconds) const {
+    if (deadline_.armed() && seconds > 0) deadline_.extend(seconds);
+  }
+
  private:
   std::uint64_t max_work_;
   const support::CancelToken* token_;
-  support::DeadlineClock deadline_;
+  support::ParkGate* park_ = nullptr;
+  mutable support::DeadlineClock deadline_;  // mutable: credit_parked
 };
 
 }  // namespace ppsi

@@ -50,6 +50,7 @@ const char* to_string(StatusCode code) {
     case StatusCode::kWorkBudgetExceeded: return "work budget exceeded";
     case StatusCode::kDeadlineExceeded: return "deadline exceeded";
     case StatusCode::kCancelled: return "cancelled";
+    case StatusCode::kShed: return "shed";
     case StatusCode::kEmpty: return "empty";
   }
   return "unknown";
@@ -78,6 +79,35 @@ Status validate(const QueryOptions& options) {
   if (std::isnan(options.deadline_seconds) || options.deadline_seconds < 0)
     return Status::InvalidOptions(
         "deadline_seconds must be non-negative (0 disables the deadline)");
+  return Status::Ok();
+}
+
+const char* to_string(Priority priority) {
+  switch (priority) {
+    case Priority::kBulk: return "bulk";
+    case Priority::kNormal: return "normal";
+    case Priority::kInteractive: return "interactive";
+  }
+  return "unknown";
+}
+
+Status validate(const Admission& admission) {
+  switch (admission.priority) {
+    case Priority::kBulk:
+    case Priority::kNormal:
+    case Priority::kInteractive:
+      break;
+    default:
+      return Status::InvalidOptions("Admission::priority: unknown class");
+  }
+  if (!(admission.deadline_seconds >= 0) ||
+      !std::isfinite(admission.deadline_seconds))
+    return Status::InvalidOptions(
+        "Admission::deadline_seconds must be non-negative and finite "
+        "(0 disables shedding)");
+  if (!(admission.tenant_weight > 0) || !std::isfinite(admission.tenant_weight))
+    return Status::InvalidOptions(
+        "Admission::tenant_weight must be positive and finite");
   return Status::Ok();
 }
 
@@ -197,6 +227,16 @@ Status interruption_cause(const support::CancelToken* token,
 /// and R_{i-1}) serializes the std::set insertion in slice-index order
 /// while later slices are still solving, which is what lets a mid-cover
 /// limit hit cancel the tail at all.
+///
+/// Cooperative suspend/resume (the serving pool's ParkGate, from `budget`)
+/// is the fourth signal, and the only resumable one: a requested park makes
+/// the remaining slice tasks skip themselves *without* being cancelled, the
+/// drained graph parks the whole query (the admission slot goes back to the
+/// pool; the budget clock is credited for the suspension), and on resume a
+/// fresh graph round re-runs exactly the slices still pending. Solved
+/// outcomes, the watermark, and the replay cursor all persist across
+/// rounds, so the replayed sequence — and with it every output and every
+/// accounted counter — is bit-identical to an unparked run.
 bool solve_all_slices(const Cover& cover,
                       const std::vector<treedecomp::TreeDecomposition>& tds,
                       const Pattern& pattern, const QueryOptions& options,
@@ -210,34 +250,23 @@ bool solve_all_slices(const Cover& cover,
   const std::size_t num_slices = cover.slices.size();
   const support::CancelToken* token = budget.token();
   const support::DeadlineClock* deadline = budget.deadline();
+  support::ParkGate* park = budget.park();
+  const auto preempted = [&] {
+    return (token != nullptr && token->cancelled()) ||
+           (deadline != nullptr && deadline->expired());
+  };
 
-  // ---- Solve all (needed) slices on the shared task pool. ----
+  // Slice indices large enough to host the pattern, in index order.
+  std::vector<std::size_t> eligible;
+  eligible.reserve(num_slices);
+  for (std::size_t i = 0; i < num_slices; ++i) {
+    if (cover.slices[i].graph.num_vertices() >= pattern.size())
+      eligible.push_back(i);
+  }
+
+  // Solve state, persistent across park/resume rounds.
   std::vector<SliceOutcome> outcomes(num_slices);
   support::CancelWatermark watermark;
-  support::TaskGraph graph;
-  std::vector<std::uint32_t> task_of_slice;   // task ids, in slice order
-  std::vector<std::size_t> slice_of_task;     // inverse of the above
-  for (std::size_t i = 0; i < num_slices; ++i) {
-    const Slice& slice = cover.slices[i];
-    if (slice.graph.num_vertices() < pattern.size()) continue;
-    slice_of_task.push_back(i);
-    task_of_slice.push_back(graph.add([&, i] {
-      const support::CancelScope scope{&watermark,
-                                       static_cast<std::uint32_t>(i), token,
-                                       deadline};
-      if (scope.cancelled()) return;  // obsolete index, or preempted query
-      SliceOutcome& out = outcomes[i];
-      out.sol = solve_slice(cover.slices[i], tds[i], pattern, options,
-                            release_interior, scope);
-      if (scope.cancelled()) {
-        out.sol = {};  // partial (paths/nodes skipped): free it, never read
-        return;
-      }
-      out.solved = true;
-      if (decision_mode && out.sol.accepted)
-        watermark.accept(static_cast<std::uint32_t>(i));
-    }));
-  }
 
   // Replay accounting, shared by both modes. Slices are independent
   // (solved in parallel in the PRAM reading): their work adds, their
@@ -268,28 +297,38 @@ bool solve_all_slices(const Cover& cover,
 
   // Collect mode: in-graph replay chain. replay_slice(i) runs with every
   // smaller replay done (chain edges), so the limit cut it computes is the
-  // same one the old sequential loop computed; limit_reached/stopped are
-  // written and read only under that serialization.
+  // same one the old sequential loop computed; limit_reached/stopped/
+  // paused are written and read only under that serialization (rounds are
+  // serialized by Scheduler::run returning between them).
   struct ReplayState {
     bool found = false;
     bool limit_reached = false;
     bool stopped = false;  ///< token/deadline preemption observed
+    bool paused = false;   ///< park-skipped slice reached; resumes next round
   } replay;
+  std::vector<std::uint8_t> replayed(num_slices, 0);  // collect-mode cursor
   const auto replay_slice = [&](std::size_t i) {
-    if (replay.limit_reached || replay.stopped) return;
+    if (replay.limit_reached || replay.stopped || replay.paused) return;
     SliceOutcome& outcome = outcomes[i];
     if (!outcome.solved) {
-      // Only a query-wide preemption can leave a slice the replay reaches
-      // unsolved: watermark cancellation needs a strictly smaller
-      // limit-reaching index, at which the replay stopped first.
-      support::require(token != nullptr || deadline != nullptr,
+      if (preempted()) {
+        replay.stopped = true;
+        return;
+      }
+      // Not preempted, and watermark cancellation needs a strictly smaller
+      // limit-reaching index (at which the replay stopped first) — the only
+      // remaining cause is a park-skip. Pause: the next round re-solves
+      // this slice and the replay resumes here, so the consumed sequence
+      // is the same one an unparked run produces.
+      support::require(park != nullptr && park->park_requested(),
                        "solve_all_slices: replay reached a cancelled slice");
-      replay.stopped = true;
+      replay.paused = true;
       return;
     }
     const Slice& slice = cover.slices[i];
     const iso::DpSolution& sol = outcome.sol;
     account(sol);
+    replayed[i] = 1;
     if (!sol.accepted) {
       outcome.sol = {};  // accounted; free before replaying the rest
       return;
@@ -309,25 +348,89 @@ bool solve_all_slices(const Cover& cover,
     }
   };
 
-  if (decision_mode) {
-    for (std::size_t j = 0; j + window < task_of_slice.size(); ++j)
-      graph.add_edge(task_of_slice[j], task_of_slice[j + window]);
-  } else {
-    std::vector<std::uint32_t> replay_tasks;
-    replay_tasks.reserve(task_of_slice.size());
-    for (std::size_t t = 0; t < task_of_slice.size(); ++t) {
-      const std::size_t i = slice_of_task[t];
-      const std::uint32_t r = graph.add([&, i] { replay_slice(i); });
-      graph.add_edge(task_of_slice[t], r);
-      if (t > 0) graph.add_edge(replay_tasks[t - 1], r);
-      replay_tasks.push_back(r);
+  // ---- Solve all (needed) slices on the shared task pool, in rounds. ----
+  // Without a ParkGate the loop body runs exactly once (the pre-park
+  // structure). With one, a round that drained while a park was requested
+  // suspends here — between slice graphs, with all per-slice state intact —
+  // and the next round covers exactly the slices still pending.
+  for (;;) {
+    support::TaskGraph graph;
+    std::vector<std::uint32_t> task_of_slice;  // this round's solve tasks
+    std::vector<std::size_t> slice_of_task;    // inverse of the above
+    std::vector<std::uint32_t> replay_tasks;   // collect mode, this round
+    for (const std::size_t i : eligible) {
+      // A slice is pending until replayed (collect) / solved or made
+      // obsolete by an accepting smaller index (decision).
+      if (decision_mode && (outcomes[i].solved || watermark.obsolete(
+                                static_cast<std::uint32_t>(i))))
+        continue;
+      if (!decision_mode && replayed[i] != 0) continue;
+      std::uint32_t solve_task = support::CancelWatermark::kNone;
+      if (!outcomes[i].solved) {
+        solve_task = graph.add([&, i] {
+          const support::CancelScope scope{&watermark,
+                                           static_cast<std::uint32_t>(i),
+                                           token, deadline};
+          if (scope.cancelled()) return;  // obsolete index, or preempted
+          // A requested park skips the slice *before* any work: the slice
+          // is not cancelled, just deferred to the post-resume round.
+          if (park != nullptr && park->park_requested()) return;
+          SliceOutcome& out = outcomes[i];
+          out.sol = solve_slice(cover.slices[i], tds[i], pattern, options,
+                                release_interior, scope);
+          if (scope.cancelled()) {
+            out.sol = {};  // partial (paths/nodes skipped): free, never read
+            return;
+          }
+          out.solved = true;
+          if (decision_mode && out.sol.accepted)
+            watermark.accept(static_cast<std::uint32_t>(i));
+        });
+        slice_of_task.push_back(i);
+        task_of_slice.push_back(solve_task);
+      }
+      if (!decision_mode) {
+        const std::uint32_t r = graph.add([&, i] { replay_slice(i); });
+        if (solve_task != support::CancelWatermark::kNone)
+          graph.add_edge(solve_task, r);
+        if (!replay_tasks.empty()) graph.add_edge(replay_tasks.back(), r);
+        replay_tasks.push_back(r);
+      }
     }
-    // The window gates on replay progress, so the limit verdict (not just
-    // slice completion) bounds how far ahead the solves speculate.
-    for (std::size_t j = 0; j + window < task_of_slice.size(); ++j)
-      graph.add_edge(replay_tasks[j], task_of_slice[j + window]);
+    if (decision_mode) {
+      for (std::size_t j = 0; j + window < task_of_slice.size(); ++j)
+        graph.add_edge(task_of_slice[j], task_of_slice[j + window]);
+    } else {
+      // The window gates on replay progress, so the limit verdict (not
+      // just slice completion) bounds how far ahead the solves speculate.
+      for (std::size_t j = 0; j + window < replay_tasks.size(); ++j) {
+        if (j + window < task_of_slice.size())
+          graph.add_edge(replay_tasks[j], task_of_slice[j + window]);
+      }
+    }
+    support::Scheduler::run(graph);
+
+    // Go around only for a park: preemption wins (the replay below reports
+    // it), and with nothing pending the request rides to the query's next
+    // slice-boundary checkpoint (or its completion) instead.
+    if (park == nullptr || !park->park_requested() || preempted()) break;
+    bool pending = false;
+    for (const std::size_t i : eligible) {
+      if (decision_mode) {
+        pending = !outcomes[i].solved &&
+                  !watermark.obsolete(static_cast<std::uint32_t>(i));
+      } else {
+        pending = replayed[i] == 0 && !replay.limit_reached && !replay.stopped;
+      }
+      if (pending) break;
+    }
+    if (!pending) break;
+    replay.paused = false;
+    // Park: hand the admission slot back (ParkGate's on_parked), block
+    // until the pool resumes us, and credit the suspension to the budget
+    // clock — parked time must not count against the execution deadline.
+    budget.credit_parked(park->park());
   }
-  support::Scheduler::run(graph);
 
   if (!decision_mode) {
     if (replay.stopped) *interrupt = interruption_cause(token, deadline);
@@ -970,57 +1073,115 @@ std::vector<Result<DecisionResult>> Solver::find_batch(
   return out;
 }
 
-// The async entry points share one shape: allocate the rendezvous state,
-// point the query's cancellation at its token (the PendingResult owns the
-// query's lifetime, so its token overrides any caller-supplied one), and
-// run the blocking twin detached on the serving pool. The relative
-// deadline arms inside the blocking call, i.e. when execution starts —
-// queue time does not consume deadline, and results stay bit-identical to
-// the blocking API. async_begin/async_end bracket the detached query so
-// ~Solver can drain.
+// The async entry points share one shape: validate the Admission, allocate
+// the rendezvous state, point the query's cancellation at its token (the
+// PendingResult owns the query's lifetime, so its token overrides any
+// caller-supplied one), and run the blocking twin detached on the serving
+// pool at the admission class's priority. Two deadlines with distinct
+// jobs: the Admission queueing deadline arms HERE, at submission — a query
+// it catches still waiting when a serving thread picks it up resolves to
+// kShed with zero work — while the relative QueryOptions execution
+// deadline arms inside the blocking call, i.e. when execution starts, so
+// queue time does not consume execution budget and admitted results stay
+// bit-identical to the blocking API. async_begin/async_end bracket the
+// detached query so ~Solver can drain.
+
+namespace {
+
+/// Already-resolved rejection handle (invalid Admission).
+template <typename T>
+PendingResult<T> rejected_async(Status status) {
+  auto shared = std::make_shared<detail::PendingShared<T>>();
+  shared->set(Result<T>(std::move(status)));
+  return PendingResult<T>(std::move(shared));
+}
+
+Status shed_status() {
+  return {StatusCode::kShed,
+          "Admission::deadline_seconds passed before execution started; "
+          "the query was shed without doing work"};
+}
+
+/// The armed queueing deadline of one detached query (unarmed when the
+/// admission has none), shared between submitter and serving thread.
+std::shared_ptr<support::DeadlineClock> queue_deadline(
+    const Admission& admission) {
+  auto clock = std::make_shared<support::DeadlineClock>();
+  if (admission.deadline_seconds > 0) clock->arm(admission.deadline_seconds);
+  return clock;
+}
+
+}  // namespace
 
 PendingResult<DecisionResult> Solver::find_async(iso::Pattern pattern,
-                                                 const QueryOptions& options) {
+                                                 const QueryOptions& options,
+                                                 const Admission& admission) {
+  if (Status status = ppsi::validate(admission); !status.ok())
+    return rejected_async<DecisionResult>(std::move(status));
   auto shared = std::make_shared<detail::PendingShared<DecisionResult>>();
   QueryOptions opts = options;
   opts.cancel = &shared->token;
+  auto deadline = queue_deadline(admission);
   impl_->async_begin();
   Impl* impl = impl_.get();
   support::Scheduler::submit(
-      [this, impl, shared, pattern = std::move(pattern), opts] {
-        shared->set(find(pattern, opts));
+      [this, impl, shared, deadline, pattern = std::move(pattern), opts] {
+        if (deadline->expired()) {
+          shared->set(Result<DecisionResult>(shed_status(), DecisionResult{}));
+        } else {
+          shared->set(find(pattern, opts));
+        }
         impl->async_end();
-      });
+      },
+      static_cast<int>(admission.priority));
   return PendingResult<DecisionResult>(std::move(shared));
 }
 
 PendingResult<ListingResult> Solver::list_async(iso::Pattern pattern,
-                                                const QueryOptions& options) {
+                                                const QueryOptions& options,
+                                                const Admission& admission) {
+  if (Status status = ppsi::validate(admission); !status.ok())
+    return rejected_async<ListingResult>(std::move(status));
   auto shared = std::make_shared<detail::PendingShared<ListingResult>>();
   QueryOptions opts = options;
   opts.cancel = &shared->token;
+  auto deadline = queue_deadline(admission);
   impl_->async_begin();
   Impl* impl = impl_.get();
   support::Scheduler::submit(
-      [this, impl, shared, pattern = std::move(pattern), opts] {
-        shared->set(list(pattern, opts));
+      [this, impl, shared, deadline, pattern = std::move(pattern), opts] {
+        if (deadline->expired()) {
+          shared->set(Result<ListingResult>(shed_status(), ListingResult{}));
+        } else {
+          shared->set(list(pattern, opts));
+        }
         impl->async_end();
-      });
+      },
+      static_cast<int>(admission.priority));
   return PendingResult<ListingResult>(std::move(shared));
 }
 
 PendingResult<CountResult> Solver::count_async(iso::Pattern pattern,
-                                               const QueryOptions& options) {
+                                               const QueryOptions& options,
+                                               const Admission& admission) {
+  if (Status status = ppsi::validate(admission); !status.ok())
+    return rejected_async<CountResult>(std::move(status));
   auto shared = std::make_shared<detail::PendingShared<CountResult>>();
   QueryOptions opts = options;
   opts.cancel = &shared->token;
+  auto deadline = queue_deadline(admission);
   impl_->async_begin();
   Impl* impl = impl_.get();
   support::Scheduler::submit(
-      [this, impl, shared, pattern = std::move(pattern), opts] {
-        shared->set(count(pattern, opts));
+      [this, impl, shared, deadline, pattern = std::move(pattern), opts] {
+        if (deadline->expired()) {
+          shared->set(Result<CountResult>(shed_status(), CountResult{}));
+        } else {
+          shared->set(count(pattern, opts));
+        }
         impl->async_end();
-      });
+      },
+      static_cast<int>(admission.priority));
   return PendingResult<CountResult>(std::move(shared));
 }
 

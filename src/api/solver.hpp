@@ -11,9 +11,9 @@
 // run seed, decomposition kind), so
 //   * repeating a query with the same seed skips every cover build, and
 //   * a batch of patterns with equal (diameter, size) shares covers.
-// Results are identical to the legacy free functions (differentially
-// tested): caching only changes what gets recomputed, never what is
-// computed.
+// Caching only changes what gets recomputed, never what is computed:
+// repeated and batched queries are differentially tested bit-identical to
+// cold single-shot runs.
 //
 // Error model: every query returns Result<T> (api/status.hpp). Options are
 // validated eagerly; limit/budget/deadline interruptions return a non-ok
@@ -25,6 +25,7 @@
 #include <span>
 #include <vector>
 
+#include "api/admission.hpp"
 #include "api/pending.hpp"
 #include "api/status.hpp"
 #include "connectivity/vertex_connectivity.hpp"
@@ -36,8 +37,8 @@
 
 namespace ppsi {
 
-/// One validated option set for every Solver query (superset of the legacy
-/// cover::PipelineOptions / connectivity::VertexConnectivityOptions).
+/// One validated option set for every Solver query (superset of
+/// cover::PipelineOptions, the shared pipeline vocabulary).
 struct QueryOptions {
   std::uint64_t seed = 1;
   /// Cover repetitions for a w.h.p. negative answer; 0 = 2 log2(n) + 4.
@@ -72,6 +73,12 @@ struct QueryOptions {
   /// partial result. The *_async queries install their PendingResult's
   /// own token here, overriding any caller-supplied one.
   const support::CancelToken* cancel = nullptr;
+  /// Serving-layer suspend/resume gate (borrowed; must outlive the query).
+  /// Set by SolverPool on the queries it dispatches, not by callers: when
+  /// the pool requests a park, the cover slice loop suspends the query at
+  /// its next slice boundary (state retained, budget clock paused) and
+  /// continues after resume. Results are unchanged by parking.
+  support::ParkGate* park = nullptr;
   /// Decision queries only: skip witness recovery and free each solved DP
   /// node as soon as its parent has consumed it, so a query's peak memory
   /// is one root frontier instead of the whole solved tree.
@@ -85,8 +92,7 @@ struct QueryOptions {
 /// it. See Solver::set_cache_capacity.
 inline constexpr std::size_t kDefaultCacheCapacity = 256;
 
-/// Eager validation; every Solver query calls this first (the legacy shims
-/// funnel through the same checks and throw instead).
+/// Eager validation; every Solver query calls this first.
 Status validate(const QueryOptions& options);
 
 /// Cache observability (cumulative since construction / clear_cache()).
@@ -171,16 +177,25 @@ class Solver {
   // cooperative cancellation (see QueryOptions::cancel). The Solver must
   // not be moved while async queries are pending; the destructor drains
   // them (cancel first for a prompt exit).
+  //
+  // The Admission argument (api/admission.hpp) classes the query for the
+  // serving threads: its priority orders dispatch against other detached
+  // queries, and a query whose Admission::deadline_seconds passes before
+  // execution starts resolves to kShed with zero accounted work. The
+  // default Admission reproduces the old FIFO behavior exactly.
 
   /// Asynchronous find (patterns are copied into the detached query).
   PendingResult<cover::DecisionResult> find_async(
-      iso::Pattern pattern, const QueryOptions& options = {});
+      iso::Pattern pattern, const QueryOptions& options = {},
+      const Admission& admission = {});
   /// Asynchronous list.
   PendingResult<cover::ListingResult> list_async(
-      iso::Pattern pattern, const QueryOptions& options = {});
+      iso::Pattern pattern, const QueryOptions& options = {},
+      const Admission& admission = {});
   /// Asynchronous count.
   PendingResult<cover::CountResult> count_async(
-      iso::Pattern pattern, const QueryOptions& options = {});
+      iso::Pattern pattern, const QueryOptions& options = {},
+      const Admission& admission = {});
 
   /// Aggregated over this solver and the internal face-vertex sub-solver.
   CacheStats cache_stats() const;

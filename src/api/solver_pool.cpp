@@ -1,9 +1,12 @@
 #include "api/solver_pool.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -14,20 +17,78 @@ namespace ppsi {
 
 namespace {
 
+using SteadyClock = std::chrono::steady_clock;
+
 /// One queued query, type-erased. `run` executes the query (or, when its
 /// token was cancelled while queued, builds the kCancelled short-circuit)
 /// outside the pool mutex and returns the outcome; `publish` then fulfills
 /// the PendingResult and is called *under* the pool mutex after the
 /// counters update, so a consumer that observed a ready handle also
-/// observes consistent PoolStats. `cancel` flips the token.
+/// observes consistent PoolStats. `shed_publish` is the zero-work kShed
+/// completion (also called under the mutex); `cancel` flips the token and
+/// `cancelled` reads it.
 struct Job {
   struct Outcome {
     std::function<void()> publish;
     bool ran = false;  ///< false: skipped at admission (cancelled queued)
+    std::uint64_t work = 0;  ///< accounted work units (fair-share charge)
   };
-  std::function<Outcome()> run;
+  std::function<Outcome(support::ParkGate*)> run;
+  std::function<void()> shed_publish;
   std::function<void()> cancel;
+  std::function<bool()> cancelled;
 };
+
+/// A queued query plus its admission metadata (the policy engine's view).
+struct Queued {
+  Job job;
+  TargetId tenant = 0;
+  Priority priority = Priority::kNormal;
+  double weight = 1.0;
+  std::uint64_t seq = 0;  ///< submission order (FIFO tiebreak)
+  bool has_deadline = false;
+  SteadyClock::time_point deadline_at{};  ///< EDF key; shed once passed
+  bool deadline_passed_at_submit = false;
+};
+
+/// One running (or parked) query's bookkeeping. The gate outlives the
+/// record's residence in either list via shared_ptr: the serving thread
+/// holds one ref for the duration of the query.
+struct Running {
+  std::uint64_t seq = 0;
+  TargetId tenant = 0;
+  Priority priority = Priority::kNormal;
+  double weight = 1.0;
+  std::shared_ptr<support::ParkGate> gate;
+  bool park_requested = false;  ///< requested, not yet acknowledged
+};
+
+/// Already-resolved rejection handle.
+template <typename T>
+PendingResult<T> rejected(Status status) {
+  auto shared = std::make_shared<detail::PendingShared<T>>();
+  shared->set(Result<T>(std::move(status)));
+  return PendingResult<T>(std::move(shared));
+}
+
+Status unknown_target() {
+  return Status::InvalidOptions("SolverPool: unknown TargetId");
+}
+
+template <typename T>
+constexpr Query::Kind kind_of();
+template <>
+constexpr Query::Kind kind_of<cover::DecisionResult>() {
+  return Query::Kind::kFind;
+}
+template <>
+constexpr Query::Kind kind_of<cover::ListingResult>() {
+  return Query::Kind::kList;
+}
+template <>
+constexpr Query::Kind kind_of<cover::CountResult>() {
+  return Query::Kind::kCount;
+}
 
 }  // namespace
 
@@ -37,55 +98,297 @@ struct SolverPool::Impl {
   mutable std::mutex mutex;
   std::condition_variable drained;
   std::vector<std::unique_ptr<Solver>> targets;  // stable shard addresses
-  std::deque<Job> queue;
+  std::deque<Queued> queue;
+  std::vector<std::shared_ptr<Running>> running_list;
+  std::vector<std::shared_ptr<Running>> parked_list;
   std::uint32_t running = 0;
   bool shutting_down = false;
+  std::uint64_t next_seq = 0;
   std::uint64_t submitted = 0;
   std::uint64_t started = 0;
   std::uint64_t completed = 0;
   std::uint64_t cancelled_before_start = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t park_events = 0;
+  /// Per-tenant cumulative fair-share charge (accounted work / weight),
+  /// indexed by TargetId. Grows with targets.
+  std::vector<double> tenant_charge;
 
-  /// Admits queued jobs up to max_concurrent. Caller holds `mutex`.
-  /// Scheduler::submit only enqueues (it never runs the job inline), so
-  /// holding the pool mutex across it cannot deadlock.
-  void dispatch_locked() {
-    while (running < options.max_concurrent && !queue.empty()) {
-      Job job = std::move(queue.front());
-      queue.pop_front();
-      ++running;
+  bool priority_policy() const {
+    return options.policy == AdmissionPolicy::kPriority;
+  }
+
+  /// Outstanding parks (acknowledged + requested). Capped below
+  /// serving_threads(): every parked query occupies a blocked serving
+  /// thread, so at least one thread must stay unparkable or the dispatched
+  /// waiters could find no thread to run on.
+  std::size_t parks_outstanding() const {
+    std::size_t requested = 0;
+    for (const auto& r : running_list)
+      if (r->park_requested) ++requested;
+    return parked_list.size() + requested;
+  }
+  std::size_t park_cap() const {
+    const std::size_t threads = support::Scheduler::serving_threads();
+    return threads > 1 ? threads - 1 : 0;
+  }
+
+  /// Picks the next queued query under the active policy. Caller holds
+  /// `mutex`; the queue is non-empty. kPriority order: class desc, tenant
+  /// charge asc, EDF (deadline-less last), seq asc. kFifo: seq asc.
+  std::size_t pick_locked() const {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < queue.size(); ++i) {
+      const Queued& a = queue[i];
+      const Queued& b = queue[best];
+      if (options.policy == AdmissionPolicy::kFifo) {
+        if (a.seq < b.seq) best = i;
+        continue;
+      }
+      if (a.priority != b.priority) {
+        if (static_cast<int>(a.priority) > static_cast<int>(b.priority))
+          best = i;
+        continue;
+      }
+      const double charge_a = tenant_charge[a.tenant];
+      const double charge_b = tenant_charge[b.tenant];
+      if (charge_a != charge_b) {
+        if (charge_a < charge_b) best = i;
+        continue;
+      }
+      if (a.has_deadline != b.has_deadline) {
+        if (a.has_deadline) best = i;  // deadlined before open-ended
+        continue;
+      }
+      if (a.has_deadline && a.deadline_at != b.deadline_at) {
+        if (a.deadline_at < b.deadline_at) best = i;
+        continue;
+      }
+      if (a.seq < b.seq) best = i;
+    }
+    return best;
+  }
+
+  /// The best queued priority, or nullopt on an empty queue. Skips
+  /// cancelled entries (they dispatch as zero-work skips regardless of
+  /// class, so they must not trigger parks).
+  int best_queued_class_locked() const {
+    int best = -1;
+    for (const Queued& q : queue) {
+      if (q.job.cancelled()) continue;
+      best = std::max(best, static_cast<int>(q.priority));
+    }
+    return best;
+  }
+
+  /// Sheds every queued query whose admission deadline has passed (and
+  /// whose token is not cancelled — cancellation outranks shedding and
+  /// resolves through the normal skip path). Caller holds `mutex`.
+  /// Publishing under the mutex follows the same discipline as dispatch
+  /// completion: counters first, then the handle, then the cv.
+  void shed_expired_locked() {
+    if (!priority_policy() || shutting_down) return;
+    const auto now = SteadyClock::now();
+    for (std::size_t i = 0; i < queue.size();) {
+      Queued& q = queue[i];
+      const bool expired =
+          q.has_deadline && (q.deadline_passed_at_submit || now >= q.deadline_at);
+      if (!expired || q.job.cancelled()) {
+        ++i;
+        continue;
+      }
+      Job::Outcome outcome{q.job.shed_publish, false, 0};
+      queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(i));
       ++started;
-      support::Scheduler::submit([this, job = std::move(job)] {
-        Job::Outcome outcome = job.run();
-        const std::lock_guard<std::mutex> lock(mutex);
-        --running;
-        if (outcome.ran) {
-          ++completed;
-        } else {
-          ++cancelled_before_start;
-        }
-        dispatch_locked();
-        // Publish after the counters, still under the mutex: once a
-        // consumer sees the handle ready, stats() reflects the query, and
-        // ~SolverPool cannot return before a running query's result is
-        // visible. (Lock order is pool mutex -> PendingShared mutex;
-        // consumers never take them in the other order.)
-        outcome.publish();
-        // Notify under the mutex too: ~SolverPool destroys this Impl as
-        // soon as its predicate holds, so the notify must not straddle
-        // the unlock (the cv would die under it).
-        drained.notify_all();
-      });
+      ++shed;
+      outcome.publish();
+      drained.notify_all();
     }
   }
 
-  /// Enqueues one query. `query` receives the handle's CancelToken and
-  /// returns the finished Result<T>.
-  template <typename T, typename Query>
-  PendingResult<T> enqueue(Query query) {
+  /// Requests a park on the lowest-class running victim when a strictly
+  /// higher class waits and every slot is busy. Caller holds `mutex`.
+  void maybe_request_park_locked() {
+    if (!priority_policy() || shutting_down) return;
+    if (running < options.max_concurrent) return;  // a slot will free anyway
+    const int waiter = best_queued_class_locked();
+    if (waiter < 0) return;
+    if (parks_outstanding() >= park_cap()) return;
+    // Victim: strictly lower class than the waiter; lowest class first,
+    // then the most recently admitted (least sunk work to suspend).
+    std::shared_ptr<Running> victim;
+    for (const auto& r : running_list) {
+      if (r->park_requested) continue;
+      if (static_cast<int>(r->priority) >= waiter) continue;
+      if (!victim || static_cast<int>(r->priority) <
+                         static_cast<int>(victim->priority) ||
+          (r->priority == victim->priority && r->seq > victim->seq))
+        victim = r;
+    }
+    if (!victim) return;
+    victim->park_requested = true;
+    victim->gate->request_park();
+  }
+
+  /// A parked query's slice loop acknowledged the park (runs on the
+  /// query's serving thread, inside ParkGate::park, before it blocks):
+  /// give the admission slot back and fill it.
+  void on_parked(const std::shared_ptr<Running>& record) {
+    std::unique_lock<std::mutex> lock(mutex);
+    const auto it =
+        std::find(running_list.begin(), running_list.end(), record);
+    support::require(it != running_list.end(),
+                     "SolverPool: parked query not in running list");
+    running_list.erase(it);
+    record->park_requested = false;
+    parked_list.push_back(record);
+    --running;
+    ++park_events;
+    dispatch_locked();
+    // ~SolverPool waits for parked queries too (it resumes them first, but
+    // the resume/park handshake may interleave with shutdown).
+    drained.notify_all();
+  }
+
+  /// Resumes the best parked query (running slot already reserved by the
+  /// caller). Caller holds `mutex`.
+  void resume_locked(std::size_t parked_index) {
+    std::shared_ptr<Running> record = parked_list[parked_index];
+    parked_list.erase(parked_list.begin() +
+                      static_cast<std::ptrdiff_t>(parked_index));
+    running_list.push_back(record);
+    ++running;
+    record->gate->resume();
+  }
+
+  /// Admits work up to max_concurrent: sheds expired entries, then fills
+  /// free slots from {queued, parked}, preferring the higher class and —
+  /// on class ties — the parked query (it holds partial state and a
+  /// serving thread; finishing it releases both). Caller holds `mutex`.
+  /// Scheduler::submit only enqueues (it never runs the job inline), so
+  /// holding the pool mutex across it cannot deadlock.
+  void dispatch_locked() {
+    shed_expired_locked();
+    while (running < options.max_concurrent &&
+           (!queue.empty() || !parked_list.empty())) {
+      // Best parked candidate (shutdown resumes them unconditionally).
+      std::size_t parked_best = parked_list.size();
+      for (std::size_t i = 0; i < parked_list.size(); ++i) {
+        if (parked_best == parked_list.size() ||
+            static_cast<int>(parked_list[i]->priority) >
+                static_cast<int>(parked_list[parked_best]->priority))
+          parked_best = i;
+      }
+      if (!queue.empty()) {
+        const std::size_t qi = pick_locked();
+        const bool parked_wins =
+            parked_best < parked_list.size() &&
+            (shutting_down ||
+             !priority_policy() ||
+             static_cast<int>(parked_list[parked_best]->priority) >=
+                 static_cast<int>(queue[qi].priority));
+        if (!parked_wins) {
+          dispatch_queued_locked(qi);
+          continue;
+        }
+      }
+      if (parked_best < parked_list.size()) {
+        resume_locked(parked_best);
+        continue;
+      }
+      break;  // queue empty, nothing parked
+    }
+    // Slots full with a higher-class waiter still queued: try to park.
+    maybe_request_park_locked();
+  }
+
+  /// Moves queue[index] into a running slot and hands it to the serving
+  /// threads. Caller holds `mutex` and has checked the slot bound.
+  void dispatch_queued_locked(std::size_t index) {
+    Queued entry = std::move(queue[index]);
+    queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(index));
+    ++running;
+    ++started;
+    auto record = std::make_shared<Running>();
+    record->seq = entry.seq;
+    record->tenant = entry.tenant;
+    record->priority = entry.priority;
+    record->weight = entry.weight;
+    // weak_ptr: the gate lives inside the record, so a strong capture
+    // would cycle and leak both. The serving closure below keeps the
+    // record alive for as long as the gate can possibly fire.
+    std::weak_ptr<Running> weak = record;
+    record->gate = std::make_shared<support::ParkGate>([this, weak] {
+      if (auto rec = weak.lock()) on_parked(rec);
+    });
+    running_list.push_back(record);
+    support::Scheduler::submit(
+        [this, record, job = std::move(entry.job)] {
+          Job::Outcome outcome = job.run(record->gate.get());
+          const std::lock_guard<std::mutex> lock(mutex);
+          const auto it =
+              std::find(running_list.begin(), running_list.end(), record);
+          support::require(it != running_list.end(),
+                           "SolverPool: completed query not in running list");
+          running_list.erase(it);
+          --running;
+          if (outcome.ran) {
+            ++completed;
+            // Deficit round-robin charge: accounted work at 1/weight.
+            // Skipped/shed queries charge nothing by construction.
+            tenant_charge[record->tenant] +=
+                static_cast<double>(outcome.work) / record->weight;
+          } else {
+            ++cancelled_before_start;
+          }
+          dispatch_locked();
+          // Publish after the counters, still under the mutex: once a
+          // consumer sees the handle ready, stats() reflects the query,
+          // and ~SolverPool cannot return before a running query's result
+          // is visible. (Lock order is pool mutex -> PendingShared mutex;
+          // consumers never take them in the other order.)
+          outcome.publish();
+          // Notify under the mutex too: ~SolverPool destroys this Impl as
+          // soon as its predicate holds, so the notify must not straddle
+          // the unlock (the cv would die under it).
+          drained.notify_all();
+        },
+        static_cast<int>(entry.priority));
+  }
+
+  /// Enqueues one query. `query` receives the handle's CancelToken plus
+  /// the dispatch-time ParkGate and returns the finished Result<T>.
+  template <typename T, typename QueryFn>
+  PendingResult<T> enqueue(TargetId tenant, const Admission& admission,
+                           QueryFn query) {
     auto shared = std::make_shared<detail::PendingShared<T>>();
-    Job job;
-    job.cancel = [shared] { shared->token.cancel(); };
-    job.run = [shared, query = std::move(query)]() -> Job::Outcome {
+    Queued entry;
+    entry.tenant = tenant;
+    entry.priority = admission.priority;
+    entry.weight = admission.tenant_weight;
+    if (admission.deadline_seconds > 0) {
+      entry.has_deadline = true;
+      const auto duration =
+          std::chrono::duration_cast<SteadyClock::duration>(
+              std::chrono::duration<double>(admission.deadline_seconds));
+      entry.deadline_at = SteadyClock::now() + duration;
+      // A deadline of exactly "now" (sub-tick duration) sheds
+      // deterministically, independent of the clock advancing between
+      // submit and dispatch (mirrors DeadlineClock's expired-at-arm rule).
+      entry.deadline_passed_at_submit =
+          duration <= SteadyClock::duration::zero();
+    }
+    entry.job.cancel = [shared] { shared->token.cancel(); };
+    entry.job.cancelled = [shared] { return shared->token.cancelled(); };
+    entry.job.shed_publish = [shared] {
+      shared->set(Result<T>(
+          Status(StatusCode::kShed,
+                 "Admission::deadline_seconds passed while queued; the query "
+                 "was shed without doing work"),
+          T{}));
+    };
+    entry.job.run = [shared, query = std::move(query)](
+                        support::ParkGate* gate) -> Job::Outcome {
       if (shared->token.cancelled()) {
         Result<T> skipped(
             Status(StatusCode::kCancelled,
@@ -94,20 +397,23 @@ struct SolverPool::Impl {
         return {[shared, skipped = std::move(skipped)]() mutable {
                   shared->set(std::move(skipped));
                 },
-                false};
+                false, 0};
       }
-      Result<T> result = query(shared->token);
+      Result<T> result = query(shared->token, gate);
+      const std::uint64_t work =
+          result.has_value() ? result->metrics.work() : 0;
       return {[shared, result = std::move(result)]() mutable {
                 shared->set(std::move(result));
               },
-              true};
+              true, work};
     };
     {
       const std::lock_guard<std::mutex> lock(mutex);
       // During shutdown new queries short-circuit like queued ones.
-      if (shutting_down) job.cancel();
+      if (shutting_down) entry.job.cancel();
+      entry.seq = next_seq++;
       ++submitted;
-      queue.push_back(std::move(job));
+      queue.push_back(std::move(entry));
       dispatch_locked();
     }
     return PendingResult<T>(std::move(shared));
@@ -131,10 +437,15 @@ SolverPool::~SolverPool() {
   std::unique_lock<std::mutex> lock(impl_->mutex);
   impl_->shutting_down = true;
   // Queued queries resolve to kCancelled at admission; running ones finish
-  // (their owners may still be waiting on the results).
-  for (Job& job : impl_->queue) job.cancel();
-  impl_->drained.wait(
-      lock, [&] { return impl_->running == 0 && impl_->queue.empty(); });
+  // (their owners may still be waiting on the results); parked ones resume
+  // into free slots as the running ones drain (dispatch_locked resumes
+  // unconditionally during shutdown).
+  for (Queued& entry : impl_->queue) entry.job.cancel();
+  impl_->dispatch_locked();
+  impl_->drained.wait(lock, [&] {
+    return impl_->running == 0 && impl_->queue.empty() &&
+           impl_->parked_list.empty();
+  });
 }
 
 TargetId SolverPool::add_target(Graph target) {
@@ -142,6 +453,7 @@ TargetId SolverPool::add_target(Graph target) {
   solver->set_cache_capacity(impl_->options.cache_capacity_per_target);
   const std::lock_guard<std::mutex> lock(impl_->mutex);
   impl_->targets.push_back(std::move(solver));
+  impl_->tenant_charge.push_back(0.0);
   return static_cast<TargetId>(impl_->targets.size() - 1);
 }
 
@@ -150,6 +462,7 @@ TargetId SolverPool::add_target(planar::EmbeddedGraph target) {
   solver->set_cache_capacity(impl_->options.cache_capacity_per_target);
   const std::lock_guard<std::mutex> lock(impl_->mutex);
   impl_->targets.push_back(std::move(solver));
+  impl_->tenant_charge.push_back(0.0);
   return static_cast<TargetId>(impl_->targets.size() - 1);
 }
 
@@ -164,60 +477,60 @@ Solver& SolverPool::solver(TargetId id) {
   return *shard;
 }
 
-namespace {
-
-/// Already-resolved rejection handle (unknown TargetId).
 template <typename T>
-PendingResult<T> rejected(Status status) {
-  auto shared = std::make_shared<detail::PendingShared<T>>();
-  shared->set(Result<T>(std::move(status)));
-  return PendingResult<T>(std::move(shared));
+PendingResult<T> SolverPool::submit(TargetId id, Query query,
+                                    const Admission& admission) {
+  Solver* shard = impl_->shard(id);
+  if (shard == nullptr) return rejected<T>(unknown_target());
+  if (Status status = ppsi::validate(admission); !status.ok())
+    return rejected<T>(std::move(status));
+  if (query.kind != kind_of<T>())
+    return rejected<T>(Status::InvalidOptions(
+        "SolverPool::submit: Query kind does not match the requested "
+        "result type"));
+  return impl_->enqueue<T>(
+      id, admission,
+      [shard, query = std::move(query)](const support::CancelToken& token,
+                                        support::ParkGate* gate) {
+        QueryOptions opts = query.options;
+        opts.cancel = &token;
+        opts.park = gate;
+        if constexpr (std::is_same_v<T, cover::DecisionResult>) {
+          return shard->find(query.pattern, opts);
+        } else if constexpr (std::is_same_v<T, cover::ListingResult>) {
+          return shard->list(query.pattern, opts);
+        } else {
+          return shard->count(query.pattern, opts);
+        }
+      });
 }
 
-Status unknown_target() {
-  return Status::InvalidOptions("SolverPool: unknown TargetId");
-}
-
-}  // namespace
+template PendingResult<cover::DecisionResult> SolverPool::submit(
+    TargetId, Query, const Admission&);
+template PendingResult<cover::ListingResult> SolverPool::submit(
+    TargetId, Query, const Admission&);
+template PendingResult<cover::CountResult> SolverPool::submit(
+    TargetId, Query, const Admission&);
 
 PendingResult<cover::DecisionResult> SolverPool::find_async(
-    TargetId id, iso::Pattern pattern, const QueryOptions& options) {
-  Solver* shard = impl_->shard(id);
-  if (shard == nullptr)
-    return rejected<cover::DecisionResult>(unknown_target());
-  return impl_->enqueue<cover::DecisionResult>(
-      [shard, pattern = std::move(pattern),
-       options](const support::CancelToken& token) {
-        QueryOptions opts = options;
-        opts.cancel = &token;
-        return shard->find(pattern, opts);
-      });
+    TargetId id, iso::Pattern pattern, const QueryOptions& options,
+    const Admission& admission) {
+  return submit<cover::DecisionResult>(
+      id, Query::Find(std::move(pattern), options), admission);
 }
 
 PendingResult<cover::ListingResult> SolverPool::list_async(
-    TargetId id, iso::Pattern pattern, const QueryOptions& options) {
-  Solver* shard = impl_->shard(id);
-  if (shard == nullptr) return rejected<cover::ListingResult>(unknown_target());
-  return impl_->enqueue<cover::ListingResult>(
-      [shard, pattern = std::move(pattern),
-       options](const support::CancelToken& token) {
-        QueryOptions opts = options;
-        opts.cancel = &token;
-        return shard->list(pattern, opts);
-      });
+    TargetId id, iso::Pattern pattern, const QueryOptions& options,
+    const Admission& admission) {
+  return submit<cover::ListingResult>(
+      id, Query::List(std::move(pattern), options), admission);
 }
 
 PendingResult<cover::CountResult> SolverPool::count_async(
-    TargetId id, iso::Pattern pattern, const QueryOptions& options) {
-  Solver* shard = impl_->shard(id);
-  if (shard == nullptr) return rejected<cover::CountResult>(unknown_target());
-  return impl_->enqueue<cover::CountResult>(
-      [shard, pattern = std::move(pattern),
-       options](const support::CancelToken& token) {
-        QueryOptions opts = options;
-        opts.cancel = &token;
-        return shard->count(pattern, opts);
-      });
+    TargetId id, iso::Pattern pattern, const QueryOptions& options,
+    const Admission& admission) {
+  return submit<cover::CountResult>(
+      id, Query::Count(std::move(pattern), options), admission);
 }
 
 PoolStats SolverPool::stats() const {
@@ -227,8 +540,11 @@ PoolStats SolverPool::stats() const {
   stats.started = impl_->started;
   stats.completed = impl_->completed;
   stats.cancelled_before_start = impl_->cancelled_before_start;
+  stats.shed = impl_->shed;
   stats.queued = impl_->queue.size();
   stats.running = impl_->running;
+  stats.parked = impl_->parked_list.size();
+  stats.park_events = impl_->park_events;
   return stats;
 }
 

@@ -3,12 +3,36 @@
 // SolverPool — multi-tenant serving front-end over per-target Solvers.
 //
 // A pool owns several targets, each behind its own Solver shard (so cover
-// caches never mix across tenants), and admits asynchronous queries
-// through one fair FIFO queue: at most PoolOptions::max_concurrent queries
-// execute at a time, strictly in submission order, on the shared serving
-// threads (support::Scheduler::submit). Inside one admitted query the
-// full slice/path task parallelism of the engines still applies — admission
-// bounds *queries*, not threads.
+// caches never mix across tenants), and admits asynchronous queries through
+// a policy engine: at most PoolOptions::max_concurrent queries execute at a
+// time on the shared serving threads (support::Scheduler::submit). Inside
+// one admitted query the full slice/path task parallelism of the engines
+// still applies — admission bounds *queries*, not threads.
+//
+// Every submission carries an Admission (api/admission.hpp); under the
+// default kPriority policy dispatch picks, in order:
+//   1. the highest non-empty priority class (kInteractive > kNormal >
+//      kBulk, strict — a queued interactive query always dispatches before
+//      any queued bulk one);
+//   2. within that class, the least-charged tenant (deficit round-robin:
+//      each completed query charges its TargetId's tenant accounted work
+//      units / tenant_weight, and dispatch favors the smallest cumulative
+//      charge);
+//   3. within that tenant, earliest queueing deadline first (queries
+//      without a deadline sort last), submission order breaking ties.
+// A queued query whose Admission deadline already passed is shed at
+// dispatch: it completes immediately with StatusCode::kShed, an empty
+// value, and zero accounted work. And when a query of a strictly higher
+// class waits while every slot runs lower-class work, the engine *parks*
+// one running victim: the query suspends cooperatively at its next
+// slice-boundary checkpoint (state retained, budget clock paused), its slot
+// dispatches the waiter, and the victim resumes when a slot frees.
+// PoolOptions::policy = kFifo disables all of this and reproduces the old
+// strictly-FIFO admission (the bench baseline).
+//
+// Determinism contract: policy decides *ordering only*. Every admitted
+// query's result — including one that parked and resumed — is bit-identical
+// to its blocking run (tests/differential/test_differential_async.cpp).
 //
 // Every submission returns a PendingResult<T> owning the query's
 // CancelToken:
@@ -17,27 +41,41 @@
 //   * cancelled while executing: the cooperative checkpoints preempt it
 //     mid-cover and it resolves to kCancelled with the partial result;
 //   * cancelled after completion: a no-op.
-// Destroying the pool cancels everything still queued, waits for running
-// queries to finish, then tears down the shards.
+// Destroying the pool cancels everything still queued, resumes everything
+// parked, waits for running queries to finish, then tears down the shards.
 
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 
+#include "api/admission.hpp"
 #include "api/pending.hpp"
 #include "api/solver.hpp"
 
 namespace ppsi {
 
-/// Index of one target within its pool (dense, in add_target order).
+/// Index of one target within its pool (dense, in add_target order). Each
+/// target doubles as the tenant fair sharing accounts against.
 using TargetId = std::uint32_t;
 
+/// How the pool orders queued queries (see the header comment).
+enum class AdmissionPolicy {
+  /// Strict priority classes, weighted fair tenants, EDF + shedding,
+  /// cooperative park/resume.
+  kPriority,
+  /// Plain submission order; Admission fields are recorded but ignored
+  /// (no shedding, no parking). The pre-policy-engine behavior.
+  kFifo,
+};
+
 struct PoolOptions {
-  /// Queries admitted concurrently; further submissions wait in FIFO
+  /// Queries admitted concurrently; further submissions wait in the policy
   /// order. Must be positive.
   std::uint32_t max_concurrent = 2;
   /// Per-shard cover-cache capacity (Solver::set_cache_capacity).
   std::size_t cache_capacity_per_target = kDefaultCacheCapacity;
+  /// Queue ordering policy; kPriority unless benchmarking the baseline.
+  AdmissionPolicy policy = AdmissionPolicy::kPriority;
 };
 
 /// Cumulative admission counters (stats() snapshots them atomically).
@@ -46,8 +84,33 @@ struct PoolStats {
   std::uint64_t started = 0;    ///< dequeued for execution (incl. skipped)
   std::uint64_t completed = 0;  ///< ran to a result
   std::uint64_t cancelled_before_start = 0;  ///< skipped at admission
+  std::uint64_t shed = 0;       ///< completed as kShed at dispatch, zero work
   std::uint64_t queued = 0;     ///< currently waiting
   std::uint64_t running = 0;    ///< currently executing
+  std::uint64_t parked = 0;     ///< currently suspended at a slice boundary
+  std::uint64_t park_events = 0;  ///< cumulative acknowledged parks
+};
+
+/// One type-erased query for the unified submission surface. The typed
+/// wrappers (find_async & co) build these; submit<T> checks that T matches
+/// the kind (find -> DecisionResult, list -> ListingResult, count ->
+/// CountResult) and rejects a mismatch with kInvalidOptions.
+struct Query {
+  enum class Kind { kFind, kList, kCount };
+
+  Kind kind = Kind::kFind;
+  iso::Pattern pattern;
+  QueryOptions options;
+
+  static Query Find(iso::Pattern pattern, QueryOptions options = {}) {
+    return {Kind::kFind, std::move(pattern), std::move(options)};
+  }
+  static Query List(iso::Pattern pattern, QueryOptions options = {}) {
+    return {Kind::kList, std::move(pattern), std::move(options)};
+  }
+  static Query Count(iso::Pattern pattern, QueryOptions options = {}) {
+    return {Kind::kCount, std::move(pattern), std::move(options)};
+  }
 };
 
 class SolverPool {
@@ -67,15 +130,25 @@ class SolverPool {
   /// Blocking queries bypass the pool's admission queue.
   Solver& solver(TargetId id);
 
-  /// Asynchronous queries against one target; see the header comment for
-  /// admission and cancellation semantics. An unknown id rejects with
-  /// kInvalidOptions (the handle is already resolved).
+  /// The one submission surface: admission, validation, shedding, and
+  /// dispatch live here once; the typed wrappers below only build the
+  /// Query. T must match query.kind (see Query); an unknown id, invalid
+  /// Admission, or kind/T mismatch rejects with kInvalidOptions (the
+  /// handle is already resolved).
+  template <typename T>
+  PendingResult<T> submit(TargetId id, Query query,
+                          const Admission& admission = {});
+
+  /// Thin typed wrappers over submit().
   PendingResult<cover::DecisionResult> find_async(
-      TargetId id, iso::Pattern pattern, const QueryOptions& options = {});
+      TargetId id, iso::Pattern pattern, const QueryOptions& options = {},
+      const Admission& admission = {});
   PendingResult<cover::ListingResult> list_async(
-      TargetId id, iso::Pattern pattern, const QueryOptions& options = {});
+      TargetId id, iso::Pattern pattern, const QueryOptions& options = {},
+      const Admission& admission = {});
   PendingResult<cover::CountResult> count_async(
-      TargetId id, iso::Pattern pattern, const QueryOptions& options = {});
+      TargetId id, iso::Pattern pattern, const QueryOptions& options = {},
+      const Admission& admission = {});
 
   PoolStats stats() const;
 
@@ -83,5 +156,12 @@ class SolverPool {
   struct Impl;
   std::unique_ptr<Impl> impl_;
 };
+
+extern template PendingResult<cover::DecisionResult> SolverPool::submit(
+    TargetId, Query, const Admission&);
+extern template PendingResult<cover::ListingResult> SolverPool::submit(
+    TargetId, Query, const Admission&);
+extern template PendingResult<cover::CountResult> SolverPool::submit(
+    TargetId, Query, const Admission&);
 
 }  // namespace ppsi

@@ -40,6 +40,11 @@ enum class StatusCode {
   /// The query was cancelled through its CancelToken (QueryOptions::cancel
   /// or PendingResult::cancel()); the value holds the partial result.
   kCancelled,
+  /// Load shedding: the query's Admission::deadline_seconds had already
+  /// passed when the serving layer would have started it, so it completed
+  /// immediately with an empty value and zero accounted work instead of
+  /// being admitted. Only *_async / SolverPool queries can shed.
+  kShed,
   /// Default-constructed Result placeholder; never returned by a query.
   kEmpty,
 };

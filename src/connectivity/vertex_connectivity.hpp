@@ -9,26 +9,18 @@
 // so after gating c in {0, 1} with components/articulation points, probing
 // S-separating C4, C6, C8 with the separating subgraph isomorphism pipeline
 // decides c in {2, 3, 4}; otherwise c = 5.
+//
+// The algorithm itself is Solver::vertex_connectivity (api/solver.hpp),
+// which caches the face-vertex graph and its separating covers across
+// queries; this header only defines its result type.
 
 #include <cstdint>
 #include <vector>
 
-#include "cover/pipeline.hpp"
-#include "planar/rotation_system.hpp"
+#include "graph/graph.hpp"
 #include "support/metrics.hpp"
 
 namespace ppsi::connectivity {
-
-struct VertexConnectivityOptions {
-  std::uint64_t seed = 1;
-  /// Cover repetitions per cycle length for the w.h.p. "no" answer
-  /// (0 = 2 log2(n) + 4).
-  std::uint32_t max_runs = 0;
-  cover::EngineKind engine = cover::EngineKind::kSparse;
-  /// Below this size the exact flow baseline answers directly (the
-  /// separating-cycle machinery needs room for the 2c-cycle).
-  Vertex small_cutoff = 8;
-};
 
 struct VertexConnectivityResult {
   std::uint32_t connectivity = 0;
@@ -39,16 +31,5 @@ struct VertexConnectivityResult {
   support::Metrics metrics;
   std::uint32_t cycle_runs = 0;  ///< cover runs spent on cycle probes
 };
-
-/// Monte Carlo planar vertex connectivity (correct w.h.p.). The graph must
-/// come with its combinatorial embedding.
-///
-/// DEPRECATED: thin shim over a temporary ppsi::Solver — it rebuilds the
-/// face-vertex graph and every separating cover per call. Construct a
-/// Solver from the EmbeddedGraph and call Solver::vertex_connectivity to
-/// reuse them across queries.
-PPSI_DEPRECATED("use ppsi::Solver::vertex_connectivity (api/solver.hpp)")
-VertexConnectivityResult planar_vertex_connectivity(
-    const planar::EmbeddedGraph& eg, const VertexConnectivityOptions& = {});
 
 }  // namespace ppsi::connectivity

@@ -1,15 +1,7 @@
-// Legacy free-function drivers, kept as thin deprecated shims over a
-// temporary ppsi::Solver (api/solver.cpp hosts the actual pipeline). Each
-// call pays a full Solver construction and a cold cache — callers that
-// query one target repeatedly should hold a Solver instead.
+// Shared option validation for the pipeline vocabulary (cover/pipeline.hpp).
+// The query drivers themselves live behind ppsi::Solver (api/solver.cpp).
 
-#define PPSI_ALLOW_DEPRECATED_API
 #include "cover/pipeline.hpp"
-
-#include <stdexcept>
-#include <utility>
-
-#include "api/solver.hpp"
 
 namespace ppsi::cover {
 
@@ -34,72 +26,6 @@ const char* validate_options(const PipelineOptions& options) {
       return "unknown decomposition kind";
   }
   return nullptr;
-}
-
-namespace {
-
-QueryOptions to_query(const PipelineOptions& options) {
-  QueryOptions query;
-  query.seed = options.seed;
-  query.max_runs = options.max_runs;
-  query.engine = options.engine;
-  query.decomposition = options.decomposition;
-  query.use_shortcuts = options.use_shortcuts;
-  query.list_limit = options.list_limit;
-  query.stopping_slack = options.stopping_slack;
-  return query;
-}
-
-/// Legacy error model: rejections throw; interruptions (the listing cap —
-/// budgets/deadlines don't exist in PipelineOptions) return the partial
-/// value exactly as the pre-Solver implementation did.
-template <typename T>
-T unwrap(Result<T> result) {
-  if (!result.has_value())
-    throw std::invalid_argument(result.status().message());
-  return std::move(result).value();
-}
-
-}  // namespace
-
-DecisionResult find_pattern(const Graph& g, const iso::Pattern& pattern,
-                            const PipelineOptions& options) {
-  Solver solver{g};
-  return unwrap(solver.find(pattern, to_query(options)));
-}
-
-ListingResult list_occurrences(const Graph& g, const iso::Pattern& pattern,
-                               const PipelineOptions& options) {
-  Solver solver{g};
-  return unwrap(solver.list(pattern, to_query(options)));
-}
-
-CountResult count_occurrences(const Graph& g, const iso::Pattern& pattern,
-                              const PipelineOptions& options) {
-  Solver solver{g};
-  return unwrap(solver.count(pattern, to_query(options)));
-}
-
-DecisionResult find_pattern_disconnected(const Graph& g,
-                                         const iso::Pattern& pattern,
-                                         const PipelineOptions& options) {
-  Solver solver{g};
-  return unwrap(solver.find_disconnected(pattern, to_query(options)));
-}
-
-DecisionResult find_separating_pattern(const Graph& g,
-                                       const std::vector<std::uint8_t>& in_s,
-                                       const iso::Pattern& pattern,
-                                       const PipelineOptions& options) {
-  Solver solver{g};
-  return unwrap(solver.find_separating(in_s, pattern, to_query(options)));
-}
-
-DecisionResult run_once(const Graph& g, const iso::Pattern& pattern,
-                        std::uint64_t run_seed,
-                        const PipelineOptions& options) {
-  Solver solver{g};
-  return unwrap(solver.find_once(pattern, run_seed, to_query(options)));
 }
 
 }  // namespace ppsi::cover

@@ -1,22 +1,14 @@
 #pragma once
 
-// Legacy free-function drivers of the paper's pipeline (§2, §4, §5.2):
-//   * find_pattern        — Theorem 2.1 decision: repeat {cover, solve each
-//                           slice} until found, or O(log n) runs for a
-//                           w.h.p. "no".
-//   * list_occurrences    — Theorem 4.2 listing with the Observation 2
-//                           coin-run stopping rule.
-//   * count_occurrences   — counting via listing (the paper notes this is
-//                           the only route its machinery offers).
-//   * find_pattern_disconnected — §4.1 random color splitting.
-//   * find_separating_pattern   — §5.2 S-separating occurrences on the
-//                           contracted-minor cover.
-//
-// DEPRECATED: these are stateless — every call rebuilds covers and tree
-// decompositions from scratch. They survive as thin shims over a temporary
-// ppsi::Solver (api/solver.hpp), which is the supported API: construct one
-// Solver per target and reuse it so repeated queries hit its cover cache.
-// The shims throw std::invalid_argument where Solver returns a Status.
+// Shared option/result vocabulary of the paper's pipeline (§2, §4, §5.2):
+// the engine and decomposition kinds, the per-query knobs every driver
+// validates the same way, and the Decision/Listing/Count result structs.
+// ppsi::Solver (api/solver.hpp) is the only query surface — the legacy
+// free-function drivers (find_pattern & co) that used to live here were
+// deprecated shims over a temporary Solver and have been removed; construct
+// one Solver per target and reuse it so repeated queries hit its cover
+// cache. QueryOptions (the Solver superset of PipelineOptions) funnels
+// through validate_options below, which keeps the bounds in one place.
 
 #include <cstdint>
 #include <optional>
@@ -27,17 +19,6 @@
 #include "isomorphism/parallel_engine.hpp"
 #include "isomorphism/pattern.hpp"
 #include "support/metrics.hpp"
-
-// Marks the legacy free functions [[deprecated]]. TUs that implement or
-// deliberately exercise the shims (the library itself, the legacy
-// differential suites) define PPSI_ALLOW_DEPRECATED_API before including.
-#ifndef PPSI_DEPRECATED
-#ifdef PPSI_ALLOW_DEPRECATED_API
-#define PPSI_DEPRECATED(msg)
-#else
-#define PPSI_DEPRECATED(msg) [[deprecated(msg)]]
-#endif
-#endif
 
 namespace ppsi::cover {
 
@@ -73,10 +54,10 @@ struct PipelineOptions {
 /// cover runs, so larger values are treated as configuration mistakes.
 inline constexpr std::uint32_t kMaxStoppingSlack = 64;
 
-/// Eager option validation shared by the Solver and the legacy shims:
-/// returns nullptr when valid, else a static message describing the first
-/// violation (zero list_limit, out-of-range stopping_slack, unknown
-/// engine/decomposition enum values).
+/// Eager option validation used by every Solver query: returns nullptr when
+/// valid, else a static message describing the first violation (zero
+/// list_limit, out-of-range stopping_slack, unknown engine/decomposition
+/// enum values).
 const char* validate_options(const PipelineOptions& options);
 
 struct DecisionResult {
@@ -99,43 +80,5 @@ struct CountResult {
   std::uint32_t iterations = 0;
   support::Metrics metrics;  ///< instrumented work of the underlying listing
 };
-
-/// Decides occurrence of a *connected* pattern (Theorem 2.1).
-PPSI_DEPRECATED("use ppsi::Solver::find (api/solver.hpp)")
-DecisionResult find_pattern(const Graph& g, const iso::Pattern& pattern,
-                            const PipelineOptions& options = {});
-
-/// Lists w.h.p. all occurrences of a connected pattern (Theorem 4.2).
-PPSI_DEPRECATED("use ppsi::Solver::list (api/solver.hpp)")
-ListingResult list_occurrences(const Graph& g, const iso::Pattern& pattern,
-                               const PipelineOptions& options = {});
-
-/// Counts occurrences by listing them.
-PPSI_DEPRECATED("use ppsi::Solver::count (api/solver.hpp)")
-CountResult count_occurrences(const Graph& g, const iso::Pattern& pattern,
-                              const PipelineOptions& options = {});
-
-/// Decides occurrence of an arbitrary (possibly disconnected) pattern by
-/// random color splitting (§4.1, Lemma 4.1).
-PPSI_DEPRECATED("use ppsi::Solver::find_disconnected (api/solver.hpp)")
-DecisionResult find_pattern_disconnected(const Graph& g,
-                                         const iso::Pattern& pattern,
-                                         const PipelineOptions& options = {});
-
-/// Decides whether some occurrence of the connected pattern separates the
-/// vertices marked by in_s (§5.2). The witness images are original-graph
-/// vertices of the occurrence.
-PPSI_DEPRECATED("use ppsi::Solver::find_separating (api/solver.hpp)")
-DecisionResult find_separating_pattern(const Graph& g,
-                                       const std::vector<std::uint8_t>& in_s,
-                                       const iso::Pattern& pattern,
-                                       const PipelineOptions& options = {});
-
-/// One cover run of the decision pipeline (exposed for benches): returns
-/// whether an occurrence was found in this run's cover.
-PPSI_DEPRECATED("use ppsi::Solver::find_once (api/solver.hpp)")
-DecisionResult run_once(const Graph& g, const iso::Pattern& pattern,
-                        std::uint64_t run_seed,
-                        const PipelineOptions& options = {});
 
 }  // namespace ppsi::cover

@@ -18,10 +18,21 @@
 // cancelled/expired), which keeps interrupted runs replayable: a
 // checkpoint that observed "keep going" can never be contradicted by an
 // earlier one.
+//
+// ParkGate is the third, *resumable* signal: the pool-side scheduler asks a
+// running query to suspend (request_park), the query acknowledges at its
+// next slice-boundary checkpoint (park blocks until resume) and continues
+// afterwards with all state retained. Unlike token/deadline it is not a
+// cancellation — nothing is discarded, the query's results are unchanged —
+// so it is deliberately NOT part of CancelScope::cancelled(): parked work
+// pauses between slices, it never skips them.
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <functional>
 #include <limits>
+#include <mutex>
 
 namespace ppsi::support {
 
@@ -52,19 +63,39 @@ class DeadlineClock {
   DeadlineClock() = default;
 
   /// Sets the deadline `seconds` from now. Call at most once, before the
-  /// clock is shared with other threads.
+  /// clock is shared with other threads. A duration that is zero (or
+  /// rounds to zero in the clock's resolution — the deadline is exactly
+  /// "now") expires *at arm time*, deterministically: expired() is true
+  /// from the first poll, independent of whether the clock has advanced a
+  /// tick between arm and poll.
   void arm(double seconds) {
-    deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                                   std::chrono::duration<double>(seconds));
+    const auto duration = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(seconds));
+    deadline_ = Clock::now() + duration;
+    expired_at_arm_ = duration <= Clock::duration::zero();
     armed_ = true;
   }
 
   bool armed() const { return armed_; }
-  bool expired() const { return armed_ && Clock::now() >= deadline_; }
+  bool expired() const {
+    return armed_ && (expired_at_arm_ || Clock::now() >= deadline_);
+  }
+
+  /// Pushes the deadline `seconds` later. Serving-layer use only: credits
+  /// time a parked query spent suspended back to its execution budget
+  /// ("the budget clock pauses while parked"). Call from the query's own
+  /// thread while no other thread polls the clock (the parked query's
+  /// checkpoints are all quiescent between slice rounds). A clock that
+  /// expired at arm stays expired — there was never time to give back.
+  void extend(double seconds) {
+    deadline_ += std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(seconds));
+  }
 
   /// Seconds until expiry (negative once expired); +inf when unarmed.
   double remaining_seconds() const {
     if (!armed_) return std::numeric_limits<double>::infinity();
+    if (expired_at_arm_) return 0.0;
     return std::chrono::duration<double>(deadline_ - Clock::now()).count();
   }
 
@@ -72,6 +103,77 @@ class DeadlineClock {
   using Clock = std::chrono::steady_clock;
   Clock::time_point deadline_{};
   bool armed_ = false;
+  bool expired_at_arm_ = false;  ///< written with armed_, read-only after
+};
+
+/// Cooperative suspend/resume rendezvous of one running query. One side
+/// (the pool's admission scheduler) requests the park and later resumes
+/// it; the other (the query, on its serving thread) polls park_requested()
+/// from slice-boundary checkpoints and, at a safe point, calls park() to
+/// block until resume(). One query, one parker: park() must never be
+/// reentered or called from two threads (the serving layer runs one query
+/// per serving thread, so the slice loop's single park() call satisfies
+/// this by construction).
+///
+/// The request is advisory and best-effort: a query that completes without
+/// ever reaching a checkpoint simply finishes, and the requester must not
+/// block on the park happening — it learns about an acknowledged park only
+/// through the on_parked callback.
+class ParkGate {
+ public:
+  using Callback = std::function<void()>;
+
+  /// `on_parked` runs on the query's thread inside park(), after the query
+  /// committed to suspending and before it blocks. The pool uses it to
+  /// give the admission slot back; it must not call back into this gate
+  /// from the same stack (resume() from *another* thread is fine and may
+  /// even land before park() starts waiting — the wakeup is latched).
+  explicit ParkGate(Callback on_parked = {})
+      : on_parked_(std::move(on_parked)) {}
+  ParkGate(const ParkGate&) = delete;
+  ParkGate& operator=(const ParkGate&) = delete;
+
+  /// Asks the query to suspend at its next checkpoint. Any thread.
+  void request_park() { requested_.store(true, std::memory_order_release); }
+
+  /// Cheap acquire-load; poll from slice-boundary checkpoints.
+  bool park_requested() const {
+    return requested_.load(std::memory_order_acquire);
+  }
+
+  /// Acknowledges the request: runs on_parked, blocks until resume(), and
+  /// returns the seconds spent suspended (for budget-clock crediting).
+  /// Clears the request on wakeup, so the gate is reusable for the next
+  /// park cycle of the same query.
+  double park() {
+    const auto t0 = std::chrono::steady_clock::now();
+    if (on_parked_) on_parked_();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      resumed_cv_.wait(lock, [&] { return resumed_; });
+      resumed_ = false;  // consume the latched wakeup
+    }
+    requested_.store(false, std::memory_order_release);
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+  }
+
+  /// Releases a parked query (or pre-latches the wakeup when the query has
+  /// not reached park() yet, so the park returns immediately). Any thread.
+  void resume() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      resumed_ = true;
+    }
+    resumed_cv_.notify_all();
+  }
+
+ private:
+  std::atomic<bool> requested_{false};
+  std::mutex mutex_;
+  std::condition_variable resumed_cv_;
+  bool resumed_ = false;  // guarded by mutex_
+  Callback on_parked_;
 };
 
 }  // namespace ppsi::support

@@ -195,10 +195,10 @@ class ServingPool {
     return std::clamp(hw / 2u, 2u, 8u);
   }
 
-  void submit(std::function<void()> job) {
+  void submit(std::function<void()> job, int priority) {
     {
       const std::lock_guard<std::mutex> lock(mutex_);
-      queue_.push_back(std::move(job));
+      queue_.push_back(Entry{priority, next_seq_++, std::move(job)});
       if (threads_.empty()) {
         const std::size_t n = thread_count();
         threads_.reserve(n);
@@ -219,6 +219,15 @@ class ServingPool {
   }
 
  private:
+  /// One queued job. Workers drain by (highest priority, lowest seq): the
+  /// seq tiebreak keeps equal-priority jobs strictly FIFO, so default
+  /// submissions behave exactly as before priorities existed.
+  struct Entry {
+    int priority = 0;
+    std::uint64_t seq = 0;
+    std::function<void()> job;
+  };
+
   void worker_loop() {
     for (;;) {
       std::function<void()> job;
@@ -226,8 +235,12 @@ class ServingPool {
         std::unique_lock<std::mutex> lock(mutex_);
         ready_.wait(lock, [&] { return stop_ || !queue_.empty(); });
         if (queue_.empty()) return;  // stop_ and drained
-        job = std::move(queue_.front());
-        queue_.pop_front();
+        auto best = queue_.begin();
+        for (auto it = std::next(best); it != queue_.end(); ++it) {
+          if (it->priority > best->priority) best = it;
+        }
+        job = std::move(best->job);
+        queue_.erase(best);
       }
       job();
     }
@@ -235,15 +248,16 @@ class ServingPool {
 
   std::mutex mutex_;
   std::condition_variable ready_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Entry> queue_;
+  std::uint64_t next_seq_ = 0;  // guarded by mutex_
   std::vector<std::thread> threads_;  // guarded by mutex_ until started
   bool stop_ = false;
 };
 
 }  // namespace
 
-void Scheduler::submit(std::function<void()> job) {
-  ServingPool::instance().submit(std::move(job));
+void Scheduler::submit(std::function<void()> job, int priority) {
+  ServingPool::instance().submit(std::move(job), priority);
 }
 
 void Scheduler::submit(TaskGraph graph, std::function<void()> on_complete) {

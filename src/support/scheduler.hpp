@@ -167,12 +167,15 @@ class Scheduler {
 
   /// Detached submission for the serving layer: enqueues `job` on a small
   /// process-wide pool of serving threads and returns immediately. Jobs
-  /// drain in FIFO submission order (up to serving_threads() run
-  /// concurrently); a job is free to open OMP parallel regions of its own
+  /// drain highest `priority` first, FIFO within a priority level (the
+  /// default 0 keeps plain submissions strictly FIFO; SolverPool maps its
+  /// admission classes onto this so an interactive dispatch overtakes
+  /// already-enqueued bulk ones). Up to serving_threads() jobs run
+  /// concurrently; a job is free to open OMP parallel regions of its own
   /// — i.e. to call Scheduler::run — each serving thread owns an
   /// independent team. Completion is the caller's to observe (e.g. through
   /// a PendingResult); the pool drains and joins at process exit.
-  static void submit(std::function<void()> job);
+  static void submit(std::function<void()> job, int priority = 0);
 
   /// Convenience: runs `graph` detached, then `on_complete` (if any).
   /// The graph is owned by the submission; both run on a serving thread.

@@ -118,12 +118,18 @@ TEST_P(AsyncDifferential, FindAsyncMatchesFindAndBatchAcrossThreadCounts) {
     expect_same_find(async, capture(batch[0]), context + " batch");
   }
 
-  // The pool admission path wraps the same query; same numbers.
+  // The pool admission path wraps the same query; same numbers. The
+  // admission class cycles with the seed: the policy engine may reorder or
+  // park queries but must never change what one computes.
   {
     SolverPool pool;
     const TargetId id = pool.add_target(g);
-    auto pending = pool.find_async(id, pattern, opts);
-    expect_same_find(async, capture(pending.get()), context + " pool");
+    Admission admission;
+    admission.priority = static_cast<Priority>(GetParam() % 3);
+    auto pending = pool.find_async(id, pattern, opts, admission);
+    expect_same_find(async, capture(pending.get()),
+                     context + " pool class=" +
+                         to_string(admission.priority));
   }
 }
 

@@ -1,20 +1,17 @@
 // Differential test: the tree-decomposition DP against the independent
 // baselines — brute-force enumeration, Ullmann backtracking, and Eppstein's
 // sequential pipeline — on hundreds of seeded random small instances, plus
-// the randomized cover pipeline's decisions against the exact answer.
-//
-// Deliberately exercises the deprecated free-function shims: together with
-// test_differential_solver they pin shim ≡ Solver behavior.
-#define PPSI_ALLOW_DEPRECATED_API
+// the randomized cover pipeline's decisions (via ppsi::Solver) against the
+// exact answer.
 
 #include <gtest/gtest.h>
 
 #include <set>
 #include <string>
 
+#include "api/solver.hpp"
 #include "baseline/eppstein_sequential.hpp"
 #include "baseline/ullmann.hpp"
-#include "cover/pipeline.hpp"
 #include "graph/generators.hpp"
 #include "isomorphism/pattern.hpp"
 #include "isomorphism/sequential_dp.hpp"
@@ -103,27 +100,29 @@ class PipelineVersusExact : public ::testing::TestWithParam<int> {};
 
 TEST_P(PipelineVersusExact, DecisionMatchesUllmann) {
   const auto inst = small_instance(2000 + GetParam());
-  cover::PipelineOptions options;
+  QueryOptions options;
   options.seed = 77 + GetParam();
-  const cover::DecisionResult ours = cover::find_pattern(
-      inst.g, inst.pattern, options);
+  Solver solver(inst.g);
+  const auto ours = solver.find(inst.pattern, options);
+  ASSERT_TRUE(ours.ok()) << inst.context;
   const bool exact = ullmann_decide(inst.g, inst.pattern).found;
-  EXPECT_EQ(ours.found, exact) << inst.context;
-  if (ours.found) {
-    ASSERT_TRUE(ours.witness.has_value()) << inst.context;
-    ppsi::testing::expect_valid_embedding(inst.g, inst.pattern, *ours.witness,
+  EXPECT_EQ(ours->found, exact) << inst.context;
+  if (ours->found) {
+    ASSERT_TRUE(ours->witness.has_value()) << inst.context;
+    ppsi::testing::expect_valid_embedding(inst.g, inst.pattern, *ours->witness,
                                           inst.context.c_str());
   }
 }
 
 TEST_P(PipelineVersusExact, CountMatchesBruteForce) {
   const auto inst = small_instance(3000 + GetParam());
-  cover::PipelineOptions options;
+  QueryOptions options;
   options.seed = 7 + GetParam();
-  const cover::CountResult count =
-      cover::count_occurrences(inst.g, inst.pattern, options);
+  Solver solver(inst.g);
+  const auto count = solver.count(inst.pattern, options);
+  ASSERT_TRUE(count.ok()) << inst.context;
   const auto brute = brute_force_list(inst.g, inst.pattern, kListLimit);
-  EXPECT_EQ(count.assignments, brute.size()) << inst.context;
+  EXPECT_EQ(count->assignments, brute.size()) << inst.context;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PipelineVersusExact, ::testing::Range(0, 60));

@@ -1,20 +1,17 @@
 // Differential test: vertex connectivity across all three layers — the
 // flow baseline against a brute-force min-separator oracle (n <= 12), the
 // articulation gate for k <= 1, and the paper's Monte Carlo separating-cycle
-// algorithm against the exact flow baseline on random embedded planar
-// graphs — over hundreds of seeded random instances.
-//
-// Deliberately exercises the deprecated planar_vertex_connectivity shim:
-// together with test_differential_solver it pins shim ≡ Solver behavior.
-#define PPSI_ALLOW_DEPRECATED_API
+// algorithm (Solver::vertex_connectivity) against the exact flow baseline
+// on random embedded planar graphs — over hundreds of seeded random
+// instances.
 
 #include <gtest/gtest.h>
 
 #include <string>
 
+#include "api/solver.hpp"
 #include "connectivity/articulation.hpp"
 #include "connectivity/flow_connectivity.hpp"
-#include "connectivity/vertex_connectivity.hpp"
 #include "graph/components.hpp"
 #include "graph/generators.hpp"
 #include "testing/oracles.hpp"
@@ -91,16 +88,17 @@ TEST_P(PlanarVersusFlow, ConnectivityMatches) {
       "seed " + std::to_string(seed) +
       " n=" + std::to_string(eg.graph().num_vertices());
 
-  VertexConnectivityOptions options;
+  QueryOptions options;
   options.seed = seed * 31 + 7;
   options.max_runs = 6;
-  const VertexConnectivityResult ours =
-      planar_vertex_connectivity(eg, options);
+  Solver solver(eg);
+  const auto ours = solver.vertex_connectivity(options);
+  ASSERT_TRUE(ours.ok()) << context;
   const FlowConnectivityResult flow = vertex_connectivity_flow(eg.graph());
-  EXPECT_EQ(ours.connectivity, flow.connectivity) << context;
-  if (!ours.witness_cut.empty()) {
-    EXPECT_EQ(ours.witness_cut.size(), ours.connectivity) << context;
-    ppsi::testing::expect_valid_separator(eg.graph(), ours.witness_cut,
+  EXPECT_EQ(ours->connectivity, flow.connectivity) << context;
+  if (!ours->witness_cut.empty()) {
+    EXPECT_EQ(ours->witness_cut.size(), ours->connectivity) << context;
+    ppsi::testing::expect_valid_separator(eg.graph(), ours->witness_cut,
                                           context.c_str());
   }
 }
@@ -126,11 +124,12 @@ TEST(KnownFamilies, BothAlgorithmsMatchDocumentedConnectivity) {
   };
   for (const Case& c : cases) {
     ASSERT_TRUE(c.eg.validate_planar()) << c.name;
-    VertexConnectivityOptions options;
+    QueryOptions options;
     options.max_runs = 6;
-    EXPECT_EQ(planar_vertex_connectivity(c.eg, options).connectivity,
-              c.expected)
-        << c.name;
+    Solver solver(c.eg);
+    const auto ours = solver.vertex_connectivity(options);
+    ASSERT_TRUE(ours.ok()) << c.name;
+    EXPECT_EQ(ours->connectivity, c.expected) << c.name;
     EXPECT_EQ(vertex_connectivity_flow(c.eg.graph()).connectivity, c.expected)
         << c.name;
   }

@@ -1,16 +1,15 @@
-// Differential test: the ppsi::Solver session API against the legacy free
-// functions it replaced, over the seeded random corpus shared with the
-// other differential suites. Three-way agreement per instance:
-//   * legacy free function (deprecated shim, exercised deliberately),
-//   * a cold Solver (fresh cache), and
+// Differential test: the ppsi::Solver session API against itself across
+// cache states, over the seeded random corpus shared with the other
+// differential suites. Per instance:
+//   * a cold Solver (fresh cache) versus a second cold Solver — identical
+//     results prove queries are pure functions of (target, pattern, seed);
 //   * the same Solver warm (identical repeated query, covers cached) —
 // decisions, witnesses, listings, counts, separating queries, and planar
-// vertex connectivity must be identical, and the warm repeat must hit the
-// cache and never exceed the cold instrumented work. find_batch is checked
-// against sequential find under whatever OMP_NUM_THREADS ctest set (the
-// .omp4 variant and the CI TSan job exercise the concurrent schedule).
-
-#define PPSI_ALLOW_DEPRECATED_API
+// vertex connectivity must be identical, the warm repeat must hit the
+// cache, and caching must never *increase* the instrumented work.
+// find_batch is checked against sequential find under whatever
+// OMP_NUM_THREADS ctest set (the .omp4 variant and the CI TSan job
+// exercise the concurrent schedule).
 
 #include <gtest/gtest.h>
 
@@ -46,134 +45,131 @@ Instance small_instance(std::uint64_t seed) {
   return inst;
 }
 
-QueryOptions query_options(const cover::PipelineOptions& options) {
-  QueryOptions query;
-  query.seed = options.seed;
-  query.max_runs = options.max_runs;
-  query.engine = options.engine;
-  query.decomposition = options.decomposition;
-  query.use_shortcuts = options.use_shortcuts;
-  query.list_limit = options.list_limit;
-  query.stopping_slack = options.stopping_slack;
-  return query;
-}
+class SolverSelfConsistency : public ::testing::TestWithParam<int> {};
 
-class SolverVersusLegacy : public ::testing::TestWithParam<int> {};
-
-TEST_P(SolverVersusLegacy, DecisionColdAndWarmMatch) {
+TEST_P(SolverSelfConsistency, DecisionColdAndWarmMatch) {
   const Instance inst = small_instance(5000 + GetParam());
-  cover::PipelineOptions options;
-  options.seed = 17 + GetParam();
-  const DecisionResult legacy =
-      cover::find_pattern(inst.g, inst.pattern, options);
+  QueryOptions query;
+  query.seed = 17 + GetParam();
+
+  Solver fresh(inst.g);
+  const Result<DecisionResult> baseline = fresh.find(inst.pattern, query);
+  ASSERT_TRUE(baseline.ok()) << inst.context;
 
   Solver solver(inst.g);
-  const QueryOptions query = query_options(options);
   const Result<DecisionResult> cold = solver.find(inst.pattern, query);
   ASSERT_TRUE(cold.ok()) << inst.context;
-  EXPECT_EQ(cold->found, legacy.found) << inst.context;
-  EXPECT_EQ(cold->runs, legacy.runs) << inst.context;
-  EXPECT_EQ(cold->slices_solved, legacy.slices_solved) << inst.context;
-  EXPECT_EQ(cold->witness, legacy.witness) << inst.context;
-  EXPECT_EQ(cold->metrics.work(), legacy.metrics.work()) << inst.context;
+  EXPECT_EQ(cold->found, baseline->found) << inst.context;
+  EXPECT_EQ(cold->runs, baseline->runs) << inst.context;
+  EXPECT_EQ(cold->slices_solved, baseline->slices_solved) << inst.context;
+  EXPECT_EQ(cold->witness, baseline->witness) << inst.context;
+  EXPECT_EQ(cold->metrics.work(), baseline->metrics.work()) << inst.context;
 
   const Result<DecisionResult> warm = solver.find(inst.pattern, query);
   ASSERT_TRUE(warm.ok()) << inst.context;
-  EXPECT_EQ(warm->found, legacy.found) << inst.context;
-  EXPECT_EQ(warm->runs, legacy.runs) << inst.context;
-  EXPECT_EQ(warm->witness, legacy.witness) << inst.context;
+  EXPECT_EQ(warm->found, baseline->found) << inst.context;
+  EXPECT_EQ(warm->runs, baseline->runs) << inst.context;
+  EXPECT_EQ(warm->witness, baseline->witness) << inst.context;
   // The warm repeat did not rebuild covers: every run was a cache hit and
   // the cover-construction work is gone from its accounting.
-  EXPECT_EQ(solver.cache_stats().cover_hits, legacy.runs) << inst.context;
+  EXPECT_EQ(solver.cache_stats().cover_hits, baseline->runs) << inst.context;
   EXPECT_LE(warm->metrics.work(), cold->metrics.work()) << inst.context;
-  if (legacy.found) {
+  if (baseline->found) {
     ASSERT_TRUE(warm->witness.has_value()) << inst.context;
     ppsi::testing::expect_valid_embedding(inst.g, inst.pattern, *warm->witness,
                                           inst.context.c_str());
   }
 }
 
-TEST_P(SolverVersusLegacy, ListingColdAndWarmMatch) {
+TEST_P(SolverSelfConsistency, ListingColdAndWarmMatch) {
   const Instance inst = small_instance(6000 + GetParam());
-  cover::PipelineOptions options;
-  options.seed = 3 + GetParam();
-  const ListingResult legacy =
-      cover::list_occurrences(inst.g, inst.pattern, options);
+  QueryOptions query;
+  query.seed = 3 + GetParam();
+
+  Solver fresh(inst.g);
+  const Result<ListingResult> baseline = fresh.list(inst.pattern, query);
+  ASSERT_TRUE(baseline.ok()) << inst.context;
 
   Solver solver(inst.g);
-  const QueryOptions query = query_options(options);
   const Result<ListingResult> cold = solver.list(inst.pattern, query);
   ASSERT_TRUE(cold.ok()) << inst.context;
-  EXPECT_EQ(cold->occurrences, legacy.occurrences) << inst.context;
-  EXPECT_EQ(cold->iterations, legacy.iterations) << inst.context;
+  EXPECT_EQ(cold->occurrences, baseline->occurrences) << inst.context;
+  EXPECT_EQ(cold->iterations, baseline->iterations) << inst.context;
 
   const Result<ListingResult> warm = solver.list(inst.pattern, query);
   ASSERT_TRUE(warm.ok()) << inst.context;
-  EXPECT_EQ(warm->occurrences, legacy.occurrences) << inst.context;
-  EXPECT_EQ(warm->iterations, legacy.iterations) << inst.context;
+  EXPECT_EQ(warm->occurrences, baseline->occurrences) << inst.context;
+  EXPECT_EQ(warm->iterations, baseline->iterations) << inst.context;
   EXPECT_LE(warm->metrics.work(), cold->metrics.work()) << inst.context;
   EXPECT_GT(solver.cache_stats().cover_hits, 0u) << inst.context;
+  for (const iso::Assignment& a : warm->occurrences)
+    ppsi::testing::expect_valid_embedding(inst.g, inst.pattern, a,
+                                          inst.context.c_str());
 }
 
-TEST_P(SolverVersusLegacy, CountMatchesAndCarriesMetrics) {
+TEST_P(SolverSelfConsistency, CountMatchesListingAndCarriesMetrics) {
   const Instance inst = small_instance(7000 + GetParam());
-  cover::PipelineOptions options;
-  options.seed = 29 + GetParam();
-  const cover::CountResult legacy =
-      cover::count_occurrences(inst.g, inst.pattern, options);
+  QueryOptions query;
+  query.seed = 29 + GetParam();
+
+  Solver fresh(inst.g);
+  const Result<ListingResult> listing = fresh.list(inst.pattern, query);
+  ASSERT_TRUE(listing.ok()) << inst.context;
 
   Solver solver(inst.g);
-  const auto ours = solver.count(inst.pattern, query_options(options));
+  const auto ours = solver.count(inst.pattern, query);
   ASSERT_TRUE(ours.ok()) << inst.context;
-  EXPECT_EQ(ours->assignments, legacy.assignments) << inst.context;
-  EXPECT_EQ(ours->subgraphs, legacy.subgraphs) << inst.context;
-  EXPECT_EQ(ours->iterations, legacy.iterations) << inst.context;
-  // Both carry the listing's instrumented work now (the bench harness
+  // Counting is listing + dedup: the assignment count and iteration budget
+  // must match a cold listing of the same seed exactly.
+  EXPECT_EQ(ours->assignments, listing->occurrences.size()) << inst.context;
+  EXPECT_LE(ours->subgraphs, ours->assignments) << inst.context;
+  EXPECT_EQ(ours->iterations, listing->iterations) << inst.context;
+  // Counting carries the listing's instrumented work (the bench harness
   // records counting queries like every other result type).
-  EXPECT_EQ(ours->metrics.work(), legacy.metrics.work()) << inst.context;
+  EXPECT_EQ(ours->metrics.work(), listing->metrics.work()) << inst.context;
   EXPECT_GT(ours->metrics.work(), 0u) << inst.context;
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, SolverVersusLegacy, ::testing::Range(0, 40));
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverSelfConsistency,
+                         ::testing::Range(0, 40));
 
-class ConnectivityVersusLegacy : public ::testing::TestWithParam<int> {};
+class ConnectivitySelfConsistency : public ::testing::TestWithParam<int> {};
 
-TEST_P(ConnectivityVersusLegacy, ColdAndWarmMatch) {
+TEST_P(ConnectivitySelfConsistency, ColdAndWarmMatch) {
   const std::uint64_t seed = GetParam();
   const planar::EmbeddedGraph eg =
       ppsi::testing::random_embedded_planar(seed, 6, 18);
   ASSERT_TRUE(eg.validate_planar());
   const std::string context = "seed " + std::to_string(seed);
 
-  connectivity::VertexConnectivityOptions legacy_options;
-  legacy_options.seed = seed * 13 + 5;
-  legacy_options.max_runs = 6;
-  const connectivity::VertexConnectivityResult legacy =
-      connectivity::planar_vertex_connectivity(eg, legacy_options);
-
   QueryOptions query;
-  query.seed = legacy_options.seed;
-  query.max_runs = legacy_options.max_runs;
+  query.seed = seed * 13 + 5;
+  query.max_runs = 6;
+
+  Solver fresh(eg);
+  const auto baseline = fresh.vertex_connectivity(query);
+  ASSERT_TRUE(baseline.ok()) << context;
+
   Solver solver(eg);
   const auto cold = solver.vertex_connectivity(query);
   ASSERT_TRUE(cold.ok()) << context;
-  EXPECT_EQ(cold->connectivity, legacy.connectivity) << context;
-  EXPECT_EQ(cold->witness_cut, legacy.witness_cut) << context;
-  EXPECT_EQ(cold->cycle_runs, legacy.cycle_runs) << context;
+  EXPECT_EQ(cold->connectivity, baseline->connectivity) << context;
+  EXPECT_EQ(cold->witness_cut, baseline->witness_cut) << context;
+  EXPECT_EQ(cold->cycle_runs, baseline->cycle_runs) << context;
 
   const auto warm = solver.vertex_connectivity(query);
   ASSERT_TRUE(warm.ok()) << context;
-  EXPECT_EQ(warm->connectivity, legacy.connectivity) << context;
-  EXPECT_EQ(warm->witness_cut, legacy.witness_cut) << context;
+  EXPECT_EQ(warm->connectivity, baseline->connectivity) << context;
+  EXPECT_EQ(warm->witness_cut, baseline->witness_cut) << context;
   EXPECT_LE(warm->metrics.work(), cold->metrics.work()) << context;
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, ConnectivityVersusLegacy,
+INSTANTIATE_TEST_SUITE_P(Seeds, ConnectivitySelfConsistency,
                          ::testing::Range(0, 30));
 
-class SeparatingVersusLegacy : public ::testing::TestWithParam<int> {};
+class SeparatingSelfConsistency : public ::testing::TestWithParam<int> {};
 
-TEST_P(SeparatingVersusLegacy, ColdAndWarmMatch) {
+TEST_P(SeparatingSelfConsistency, ColdAndWarmMatch) {
   // S-separating C4/C6 probes on random planar targets with S = a seeded
   // random vertex subset.
   const std::uint64_t seed = 1000 + GetParam();
@@ -183,37 +179,37 @@ TEST_P(SeparatingVersusLegacy, ColdAndWarmMatch) {
   for (Vertex v = 0; v < g.num_vertices(); ++v) in_s[v] = rng.next_bool();
   const std::string context = "seed " + std::to_string(seed);
 
-  cover::PipelineOptions options;
-  options.seed = seed + 7;
-  options.max_runs = 5;
+  QueryOptions query;
+  query.seed = seed + 7;
+  query.max_runs = 5;
+  Solver fresh(g);
   Solver solver(g);
-  const QueryOptions query = query_options(options);
   for (const Vertex len : {4u, 6u}) {
     const Pattern cycle = Pattern::from_graph(gen::cycle_graph(len));
-    const DecisionResult legacy =
-        cover::find_separating_pattern(g, in_s, cycle, options);
+    const auto baseline = fresh.find_separating(in_s, cycle, query);
+    ASSERT_TRUE(baseline.ok()) << context;
     const auto cold = solver.find_separating(in_s, cycle, query);
     ASSERT_TRUE(cold.ok()) << context;
-    EXPECT_EQ(cold->found, legacy.found) << context << " C" << len;
-    EXPECT_EQ(cold->witness, legacy.witness) << context << " C" << len;
-    EXPECT_EQ(cold->runs, legacy.runs) << context << " C" << len;
+    EXPECT_EQ(cold->found, baseline->found) << context << " C" << len;
+    EXPECT_EQ(cold->witness, baseline->witness) << context << " C" << len;
+    EXPECT_EQ(cold->runs, baseline->runs) << context << " C" << len;
     const auto warm = solver.find_separating(in_s, cycle, query);
     ASSERT_TRUE(warm.ok()) << context;
-    EXPECT_EQ(warm->found, legacy.found) << context << " C" << len;
-    EXPECT_EQ(warm->witness, legacy.witness) << context << " C" << len;
+    EXPECT_EQ(warm->found, baseline->found) << context << " C" << len;
+    EXPECT_EQ(warm->witness, baseline->witness) << context << " C" << len;
     EXPECT_LE(warm->metrics.work(), cold->metrics.work()) << context;
   }
   EXPECT_GT(solver.cache_stats().cover_hits, 0u) << context;
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, SeparatingVersusLegacy,
+INSTANTIATE_TEST_SUITE_P(Seeds, SeparatingSelfConsistency,
                          ::testing::Range(0, 20));
 
-TEST(SolverBatchDifferential, BatchAgreesWithLegacyUnderOmp) {
+TEST(SolverBatchDifferential, BatchAgreesWithSequentialUnderOmp) {
   // One shared Solver, a mixed batch fanned out across OMP tasks (ctest
   // runs this suite under OMP_NUM_THREADS=1 and =4; the CI TSan job reruns
   // the 4-thread schedule under -fsanitize=thread). Every slot must agree
-  // with the stateless legacy answer.
+  // with a sequential find on a fresh Solver.
   const Graph g = gen::grid_graph(9, 9);
   std::vector<Pattern> patterns;
   for (int i = 0; i < 4; ++i) {
@@ -223,19 +219,20 @@ TEST(SolverBatchDifferential, BatchAgreesWithLegacyUnderOmp) {
     patterns.push_back(Pattern::from_graph(gen::cycle_graph(5)));  // absent
     patterns.push_back(Pattern::from_graph(gen::star_graph(4)));
   }
-  cover::PipelineOptions options;
-  options.seed = 99;
-  options.max_runs = 4;
+  QueryOptions query;
+  query.seed = 99;
+  query.max_runs = 4;
   Solver solver(g);
-  const auto batch = solver.find_batch(patterns, query_options(options));
+  const auto batch = solver.find_batch(patterns, query);
   ASSERT_EQ(batch.size(), patterns.size());
   for (std::size_t i = 0; i < patterns.size(); ++i) {
     ASSERT_TRUE(batch[i].ok()) << i << ": " << batch[i].status().to_string();
-    const DecisionResult legacy =
-        cover::find_pattern(g, patterns[i], options);
-    EXPECT_EQ(batch[i]->found, legacy.found) << "pattern " << i;
-    EXPECT_EQ(batch[i]->witness, legacy.witness) << "pattern " << i;
-    EXPECT_EQ(batch[i]->runs, legacy.runs) << "pattern " << i;
+    Solver fresh(g);
+    const auto sequential = fresh.find(patterns[i], query);
+    ASSERT_TRUE(sequential.ok()) << "pattern " << i;
+    EXPECT_EQ(batch[i]->found, sequential->found) << "pattern " << i;
+    EXPECT_EQ(batch[i]->witness, sequential->witness) << "pattern " << i;
+    EXPECT_EQ(batch[i]->runs, sequential->runs) << "pattern " << i;
   }
   // 5 distinct (diameter, size) classes repeated 4x: repeats were hits.
   EXPECT_GT(solver.cache_stats().cover_hits, 0u);

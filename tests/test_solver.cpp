@@ -1,13 +1,16 @@
 // ppsi::Solver unit tests: eager option validation and the Status model,
 // budget/deadline interruption with partial results, the listing cap,
-// cover-cache observability (hits/misses/clear), and find_batch.
-// Equivalence with the legacy free functions is covered by
+// cover-cache observability (hits/misses/clear), find_batch, and the
+// asynchronous serving surface (PendingResult handles, Admission classing).
+// Cache-state equivalence is covered by
 // tests/differential/test_differential_solver.cpp.
 
 #include <gtest/gtest.h>
 
 #include <omp.h>
 
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "api/budget.hpp"
@@ -84,9 +87,9 @@ TEST(QueryOptionsValidation, QueriesRejectEagerly) {
   EXPECT_EQ(solver.cache_stats().cover_misses, 0u);
 }
 
-TEST(QueryOptionsValidation, LegacyShimsThrowOnInvalidOptions) {
-  // The deprecated free functions funnel through the same validation but
-  // keep their historical error model: std::invalid_argument.
+TEST(QueryOptionsValidation, PipelineValidateOptionsFlagsViolations) {
+  // validate_options is the shared lower layer behind validate(): it keeps
+  // the C-string error channel the pipeline vocabulary uses.
   cover::PipelineOptions bad;
   bad.stopping_slack = cover::kMaxStoppingSlack + 1;
   EXPECT_NE(cover::validate_options(bad), nullptr);
@@ -620,6 +623,193 @@ TEST(SolverBatch, InvalidOptionsFailEverySlot) {
   ASSERT_EQ(batch.size(), 2u);
   for (const auto& r : batch)
     EXPECT_EQ(r.status().code(), StatusCode::kInvalidOptions);
+}
+
+// ---------------------------------------------------------------------------
+// Deadline boundary: a deadline that is already due when the query arms it
+// must report kDeadlineExceeded *deterministically* at the entry check — no
+// clock read may rescue it — so serving-layer shedding and execution-layer
+// preemption agree on what "expired" means.
+
+TEST(BudgetBoundaries, SubTickDeadlineIsExpiredTheInstantItArms) {
+  // 1e-300 s truncates to zero steady_clock ticks: the clock must latch
+  // "expired at arm" instead of depending on how fast now() is called.
+  support::DeadlineClock clock;
+  clock.arm(1e-300);
+  EXPECT_TRUE(clock.armed());
+  EXPECT_TRUE(clock.expired());
+  EXPECT_EQ(clock.remaining_seconds(), 0.0);
+
+  QueryOptions opts;
+  opts.deadline_seconds = 1e-300;
+  const Budget budget(opts);
+  // Deterministic: no spin-wait needed, unlike a 1 ns deadline.
+  EXPECT_EQ(budget.check({}).code(), StatusCode::kDeadlineExceeded);
+  // The forwarded remainder still avoids the "no deadline" sentinel.
+  EXPECT_GT(budget.remaining_seconds(), 0.0);
+}
+
+TEST(BudgetBoundaries, EntryCheckShedsDueDeadlineBeforeAnyWork) {
+  Solver solver(gen::grid_graph(8, 8));
+  QueryOptions opts;
+  opts.deadline_seconds = 1e-300;
+  const auto r = solver.find(cycle_pattern(4), opts);
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->runs, 0u);
+  EXPECT_EQ(r->metrics.work(), 0u);
+  // Deterministically caught at entry: the cover cache stayed cold.
+  EXPECT_EQ(solver.cache_stats().cover_misses, 0u);
+}
+
+TEST(BudgetBoundaries, ExtendPushesTheDeadlineLater) {
+  // extend() is the park-credit primitive: suspended wall time is handed
+  // back to the clock, so remaining time grows by what was credited.
+  support::DeadlineClock clock;
+  clock.arm(100.0);
+  ASSERT_FALSE(clock.expired());
+  const double before = clock.remaining_seconds();
+  clock.extend(50.0);
+  EXPECT_GT(clock.remaining_seconds(), before);
+
+  QueryOptions opts;
+  opts.deadline_seconds = 100.0;
+  const Budget budget(opts);
+  const double base = budget.remaining_seconds();
+  budget.credit_parked(25.0);
+  EXPECT_GT(budget.remaining_seconds(), base);
+  // Crediting a query that never had a deadline stays a no-op.
+  const Budget unlimited{QueryOptions{}};
+  unlimited.credit_parked(25.0);
+  EXPECT_EQ(unlimited.remaining_seconds(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// PendingResult handle semantics: moves, shared copies, repeated get(), and
+// abandoned handles.
+
+TEST(PendingResultHandles, MoveTransfersValidity) {
+  Solver solver(gen::grid_graph(6, 6));
+  auto pending = solver.find_async(cycle_pattern(4));
+  ASSERT_TRUE(pending.valid());
+  PendingResult<DecisionResult> moved = std::move(pending);
+  EXPECT_TRUE(moved.valid());
+  EXPECT_FALSE(pending.valid());  // NOLINT(bugprone-use-after-move): pinned
+  ASSERT_TRUE(moved.get().ok());
+  EXPECT_TRUE(moved.get()->found);
+
+  // Move assignment over an existing handle rebinds it the same way.
+  auto second = solver.find_async(cycle_pattern(4));
+  PendingResult<DecisionResult> target;
+  EXPECT_FALSE(target.valid());
+  target = std::move(second);
+  ASSERT_TRUE(target.valid());
+  EXPECT_TRUE(target.get().ok());
+}
+
+TEST(PendingResultHandles, CopiesShareTheResultAndGetIsRepeatable) {
+  Solver solver(gen::grid_graph(6, 6));
+  auto pending = solver.find_async(cycle_pattern(4));
+  PendingResult<DecisionResult> copy = pending;
+  ASSERT_TRUE(copy.valid());
+  ASSERT_TRUE(pending.valid());
+
+  // get() is stable across calls and across handles: both see one result
+  // object, and reading it twice returns the same reference.
+  const Result<DecisionResult>& first = pending.get();
+  const Result<DecisionResult>& again = pending.get();
+  EXPECT_EQ(&first, &again);
+  EXPECT_EQ(&copy.get(), &first);
+  EXPECT_TRUE(copy.ready());
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first->found);
+}
+
+TEST(PendingResultHandles, AbandonedHandleBlocksNobody) {
+  // Dropping the handle without get() must neither leak (the shared state
+  // dies with the producer) nor block the Solver's destructor drain.
+  Solver solver(gen::grid_graph(10, 10));
+  QueryOptions opts;
+  opts.max_runs = 2;
+  { auto dropped = solver.find_async(cycle_pattern(5), opts); }
+  // A later query on the same solver still behaves normally.
+  auto follow_up = solver.find_async(cycle_pattern(4), opts);
+  EXPECT_TRUE(follow_up.get().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Admission classing on the Solver's own async surface.
+
+TEST(SolverAsyncAdmission, DueQueueingDeadlineShedsWithZeroWork) {
+  Solver solver(gen::grid_graph(8, 8));
+  Admission admission;
+  admission.deadline_seconds = 1e-300;  // due at submission, deterministic
+  auto pending = solver.find_async(cycle_pattern(4), {}, admission);
+  const auto& r = pending.get();
+  EXPECT_EQ(r.status().code(), StatusCode::kShed);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->runs, 0u);
+  EXPECT_EQ(r->metrics.work(), 0u);
+  EXPECT_EQ(solver.cache_stats().cover_misses, 0u);  // never touched the shard
+}
+
+TEST(SolverAsyncAdmission, InvalidAdmissionRejectsEagerly) {
+  Solver solver(gen::grid_graph(6, 6));
+  Admission bad;
+  bad.tenant_weight = 0.0;
+  auto pending = solver.find_async(cycle_pattern(4), {}, bad);
+  ASSERT_TRUE(pending.valid());
+  EXPECT_TRUE(pending.ready());
+  EXPECT_EQ(pending.get().status().code(), StatusCode::kInvalidOptions);
+
+  bad = {};
+  bad.deadline_seconds = -1.0;
+  EXPECT_EQ(solver.list_async(cycle_pattern(4), {}, bad)
+                .get()
+                .status()
+                .code(),
+            StatusCode::kInvalidOptions);
+  bad = {};
+  bad.priority = static_cast<Priority>(17);
+  EXPECT_EQ(solver.count_async(cycle_pattern(4), {}, bad)
+                .get()
+                .status()
+                .code(),
+            StatusCode::kInvalidOptions);
+}
+
+TEST(SolverAsyncAdmission, PrioritiesDoNotChangeResults) {
+  // Ordering-only contract: an interactive-class async run is bit-identical
+  // to the default-class one (and to blocking — pinned differentially).
+  const Graph g = gen::grid_graph(8, 8);
+  const Pattern c4 = cycle_pattern(4);
+  QueryOptions opts;
+  opts.max_runs = 3;
+
+  Solver plain(g);
+  auto base_handle = plain.find_async(c4, opts);
+  const auto& base = base_handle.get();
+  ASSERT_TRUE(base.ok());
+
+  Solver classed(g);
+  Admission interactive;
+  interactive.priority = Priority::kInteractive;
+  interactive.deadline_seconds = 3600.0;  // generous: must not shed
+  auto fast_handle = classed.find_async(c4, opts, interactive);
+  const auto& fast = fast_handle.get();
+  ASSERT_TRUE(fast.ok());
+  EXPECT_EQ(fast->found, base->found);
+  EXPECT_EQ(fast->witness, base->witness);
+  EXPECT_EQ(fast->runs, base->runs);
+  EXPECT_EQ(fast->metrics.work(), base->metrics.work());
+}
+
+TEST(SolverAsyncAdmission, ShedStatusHasAName) {
+  const Status shed{StatusCode::kShed, "shed"};
+  EXPECT_NE(shed.to_string().find("shed"), std::string::npos);
+  EXPECT_EQ(std::string(to_string(Priority::kInteractive)), "interactive");
+  EXPECT_EQ(std::string(to_string(Priority::kNormal)), "normal");
+  EXPECT_EQ(std::string(to_string(Priority::kBulk)), "bulk");
 }
 
 }  // namespace

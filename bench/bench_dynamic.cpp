@@ -1,0 +1,152 @@
+// E15 — dynamic targets: the cost of editing and the payoff of
+// incremental cover/decomposition maintenance.
+//
+// Cases on the scaled grid target:
+//   edits/grid/commit_throughput — a burst of single-edge toggle commits
+//       (remove + re-insert alternating) with no queries in between.
+//       Commits validate and version eagerly but rebuild nothing (covers
+//       are maintained lazily, on the next query), so the measured region
+//       is pure edit-path overhead; `work` counts commits, making the CI
+//       work gate a determinism check on the commit path.
+//   query/grid/cold_rebuild — the baseline: each trial answers the motif
+//       on *fresh* Solvers after an edge toggle, one per graph state, so
+//       every cover and every per-slice tree decomposition is built inside
+//       the measured region.
+//   query/grid/warm_after_edit — one session Solver kept across trials;
+//       each trial commits the same toggle pair and re-answers on the new
+//       versions. Queried work is bit-identical to cold_rebuild by the
+//       dynamic-targets contract (the differential suite enforces it), so
+//       the seconds gap between the two cases is exactly the decomposition
+//       work the copy-on-write sharing skipped; the `slices_rebuilt` /
+//       `slices_reused` counters expose the split per trial.
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "api/dynamic.hpp"
+#include "api/solver.hpp"
+#include "graph/delta.hpp"
+#include "graph/generators.hpp"
+#include "harness/corpus.hpp"
+#include "harness/harness.hpp"
+#include "support/metrics.hpp"
+
+using namespace ppsi;
+using bench::Corpus;
+using bench::Registry;
+using bench::Trial;
+
+namespace {
+
+/// Fixed seed so every version's query replays the identical run sequence;
+/// the cache key varies only in the version component.
+QueryOptions dynamic_options() {
+  QueryOptions opts;
+  opts.seed = 7;
+  opts.max_runs = 3;
+  return opts;
+}
+
+/// A dynamic Solver session kept across trials plus the toggle state and
+/// the last-seen sharing counters (cases run trials sequentially).
+struct Session {
+  Solver solver;
+  bool primed = false;
+  std::uint64_t rebuilt_seen = 0;
+  std::uint64_t reused_seen = 0;
+};
+
+void register_benchmarks(Registry& reg, const Corpus& corpus) {
+  const Graph grid = corpus.grid(32, 32);
+  const iso::Pattern c6 = iso::Pattern::from_graph(gen::cycle_graph(6));
+  // The toggled edge: a corner edge touches few slices, which is the
+  // locality the incremental path exploits.
+  const Vertex u = 0;
+  const Vertex v = 1;
+  GraphDelta removed;
+  const std::string err =
+      apply_edits(grid, EditScript{}.remove_edge(u, v), &removed);
+  if (!err.empty()) throw std::runtime_error("bench_dynamic: " + err);
+  const Graph grid_minus = removed.graph;
+
+  reg.add("edits/grid/commit_throughput", [grid, u, v](Trial& trial) {
+    constexpr int kCommits = 16;
+    Solver solver(grid);
+    support::Metrics metrics;
+    trial.measure([&] {
+      for (int i = 0; i < kCommits; ++i) {
+        const auto committed = (i % 2 == 0) ? solver.remove_edge(u, v)
+                                            : solver.insert_edge(u, v);
+        if (!committed.ok())
+          throw std::runtime_error(committed.status().to_string());
+        metrics.add_work(1);
+      }
+    });
+    trial.record(metrics);
+    const CacheStats stats = solver.cache_stats();
+    trial.counter("versions_committed",
+                  static_cast<double>(stats.versions_committed));
+    trial.counter("versions_reclaimed",
+                  static_cast<double>(stats.versions_reclaimed));
+  });
+
+  reg.add("query/grid/cold_rebuild", [grid, grid_minus, c6](Trial& trial) {
+    const QueryOptions opts = dynamic_options();
+    Solver after_remove(grid_minus);
+    Solver after_insert(grid);
+    Result<cover::DecisionResult> a;
+    Result<cover::DecisionResult> b;
+    trial.measure([&] {
+      a = after_remove.find(c6, opts);
+      b = after_insert.find(c6, opts);
+    });
+    trial.record(a->metrics);
+    trial.record(b->metrics);
+    trial.counter("slices_rebuilt",
+                  static_cast<double>(
+                      after_remove.cache_stats().slices_rebuilt +
+                      after_insert.cache_stats().slices_rebuilt));
+  });
+
+  auto session = std::make_shared<Session>(Session{Solver(grid)});
+  reg.add("query/grid/warm_after_edit", [session, c6, u, v](Trial& trial) {
+    const QueryOptions opts = dynamic_options();
+    if (!session->primed) {
+      session->solver.find(c6, opts);  // version-1 covers, the first donors
+      const CacheStats stats = session->solver.cache_stats();
+      session->rebuilt_seen = stats.slices_rebuilt;
+      session->reused_seen = stats.slices_reused;
+      session->primed = true;
+    }
+    Result<cover::DecisionResult> a;
+    Result<cover::DecisionResult> b;
+    trial.measure([&] {
+      if (!session->solver.remove_edge(u, v).ok())
+        throw std::runtime_error("warm_after_edit: remove failed");
+      a = session->solver.find(c6, opts);
+      if (!session->solver.insert_edge(u, v).ok())
+        throw std::runtime_error("warm_after_edit: insert failed");
+      b = session->solver.find(c6, opts);
+    });
+    trial.record(a->metrics);
+    trial.record(b->metrics);
+    const CacheStats stats = session->solver.cache_stats();
+    trial.counter("slices_rebuilt",
+                  static_cast<double>(stats.slices_rebuilt -
+                                      session->rebuilt_seen));
+    trial.counter("slices_reused", static_cast<double>(stats.slices_reused -
+                                                       session->reused_seen));
+    trial.counter("stale_covers_purged",
+                  static_cast<double>(stats.stale_covers_purged));
+    session->rebuilt_seen = stats.slices_rebuilt;
+    session->reused_seen = stats.slices_reused;
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return ppsi::bench::run_main(argc, argv, "dynamic", register_benchmarks);
+}

@@ -38,6 +38,7 @@ ENTRIES=(
   "connectivity:random-planar/*"
   "disconnected:"
   "solver_reuse:"
+  "dynamic:"
   "serving:"
   "scaling:"
 )

@@ -6,15 +6,19 @@
 #include <condition_variable>
 #include <cstddef>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <set>
 #include <tuple>
+#include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include <omp.h>
 
 #include "api/budget.hpp"
+#include "api/dynamic.hpp"
 #include "connectivity/articulation.hpp"
 #include "connectivity/flow_connectivity.hpp"
 #include "graph/components.hpp"
@@ -125,6 +129,11 @@ std::uint32_t default_runs(Vertex n) {
   const double lg = std::log2(static_cast<double>(n) + 2.0);
   return static_cast<std::uint32_t>(2.0 * lg) + 4;
 }
+
+/// Per-slice tree decompositions of one cover. shared_ptr elements so
+/// structurally identical slices of consecutive target versions share one
+/// decomposition instead of rebuilding it (api/dynamic.hpp).
+using TdList = std::vector<std::shared_ptr<const treedecomp::TreeDecomposition>>;
 
 treedecomp::TreeDecomposition decompose_slice(
     const Slice& slice, cover::DecompositionKind kind) {
@@ -237,8 +246,7 @@ Status interruption_cause(const support::CancelToken* token,
 /// outcomes, the watermark, and the replay cursor all persist across
 /// rounds, so the replayed sequence — and with it every output and every
 /// accounted counter — is bit-identical to an unparked run.
-bool solve_all_slices(const Cover& cover,
-                      const std::vector<treedecomp::TreeDecomposition>& tds,
+bool solve_all_slices(const Cover& cover, const TdList& tds,
                       const Pattern& pattern, const QueryOptions& options,
                       const Budget& budget, DecisionResult* decision,
                       std::set<Assignment>* collect, std::size_t limit,
@@ -334,7 +342,7 @@ bool solve_all_slices(const Cover& cover,
       return;
     }
     replay.found = true;
-    for (Assignment a : iso::recover_assignments(sol, tds[i], limit)) {
+    for (Assignment a : iso::recover_assignments(sol, *tds[i], limit)) {
       for (Vertex& image : a) image = slice.origin_of[image];
       collect->insert(std::move(a));
     }
@@ -376,7 +384,7 @@ bool solve_all_slices(const Cover& cover,
           // is not cancelled, just deferred to the post-resume round.
           if (park != nullptr && park->park_requested()) return;
           SliceOutcome& out = outcomes[i];
-          out.sol = solve_slice(cover.slices[i], tds[i], pattern, options,
+          out.sol = solve_slice(cover.slices[i], *tds[i], pattern, options,
                                 release_interior, scope);
           if (scope.cancelled()) {
             out.sol = {};  // partial (paths/nodes skipped): free, never read
@@ -452,7 +460,7 @@ bool solve_all_slices(const Cover& cover,
       return false;
     }
     const iso::DpSolution& sol = outcome.sol;
-    const treedecomp::TreeDecomposition& td = tds[i];
+    const treedecomp::TreeDecomposition& td = *tds[i];
     account(sol);
     if (!sol.accepted) {
       outcome.sol = {};  // accounted; free before replaying the rest
@@ -472,8 +480,7 @@ bool solve_all_slices(const Cover& cover,
   return false;
 }
 
-bool solve_cover(const Cover& cover,
-                 const std::vector<treedecomp::TreeDecomposition>& tds,
+bool solve_cover(const Cover& cover, const TdList& tds,
                  const Pattern& pattern, const QueryOptions& options,
                  const Budget& budget, DecisionResult* decision,
                  std::set<Assignment>* collect, std::size_t limit,
@@ -489,31 +496,39 @@ bool solve_cover(const Cover& cover,
 /// Cache key of one cover: everything the cover build reads besides the
 /// target graph. `k` doubles as the clustering parameter (beta = 2k) and
 /// the minimum slice size, so two patterns with equal (diameter, size)
-/// resolve to the same cover.
+/// resolve to the same cover. `version` — the target snapshot the cover
+/// was built from — orders LAST, so all versions of one parameter set are
+/// adjacent in the cache map and the newest older version (the structural-
+/// sharing donor) is the entry's immediate same-base predecessor.
 struct CoverKey {
   std::uint32_t d = 0;
   std::uint32_t k = 0;
   std::uint64_t seed = 0;
   bool separating = false;
   std::vector<std::uint8_t> in_s;  ///< empty unless separating
+  std::uint64_t version = 0;
 
   bool operator<(const CoverKey& other) const {
-    return std::tie(d, k, seed, separating, in_s) <
+    return std::tie(d, k, seed, separating, in_s, version) <
            std::tie(other.d, other.k, other.seed, other.separating,
-                    other.in_s);
+                    other.in_s, other.version);
+  }
+  bool same_base(const CoverKey& other) const {
+    return d == other.d && k == other.k && seed == other.seed &&
+           separating == other.separating && in_s == other.in_s;
   }
 };
 
 /// One memoized cover plus its per-kind slice decompositions. Built under
 /// `mutex`; immutable afterwards (new decomposition kinds only append map
-/// nodes, never touch existing ones).
+/// nodes, never touch existing ones) — which is what lets a newer version's
+/// build read a donor entry's slices and share its decomposition pointers
+/// after only a flag check under the donor's mutex.
 struct CoverEntry {
   std::mutex mutex;
   bool cover_ready = false;
   Cover cover;
-  std::map<cover::DecompositionKind,
-           std::vector<treedecomp::TreeDecomposition>>
-      tds;
+  std::map<cover::DecompositionKind, TdList> tds;
   /// LRU tick, guarded by the owning Solver's cache_mutex (not `mutex`).
   std::uint64_t last_used = 0;
 };
@@ -523,15 +538,65 @@ struct CoverEntry {
 struct CoverAccess {
   std::shared_ptr<CoverEntry> entry;
   const Cover* cover = nullptr;
-  const std::vector<treedecomp::TreeDecomposition>* tds = nullptr;
+  const TdList* tds = nullptr;
   bool built_cover = false;  ///< this call built it (owns its metrics)
 };
+
+/// Order-sensitive structural signature of one slice (graph in adjacency
+/// order, origin map, separating spec) for the cross-version match.
+std::uint64_t slice_signature(const Slice& slice) {
+  std::uint64_t h = support::hash_combine(0x51c3, slice.graph.num_vertices());
+  for (Vertex v = 0; v < slice.graph.num_vertices(); ++v) {
+    h = support::hash_combine(h, slice.graph.degree(v));
+    for (const Vertex w : slice.graph.neighbors(v))
+      h = support::hash_combine(h, w);
+    h = support::hash_combine(h, slice.origin_of[v]);
+    h = support::hash_combine(h, slice.is_original[v]);
+  }
+  h = support::hash_combine(h, slice.bfs_root);
+  h = support::hash_combine(h, slice.spec.enabled ? 1 : 0);
+  for (const std::uint8_t b : slice.spec.in_s) h = support::hash_combine(h, b);
+  for (const std::uint8_t b : slice.spec.allowed)
+    h = support::hash_combine(h, b);
+  return h;
+}
+
+/// Exact structural equality backing the signature above. Everything the
+/// slice solve and witness translation read must match: the graph with its
+/// adjacency order, the origin/original maps, the decomposition root, and
+/// the separating spec.
+bool slice_equal(const Slice& a, const Slice& b) {
+  if (a.graph.num_vertices() != b.graph.num_vertices()) return false;
+  if (a.graph.num_half_edges() != b.graph.num_half_edges()) return false;
+  for (Vertex v = 0; v < a.graph.num_vertices(); ++v) {
+    const auto na = a.graph.neighbors(v);
+    const auto nb = b.graph.neighbors(v);
+    if (!std::equal(na.begin(), na.end(), nb.begin(), nb.end())) return false;
+  }
+  return a.origin_of == b.origin_of && a.is_original == b.is_original &&
+         a.bfs_root == b.bfs_root && a.spec.enabled == b.spec.enabled &&
+         a.spec.in_s == b.spec.in_s && a.spec.allowed == b.spec.allowed;
+}
 
 }  // namespace
 
 struct Solver::Impl {
-  Graph graph;
-  std::optional<planar::EmbeddedGraph> embedding;
+  using Snapshot = std::shared_ptr<const detail::VersionState>;
+
+  // ---- Version state (guarded by version_mutex) ----
+  // `current` is the snapshot new queries pin; `registry` tracks every
+  // version still reachable (weakly, so the last pin draining reclaims the
+  // VersionState without the Solver's involvement); the ledger survives
+  // reclaimed versions and collects their counters.
+  std::shared_ptr<detail::VersionLedger> ledger =
+      std::make_shared<detail::VersionLedger>();
+  mutable std::mutex version_mutex;
+  Snapshot current;
+  std::map<std::uint64_t, std::weak_ptr<const detail::VersionState>> registry;
+  std::uint64_t next_version_id = 1;
+  std::uint64_t versions_committed = 0;
+  /// Serializes apply() commits (never held together with cache_mutex).
+  std::mutex edit_mutex;
 
   std::mutex cache_mutex;
   std::map<CoverKey, std::shared_ptr<CoverEntry>> covers;
@@ -542,26 +607,78 @@ struct Solver::Impl {
   std::atomic<std::uint64_t> td_hits{0};
   std::atomic<std::uint64_t> td_misses{0};
   std::atomic<std::uint64_t> evictions{0};
+  std::atomic<std::uint64_t> slices_rebuilt{0};
+  std::atomic<std::uint64_t> slices_reused{0};
+  std::atomic<std::uint64_t> stale_purged{0};
 
-  // Lazily built vertex-connectivity state: the face-vertex graph G', a
-  // sub-Solver over it (whose cache holds the separating covers of the
-  // cycle probes), and the "original vertices" S marking.
-  std::mutex fvg_mutex;
-  std::unique_ptr<Solver> fvg_solver;
-  Vertex fvg_num_original = 0;
-  std::vector<std::uint8_t> fvg_in_s;
+  /// Installs the initial version (id 1); constructor-only, no locking.
+  void install_initial(Graph graph,
+                       std::optional<planar::EmbeddedGraph> embedding) {
+    auto state = std::make_shared<detail::VersionState>();
+    state->id = 1;
+    state->graph = std::move(graph);
+    state->embedding = std::move(embedding);
+    state->ledger = ledger;
+    registry.emplace(state->id, state);
+    current = std::move(state);
+    next_version_id = 2;
+  }
 
-  CoverAccess acquire_cover(const CoverKey& key,
+  Snapshot pin_current() const {
+    const std::lock_guard<std::mutex> lock(version_mutex);
+    return current;
+  }
+
+  /// Resolves the snapshot a query runs against: an explicit
+  /// QueryOptions::at pin (validated to belong to this Solver — foreign
+  /// versions would poison the version-keyed cache) or the current version.
+  Status pin(const TargetVersion* at, Snapshot* out) const {
+    if (at != nullptr) {
+      if (!at->valid())
+        return Status::InvalidOptions(
+            "QueryOptions::at: default-constructed TargetVersion");
+      if (at->state_->ledger != ledger)
+        return Status::InvalidOptions(
+            "QueryOptions::at: TargetVersion belongs to a different Solver");
+      *out = at->state_;
+      return Status::Ok();
+    }
+    *out = pin_current();
+    return Status::Ok();
+  }
+
+  /// Every still-reachable snapshot (sweeps expired registry entries).
+  std::vector<Snapshot> live_snapshots() const {
+    std::vector<Snapshot> out;
+    const std::lock_guard<std::mutex> lock(version_mutex);
+    for (const auto& [id, weak] : registry) {
+      if (Snapshot snap = weak.lock()) out.push_back(std::move(snap));
+    }
+    return out;
+  }
+
+  CoverAccess acquire_cover(const detail::VersionState& ver,
+                            const CoverKey& key,
                             cover::DecompositionKind kind) {
     CoverAccess access;
+    std::shared_ptr<CoverEntry> donor;
     {
       const std::lock_guard<std::mutex> lock(cache_mutex);
+      // Structural-sharing donor: the newest older-version entry with the
+      // same cover parameters. `version` orders last in the key, so that
+      // entry — if any — is exactly the immediate map predecessor.
+      auto pos = covers.lower_bound(key);
+      if (pos != covers.begin()) {
+        auto prev = std::prev(pos);
+        if (prev->first.same_base(key)) donor = prev->second;
+      }
       std::shared_ptr<CoverEntry>& slot = covers[key];
       if (!slot) slot = std::make_shared<CoverEntry>();
       slot->last_used = ++use_tick;
       access.entry = slot;
       // Capacity bound (0 = unlimited): evict the least-recently-used
       // other entry. In-flight readers keep theirs alive via shared_ptr.
+      // Entries of every version count against the one bound.
       while (cache_capacity > 0 && covers.size() > cache_capacity) {
         auto victim = covers.end();
         for (auto it = covers.begin(); it != covers.end(); ++it) {
@@ -577,46 +694,126 @@ struct Solver::Impl {
       }
     }
     CoverEntry& entry = *access.entry;
-    const std::lock_guard<std::mutex> lock(entry.mutex);
-    if (!entry.cover_ready) {
-      const double beta = 2.0 * key.k;
-      entry.cover = key.separating
-                        ? cover::build_separating_cover(graph, key.in_s, key.d,
-                                                        beta, key.seed, key.k)
-                        : cover::build_kd_cover(graph, key.d, beta, key.seed,
-                                                key.k);
-      entry.cover_ready = true;
-      access.built_cover = true;
-      cover_misses.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      cover_hits.fetch_add(1, std::memory_order_relaxed);
+    bool donated = false;
+    {
+      const std::lock_guard<std::mutex> lock(entry.mutex);
+      if (!entry.cover_ready) {
+        // The cover skeleton (clustering, BFS levels, slice graphs) is
+        // always rebuilt from the pinned version's graph — it is cheap
+        // next to the decompositions and keeping it bit-identical to a
+        // cold build is what makes incremental results provably equal.
+        const double beta = 2.0 * key.k;
+        entry.cover =
+            key.separating
+                ? cover::build_separating_cover(ver.graph, key.in_s, key.d,
+                                                beta, key.seed, key.k)
+                : cover::build_kd_cover(ver.graph, key.d, beta, key.seed,
+                                        key.k);
+        entry.cover_ready = true;
+        access.built_cover = true;
+        cover_misses.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        cover_hits.fetch_add(1, std::memory_order_relaxed);
+      }
+      auto it = entry.tds.find(kind);
+      if (it == entry.tds.end()) {
+        // Delta invalidation: match this cover's slices against the donor
+        // version's; structurally identical slices share the donor's
+        // decomposition pointer (decompose_slice is deterministic, so the
+        // shared object equals what a rebuild would produce), the rest
+        // rebuild below. Locking order entry -> donor is acyclic: a
+        // thread only ever waits on strictly older versions.
+        const Cover* donor_cover = nullptr;
+        TdList donor_tds;
+        if (donor && donor != access.entry) {
+          const std::lock_guard<std::mutex> donor_lock(donor->mutex);
+          if (donor->cover_ready) {
+            auto donor_it = donor->tds.find(kind);
+            if (donor_it != donor->tds.end()) {
+              donor_cover = &donor->cover;  // immutable once ready
+              donor_tds = donor_it->second;
+            }
+          }
+        }
+        TdList tds(entry.cover.slices.size());
+        std::vector<std::size_t> rebuild;
+        if (donor_cover != nullptr) {
+          std::unordered_multimap<std::uint64_t, std::size_t> by_signature;
+          for (std::size_t i = 0; i < donor_cover->slices.size(); ++i)
+            by_signature.emplace(slice_signature(donor_cover->slices[i]), i);
+          for (std::size_t i = 0; i < entry.cover.slices.size(); ++i) {
+            const Slice& slice = entry.cover.slices[i];
+            const auto [lo, hi] =
+                by_signature.equal_range(slice_signature(slice));
+            for (auto match = lo; match != hi; ++match) {
+              if (slice_equal(slice, donor_cover->slices[match->second])) {
+                tds[i] = donor_tds[match->second];
+                break;
+              }
+            }
+            if (!tds[i]) rebuild.push_back(i);
+          }
+        } else {
+          rebuild.resize(tds.size());
+          for (std::size_t i = 0; i < tds.size(); ++i) rebuild[i] = i;
+        }
+        // Slices decompose independently, so the build fans out across the
+        // team (each iteration fills its own pre-sized slot; results are
+        // per-slice deterministic, so the assembled vector is too). This
+        // runs under entry.mutex, so it must be parallel_for, never a
+        // TaskGraph: a task suspension here could pick up an arbitrary
+        // sibling query task that takes the same mutex (see the locking
+        // discipline in support/scheduler.hpp). Grain 1: decompositions
+        // are orders of magnitude heavier than a loop iteration's overhead.
+        support::parallel_for(
+            0, rebuild.size(),
+            [&](std::size_t r) {
+              const std::size_t i = rebuild[r];
+              tds[i] = std::make_shared<const treedecomp::TreeDecomposition>(
+                  decompose_slice(entry.cover.slices[i], kind));
+            },
+            /*grain=*/1);
+        slices_rebuilt.fetch_add(rebuild.size(), std::memory_order_relaxed);
+        slices_reused.fetch_add(tds.size() - rebuild.size(),
+                                std::memory_order_relaxed);
+        donated = tds.size() > rebuild.size();
+        it = entry.tds.emplace(kind, std::move(tds)).first;
+        td_misses.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        td_hits.fetch_add(1, std::memory_order_relaxed);
+      }
+      access.cover = &entry.cover;
+      access.tds = &it->second;
     }
-    auto it = entry.tds.find(kind);
-    if (it == entry.tds.end()) {
-      // Slices decompose independently, so the build fans out across the
-      // team (each iteration fills its own pre-sized slot; results are
-      // per-slice deterministic, so the assembled vector is too). This
-      // runs under entry.mutex, so it must be parallel_for, never a
-      // TaskGraph: a task suspension here could pick up an arbitrary
-      // sibling query task that takes the same mutex (see the locking
-      // discipline in support/scheduler.hpp). Grain 1: decompositions are
-      // orders of magnitude heavier than a loop iteration's overhead.
-      std::vector<treedecomp::TreeDecomposition> tds(
-          entry.cover.slices.size());
-      support::parallel_for(
-          0, tds.size(),
-          [&](std::size_t i) {
-            tds[i] = decompose_slice(entry.cover.slices[i], kind);
-          },
-          /*grain=*/1);
-      it = entry.tds.emplace(kind, std::move(tds)).first;
-      td_misses.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      td_hits.fetch_add(1, std::memory_order_relaxed);
-    }
-    access.cover = &entry.cover;
-    access.tds = &it->second;
+    if (donor || donated) purge_stale(key);
     return access;
+  }
+
+  /// Drops same-parameter cover entries of strictly older versions that
+  /// are dead (no reachable snapshot can ever query them again). Runs
+  /// after the newer entry is complete, so the donation above already
+  /// happened; entries of still-live versions stay for their pinned
+  /// queries (and age out through the LRU like any other entry).
+  void purge_stale(const CoverKey& key) {
+    std::set<std::uint64_t> live;
+    {
+      const std::lock_guard<std::mutex> lock(version_mutex);
+      for (const auto& [id, weak] : registry) {
+        if (!weak.expired()) live.insert(id);
+      }
+    }
+    const std::lock_guard<std::mutex> lock(cache_mutex);
+    CoverKey first = key;
+    first.version = 0;
+    std::vector<CoverKey> dead;
+    for (auto it = covers.lower_bound(first);
+         it != covers.end() && it->first.same_base(key) &&
+         it->first.version < key.version;
+         ++it) {
+      if (live.count(it->first.version) == 0) dead.push_back(it->first);
+    }
+    for (const CoverKey& victim : dead) covers.erase(victim);
+    stale_purged.fetch_add(dead.size(), std::memory_order_relaxed);
   }
 
   /// One decision-pipeline cover run against the cache. Cover-build
@@ -624,7 +821,8 @@ struct Solver::Impl {
   /// cache hit did not perform that work. A mid-cover preemption (token /
   /// deadline, threaded through `budget`) reports through `*interrupt`;
   /// the returned result then holds the partially-accounted run.
-  DecisionResult run_once_cached(const Pattern& pattern,
+  DecisionResult run_once_cached(const detail::VersionState& ver,
+                                 const Pattern& pattern,
                                  std::uint64_t run_seed,
                                  const QueryOptions& options,
                                  const Budget& budget, Status* interrupt) {
@@ -634,7 +832,8 @@ struct Solver::Impl {
     key.d = std::max(1u, pattern.diameter());
     key.k = pattern.size();
     key.seed = run_seed;
-    const CoverAccess access = acquire_cover(key, options.decomposition);
+    key.version = ver.id;
+    const CoverAccess access = acquire_cover(ver, key, options.decomposition);
     if (access.built_cover) result.metrics.absorb(access.cover->metrics);
     result.found = solve_cover(*access.cover, *access.tds, pattern, options,
                                budget, &result, nullptr, 1, interrupt);
@@ -676,12 +875,12 @@ Status require_connected(const Pattern& pattern, const char* query) {
 }  // namespace
 
 Solver::Solver(Graph target) : impl_(std::make_unique<Impl>()) {
-  impl_->graph = std::move(target);
+  impl_->install_initial(std::move(target), std::nullopt);
 }
 
 Solver::Solver(planar::EmbeddedGraph target) : impl_(std::make_unique<Impl>()) {
-  impl_->graph = target.graph();
-  impl_->embedding = std::move(target);
+  Graph graph = target.graph();
+  impl_->install_initial(std::move(graph), std::move(target));
 }
 
 Solver::~Solver() {
@@ -691,28 +890,99 @@ Solver::~Solver() {
 Solver::Solver(Solver&&) noexcept = default;
 Solver& Solver::operator=(Solver&&) noexcept = default;
 
-const Graph& Solver::target() const { return impl_->graph; }
-bool Solver::has_embedding() const { return impl_->embedding.has_value(); }
+const Graph& Solver::target() const { return impl_->pin_current()->graph; }
+bool Solver::has_embedding() const {
+  return impl_->pin_current()->embedding.has_value();
+}
+
+TargetVersion Solver::current_version() const {
+  return TargetVersion(impl_->pin_current());
+}
+
+Result<TargetVersion> Solver::apply(const EditScript& script) {
+  // One commit at a time: each script validates against (and builds on)
+  // the version current when its turn comes.
+  const std::lock_guard<std::mutex> edit(impl_->edit_mutex);
+  const Impl::Snapshot base = impl_->pin_current();
+  if (script.empty()) return TargetVersion(base);
+  auto next = std::make_shared<detail::VersionState>();
+  next->ledger = impl_->ledger;
+  if (base->embedding.has_value()) {
+    // Embedded targets stay embedded: the rotation system is patched
+    // incrementally (planarity-breaking edits are rejected here).
+    planar::EmbeddedGraph patched;
+    if (Status status =
+            detail::apply_edits_embedded(*base->embedding, script, &patched);
+        !status.ok())
+      return status;
+    next->graph = patched.graph();
+    next->embedding = std::move(patched);
+  } else {
+    GraphDelta delta;
+    if (std::string error = apply_edits(base->graph, script, &delta);
+        !error.empty())
+      return Status::InvalidOptions("apply: " + error);
+    next->graph = std::move(delta.graph);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(impl_->version_mutex);
+    next->id = impl_->next_version_id++;
+    impl_->registry.emplace(next->id, next);
+    impl_->current = next;
+    ++impl_->versions_committed;
+    // Sweep registry entries whose versions have fully drained.
+    for (auto it = impl_->registry.begin(); it != impl_->registry.end();) {
+      it = it->second.expired() ? impl_->registry.erase(it) : std::next(it);
+    }
+  }
+  return TargetVersion(std::move(next));
+}
+
+MutableTarget Solver::mutate() {
+  return MutableTarget(this, impl_->pin_current()->graph.num_vertices());
+}
+
+Result<TargetVersion> Solver::insert_edge(Vertex u, Vertex v) {
+  EditScript script;
+  script.insert_edge(u, v);
+  return apply(script);
+}
+
+Result<TargetVersion> Solver::remove_edge(Vertex u, Vertex v) {
+  EditScript script;
+  script.remove_edge(u, v);
+  return apply(script);
+}
+
+Result<TargetVersion> Solver::insert_vertex() {
+  EditScript script;
+  script.insert_vertex();
+  return apply(script);
+}
 
 Result<DecisionResult> Solver::find(const iso::Pattern& pattern,
                                     const QueryOptions& options) {
   if (Status status = validate(options); !status.ok()) return status;
   if (Status status = require_connected(pattern, "find"); !status.ok())
     return status;
+  Impl::Snapshot snap;
+  if (Status status = impl_->pin(options.at, &snap); !status.ok())
+    return status;
+  const detail::VersionState& ver = *snap;
   const Budget budget(options);
   DecisionResult total;
   // Entry check: a pre-cancelled token or pre-expired deadline returns
   // before any cover is built or solved (runs == 0, empty partial result).
   if (Status status = budget.check(total.metrics); !status.ok())
     return {std::move(status), std::move(total)};
-  if (impl_->graph.num_vertices() < pattern.size()) return total;
+  if (ver.graph.num_vertices() < pattern.size()) return total;
   const std::uint32_t runs = options.max_runs > 0
                                  ? options.max_runs
-                                 : default_runs(impl_->graph.num_vertices());
+                                 : default_runs(ver.graph.num_vertices());
   for (std::uint32_t r = 0; r < runs; ++r) {
     Status interrupt;
     DecisionResult one = impl_->run_once_cached(
-        pattern, support::hash_combine(options.seed, r), options, budget,
+        ver, pattern, support::hash_combine(options.seed, r), options, budget,
         &interrupt);
     total.metrics.absorb(one.metrics);
     total.slices_solved += one.slices_solved;
@@ -735,12 +1005,15 @@ Result<DecisionResult> Solver::find_once(const iso::Pattern& pattern,
                                          std::uint64_t run_seed,
                                          const QueryOptions& options) {
   if (Status status = validate(options); !status.ok()) return status;
+  Impl::Snapshot snap;
+  if (Status status = impl_->pin(options.at, &snap); !status.ok())
+    return status;
   const Budget budget(options);
   if (Status status = budget.check({}); !status.ok())
     return {std::move(status), DecisionResult{}};
   Status interrupt;
-  DecisionResult one =
-      impl_->run_once_cached(pattern, run_seed, options, budget, &interrupt);
+  DecisionResult one = impl_->run_once_cached(*snap, pattern, run_seed,
+                                              options, budget, &interrupt);
   if (!interrupt.ok()) return {std::move(interrupt), std::move(one)};
   return one;
 }
@@ -750,13 +1023,17 @@ Result<ListingResult> Solver::list(const iso::Pattern& pattern,
   if (Status status = validate(options); !status.ok()) return status;
   if (Status status = require_connected(pattern, "list"); !status.ok())
     return status;
+  Impl::Snapshot snap;
+  if (Status status = impl_->pin(options.at, &snap); !status.ok())
+    return status;
+  const detail::VersionState& ver = *snap;
   const Budget budget(options);
   ListingResult result;
   if (Status status = budget.check(result.metrics); !status.ok())
     return {std::move(status), std::move(result)};
   std::set<Assignment> all;
   const double lgn =
-      std::log2(static_cast<double>(impl_->graph.num_vertices()) + 2.0);
+      std::log2(static_cast<double>(ver.graph.num_vertices()) + 2.0);
   std::uint32_t streak = 0;
   std::uint32_t j = 0;
   const std::uint32_t d = std::max(1u, pattern.diameter());
@@ -767,8 +1044,9 @@ Result<ListingResult> Solver::list(const iso::Pattern& pattern,
     key.d = d;
     key.k = pattern.size();
     key.seed = support::hash_combine(options.seed, 0x11570 + j);
+    key.version = ver.id;
     const CoverAccess access =
-        impl_->acquire_cover(key, options.decomposition);
+        impl_->acquire_cover(ver, key, options.decomposition);
     if (access.built_cover) result.metrics.absorb(access.cover->metrics);
     const std::size_t before = all.size();
     // The iteration stats meter the DP solve work (the dominant cost) into
@@ -832,11 +1110,14 @@ Result<DecisionResult> Solver::find_disconnected(const iso::Pattern& pattern,
   if (Status status = validate(options); !status.ok()) return status;
   const auto components = pattern.components();
   if (components.size() <= 1) return find(pattern, options);
+  Impl::Snapshot snap;
+  if (Status status = impl_->pin(options.at, &snap); !status.ok())
+    return status;
   const Budget budget(options);
   DecisionResult total;
   if (Status status = budget.check(total.metrics); !status.ok())
     return {std::move(status), std::move(total)};
-  const Graph& g = impl_->graph;
+  const Graph& g = snap->graph;
   if (g.num_vertices() < pattern.size()) return total;
   const auto l = static_cast<std::uint32_t>(components.size());
   // l^k attempts find a fixed occurrence with constant probability
@@ -856,6 +1137,7 @@ Result<DecisionResult> Solver::find_disconnected(const iso::Pattern& pattern,
   }
   QueryOptions inner = options;
   inner.max_runs = 3;  // constant success probability per correct coloring
+  inner.at = nullptr;  // sub-solvers have their own (single) version
   for (std::uint32_t attempt = 0; attempt < attempts; ++attempt) {
     ++total.runs;
     support::Rng rng(support::hash_combine(options.seed, 0xd15c + attempt));
@@ -914,17 +1196,21 @@ Result<DecisionResult> Solver::find_separating(
   if (Status status = require_connected(pattern, "find_separating");
       !status.ok())
     return status;
-  if (in_s.size() != impl_->graph.num_vertices())
+  Impl::Snapshot snap;
+  if (Status status = impl_->pin(options.at, &snap); !status.ok())
+    return status;
+  const detail::VersionState& ver = *snap;
+  if (in_s.size() != ver.graph.num_vertices())
     return Status::InvalidOptions(
         "find_separating: in_s must mark every target vertex");
   const Budget budget(options);
   DecisionResult total;
   if (Status status = budget.check(total.metrics); !status.ok())
     return {std::move(status), std::move(total)};
-  if (impl_->graph.num_vertices() < pattern.size()) return total;
+  if (ver.graph.num_vertices() < pattern.size()) return total;
   const std::uint32_t runs = options.max_runs > 0
                                  ? options.max_runs
-                                 : default_runs(impl_->graph.num_vertices());
+                                 : default_runs(ver.graph.num_vertices());
   const std::uint32_t d = std::max(1u, pattern.diameter());
   for (std::uint32_t r = 0; r < runs; ++r) {
     CoverKey key;
@@ -933,8 +1219,9 @@ Result<DecisionResult> Solver::find_separating(
     key.seed = support::hash_combine(options.seed, 0x5e9 + r);
     key.separating = true;
     key.in_s = in_s;
+    key.version = ver.id;
     const CoverAccess access =
-        impl_->acquire_cover(key, options.decomposition);
+        impl_->acquire_cover(ver, key, options.decomposition);
     if (access.built_cover) total.metrics.absorb(access.cover->metrics);
     ++total.runs;
     Status interrupt;
@@ -960,7 +1247,16 @@ Result<connectivity::VertexConnectivityResult> Solver::vertex_connectivity(
     const QueryOptions& options) {
   using connectivity::VertexConnectivityResult;
   if (Status status = validate(options); !status.ok()) return status;
-  if (!impl_->embedding.has_value())
+  Impl::Snapshot snap;
+  if (Status status = impl_->pin(options.at, &snap); !status.ok())
+    return status;
+  // Read the capacity before any fvg_mutex work (never nested under it).
+  std::size_t capacity;
+  {
+    const std::lock_guard<std::mutex> lock(impl_->cache_mutex);
+    capacity = impl_->cache_capacity;
+  }
+  if (!snap->embedding.has_value())
     return Status::Unsupported(
         "vertex_connectivity: this Solver was built without an embedding; "
         "construct it from a planar::EmbeddedGraph");
@@ -968,7 +1264,7 @@ Result<connectivity::VertexConnectivityResult> Solver::vertex_connectivity(
   VertexConnectivityResult result;
   if (Status status = budget.check(result.metrics); !status.ok())
     return {std::move(status), std::move(result)};
-  const Graph& g = impl_->graph;
+  const Graph& g = snap->graph;
   const Vertex n = g.num_vertices();
   if (n <= options.small_cutoff) {
     const connectivity::FlowConnectivityResult flow =
@@ -988,20 +1284,23 @@ Result<connectivity::VertexConnectivityResult> Solver::vertex_connectivity(
     return result;
   }
   // 2-connected: probe S-separating cycles in the face-vertex graph, which
-  // is built once per Solver and probed through a cached sub-Solver (its
-  // cover cache persists across vertex_connectivity calls).
+  // is built once per *version* and probed through a cached sub-Solver
+  // (its cover cache persists across vertex_connectivity calls, and a
+  // pinned query probes exactly the snapshot it pinned).
   {
-    const std::lock_guard<std::mutex> lock(impl_->fvg_mutex);
-    if (!impl_->fvg_solver) {
+    const std::lock_guard<std::mutex> lock(snap->fvg_mutex);
+    if (!snap->fvg_solver) {
       const planar::FaceVertexGraph fvg =
-          planar::build_face_vertex_graph(*impl_->embedding);
-      impl_->fvg_num_original = fvg.num_original;
-      impl_->fvg_in_s.assign(fvg.graph.num_vertices(), 0);
-      for (Vertex v = 0; v < fvg.num_original; ++v) impl_->fvg_in_s[v] = 1;
-      impl_->fvg_solver = std::make_unique<Solver>(fvg.graph);
+          planar::build_face_vertex_graph(*snap->embedding);
+      snap->fvg_num_original = fvg.num_original;
+      snap->fvg_in_s.assign(fvg.graph.num_vertices(), 0);
+      for (Vertex v = 0; v < fvg.num_original; ++v) snap->fvg_in_s[v] = 1;
+      snap->fvg_solver = std::make_unique<Solver>(fvg.graph);
+      snap->fvg_solver->set_cache_capacity(capacity);
     }
   }
   QueryOptions probe = options;
+  probe.at = nullptr;  // the sub-solver has its own (single) version
   for (std::uint32_t c = 2; c <= 4; ++c) {
     const iso::Pattern cycle =
         iso::Pattern::from_graph(gen::cycle_graph(2 * c));
@@ -1011,7 +1310,7 @@ Result<connectivity::VertexConnectivityResult> Solver::vertex_connectivity(
     probe.max_work = budget.remaining_work(result.metrics);
     probe.deadline_seconds = budget.remaining_seconds();
     const Result<DecisionResult> probed =
-        impl_->fvg_solver->find_separating(impl_->fvg_in_s, cycle, probe);
+        snap->fvg_solver->find_separating(snap->fvg_in_s, cycle, probe);
     result.metrics.absorb(probed->metrics);
     result.cycle_runs += probed->runs;
     if (!probed.ok()) return {probed.status(), std::move(result)};
@@ -1019,7 +1318,7 @@ Result<connectivity::VertexConnectivityResult> Solver::vertex_connectivity(
       result.connectivity = c;
       if (probed->witness.has_value()) {
         for (const Vertex image : *probed->witness) {
-          if (image < impl_->fvg_num_original)
+          if (image < snap->fvg_num_original)
             result.witness_cut.push_back(image);
         }
         std::sort(result.witness_cut.begin(), result.witness_cut.end());
@@ -1056,6 +1355,13 @@ std::vector<Result<DecisionResult>> Solver::find_batch(
     for (auto& slot : out) slot = status;
     return out;
   }
+  // Pin once for the whole batch: every query runs against the same
+  // snapshot even if an edit commits mid-batch (per-query pin validation
+  // still happens inside find()).
+  const TargetVersion pinned =
+      options.at != nullptr ? *options.at : current_version();
+  QueryOptions inner = options;
+  inner.at = &pinned;
   // Queries share the cover cache: patterns with equal (diameter, size)
   // and the common per-run seeds resolve to the same memoized covers, so
   // whichever task gets there first builds and the rest reuse.
@@ -1068,7 +1374,7 @@ std::vector<Result<DecisionResult>> Solver::find_batch(
   // provided (libgomp's own barriers are uninstrumented).
   support::TaskGraph graph;
   for (std::size_t i = 0; i < patterns.size(); ++i)
-    graph.add([&, i] { out[i] = find(patterns[i], options); });
+    graph.add([&, i] { out[i] = find(patterns[i], inner); });
   support::Scheduler::run(graph);
   return out;
 }
@@ -1121,15 +1427,22 @@ PendingResult<DecisionResult> Solver::find_async(iso::Pattern pattern,
   auto shared = std::make_shared<detail::PendingShared<DecisionResult>>();
   QueryOptions opts = options;
   opts.cancel = &shared->token;
+  // Pin at submit: an apply() landing while this query waits in the
+  // serving queue must not change what it sees (api/dynamic.hpp).
+  const TargetVersion pinned =
+      options.at != nullptr ? *options.at : current_version();
   auto deadline = queue_deadline(admission);
   impl_->async_begin();
   Impl* impl = impl_.get();
   support::Scheduler::submit(
-      [this, impl, shared, deadline, pattern = std::move(pattern), opts] {
+      [this, impl, shared, deadline, pattern = std::move(pattern), opts,
+       pinned] {
         if (deadline->expired()) {
           shared->set(Result<DecisionResult>(shed_status(), DecisionResult{}));
         } else {
-          shared->set(find(pattern, opts));
+          QueryOptions exec = opts;
+          exec.at = &pinned;
+          shared->set(find(pattern, exec));
         }
         impl->async_end();
       },
@@ -1145,15 +1458,20 @@ PendingResult<ListingResult> Solver::list_async(iso::Pattern pattern,
   auto shared = std::make_shared<detail::PendingShared<ListingResult>>();
   QueryOptions opts = options;
   opts.cancel = &shared->token;
+  const TargetVersion pinned =
+      options.at != nullptr ? *options.at : current_version();
   auto deadline = queue_deadline(admission);
   impl_->async_begin();
   Impl* impl = impl_.get();
   support::Scheduler::submit(
-      [this, impl, shared, deadline, pattern = std::move(pattern), opts] {
+      [this, impl, shared, deadline, pattern = std::move(pattern), opts,
+       pinned] {
         if (deadline->expired()) {
           shared->set(Result<ListingResult>(shed_status(), ListingResult{}));
         } else {
-          shared->set(list(pattern, opts));
+          QueryOptions exec = opts;
+          exec.at = &pinned;
+          shared->set(list(pattern, exec));
         }
         impl->async_end();
       },
@@ -1169,21 +1487,45 @@ PendingResult<CountResult> Solver::count_async(iso::Pattern pattern,
   auto shared = std::make_shared<detail::PendingShared<CountResult>>();
   QueryOptions opts = options;
   opts.cancel = &shared->token;
+  const TargetVersion pinned =
+      options.at != nullptr ? *options.at : current_version();
   auto deadline = queue_deadline(admission);
   impl_->async_begin();
   Impl* impl = impl_.get();
   support::Scheduler::submit(
-      [this, impl, shared, deadline, pattern = std::move(pattern), opts] {
+      [this, impl, shared, deadline, pattern = std::move(pattern), opts,
+       pinned] {
         if (deadline->expired()) {
           shared->set(Result<CountResult>(shed_status(), CountResult{}));
         } else {
-          shared->set(count(pattern, opts));
+          QueryOptions exec = opts;
+          exec.at = &pinned;
+          shared->set(count(pattern, exec));
         }
         impl->async_end();
       },
       static_cast<int>(admission.priority));
   return PendingResult<CountResult>(std::move(shared));
 }
+
+namespace {
+
+/// Adds a face-vertex sub-solver's cumulative counters (resident-state
+/// fields excluded for dead versions are included here for live ones,
+/// where the entries still exist).
+void add_sub_stats(CacheStats* into, const CacheStats& sub) {
+  into->cover_hits += sub.cover_hits;
+  into->cover_misses += sub.cover_misses;
+  into->decomposition_hits += sub.decomposition_hits;
+  into->decomposition_misses += sub.decomposition_misses;
+  into->cover_evictions += sub.cover_evictions;
+  into->cover_entries += sub.cover_entries;
+  into->slices_rebuilt += sub.slices_rebuilt;
+  into->slices_reused += sub.slices_reused;
+  into->stale_covers_purged += sub.stale_covers_purged;
+}
+
+}  // namespace
 
 CacheStats Solver::cache_stats() const {
   CacheStats stats;
@@ -1193,21 +1535,28 @@ CacheStats Solver::cache_stats() const {
   stats.decomposition_misses =
       impl_->td_misses.load(std::memory_order_relaxed);
   stats.cover_evictions = impl_->evictions.load(std::memory_order_relaxed);
+  stats.slices_rebuilt = impl_->slices_rebuilt.load(std::memory_order_relaxed);
+  stats.slices_reused = impl_->slices_reused.load(std::memory_order_relaxed);
+  stats.stale_covers_purged =
+      impl_->stale_purged.load(std::memory_order_relaxed);
   {
     const std::lock_guard<std::mutex> lock(impl_->cache_mutex);
     stats.cover_entries = impl_->covers.size();
   }
+  std::vector<Impl::Snapshot> live = impl_->live_snapshots();
   {
-    const std::lock_guard<std::mutex> lock(impl_->fvg_mutex);
-    if (impl_->fvg_solver) {
-      const CacheStats sub = impl_->fvg_solver->cache_stats();
-      stats.cover_hits += sub.cover_hits;
-      stats.cover_misses += sub.cover_misses;
-      stats.decomposition_hits += sub.decomposition_hits;
-      stats.decomposition_misses += sub.decomposition_misses;
-      stats.cover_evictions += sub.cover_evictions;
-      stats.cover_entries += sub.cover_entries;
-    }
+    const std::lock_guard<std::mutex> lock(impl_->version_mutex);
+    stats.versions_committed = impl_->versions_committed;
+  }
+  stats.live_versions = live.size();
+  {
+    const std::lock_guard<std::mutex> lock(impl_->ledger->mutex);
+    stats.versions_reclaimed = impl_->ledger->reclaimed;
+    add_sub_stats(&stats, impl_->ledger->harvested);
+  }
+  for (const Impl::Snapshot& snap : live) {
+    const std::lock_guard<std::mutex> lock(snap->fvg_mutex);
+    if (snap->fvg_solver) add_sub_stats(&stats, snap->fvg_solver->cache_stats());
   }
   return stats;
 }
@@ -1226,8 +1575,10 @@ void Solver::set_cache_capacity(std::size_t max_covers) {
       impl_->evictions.fetch_add(1, std::memory_order_relaxed);
     }
   }
-  const std::lock_guard<std::mutex> lock(impl_->fvg_mutex);
-  if (impl_->fvg_solver) impl_->fvg_solver->set_cache_capacity(max_covers);
+  for (const Impl::Snapshot& snap : impl_->live_snapshots()) {
+    const std::lock_guard<std::mutex> lock(snap->fvg_mutex);
+    if (snap->fvg_solver) snap->fvg_solver->set_cache_capacity(max_covers);
+  }
 }
 
 void Solver::clear_cache() {
@@ -1240,8 +1591,19 @@ void Solver::clear_cache() {
   impl_->td_hits.store(0, std::memory_order_relaxed);
   impl_->td_misses.store(0, std::memory_order_relaxed);
   impl_->evictions.store(0, std::memory_order_relaxed);
-  const std::lock_guard<std::mutex> lock(impl_->fvg_mutex);
-  if (impl_->fvg_solver) impl_->fvg_solver->clear_cache();
+  impl_->slices_rebuilt.store(0, std::memory_order_relaxed);
+  impl_->slices_reused.store(0, std::memory_order_relaxed);
+  impl_->stale_purged.store(0, std::memory_order_relaxed);
+  {
+    // The harvested sub-solver counters are cache counters; the version
+    // lifecycle counts (committed/reclaimed) deliberately survive.
+    const std::lock_guard<std::mutex> lock(impl_->ledger->mutex);
+    impl_->ledger->harvested = CacheStats{};
+  }
+  for (const Impl::Snapshot& snap : impl_->live_snapshots()) {
+    const std::lock_guard<std::mutex> lock(snap->fvg_mutex);
+    if (snap->fvg_solver) snap->fvg_solver->clear_cache();
+  }
 }
 
 }  // namespace ppsi

@@ -37,6 +37,13 @@
 
 namespace ppsi {
 
+// Dynamic-target vocabulary (api/dynamic.hpp): versioned copy-on-write
+// snapshots of the target graph. Declared here so QueryOptions and the
+// Solver edit methods can name them without a header cycle.
+class TargetVersion;
+class MutableTarget;
+struct EditScript;
+
 /// One validated option set for every Solver query (superset of
 /// cover::PipelineOptions, the shared pipeline vocabulary).
 struct QueryOptions {
@@ -79,6 +86,13 @@ struct QueryOptions {
   /// its next slice boundary (state retained, budget clock paused) and
   /// continues after resume. Results are unchanged by parking.
   support::ParkGate* park = nullptr;
+  /// Pins the query to this committed snapshot (api/dynamic.hpp) instead of
+  /// the Solver's current version. Borrowed; must outlive the query and
+  /// must come from the same Solver. Null = the version current when the
+  /// query starts. The *_async entry points and the SolverPool capture the
+  /// pinned version at *submit* time, so a later apply() never changes what
+  /// an already-submitted query sees.
+  const TargetVersion* at = nullptr;
   /// Decision queries only: skip witness recovery and free each solved DP
   /// node as soon as its parent has consumed it, so a query's peak memory
   /// is one root frontier instead of the whole solved tree.
@@ -105,7 +119,22 @@ struct CacheStats {
   std::uint64_t decomposition_hits = 0;
   std::uint64_t decomposition_misses = 0;
   std::uint64_t cover_evictions = 0;  ///< LRU evictions at the capacity cap
-  std::uint64_t cover_entries = 0;    ///< currently resident
+  std::uint64_t cover_entries = 0;    ///< currently resident (all versions)
+
+  // Dynamic-target counters (api/dynamic.hpp). The version lifecycle
+  // counters below are cumulative since construction and are NOT reset by
+  // clear_cache(); the slice and purge counters reset with the rest.
+  std::uint64_t versions_committed = 0;  ///< successful apply() commits
+  std::uint64_t versions_reclaimed = 0;  ///< versions whose last pin drained
+  std::uint64_t live_versions = 0;       ///< currently reachable snapshots
+  /// Per-slice tree decompositions built from scratch (a cold target build
+  /// counts here too — compare deltas across an edit).
+  std::uint64_t slices_rebuilt = 0;
+  /// Per-slice tree decompositions structurally shared from the previous
+  /// version because the edit left the slice untouched.
+  std::uint64_t slices_reused = 0;
+  /// Cover entries of dead (fully drained) versions dropped by the sweep.
+  std::uint64_t stale_covers_purged = 0;
 };
 
 class Solver {
@@ -120,8 +149,34 @@ class Solver {
   Solver(const Solver&) = delete;
   Solver& operator=(const Solver&) = delete;
 
+  /// The *current* version's graph; the reference stays valid until the
+  /// next apply() commit (hold a TargetVersion to keep a snapshot alive).
   const Graph& target() const;
   bool has_embedding() const;
+
+  // ---- Dynamic target API (api/dynamic.hpp) ----
+  //
+  // apply() validates and commits an EditScript as one transaction,
+  // producing a new immutable TargetVersion; on any invalid edit (or an
+  // edit that would break a planar embedding) nothing changes. Queries
+  // already in flight keep the version they pinned; queries starting after
+  // the commit see the new one. Covers and per-slice tree decompositions
+  // are maintained incrementally: only the slices an edit touches are
+  // rebuilt on the next query, the rest are shared with the previous
+  // version (see CacheStats::slices_rebuilt / slices_reused).
+
+  /// Refcounted handle to the latest committed snapshot.
+  TargetVersion current_version() const;
+  /// Commits `script`; an empty script is a no-op returning the current
+  /// version. Thread-safe against queries and other commits.
+  Result<TargetVersion> apply(const EditScript& script);
+  /// Edit builder bound to this Solver (MutableTarget::commit == apply).
+  MutableTarget mutate();
+  /// Single-edit conveniences (one-element scripts).
+  Result<TargetVersion> insert_edge(Vertex u, Vertex v);
+  Result<TargetVersion> remove_edge(Vertex u, Vertex v);
+  /// The new vertex's id is the committed version's num_vertices() - 1.
+  Result<TargetVersion> insert_vertex();
 
   /// Decides occurrence of a *connected* pattern (Theorem 2.1).
   Result<cover::DecisionResult> find(const iso::Pattern& pattern,
@@ -197,7 +252,8 @@ class Solver {
       iso::Pattern pattern, const QueryOptions& options = {},
       const Admission& admission = {});
 
-  /// Aggregated over this solver and the internal face-vertex sub-solver.
+  /// Aggregated over this solver and the face-vertex sub-solvers of every
+  /// version, including (via the version ledger) already-reclaimed ones.
   CacheStats cache_stats() const;
   /// Drops every cached cover/decomposition (the target stays).
   void clear_cache();

@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "api/dynamic.hpp"
 #include "support/scheduler.hpp"
 #include "support/types.hpp"
 
@@ -477,6 +478,39 @@ Solver& SolverPool::solver(TargetId id) {
   return *shard;
 }
 
+TargetVersion SolverPool::current_version(TargetId id) {
+  return solver(id).current_version();
+}
+
+Result<TargetVersion> SolverPool::apply(TargetId id,
+                                        const EditScript& script) {
+  Solver* shard = impl_->shard(id);
+  if (shard == nullptr) return Result<TargetVersion>(unknown_target());
+  return shard->apply(script);
+}
+
+MutableTarget SolverPool::mutate(TargetId id) { return solver(id).mutate(); }
+
+Result<TargetVersion> SolverPool::insert_edge(TargetId id, Vertex u,
+                                              Vertex v) {
+  Solver* shard = impl_->shard(id);
+  if (shard == nullptr) return Result<TargetVersion>(unknown_target());
+  return shard->insert_edge(u, v);
+}
+
+Result<TargetVersion> SolverPool::remove_edge(TargetId id, Vertex u,
+                                              Vertex v) {
+  Solver* shard = impl_->shard(id);
+  if (shard == nullptr) return Result<TargetVersion>(unknown_target());
+  return shard->remove_edge(u, v);
+}
+
+Result<TargetVersion> SolverPool::insert_vertex(TargetId id) {
+  Solver* shard = impl_->shard(id);
+  if (shard == nullptr) return Result<TargetVersion>(unknown_target());
+  return shard->insert_vertex();
+}
+
 template <typename T>
 PendingResult<T> SolverPool::submit(TargetId id, Query query,
                                     const Admission& admission) {
@@ -488,13 +522,21 @@ PendingResult<T> SolverPool::submit(TargetId id, Query query,
     return rejected<T>(Status::InvalidOptions(
         "SolverPool::submit: Query kind does not match the requested "
         "result type"));
+  // Pin the target version *now*, not at dispatch: an edit that commits
+  // while this query waits in the admission queue (or while it is parked)
+  // must not change what it sees. The closure holds the pin, so the
+  // version cannot be reclaimed before the query runs.
+  const TargetVersion pinned = query.options.at != nullptr
+                                   ? *query.options.at
+                                   : shard->current_version();
   return impl_->enqueue<T>(
       id, admission,
-      [shard, query = std::move(query)](const support::CancelToken& token,
-                                        support::ParkGate* gate) {
+      [shard, pinned, query = std::move(query)](
+          const support::CancelToken& token, support::ParkGate* gate) {
         QueryOptions opts = query.options;
         opts.cancel = &token;
         opts.park = gate;
+        opts.at = &pinned;
         if constexpr (std::is_same_v<T, cover::DecisionResult>) {
           return shard->find(query.pattern, opts);
         } else if constexpr (std::is_same_v<T, cover::ListingResult>) {

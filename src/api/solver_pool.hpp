@@ -33,6 +33,9 @@
 // Determinism contract: policy decides *ordering only*. Every admitted
 // query's result — including one that parked and resumed — is bit-identical
 // to its blocking run (tests/differential/test_differential_async.cpp).
+// Targets are dynamic (api/dynamic.hpp): apply/mutate commit versioned
+// edits on a shard, and because every query pins the shard's version at
+// submit, reordering never changes which snapshot a query answers against.
 //
 // Every submission returns a PendingResult<T> owning the query's
 // CancelToken:
@@ -130,11 +133,26 @@ class SolverPool {
   /// Blocking queries bypass the pool's admission queue.
   Solver& solver(TargetId id);
 
+  /// Dynamic targets (api/dynamic.hpp): the per-shard edit API, mirroring
+  /// Solver's. A commit never disturbs queries already submitted — every
+  /// pool query pins its shard's current version at submit time, so a
+  /// query that is still queued (or parked) when an edit lands executes
+  /// against the snapshot it was submitted under; submissions after the
+  /// commit see the new version. apply/insert_* reject an unknown id with
+  /// kInvalidOptions; current_version/mutate throw like solver(id).
+  TargetVersion current_version(TargetId id);
+  Result<TargetVersion> apply(TargetId id, const EditScript& script);
+  MutableTarget mutate(TargetId id);
+  Result<TargetVersion> insert_edge(TargetId id, Vertex u, Vertex v);
+  Result<TargetVersion> remove_edge(TargetId id, Vertex u, Vertex v);
+  Result<TargetVersion> insert_vertex(TargetId id);
+
   /// The one submission surface: admission, validation, shedding, and
   /// dispatch live here once; the typed wrappers below only build the
   /// Query. T must match query.kind (see Query); an unknown id, invalid
   /// Admission, or kind/T mismatch rejects with kInvalidOptions (the
-  /// handle is already resolved).
+  /// handle is already resolved). The shard's current target version (or
+  /// query.options.at, when set) is pinned here, before queueing.
   template <typename T>
   PendingResult<T> submit(TargetId id, Query query,
                           const Admission& admission = {});

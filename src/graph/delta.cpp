@@ -1,0 +1,102 @@
+#include "graph/delta.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace ppsi {
+
+const char* to_string(EditKind kind) {
+  switch (kind) {
+    case EditKind::kInsertEdge: return "insert_edge";
+    case EditKind::kRemoveEdge: return "remove_edge";
+    case EditKind::kInsertVertex: return "insert_vertex";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::string describe(std::size_t index, const Edit& edit,
+                     const char* problem) {
+  std::string out = "edit ";
+  out += std::to_string(index);
+  out += " (";
+  out += to_string(edit.kind);
+  if (edit.kind != EditKind::kInsertVertex) {
+    out += ' ';
+    out += std::to_string(edit.u);
+    out += '-';
+    out += std::to_string(edit.v);
+  }
+  out += "): ";
+  out += problem;
+  return out;
+}
+
+}  // namespace
+
+std::string apply_edits(const Graph& base, const EditScript& script,
+                        GraphDelta* out) {
+  // Mutable working copy: per-vertex neighbor sets give O(log deg) edge
+  // tests while the script replays. Scripts are short relative to covers,
+  // so this transient representation is never the bottleneck.
+  Vertex n = base.num_vertices();
+  std::vector<std::set<Vertex>> adj(n);
+  for (Vertex v = 0; v < n; ++v) {
+    const auto neighbors = base.neighbors(v);
+    adj[v].insert(neighbors.begin(), neighbors.end());
+  }
+
+  GraphDelta delta;
+  std::set<Vertex> touched;
+  for (std::size_t i = 0; i < script.edits.size(); ++i) {
+    const Edit& edit = script.edits[i];
+    switch (edit.kind) {
+      case EditKind::kInsertVertex:
+        adj.emplace_back();
+        touched.insert(n);
+        ++n;
+        ++delta.vertices_inserted;
+        break;
+      case EditKind::kInsertEdge: {
+        if (edit.u >= n || edit.v >= n)
+          return describe(i, edit, "endpoint out of range");
+        if (edit.u == edit.v) return describe(i, edit, "self-loop");
+        if (adj[edit.u].count(edit.v) != 0)
+          return describe(i, edit, "edge already present");
+        adj[edit.u].insert(edit.v);
+        adj[edit.v].insert(edit.u);
+        touched.insert(edit.u);
+        touched.insert(edit.v);
+        ++delta.edges_inserted;
+        break;
+      }
+      case EditKind::kRemoveEdge: {
+        if (edit.u >= n || edit.v >= n)
+          return describe(i, edit, "endpoint out of range");
+        if (adj[edit.u].count(edit.v) == 0)
+          return describe(i, edit, "edge not present");
+        adj[edit.u].erase(edit.v);
+        adj[edit.v].erase(edit.u);
+        touched.insert(edit.u);
+        touched.insert(edit.v);
+        ++delta.edges_removed;
+        break;
+      }
+    }
+  }
+
+  EdgeList edges;
+  for (Vertex u = 0; u < n; ++u) {
+    for (const Vertex v : adj[u]) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  delta.graph = Graph::from_edges(n, edges);
+  delta.touched.assign(touched.begin(), touched.end());
+  *out = std::move(delta);
+  return {};
+}
+
+}  // namespace ppsi

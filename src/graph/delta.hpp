@@ -1,0 +1,79 @@
+#pragma once
+
+// Edit scripts against immutable CSR graphs.
+//
+// The Graph class is deliberately immutable (CSR arrays double as half-edge
+// ids), so mutation is expressed as data: an EditScript is an ordered batch
+// of edits, validated and applied as one transaction to produce a *new*
+// Graph plus the set of vertices the batch touched. The dynamic-target
+// layer (api/dynamic.hpp) turns a committed script into a versioned
+// copy-on-write snapshot; this header knows nothing about versions,
+// embeddings, or caches.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/types.hpp"
+
+namespace ppsi {
+
+enum class EditKind : std::uint8_t {
+  kInsertEdge,   ///< add undirected edge {u, v}; must not exist
+  kRemoveEdge,   ///< remove undirected edge {u, v}; must exist
+  kInsertVertex  ///< append one isolated vertex (id = current vertex count)
+};
+
+const char* to_string(EditKind kind);
+
+struct Edit {
+  EditKind kind = EditKind::kInsertEdge;
+  Vertex u = 0;  ///< unused by kInsertVertex
+  Vertex v = 0;  ///< unused by kInsertVertex
+};
+
+/// Ordered batch of edits, applied as one transaction. Each edit is
+/// validated against the graph produced by its predecessors, so a script
+/// may insert a vertex and immediately wire edges to it.
+struct EditScript {
+  std::vector<Edit> edits;
+
+  EditScript& insert_edge(Vertex u, Vertex v) {
+    edits.push_back({EditKind::kInsertEdge, u, v});
+    return *this;
+  }
+  EditScript& remove_edge(Vertex u, Vertex v) {
+    edits.push_back({EditKind::kRemoveEdge, u, v});
+    return *this;
+  }
+  EditScript& insert_vertex() {
+    edits.push_back({EditKind::kInsertVertex, 0, 0});
+    return *this;
+  }
+
+  bool empty() const { return edits.empty(); }
+  std::size_t size() const { return edits.size(); }
+};
+
+/// Result of applying an EditScript to a plain graph.
+struct GraphDelta {
+  Graph graph;  ///< the edited graph (sorted CSR)
+  /// Endpoints of every inserted/removed edge plus every inserted vertex,
+  /// sorted ascending, deduplicated — the locality footprint delta
+  /// invalidation reasons about.
+  std::vector<Vertex> touched;
+  std::size_t edges_inserted = 0;
+  std::size_t edges_removed = 0;
+  std::size_t vertices_inserted = 0;
+};
+
+/// Validates and applies `script` to `base`. Returns the empty string and
+/// fills `*out` on success; on the first invalid edit (endpoint out of
+/// range, self-loop, inserting a present edge, removing an absent one)
+/// returns a diagnostic naming the edit's index and leaves `*out` untouched.
+std::string apply_edits(const Graph& base, const EditScript& script,
+                        GraphDelta* out);
+
+}  // namespace ppsi

@@ -18,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "api/dynamic.hpp"
 #include "api/solver_pool.hpp"
 #include "graph/generators.hpp"
 
@@ -583,6 +584,154 @@ TEST(SolverPoolFifo, IgnoresPrioritiesAndNeverSheds) {
   EXPECT_EQ(stats.shed, 0u);
   EXPECT_EQ(stats.park_events, 0u);
   EXPECT_EQ(stats.completed, 4u);
+}
+
+// Dynamic targets under admission: every pool query pins its shard's
+// version at submit, so edits landing while a query is queued, running, or
+// parked never change what it answers against.
+
+TEST(SolverPoolDynamic, ParkedQueryResumesOnItsSubmitTimeVersion) {
+  PoolOptions options;
+  options.max_concurrent = 1;
+  SolverPool pool(options);
+  const TargetId id = pool.add_target(gen::grid_graph(20, 20));
+  QueryOptions bulk_opts;
+  bulk_opts.max_runs = 6;  // C5 is absent: six full cover runs of slices
+  Admission bulk;
+  bulk.priority = Priority::kBulk;
+
+  auto victim = pool.find_async(id, cycle_pattern(5), bulk_opts, bulk);
+  while (pool.stats().started < 1) std::this_thread::yield();
+
+  // The edit lands while the bulk query occupies the slot (version 2);
+  // the victim stays pinned to version 1.
+  ASSERT_TRUE(pool.remove_edge(id, 0, 1).ok());
+  const TargetVersion v2 = pool.current_version(id);
+  ASSERT_EQ(v2.id(), 2u);
+
+  // An interactive waiter parks the victim mid-cover; it was submitted
+  // after the commit, so it must answer on version 2.
+  Admission interactive;
+  interactive.priority = Priority::kInteractive;
+  QueryOptions quick;
+  quick.max_runs = 1;
+  auto waiter = pool.find_async(id, cycle_pattern(4), quick, interactive);
+  ASSERT_TRUE(waiter.get().ok());
+  Solver edited_ref(v2.graph());
+  const auto waiter_ref = edited_ref.find(cycle_pattern(4), quick);
+  ASSERT_TRUE(waiter_ref.ok());
+  EXPECT_EQ(waiter.get()->found, waiter_ref->found);
+  EXPECT_EQ(waiter.get()->witness, waiter_ref->witness);
+  EXPECT_EQ(waiter.get()->metrics.work(), waiter_ref->metrics.work());
+
+  // The resumed victim is bit-identical to a blocking run on the
+  // *pre-edit* target — the edit was invisible to it.
+  const auto& parked_result = victim.get();
+  ASSERT_TRUE(parked_result.ok()) << parked_result.status().to_string();
+  Solver base_ref(gen::grid_graph(20, 20));
+  const auto blocking = base_ref.find(cycle_pattern(5), bulk_opts);
+  ASSERT_TRUE(blocking.ok());
+  EXPECT_EQ(parked_result->found, blocking->found);
+  EXPECT_EQ(parked_result->witness, blocking->witness);
+  EXPECT_EQ(parked_result->runs, blocking->runs);
+  EXPECT_EQ(parked_result->slices_solved, blocking->slices_solved);
+  EXPECT_EQ(parked_result->metrics.work(), blocking->metrics.work());
+}
+
+TEST(SolverPoolDynamic, VersionsDrainOnceHandlesAndQueriesFinish) {
+  // A completed query publishes its result before the serving thread tears
+  // down the closure holding its version pin, so the reclamation
+  // assertions poll (bounded) instead of assuming the teardown finished.
+  const auto live_versions_settle_to = [](Solver& solver, std::uint64_t want) {
+    for (int spin = 0; spin < 10000; ++spin) {
+      if (solver.cache_stats().live_versions == want) return true;
+      std::this_thread::yield();
+    }
+    return solver.cache_stats().live_versions == want;
+  };
+
+  SolverPool pool;
+  const TargetId id = pool.add_target(gen::grid_graph(4, 4));
+  QueryOptions opts;
+  opts.max_runs = 2;
+  {
+    // Handles pin their versions; queries pin at submit and release on
+    // completion.
+    const TargetVersion v1 = pool.current_version(id);
+    auto on_v1 = pool.find_async(id, cycle_pattern(4), opts);
+    ASSERT_TRUE(pool.remove_edge(id, 0, 1).ok());
+    ASSERT_TRUE(pool.insert_edge(id, 0, 1).ok());
+    auto on_v3 = pool.find_async(id, cycle_pattern(4), opts);
+    ASSERT_TRUE(on_v1.get().ok());
+    ASSERT_TRUE(on_v3.get().ok());
+    // v1 is still held by the handle; v3 is current. v2 had no handle and
+    // drained as soon as the second commit replaced it.
+    EXPECT_TRUE(live_versions_settle_to(pool.solver(id), 2u));
+    const CacheStats held = pool.solver(id).cache_stats();
+    EXPECT_EQ(held.versions_committed, 2u);
+    EXPECT_EQ(held.versions_reclaimed, 1u);
+  }
+  // Abandoning the last handle drains v1; only the current version lives.
+  EXPECT_TRUE(live_versions_settle_to(pool.solver(id), 1u));
+  EXPECT_EQ(pool.solver(id).cache_stats().versions_reclaimed, 2u);
+}
+
+TEST(SolverPoolDynamic, EditsRacingAsyncQueriesNeverMixVersions) {
+  // A writer thread toggles one edge while the main thread streams async
+  // queries. Whatever interleaving the scheduler produces, every result
+  // must be bit-identical (modulo cache-warmth work) to a blocking Solver
+  // on ONE of the two graphs the target ever was — a query observing half
+  // an edit, or different versions across its cover runs, would match
+  // neither reference.
+  const Graph path = gen::path_graph(8);
+  const Pattern c8 = cycle_pattern(8);
+  QueryOptions opts;
+  opts.max_runs = 3;
+
+  Solver path_ref(path);
+  const auto ref_open = path_ref.find(c8, opts);
+  ASSERT_TRUE(ref_open.ok());
+  EXPECT_FALSE(ref_open->found);
+  GraphDelta closed_delta;
+  ASSERT_TRUE(apply_edits(path, EditScript{}.insert_edge(0, 7), &closed_delta)
+                  .empty());
+  Solver cycle_ref(closed_delta.graph);
+  const auto ref_closed = cycle_ref.find(c8, opts);
+  ASSERT_TRUE(ref_closed.ok());
+  EXPECT_TRUE(ref_closed->found);
+
+  PoolOptions options;
+  options.max_concurrent = 2;
+  SolverPool pool(options);
+  const TargetId id = pool.add_target(path);
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    bool closed = false;
+    while (!stop.load()) {
+      const auto committed = closed ? pool.remove_edge(id, 0, 7)
+                                    : pool.insert_edge(id, 0, 7);
+      ASSERT_TRUE(committed.ok()) << committed.status().message();
+      closed = !closed;
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<PendingResult<DecisionResult>> handles;
+  for (int i = 0; i < 32; ++i)
+    handles.push_back(pool.find_async(id, c8, opts));
+  for (auto& handle : handles) handle.wait();
+  stop.store(true);
+  writer.join();
+
+  for (auto& handle : handles) {
+    const auto& result = handle.get();
+    ASSERT_TRUE(result.ok()) << result.status().to_string();
+    const auto& ref = result->found ? ref_closed : ref_open;
+    EXPECT_EQ(result->witness, ref->witness);
+    EXPECT_EQ(result->runs, ref->runs);
+    EXPECT_EQ(result->slices_solved, ref->slices_solved);
+  }
 }
 
 }  // namespace

@@ -36,6 +36,7 @@
 #include "graph/generators.hpp"
 #include "harness/corpus.hpp"
 #include "harness/harness.hpp"
+#include "support/fault.hpp"
 
 using namespace ppsi;
 using bench::Corpus;
@@ -224,6 +225,35 @@ void register_benchmarks(Registry& reg, const Corpus& corpus) {
                         queries_per_client, trial);
             });
   }
+  // E14b — fault-point overhead: the 4-client sweep with and without an
+  // armed delay-only fault plan. With PPSI_FAULT_INJECTION compiled out
+  // (every release build and the smoke baseline) the plan never fires, so
+  // the two cases must post identical work and near-identical latency —
+  // the fault points cost nothing. Compiled in, the delays perturb timing
+  // only; delay faults never change results, so the work gate holds there
+  // too. `faults_fired` records how many actually hit.
+  reg.add("serving/pool/faults=off", [=](Trial& trial) {
+    run_sweep(targets, patterns, /*max_concurrent=*/4, /*clients=*/4,
+              queries_per_client, trial);
+    trial.counter("fault_points_compiled_in",
+                  support::FaultInjector::compiled_in() ? 1.0 : 0.0);
+    trial.counter("faults_fired", 0.0);
+  });
+  reg.add("serving/pool/faults=on", [=](Trial& trial) {
+    auto& injector = support::FaultInjector::instance();
+    const std::uint64_t fired_before = injector.stats().fired();
+    support::FaultPlan plan;
+    plan.seed = 23;
+    plan.rate = 101;
+    plan.kind = support::FaultKind::kDelay;
+    const support::ScopedFaultPlan scoped(plan);
+    run_sweep(targets, patterns, /*max_concurrent=*/4, /*clients=*/4,
+              queries_per_client, trial);
+    trial.counter("fault_points_compiled_in",
+                  support::FaultInjector::compiled_in() ? 1.0 : 0.0);
+    trial.counter("faults_fired",
+                  static_cast<double>(injector.stats().fired() - fired_before));
+  });
   reg.add("serving/pool/mixed/policy=fifo", [=](Trial& trial) {
     run_mixed_sweep(targets, patterns, AdmissionPolicy::kFifo,
                     queries_per_client, trial);

@@ -45,6 +45,17 @@ struct Admission {
   /// finite. A tenant with weight 2 is charged half as much per unit of
   /// accounted work as one with weight 1.
   double tenant_weight = 1.0;
+  /// SolverPool only: re-execute the query up to this many extra times
+  /// when an attempt resolves to a transient failure (kInternal or
+  /// kResourceExhausted — contained exceptions, allocation failures,
+  /// tripped memory budgets). Retries reuse the admission slot (no
+  /// re-queueing); work is accounted from the final attempt only. A
+  /// cancelled query is never retried. 0 (default) reports the first
+  /// failure as-is.
+  std::uint32_t max_retries = 0;
+  /// Sleep before the first retry, in seconds, doubling per subsequent
+  /// retry. Must be non-negative and finite; 0 retries immediately.
+  double retry_backoff_seconds = 0.0;
 };
 
 /// Eager validation; every *_async / SolverPool submission calls this

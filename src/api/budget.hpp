@@ -31,6 +31,7 @@
 
 #include "api/solver.hpp"
 #include "api/status.hpp"
+#include "support/arena.hpp"
 #include "support/cancel.hpp"
 #include "support/metrics.hpp"
 
@@ -40,6 +41,7 @@ class Budget {
  public:
   explicit Budget(const QueryOptions& options)
       : max_work_(options.max_work),
+        max_memory_(options.max_memory_bytes),
         token_(options.cancel),
         park_(options.park) {
     if (options.deadline_seconds > 0) deadline_.arm(options.deadline_seconds);
@@ -47,10 +49,12 @@ class Budget {
   Budget(const Budget&) = delete;
   Budget& operator=(const Budget&) = delete;
 
-  /// Cancellation outranks the work budget outranks the deadline (a
-  /// cancelled query reports kCancelled even if its deadline also passed
-  /// while it wound down). The work bound is exclusive: spending exactly
-  /// max_work is within budget.
+  /// Cancellation outranks the work budget outranks the memory budget
+  /// outranks the deadline (a cancelled query reports kCancelled even if
+  /// its deadline also passed while it wound down). The work bound is
+  /// exclusive: spending exactly max_work is within budget. The memory
+  /// bound compares the process-wide tracked scratch residency (see
+  /// QueryOptions::max_memory_bytes for the softness caveats).
   Status check(const support::Metrics& spent) const {
     if (token_ != nullptr && token_->cancelled())
       return {StatusCode::kCancelled,
@@ -58,6 +62,9 @@ class Budget {
     if (max_work_ > 0 && spent.work() > max_work_)
       return {StatusCode::kWorkBudgetExceeded,
               "instrumented work exceeded QueryOptions::max_work"};
+    if (max_memory_ > 0 && support::scratch_residency_bytes() > max_memory_)
+      return {StatusCode::kResourceExhausted,
+              "scratch residency exceeded QueryOptions::max_memory_bytes"};
     if (deadline_.expired())
       return {StatusCode::kDeadlineExceeded,
               "wall clock exceeded QueryOptions::deadline_seconds"};
@@ -107,6 +114,7 @@ class Budget {
 
  private:
   std::uint64_t max_work_;
+  std::uint64_t max_memory_;
   const support::CancelToken* token_;
   support::ParkGate* park_ = nullptr;
   mutable support::DeadlineClock deadline_;  // mutable: credit_parked

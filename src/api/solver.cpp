@@ -5,9 +5,11 @@
 #include <cmath>
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <new>
 #include <optional>
 #include <set>
 #include <tuple>
@@ -26,6 +28,7 @@
 #include "graph/ops.hpp"
 #include "isomorphism/sparse_dp.hpp"
 #include "planar/face_vertex_graph.hpp"
+#include "support/fault.hpp"
 #include "support/parallel.hpp"
 #include "support/rng.hpp"
 #include "support/scheduler.hpp"
@@ -55,9 +58,25 @@ const char* to_string(StatusCode code) {
     case StatusCode::kDeadlineExceeded: return "deadline exceeded";
     case StatusCode::kCancelled: return "cancelled";
     case StatusCode::kShed: return "shed";
+    case StatusCode::kInternal: return "internal error";
+    case StatusCode::kResourceExhausted: return "resource exhausted";
+    case StatusCode::kMalformedInput: return "malformed input";
     case StatusCode::kEmpty: return "empty";
   }
   return "unknown";
+}
+
+Status contained_status() {
+  try {
+    throw;
+  } catch (const std::bad_alloc&) {
+    return Status::ResourceExhausted(
+        "allocation failed during query execution");
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("contained exception: ") + e.what());
+  } catch (...) {
+    return Status::Internal("contained unknown exception");
+  }
 }
 
 std::string Status::to_string() const {
@@ -112,6 +131,10 @@ Status validate(const Admission& admission) {
   if (!(admission.tenant_weight > 0) || !std::isfinite(admission.tenant_weight))
     return Status::InvalidOptions(
         "Admission::tenant_weight must be positive and finite");
+  if (!(admission.retry_backoff_seconds >= 0) ||
+      !std::isfinite(admission.retry_backoff_seconds))
+    return Status::InvalidOptions(
+        "Admission::retry_backoff_seconds must be non-negative and finite");
   return Status::Ok();
 }
 
@@ -138,6 +161,7 @@ using TdList = std::vector<std::shared_ptr<const treedecomp::TreeDecomposition>>
 treedecomp::TreeDecomposition decompose_slice(
     const Slice& slice, cover::DecompositionKind kind) {
   using namespace treedecomp;
+  PPSI_FAULT_POINT("solver.decompose");
   switch (kind) {
     case cover::DecompositionKind::kGreedyMinFill:
       return binarize(
@@ -157,6 +181,7 @@ iso::DpSolution solve_slice(const Slice& slice,
                             const QueryOptions& options,
                             bool release_interior,
                             const support::CancelScope& cancel) {
+  PPSI_FAULT_POINT("solver.slice");
   if (options.engine == cover::EngineKind::kSequential) {
     iso::DpOptions dp;
     dp.spec = slice.spec;
@@ -698,6 +723,11 @@ struct Solver::Impl {
     {
       const std::lock_guard<std::mutex> lock(entry.mutex);
       if (!entry.cover_ready) {
+        // Containment note: a throw from here (including the injected
+        // point) unwinds the lock_guards with cover_ready still false and
+        // no miss counted — the entry stays an empty shell a later query
+        // (or a pool retry) builds from scratch.
+        PPSI_FAULT_POINT("solver.cover_build");
         // The cover skeleton (clustering, BFS levels, slice graphs) is
         // always rebuilt from the pinned version's graph — it is cheap
         // next to the decompositions and keeping it bit-identical to a
@@ -979,24 +1009,34 @@ Result<DecisionResult> Solver::find(const iso::Pattern& pattern,
   const std::uint32_t runs = options.max_runs > 0
                                  ? options.max_runs
                                  : default_runs(ver.graph.num_vertices());
-  for (std::uint32_t r = 0; r < runs; ++r) {
-    Status interrupt;
-    DecisionResult one = impl_->run_once_cached(
-        ver, pattern, support::hash_combine(options.seed, r), options, budget,
-        &interrupt);
-    total.metrics.absorb(one.metrics);
-    total.slices_solved += one.slices_solved;
-    ++total.runs;
-    if (one.found) {
-      total.found = true;
-      total.witness = std::move(one.witness);
-      return total;
+  // Containment boundary: an exception from the run loop (internal
+  // invariant, allocation failure, injected fault — surfaced by
+  // Scheduler::run / parallel_for on this thread) resolves to
+  // kInternal/kResourceExhausted carrying the runs accounted so far; the
+  // Solver, its cache, and the version ledger stay consistent (every
+  // mutation below is lock-guarded and ordered build-then-publish).
+  try {
+    for (std::uint32_t r = 0; r < runs; ++r) {
+      Status interrupt;
+      DecisionResult one = impl_->run_once_cached(
+          ver, pattern, support::hash_combine(options.seed, r), options,
+          budget, &interrupt);
+      total.metrics.absorb(one.metrics);
+      total.slices_solved += one.slices_solved;
+      ++total.runs;
+      if (one.found) {
+        total.found = true;
+        total.witness = std::move(one.witness);
+        return total;
+      }
+      // Mid-cover preemption first (it carries the precise cause), then the
+      // coarse between-runs budget check.
+      if (!interrupt.ok()) return {std::move(interrupt), std::move(total)};
+      if (Status status = budget.check(total.metrics); !status.ok())
+        return {std::move(status), std::move(total)};
     }
-    // Mid-cover preemption first (it carries the precise cause), then the
-    // coarse between-runs budget check.
-    if (!interrupt.ok()) return {std::move(interrupt), std::move(total)};
-    if (Status status = budget.check(total.metrics); !status.ok())
-      return {std::move(status), std::move(total)};
+  } catch (...) {
+    return {contained_status(), std::move(total)};
   }
   return total;
 }
@@ -1012,8 +1052,13 @@ Result<DecisionResult> Solver::find_once(const iso::Pattern& pattern,
   if (Status status = budget.check({}); !status.ok())
     return {std::move(status), DecisionResult{}};
   Status interrupt;
-  DecisionResult one = impl_->run_once_cached(*snap, pattern, run_seed,
-                                              options, budget, &interrupt);
+  DecisionResult one;
+  try {
+    one = impl_->run_once_cached(*snap, pattern, run_seed, options, budget,
+                                 &interrupt);
+  } catch (...) {
+    return {contained_status(), std::move(one)};
+  }
   if (!interrupt.ok()) return {std::move(interrupt), std::move(one)};
   return one;
 }
@@ -1038,33 +1083,39 @@ Result<ListingResult> Solver::list(const iso::Pattern& pattern,
   std::uint32_t j = 0;
   const std::uint32_t d = std::max(1u, pattern.diameter());
   Status interrupted;
-  while (all.size() < options.list_limit) {
-    ++j;
-    CoverKey key;
-    key.d = d;
-    key.k = pattern.size();
-    key.seed = support::hash_combine(options.seed, 0x11570 + j);
-    key.version = ver.id;
-    const CoverAccess access =
-        impl_->acquire_cover(ver, key, options.decomposition);
-    if (access.built_cover) result.metrics.absorb(access.cover->metrics);
-    const std::size_t before = all.size();
-    // The iteration stats meter the DP solve work (the dominant cost) into
-    // the listing's metrics so bench accounting and the max_work budget see
-    // it, not just the cover builds.
-    DecisionResult iteration;
-    solve_cover(*access.cover, *access.tds, pattern, options, budget,
-                &iteration, &all, options.list_limit, &interrupted);
-    result.metrics.absorb(iteration.metrics);
-    if (!interrupted.ok()) break;  // mid-cover preemption (token/deadline)
-    streak = all.size() == before ? streak + 1 : 0;
-    // Observation 2 / Theorem 4.2: stop once no new occurrence appeared for
-    // log2(j) + Theta(log n) iterations in a row.
-    const auto threshold = static_cast<std::uint32_t>(
-        std::ceil(std::log2(static_cast<double>(j) + 1.0) + lgn)) +
-        options.stopping_slack;
-    if (streak >= threshold) break;
-    if (interrupted = budget.check(result.metrics); !interrupted.ok()) break;
+  try {
+    while (all.size() < options.list_limit) {
+      ++j;
+      CoverKey key;
+      key.d = d;
+      key.k = pattern.size();
+      key.seed = support::hash_combine(options.seed, 0x11570 + j);
+      key.version = ver.id;
+      const CoverAccess access =
+          impl_->acquire_cover(ver, key, options.decomposition);
+      if (access.built_cover) result.metrics.absorb(access.cover->metrics);
+      const std::size_t before = all.size();
+      // The iteration stats meter the DP solve work (the dominant cost)
+      // into the listing's metrics so bench accounting and the max_work
+      // budget see it, not just the cover builds.
+      DecisionResult iteration;
+      solve_cover(*access.cover, *access.tds, pattern, options, budget,
+                  &iteration, &all, options.list_limit, &interrupted);
+      result.metrics.absorb(iteration.metrics);
+      if (!interrupted.ok()) break;  // mid-cover preemption (token/deadline)
+      streak = all.size() == before ? streak + 1 : 0;
+      // Observation 2 / Theorem 4.2: stop once no new occurrence appeared
+      // for log2(j) + Theta(log n) iterations in a row.
+      const auto threshold = static_cast<std::uint32_t>(
+          std::ceil(std::log2(static_cast<double>(j) + 1.0) + lgn)) +
+          options.stopping_slack;
+      if (streak >= threshold) break;
+      if (interrupted = budget.check(result.metrics); !interrupted.ok()) break;
+    }
+  } catch (...) {
+    result.iterations = j;
+    result.occurrences.assign(all.begin(), all.end());
+    return {contained_status(), std::move(result)};
   }
   result.iterations = j;
   result.occurrences.assign(all.begin(), all.end());
@@ -1086,21 +1137,25 @@ Result<CountResult> Solver::count(const iso::Pattern& pattern,
   count.iterations = listing->iterations;
   count.metrics = listing->metrics;
   // Distinct subgraphs: dedupe by the sorted list of edge images.
-  std::set<std::vector<std::uint64_t>> images;
-  for (const Assignment& a : listing->occurrences) {
-    std::vector<std::uint64_t> edges;
-    for (Vertex u = 0; u < pattern.size(); ++u) {
-      for (Vertex v : pattern.graph().neighbors(u)) {
-        if (v < u) continue;
-        const Vertex x = std::min(a[u], a[v]);
-        const Vertex y = std::max(a[u], a[v]);
-        edges.push_back((static_cast<std::uint64_t>(x) << 32) | y);
+  try {
+    std::set<std::vector<std::uint64_t>> images;
+    for (const Assignment& a : listing->occurrences) {
+      std::vector<std::uint64_t> edges;
+      for (Vertex u = 0; u < pattern.size(); ++u) {
+        for (Vertex v : pattern.graph().neighbors(u)) {
+          if (v < u) continue;
+          const Vertex x = std::min(a[u], a[v]);
+          const Vertex y = std::max(a[u], a[v]);
+          edges.push_back((static_cast<std::uint64_t>(x) << 32) | y);
+        }
       }
+      std::sort(edges.begin(), edges.end());
+      images.insert(std::move(edges));
     }
-    std::sort(edges.begin(), edges.end());
-    images.insert(std::move(edges));
+    count.subgraphs = images.size();
+  } catch (...) {
+    return {contained_status(), std::move(count)};
   }
-  count.subgraphs = images.size();
   if (!listing.ok()) return {listing.status(), std::move(count)};
   return count;
 }
@@ -1138,6 +1193,7 @@ Result<DecisionResult> Solver::find_disconnected(const iso::Pattern& pattern,
   QueryOptions inner = options;
   inner.max_runs = 3;  // constant success probability per correct coloring
   inner.at = nullptr;  // sub-solvers have their own (single) version
+  try {
   for (std::uint32_t attempt = 0; attempt < attempts; ++attempt) {
     ++total.runs;
     support::Rng rng(support::hash_combine(options.seed, 0xd15c + attempt));
@@ -1186,6 +1242,9 @@ Result<DecisionResult> Solver::find_disconnected(const iso::Pattern& pattern,
     if (Status status = budget.check(total.metrics); !status.ok())
       return {std::move(status), std::move(total)};
   }
+  } catch (...) {
+    return {contained_status(), std::move(total)};
+  }
   return total;
 }
 
@@ -1212,33 +1271,37 @@ Result<DecisionResult> Solver::find_separating(
                                  ? options.max_runs
                                  : default_runs(ver.graph.num_vertices());
   const std::uint32_t d = std::max(1u, pattern.diameter());
-  for (std::uint32_t r = 0; r < runs; ++r) {
-    CoverKey key;
-    key.d = d;
-    key.k = pattern.size();
-    key.seed = support::hash_combine(options.seed, 0x5e9 + r);
-    key.separating = true;
-    key.in_s = in_s;
-    key.version = ver.id;
-    const CoverAccess access =
-        impl_->acquire_cover(ver, key, options.decomposition);
-    if (access.built_cover) total.metrics.absorb(access.cover->metrics);
-    ++total.runs;
-    Status interrupt;
-    DecisionResult one;
-    if (solve_cover(*access.cover, *access.tds, pattern, options, budget,
-                    &one, nullptr, 1, &interrupt)) {
-      total.found = true;
-      total.witness = std::move(one.witness);
+  try {
+    for (std::uint32_t r = 0; r < runs; ++r) {
+      CoverKey key;
+      key.d = d;
+      key.k = pattern.size();
+      key.seed = support::hash_combine(options.seed, 0x5e9 + r);
+      key.separating = true;
+      key.in_s = in_s;
+      key.version = ver.id;
+      const CoverAccess access =
+          impl_->acquire_cover(ver, key, options.decomposition);
+      if (access.built_cover) total.metrics.absorb(access.cover->metrics);
+      ++total.runs;
+      Status interrupt;
+      DecisionResult one;
+      if (solve_cover(*access.cover, *access.tds, pattern, options, budget,
+                      &one, nullptr, 1, &interrupt)) {
+        total.found = true;
+        total.witness = std::move(one.witness);
+        total.metrics.absorb(one.metrics);
+        total.slices_solved += one.slices_solved;
+        return total;
+      }
       total.metrics.absorb(one.metrics);
       total.slices_solved += one.slices_solved;
-      return total;
+      if (!interrupt.ok()) return {std::move(interrupt), std::move(total)};
+      if (Status status = budget.check(total.metrics); !status.ok())
+        return {std::move(status), std::move(total)};
     }
-    total.metrics.absorb(one.metrics);
-    total.slices_solved += one.slices_solved;
-    if (!interrupt.ok()) return {std::move(interrupt), std::move(total)};
-    if (Status status = budget.check(total.metrics); !status.ok())
-      return {std::move(status), std::move(total)};
+  } catch (...) {
+    return {contained_status(), std::move(total)};
   }
   return total;
 }
@@ -1264,6 +1327,7 @@ Result<connectivity::VertexConnectivityResult> Solver::vertex_connectivity(
   VertexConnectivityResult result;
   if (Status status = budget.check(result.metrics); !status.ok())
     return {std::move(status), std::move(result)};
+  try {
   const Graph& g = snap->graph;
   const Vertex n = g.num_vertices();
   if (n <= options.small_cutoff) {
@@ -1346,6 +1410,9 @@ Result<connectivity::VertexConnectivityResult> Solver::vertex_connectivity(
   // No separating C4/C6/C8: Euler's formula caps planar connectivity at 5.
   result.connectivity = 5;
   return result;
+  } catch (...) {
+    return {contained_status(), std::move(result)};
+  }
 }
 
 std::vector<Result<DecisionResult>> Solver::find_batch(
@@ -1375,7 +1442,20 @@ std::vector<Result<DecisionResult>> Solver::find_batch(
   support::TaskGraph graph;
   for (std::size_t i = 0; i < patterns.size(); ++i)
     graph.add([&, i] { out[i] = find(patterns[i], inner); });
-  support::Scheduler::run(graph);
+  // find() contains its own failures per slot; what Scheduler::run can
+  // still rethrow is a failure *outside* any find (an injected
+  // scheduler.task fault, a result-move allocation failure). Slots whose
+  // task never completed are still kEmpty — resolve them to the contained
+  // status so every slot of the batch carries a definitive answer.
+  try {
+    support::Scheduler::run(graph);
+  } catch (...) {
+    const Status status = contained_status();
+    for (auto& slot : out) {
+      if (slot.status().code() == StatusCode::kEmpty)
+        slot = Result<DecisionResult>(status, DecisionResult{});
+    }
+  }
   return out;
 }
 
@@ -1442,7 +1522,15 @@ PendingResult<DecisionResult> Solver::find_async(iso::Pattern pattern,
         } else {
           QueryOptions exec = opts;
           exec.at = &pinned;
-          shared->set(find(pattern, exec));
+          // Serving-thread backstop: the handle must resolve even if the
+          // query throws past its own containment (e.g. out of the entry
+          // validation), or the waiter deadlocks and ~Solver never drains.
+          try {
+            shared->set(find(pattern, exec));
+          } catch (...) {
+            shared->set(
+                Result<DecisionResult>(contained_status(), DecisionResult{}));
+          }
         }
         impl->async_end();
       },
@@ -1471,7 +1559,12 @@ PendingResult<ListingResult> Solver::list_async(iso::Pattern pattern,
         } else {
           QueryOptions exec = opts;
           exec.at = &pinned;
-          shared->set(list(pattern, exec));
+          try {
+            shared->set(list(pattern, exec));
+          } catch (...) {
+            shared->set(
+                Result<ListingResult>(contained_status(), ListingResult{}));
+          }
         }
         impl->async_end();
       },
@@ -1500,7 +1593,12 @@ PendingResult<CountResult> Solver::count_async(iso::Pattern pattern,
         } else {
           QueryOptions exec = opts;
           exec.at = &pinned;
-          shared->set(count(pattern, exec));
+          try {
+            shared->set(count(pattern, exec));
+          } catch (...) {
+            shared->set(
+                Result<CountResult>(contained_status(), CountResult{}));
+          }
         }
         impl->async_end();
       },

@@ -68,6 +68,14 @@ struct QueryOptions {
   /// Composite queries (find_disconnected, vertex_connectivity) forward
   /// whatever budget remains to each sub-query.
   std::uint64_t max_work = 0;
+  /// Soft scratch-memory budget in bytes (0 = unlimited), checked between
+  /// cover runs / listing iterations against the process-wide tracked
+  /// scratch residency (support::scratch_residency_bytes()); exceeding it
+  /// returns kResourceExhausted with the partial result. Soft in two ways:
+  /// residency is thread-lifetime (arenas sized by earlier queries count),
+  /// and the check is coarse (a single cover run may overshoot before the
+  /// next checkpoint).
+  std::uint64_t max_memory_bytes = 0;
   /// Wall-clock budget in seconds (0 = none), forwarded to sub-queries
   /// like max_work. Enforced cooperatively *inside* cover runs (slice
   /// tasks, path tasks, and the per-node DP loops all check it), so an

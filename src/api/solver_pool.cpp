@@ -6,11 +6,13 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "api/dynamic.hpp"
+#include "support/arena.hpp"
 #include "support/scheduler.hpp"
 #include "support/types.hpp"
 
@@ -33,9 +35,19 @@ struct Job {
     std::function<void()> publish;
     bool ran = false;  ///< false: skipped at admission (cancelled queued)
     std::uint64_t work = 0;  ///< accounted work units (fair-share charge)
+    /// Attempts that resolved to kInternal/kResourceExhausted (PoolStats::
+    /// contained), re-executions performed (PoolStats::retried), and
+    /// whether the *final* result is such a failure (PoolStats::failed).
+    std::uint64_t contained = 0;
+    std::uint64_t retried = 0;
+    bool failed = false;
   };
   std::function<Outcome(support::ParkGate*)> run;
   std::function<void()> shed_publish;
+  /// kResourceExhausted completion for a bulk query shed over the pool's
+  /// memory high watermark (empty value, zero work; under the mutex like
+  /// shed_publish).
+  std::function<void()> memory_shed_publish;
   std::function<void()> cancel;
   std::function<bool()> cancelled;
 };
@@ -111,6 +123,9 @@ struct SolverPool::Impl {
   std::uint64_t cancelled_before_start = 0;
   std::uint64_t shed = 0;
   std::uint64_t park_events = 0;
+  std::uint64_t contained_count = 0;
+  std::uint64_t retried_count = 0;
+  std::uint64_t failed_count = 0;
   /// Per-tenant cumulative fair-share charge (accounted work / weight),
   /// indexed by TargetId. Grows with targets.
   std::vector<double> tenant_charge;
@@ -207,6 +222,34 @@ struct SolverPool::Impl {
     }
   }
 
+  /// Memory governance: while the process-wide tracked scratch residency
+  /// sits above the configured high watermark, queued kBulk queries are
+  /// shed to kResourceExhausted (empty value, zero work) instead of being
+  /// admitted — bulk admissions are the load the pool can refuse without
+  /// breaking interactive traffic. Cancellation outranks the shed (the
+  /// normal skip path reports kCancelled). Caller holds `mutex`.
+  void shed_over_memory_locked() {
+    if (!priority_policy() || shutting_down) return;
+    const std::uint64_t watermark = options.memory_high_watermark_bytes;
+    if (watermark == 0) return;
+    if (support::scratch_residency_bytes() <= watermark) return;
+    for (std::size_t i = 0; i < queue.size();) {
+      Queued& q = queue[i];
+      if (q.priority != Priority::kBulk || q.job.cancelled()) {
+        ++i;
+        continue;
+      }
+      Job::Outcome outcome{q.job.memory_shed_publish, false, 0};
+      queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(i));
+      ++started;
+      ++shed;
+      ++contained_count;
+      ++failed_count;
+      outcome.publish();
+      drained.notify_all();
+    }
+  }
+
   /// Requests a park on the lowest-class running victim when a strictly
   /// higher class waits and every slot is busy. Caller holds `mutex`.
   void maybe_request_park_locked() {
@@ -270,6 +313,7 @@ struct SolverPool::Impl {
   /// holding the pool mutex across it cannot deadlock.
   void dispatch_locked() {
     shed_expired_locked();
+    shed_over_memory_locked();
     while (running < options.max_concurrent &&
            (!queue.empty() || !parked_list.empty())) {
       // Best parked candidate (shutdown resumes them unconditionally).
@@ -333,6 +377,9 @@ struct SolverPool::Impl {
                            "SolverPool: completed query not in running list");
           running_list.erase(it);
           --running;
+          contained_count += outcome.contained;
+          retried_count += outcome.retried;
+          if (outcome.failed) ++failed_count;
           if (outcome.ran) {
             ++completed;
             // Deficit round-robin charge: accounted work at 1/weight.
@@ -388,7 +435,17 @@ struct SolverPool::Impl {
                  "was shed without doing work"),
           T{}));
     };
-    entry.job.run = [shared, query = std::move(query)](
+    entry.job.memory_shed_publish = [shared] {
+      shared->set(Result<T>(
+          Status::ResourceExhausted(
+              "pool scratch residency above "
+              "PoolOptions::memory_high_watermark_bytes; bulk query shed "
+              "without doing work"),
+          T{}));
+    };
+    entry.job.run = [shared, query = std::move(query),
+                     max_retries = admission.max_retries,
+                     backoff = admission.retry_backoff_seconds](
                         support::ParkGate* gate) -> Job::Outcome {
       if (shared->token.cancelled()) {
         Result<T> skipped(
@@ -400,13 +457,53 @@ struct SolverPool::Impl {
                 },
                 false, 0};
       }
-      Result<T> result = query(shared->token, gate);
-      const std::uint64_t work =
-          result.has_value() ? result->metrics.work() : 0;
-      return {[shared, result = std::move(result)]() mutable {
-                shared->set(std::move(result));
-              },
-              true, work};
+      const auto transient = [](const Status& status) {
+        return status.code() == StatusCode::kInternal ||
+               status.code() == StatusCode::kResourceExhausted;
+      };
+      // Backstop containment: the Solver queries contain their own
+      // failures, but the handle must resolve even if something escapes
+      // (or a result move throws) — an unresolved PendingResult deadlocks
+      // its waiter and ~SolverPool.
+      const auto attempt = [&]() -> Result<T> {
+        try {
+          return query(shared->token, gate);
+        } catch (...) {
+          return Result<T>(contained_status(), T{});
+        }
+      };
+      Job::Outcome outcome;
+      Result<T> result = attempt();
+      // Transparent retry (Admission::max_retries): transient failures
+      // re-execute in the same admission slot after an exponential
+      // backoff. Deterministic results make this sound: a retried query
+      // re-runs against the same pinned version with the same seed, so a
+      // successful retry is bit-identical to a fault-free run. Work is
+      // accounted from the final attempt only.
+      double sleep_seconds = backoff;
+      for (std::uint32_t r = 0; r < max_retries &&
+                                transient(result.status()) &&
+                                !shared->token.cancelled();
+           ++r) {
+        ++outcome.contained;
+        if (sleep_seconds > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(sleep_seconds));
+          sleep_seconds *= 2;
+        }
+        ++outcome.retried;
+        result = attempt();
+      }
+      if (transient(result.status())) {
+        ++outcome.contained;
+        outcome.failed = true;
+      }
+      outcome.ran = true;
+      outcome.work = result.has_value() ? result->metrics.work() : 0;
+      outcome.publish = [shared, result = std::move(result)]() mutable {
+        shared->set(std::move(result));
+      };
+      return outcome;
     };
     {
       const std::lock_guard<std::mutex> lock(mutex);
@@ -587,6 +684,9 @@ PoolStats SolverPool::stats() const {
   stats.running = impl_->running;
   stats.parked = impl_->parked_list.size();
   stats.park_events = impl_->park_events;
+  stats.contained = impl_->contained_count;
+  stats.retried = impl_->retried_count;
+  stats.failed = impl_->failed_count;
   return stats;
 }
 

@@ -79,6 +79,15 @@ struct PoolOptions {
   std::size_t cache_capacity_per_target = kDefaultCacheCapacity;
   /// Queue ordering policy; kPriority unless benchmarking the baseline.
   AdmissionPolicy policy = AdmissionPolicy::kPriority;
+  /// Pool-wide scratch-memory high watermark in bytes (0 = off; kPriority
+  /// policy only). While the process-wide tracked scratch residency
+  /// (support::scratch_residency_bytes()) sits above it, dispatch sheds
+  /// queued kBulk queries first — they resolve to kResourceExhausted with
+  /// an empty value and zero accounted work — instead of admitting them
+  /// and growing the arenas further. kNormal/kInteractive queries are
+  /// never memory-shed (use QueryOptions::max_memory_bytes to bound them
+  /// individually).
+  std::uint64_t memory_high_watermark_bytes = 0;
 };
 
 /// Cumulative admission counters (stats() snapshots them atomically).
@@ -92,6 +101,16 @@ struct PoolStats {
   std::uint64_t running = 0;    ///< currently executing
   std::uint64_t parked = 0;     ///< currently suspended at a slice boundary
   std::uint64_t park_events = 0;  ///< cumulative acknowledged parks
+  /// Attempts that resolved to a contained failure (kInternal /
+  /// kResourceExhausted), whether or not a retry later succeeded. Memory
+  /// sheds over PoolOptions::memory_high_watermark_bytes count here too.
+  std::uint64_t contained = 0;
+  /// Re-executions performed under Admission::max_retries (each retry of
+  /// each query counts once; always <= contained).
+  std::uint64_t retried = 0;
+  /// Queries whose *final* result was kInternal / kResourceExhausted
+  /// (retries exhausted or not requested, plus memory sheds).
+  std::uint64_t failed = 0;
 };
 
 /// One type-erased query for the unified submission surface. The typed

@@ -45,6 +45,22 @@ enum class StatusCode {
   /// immediately with an empty value and zero accounted work instead of
   /// being admitted. Only *_async / SolverPool queries can shed.
   kShed,
+  /// An exception escaped the query's execution (an internal invariant
+  /// fired, or a fault was injected) and was contained at the query
+  /// boundary: the value holds the partial result accounted before the
+  /// failure, the owning Solver stays consistent and queryable, and
+  /// SolverPool may transparently retry (Admission::max_retries).
+  kInternal,
+  /// A resource limit was hit: an allocation failed during execution, the
+  /// query's QueryOptions::max_memory_bytes soft limit tripped, or the
+  /// pool shed a bulk query over PoolOptions::memory_high_watermark_bytes.
+  /// Carries the partial result (empty for a pool memory shed). Retryable
+  /// like kInternal.
+  kResourceExhausted,
+  /// Graph IO (io::try_read_*) rejected hostile or malformed input:
+  /// truncated/garbage lines, overflow-sized counts, out-of-range
+  /// endpoints, self-loops, duplicate edges. Never carries a value.
+  kMalformedInput,
   /// Default-constructed Result placeholder; never returned by a query.
   kEmpty,
 };
@@ -67,6 +83,15 @@ class Status {
   static Status Unsupported(std::string message) {
     return {StatusCode::kUnsupported, std::move(message)};
   }
+  static Status Internal(std::string message) {
+    return {StatusCode::kInternal, std::move(message)};
+  }
+  static Status ResourceExhausted(std::string message) {
+    return {StatusCode::kResourceExhausted, std::move(message)};
+  }
+  static Status MalformedInput(std::string message) {
+    return {StatusCode::kMalformedInput, std::move(message)};
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -78,6 +103,14 @@ class Status {
   StatusCode code_ = StatusCode::kOk;
   std::string message_;
 };
+
+/// Maps the currently-handled exception to the containment Status:
+/// std::bad_alloc -> kResourceExhausted, anything else -> kInternal (the
+/// message carries e.what(), e.g. an InjectedFault's point name). Must be
+/// called from inside a catch block; every thread-boundary containment
+/// site (Solver queries, async submissions, SolverPool jobs) funnels
+/// through it so the status taxonomy stays uniform.
+Status contained_status();
 
 /// A Status plus, when available, a value of type T. An ok() Result always
 /// has a value; an interrupted query (limit / budget / deadline) has a

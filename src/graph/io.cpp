@@ -1,29 +1,87 @@
 #include "graph/io.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <unordered_set>
 
 #include "support/types.hpp"
 
 namespace ppsi::io {
+namespace {
 
-Graph read_edge_list(std::istream& in) {
+// Hard ceiling on a declared vertex count: far above any graph this library
+// can process, far below anything that could drive a pathological
+// allocation. Declared edge counts are additionally bounded by the simple-
+// graph maximum n*(n-1)/2, and reserve() is clamped so a hostile header
+// ("0 18446744073709551615") costs at most ~16 MiB before the first edge
+// line fails validation.
+constexpr std::size_t kMaxVertices = std::size_t{1} << 28;
+constexpr std::size_t kReserveClamp = std::size_t{1} << 20;
+
+/// Undirected edge as a set key; endpoints are already < n <= 2^28.
+std::uint64_t edge_key(std::uint64_t u, std::uint64_t v) {
+  return (std::min(u, v) << 32) | std::max(u, v);
+}
+
+Status check_counts(const char* who, std::size_t n, std::size_t m) {
+  if (n > kMaxVertices)
+    return Status::MalformedInput(std::string(who) +
+                                  ": vertex count exceeds supported maximum");
+  // n <= 2^28, so n*(n-1)/2 cannot overflow 64 bits.
+  const std::size_t max_edges = n == 0 ? 0 : n * (n - 1) / 2;
+  if (m > max_edges)
+    return Status::MalformedInput(
+        std::string(who) + ": edge count exceeds n*(n-1)/2 for a simple graph");
+  return Status::Ok();
+}
+
+Status check_edge(const char* who, std::uint64_t u, std::uint64_t v,
+                  std::size_t n, std::unordered_set<std::uint64_t>& seen) {
+  if (u >= n || v >= n)
+    return Status::MalformedInput(std::string(who) + ": vertex out of range");
+  if (u == v)
+    return Status::MalformedInput(std::string(who) + ": self-loop edge");
+  if (!seen.insert(edge_key(u, v)).second)
+    return Status::MalformedInput(std::string(who) + ": duplicate edge");
+  return Status::Ok();
+}
+
+template <typename T>
+Graph unwrap_or_throw(Result<T>&& result) {
+  if (!result.ok()) throw std::invalid_argument(result.status().message());
+  return std::move(result).value();
+}
+
+}  // namespace
+
+Result<Graph> try_read_edge_list(std::istream& in) {
   std::size_t n = 0, m = 0;
+  // An overflow-sized token sets failbit on extraction, so "1e99"-style
+  // headers land here rather than in a huge reserve().
   if (!(in >> n >> m))
-    throw std::invalid_argument("read_edge_list: missing header");
+    return Status::MalformedInput("read_edge_list: missing header");
+  if (Status s = check_counts("read_edge_list", n, m); !s.ok()) return s;
   EdgeList edges;
-  edges.reserve(m);
+  edges.reserve(std::min(m, kReserveClamp));
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(std::min(m, kReserveClamp));
   for (std::size_t i = 0; i < m; ++i) {
     std::uint64_t u = 0, v = 0;
     if (!(in >> u >> v))
-      throw std::invalid_argument("read_edge_list: truncated edge list");
-    if (u >= n || v >= n)
-      throw std::invalid_argument("read_edge_list: vertex out of range");
+      return Status::MalformedInput("read_edge_list: truncated edge list");
+    if (Status s = check_edge("read_edge_list", u, v, n, seen); !s.ok())
+      return s;
     edges.emplace_back(static_cast<Vertex>(u), static_cast<Vertex>(v));
   }
   return Graph::from_edges(static_cast<Vertex>(n), edges);
+}
+
+Graph read_edge_list(std::istream& in) {
+  return unwrap_or_throw(try_read_edge_list(in));
 }
 
 void write_edge_list(const Graph& g, std::ostream& out) {
@@ -31,10 +89,11 @@ void write_edge_list(const Graph& g, std::ostream& out) {
   for (const auto& [u, v] : g.edge_list()) out << u << ' ' << v << '\n';
 }
 
-Graph read_dimacs(std::istream& in) {
+Result<Graph> try_read_dimacs(std::istream& in) {
   std::string line;
   std::size_t n = 0, m = 0;
   EdgeList edges;
+  std::unordered_set<std::uint64_t> seen;
   bool has_header = false;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
@@ -44,31 +103,48 @@ Graph read_dimacs(std::istream& in) {
     if (kind == 'c') continue;
     if (kind == 'p') {
       if (has_header)
-        throw std::invalid_argument("read_dimacs: duplicate problem line");
+        return Status::MalformedInput("read_dimacs: duplicate problem line");
       std::string fmt;
       if (!(ls >> fmt >> n >> m) || (fmt != "edge" && fmt != "col"))
-        throw std::invalid_argument("read_dimacs: bad problem line");
+        return Status::MalformedInput("read_dimacs: bad problem line");
+      if (std::string extra; ls >> extra)
+        return Status::MalformedInput(
+            "read_dimacs: trailing tokens on problem line");
+      if (Status s = check_counts("read_dimacs", n, m); !s.ok()) return s;
       has_header = true;
-      edges.reserve(m);
+      edges.reserve(std::min(m, kReserveClamp));
+      seen.reserve(std::min(m, kReserveClamp));
       continue;
     }
     if (kind == 'e') {
       if (!has_header)
-        throw std::invalid_argument("read_dimacs: edge before problem line");
+        return Status::MalformedInput("read_dimacs: edge before problem line");
       std::uint64_t u = 0, v = 0;
       if (!(ls >> u >> v) || u < 1 || v < 1 || u > n || v > n)
-        throw std::invalid_argument("read_dimacs: bad edge line");
+        return Status::MalformedInput("read_dimacs: bad edge line");
+      if (std::string extra; ls >> extra)
+        return Status::MalformedInput(
+            "read_dimacs: trailing tokens on edge line");
+      if (edges.size() == m)
+        return Status::MalformedInput(
+            "read_dimacs: more edges than the problem line declares");
+      if (Status s = check_edge("read_dimacs", u - 1, v - 1, n, seen); !s.ok())
+        return s;
       edges.emplace_back(static_cast<Vertex>(u - 1),
                          static_cast<Vertex>(v - 1));
       continue;
     }
-    throw std::invalid_argument("read_dimacs: unknown line kind");
+    return Status::MalformedInput("read_dimacs: unknown line kind");
   }
-  if (!has_header) throw std::invalid_argument("read_dimacs: empty input");
+  if (!has_header) return Status::MalformedInput("read_dimacs: empty input");
   if (edges.size() != m)
-    throw std::invalid_argument(
+    return Status::MalformedInput(
         "read_dimacs: edge count does not match problem line");
   return Graph::from_edges(static_cast<Vertex>(n), edges);
+}
+
+Graph read_dimacs(std::istream& in) {
+  return unwrap_or_throw(try_read_dimacs(in));
 }
 
 void write_dimacs(const Graph& g, std::ostream& out) {
@@ -89,10 +165,15 @@ bool is_dimacs_path(const std::string& path) {
 
 }  // namespace
 
-Graph read_graph_file(const std::string& path) {
+Result<Graph> try_read_graph_file(const std::string& path) {
   std::ifstream in(path);
-  support::require(in.good(), "read_graph_file: cannot open file");
-  return is_dimacs_path(path) ? read_dimacs(in) : read_edge_list(in);
+  if (!in.good())
+    return Status::MalformedInput("read_graph_file: cannot open file");
+  return is_dimacs_path(path) ? try_read_dimacs(in) : try_read_edge_list(in);
+}
+
+Graph read_graph_file(const std::string& path) {
+  return unwrap_or_throw(try_read_graph_file(path));
 }
 
 void write_graph_file(const Graph& g, const std::string& path) {

@@ -5,26 +5,39 @@
 //
 // Edge-list format: first line "n m", then m lines "u v" (0-based).
 // DIMACS format:    "c ..." comments, "p edge n m", then "e u v" (1-based).
+//
+// The try_* readers are the hardened surface: hostile or malformed input
+// (truncated lines, garbage tokens, overflow-sized counts, out-of-range
+// endpoints, self-loops, duplicate edges, trailing junk) rejects with
+// StatusCode::kMalformedInput — never an assert, throw, or UB — and a
+// declared edge count is only trusted after validation, so "m =
+// 10^18" cannot drive an allocation. The legacy throwing readers wrap them
+// (std::invalid_argument carrying the same message) for existing callers.
 
 #include <iosfwd>
 #include <string>
 
+#include "api/status.hpp"
 #include "graph/graph.hpp"
 
 namespace ppsi::io {
 
-/// Reads "n m" followed by m "u v" lines. Throws std::invalid_argument on
-/// malformed input.
+/// Reads "n m" followed by m "u v" lines; kMalformedInput on bad input.
+Result<Graph> try_read_edge_list(std::istream& in);
+/// Reads a DIMACS "p edge" file (1-based ids); kMalformedInput on bad input.
+Result<Graph> try_read_dimacs(std::istream& in);
+/// File wrapper (format picked by extension: .col/.dimacs -> DIMACS,
+/// anything else -> edge list); kMalformedInput on an unopenable file too.
+Result<Graph> try_read_graph_file(const std::string& path);
+
+/// Throwing convenience twins (std::invalid_argument with the try_*
+/// status message).
 Graph read_edge_list(std::istream& in);
-void write_edge_list(const Graph& g, std::ostream& out);
-
-/// Reads a DIMACS "p edge" file (1-based vertex ids).
 Graph read_dimacs(std::istream& in);
-void write_dimacs(const Graph& g, std::ostream& out);
-
-/// Convenience file wrappers (format picked by extension: .col/.dimacs ->
-/// DIMACS, anything else -> edge list).
 Graph read_graph_file(const std::string& path);
+
+void write_edge_list(const Graph& g, std::ostream& out);
+void write_dimacs(const Graph& g, std::ostream& out);
 void write_graph_file(const Graph& g, const std::string& path);
 
 }  // namespace ppsi::io

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <omp.h>
 
+#include "support/fault.hpp"
 #include "support/parallel.hpp"
 #include "support/scheduler.hpp"
 #include "treepath/tree_paths.hpp"
@@ -28,6 +29,7 @@ void run_paths_task_graph(const Graph& g,
   for (std::size_t pi = 0; pi < num_paths; ++pi) {
     graph.add([&, pi] {
       if (cancel.cancelled()) return;  // owning slice query already accepted
+      PPSI_FAULT_POINT("engine.path");
       per_path[pi] =
           solve_path(g, td, pattern, ctxs, paths.paths[pi], config, sol);
     });
@@ -51,14 +53,25 @@ void run_paths_layer_barrier(const Graph& g,
                              const treepath::PathDecomposition& paths,
                              const PathSolveConfig& config, DpSolution& sol,
                              std::vector<PathStats>& per_path) {
+  // Same containment as parallel_for: an exception escaping the omp region
+  // would terminate, so trap the first failure and rethrow after the join.
+  support::detail::RegionTrap trap;
   for (std::uint32_t layer = 0; layer < paths.num_layers; ++layer) {
     const std::uint32_t begin = paths.layer_path_offsets[layer];
     const std::uint32_t end = paths.layer_path_offsets[layer + 1];
 #pragma omp parallel for schedule(dynamic)
     for (std::uint32_t pi = begin; pi < end; ++pi) {
-      per_path[pi] =
-          solve_path(g, td, pattern, ctxs, paths.paths[pi], config, sol);
+      if (!trap.failed()) {
+        try {
+          PPSI_FAULT_POINT("engine.path");
+          per_path[pi] =
+              solve_path(g, td, pattern, ctxs, paths.paths[pi], config, sol);
+        } catch (...) {
+          trap.capture();
+        }
+      }
     }
+    trap.rethrow();
   }
 }
 

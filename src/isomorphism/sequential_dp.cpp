@@ -8,6 +8,7 @@
 #include <span>
 
 #include "isomorphism/dp_scratch.hpp"
+#include "support/fault.hpp"
 
 namespace ppsi::iso {
 
@@ -146,6 +147,7 @@ DpSolution solve_sequential(const Graph& g,
       preempted = true;
       break;
     }
+    PPSI_FAULT_POINT("dp.node");
     detail::solve_node_exact(g, td, pattern, ctxs, x, separating, sol, &work);
     detail::build_sig_groups(td, pattern, ctxs, x, sol);
     sol.metrics.add_rounds(1);

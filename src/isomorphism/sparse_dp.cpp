@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "isomorphism/dp_scratch.hpp"
+#include "support/fault.hpp"
 
 namespace ppsi::iso {
 namespace {
@@ -215,6 +216,7 @@ DpSolution solve_sparse(const Graph& g,
       preempted = true;
       break;
     }
+    PPSI_FAULT_POINT("dp.node");
     SolvedNode& node = sol.nodes[x];
     node.ctx = ctxs[x];
     NodeGen gen{codec, pattern, node.ctx, separating, node};

@@ -29,11 +29,27 @@
 // Allocation *events* are the per-use signal — solves report them as a
 // delta around the use (zero in steady state).
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "support/fault.hpp"
+
 namespace ppsi::support {
+
+namespace detail {
+/// Process-wide sum of all arenas' tracked capacities, in bytes. Grows
+/// monotonically (arena buffers never shrink); feeds the per-query
+/// memory budget (QueryOptions::max_memory_bytes) and the pool's
+/// admission high-watermark (PoolOptions::memory_high_watermark_bytes).
+inline std::atomic<std::uint64_t> g_scratch_residency{0};
+}  // namespace detail
+
+/// Current process-wide tracked scratch residency, in bytes.
+inline std::uint64_t scratch_residency_bytes() {
+  return detail::g_scratch_residency.load(std::memory_order_relaxed);
+}
 
 class ScratchArena {
  public:
@@ -41,6 +57,7 @@ class ScratchArena {
   void acquire(std::vector<T>& v, std::size_t n) {
     v.clear();
     if (v.capacity() < n) {
+      PPSI_FAULT_POINT("arena.grow");
       const std::size_t before = v.capacity() * sizeof(T);
       v.reserve(n);
       settle(before, v.capacity() * sizeof(T));
@@ -67,6 +84,8 @@ class ScratchArena {
     ++alloc_events_;
     footprint_ += after - before;
     if (footprint_ > peak_bytes_) peak_bytes_ = footprint_;
+    detail::g_scratch_residency.fetch_add(after - before,
+                                          std::memory_order_relaxed);
   }
 
   /// Number of times a tracked buffer had to (re)allocate.

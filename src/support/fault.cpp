@@ -1,0 +1,98 @@
+#include "support/fault.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <new>
+#include <thread>
+
+#include "support/rng.hpp"
+
+namespace ppsi::support {
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(const FaultPlan& plan) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  plan_ = plan;
+  counter_ = 0;
+}
+
+void FaultInjector::disarm() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  plan_ = FaultPlan{};
+}
+
+bool FaultInjector::armed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return plan_.rate != 0;
+}
+
+FaultStats FaultInjector::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void FaultInjector::reset_stats() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = FaultStats{};
+}
+
+void FaultInjector::visit(const char* point) {
+  // Decide (and count) under the mutex; act after releasing it so a delay
+  // never serializes unrelated visits and a throw never unwinds a held lock.
+  enum class Action { kNone, kThrow, kBadAlloc, kDelay };
+  Action action = Action::kNone;
+  std::uint64_t salt = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.visits;
+    if (plan_.rate == 0) return;
+    if (!plan_.point_filter.empty() &&
+        std::strstr(point, plan_.point_filter.c_str()) == nullptr)
+      return;
+    const std::uint64_t h = hash_combine(plan_.seed, ++counter_);
+    if (h % plan_.rate != 0) return;
+    salt = h / plan_.rate;
+    FaultKind kind = plan_.kind;
+    if (kind == FaultKind::kMixed) {
+      switch (salt % 3) {
+        case 0: kind = FaultKind::kThrow; break;
+        case 1: kind = FaultKind::kBadAlloc; break;
+        default: kind = FaultKind::kDelay; break;
+      }
+    }
+    switch (kind) {
+      case FaultKind::kThrow:
+        ++stats_.thrown;
+        action = Action::kThrow;
+        break;
+      case FaultKind::kBadAlloc:
+        ++stats_.alloc_failures;
+        action = Action::kBadAlloc;
+        break;
+      case FaultKind::kDelay:
+        ++stats_.delays;
+        action = Action::kDelay;
+        break;
+      case FaultKind::kMixed:
+        break;  // unreachable: resolved above
+    }
+  }
+  switch (action) {
+    case Action::kThrow:
+      throw InjectedFault(point);
+    case Action::kBadAlloc:
+      throw std::bad_alloc();
+    case Action::kDelay:
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(50 + salt % 200));
+      break;
+    case Action::kNone:
+      break;
+  }
+}
+
+}  // namespace ppsi::support

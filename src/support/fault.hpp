@@ -1,0 +1,123 @@
+#pragma once
+
+// Deterministic fault injection for the serving stack's chaos tests.
+//
+// A PPSI_FAULT_POINT(name) marks a boundary where production code is
+// prepared to contain a failure: scratch-arena growth (allocation), slice /
+// path / decomposition solves (exceptions), scheduler task entry (delays).
+// The macro compiles to nothing unless the library is built with
+// -DPPSI_FAULT_INJECTION=ON (CMake option), so release builds carry zero
+// overhead — the chaos CI leg and the chaos differential suite
+// (tests/differential/test_differential_chaos.cpp) build with it ON.
+//
+// When compiled in, every visit consults the process-wide FaultInjector.
+// An armed FaultPlan fires pseudo-randomly but *deterministically*: the
+// decision is a hash of (plan seed, global visit counter), so a fixed seed
+// and a serial schedule replay exactly; under concurrency the counter
+// interleaving varies but the fire *rate* and kinds stay seed-stable.
+// Injected failures are ordinary exceptions (InjectedFault or
+// std::bad_alloc), which the containment layer maps to
+// StatusCode::kInternal / kResourceExhausted — precisely the paths the
+// chaos suite exists to pin.
+//
+// Cancellation storms are driven from the tests themselves (flipping
+// PendingResult tokens mid-flight); the injector contributes the other
+// three fault classes: thrown errors, allocation failures, and scheduler
+// delays.
+
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+namespace ppsi::support {
+
+/// The exception an armed injector throws at a fault point. Derives from
+/// std::runtime_error so generic containment needs no special case; the
+/// message names the point for test diagnostics.
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(const std::string& point)
+      : std::runtime_error("injected fault at " + point) {}
+};
+
+enum class FaultKind {
+  kThrow,     ///< throw InjectedFault
+  kBadAlloc,  ///< throw std::bad_alloc (simulated allocation failure)
+  kDelay,     ///< sleep a deterministic few hundred microseconds
+  kMixed,     ///< the visit hash picks one of the three above
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  /// Fire roughly one visit in `rate`; 0 disables the plan entirely.
+  std::uint32_t rate = 0;
+  FaultKind kind = FaultKind::kThrow;
+  /// Only points whose name contains this substring fire (empty = all).
+  std::string point_filter;
+};
+
+/// Cumulative injector counters (reset_stats() zeroes them).
+struct FaultStats {
+  std::uint64_t visits = 0;
+  std::uint64_t thrown = 0;          ///< InjectedFault throws
+  std::uint64_t alloc_failures = 0;  ///< std::bad_alloc throws
+  std::uint64_t delays = 0;
+  std::uint64_t fired() const { return thrown + alloc_failures + delays; }
+};
+
+class FaultInjector {
+ public:
+  static FaultInjector& instance();
+
+  /// True when the library was built with PPSI_FAULT_INJECTION=ON (i.e.
+  /// the fault points exist at all). arm()/disarm() are always callable;
+  /// with the points compiled out an armed plan simply never fires, so
+  /// chaos tests run fault-free — but still assert their invariants —
+  /// in default builds.
+  static constexpr bool compiled_in() {
+#ifdef PPSI_FAULT_INJECTION
+    return true;
+#else
+    return false;
+#endif
+  }
+
+  void arm(const FaultPlan& plan);
+  void disarm();
+  bool armed() const;
+  FaultStats stats() const;
+  void reset_stats();
+
+  /// The injection-point body; reach it through PPSI_FAULT_POINT, never
+  /// directly. May throw InjectedFault or std::bad_alloc, or sleep.
+  void visit(const char* point);
+
+ private:
+  FaultInjector() = default;
+  mutable std::mutex mutex_;
+  FaultPlan plan_;       // rate == 0 <=> disarmed
+  FaultStats stats_;
+  std::uint64_t counter_ = 0;
+};
+
+/// RAII plan for tests: arms on construction, disarms (and leaves the
+/// stats readable) on destruction.
+class ScopedFaultPlan {
+ public:
+  explicit ScopedFaultPlan(const FaultPlan& plan) {
+    FaultInjector::instance().arm(plan);
+  }
+  ~ScopedFaultPlan() { FaultInjector::instance().disarm(); }
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+};
+
+}  // namespace ppsi::support
+
+#ifdef PPSI_FAULT_INJECTION
+#define PPSI_FAULT_POINT(name) \
+  ::ppsi::support::FaultInjector::instance().visit(name)
+#else
+#define PPSI_FAULT_POINT(name) ((void)0)
+#endif

@@ -9,6 +9,8 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
+#include <mutex>
 #include <numeric>
 #include <omp.h>
 #include <type_traits>
@@ -36,6 +38,36 @@ namespace detail {
 inline std::atomic<std::uint64_t> pfor_fork_epoch{0};
 inline std::atomic<std::uint64_t> pfor_join_epoch{0};
 
+// First-exception trap for loop bodies running inside an OMP worksharing
+// region, where an escaping exception would std::terminate the process.
+// capture() records the first failure; later iterations short-circuit via
+// failed() so a poisoned loop drains fast; rethrow() re-raises on the
+// calling thread after the region joins, letting the failure unwind
+// through ordinary code into the query-boundary containment.
+class RegionTrap {
+ public:
+  bool failed() const { return failed_.load(std::memory_order_acquire); }
+  void capture() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!error_) error_ = std::current_exception();
+    failed_.store(true, std::memory_order_release);
+  }
+  void rethrow() {
+    if (!failed()) return;
+    std::exception_ptr error;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      error = error_;
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
+ private:
+  std::atomic<bool> failed_{false};
+  std::mutex mutex_;
+  std::exception_ptr error_;
+};
+
 }  // namespace detail
 
 /// Applies f(i) for i in [begin, end). One PRAM round over `end - begin`
@@ -49,6 +81,7 @@ void parallel_for(std::size_t begin, std::size_t end, F&& f,
     for (std::size_t i = begin; i < end; ++i) f(i);
     return;
   }
+  detail::RegionTrap trap;
 #pragma omp parallel default(shared)
   {
     if (omp_get_thread_num() == 0)
@@ -56,10 +89,19 @@ void parallel_for(std::size_t begin, std::size_t end, F&& f,
 #pragma omp barrier
     detail::pfor_fork_epoch.load(std::memory_order_acquire);
 #pragma omp for schedule(static)
-    for (std::size_t i = begin; i < end; ++i) f(i);
+    for (std::size_t i = begin; i < end; ++i) {
+      if (!trap.failed()) {
+        try {
+          f(i);
+        } catch (...) {
+          trap.capture();
+        }
+      }
+    }
     detail::pfor_join_epoch.fetch_add(1, std::memory_order_release);
   }
   detail::pfor_join_epoch.load(std::memory_order_acquire);
+  trap.rethrow();
 }
 
 /// One per-thread accumulator slot, padded to a cache line so adjacent
@@ -85,14 +127,24 @@ T parallel_reduce(std::size_t begin, std::size_t end, T identity, F&& f,
   const int threads = num_threads();
   std::vector<PaddedAccumulator<T>> partial(static_cast<std::size_t>(threads),
                                             PaddedAccumulator<T>{identity});
+  detail::RegionTrap trap;
 #pragma omp parallel
   {
     const int t = omp_get_thread_num();
     T acc = identity;
 #pragma omp for schedule(static) nowait
-    for (std::size_t i = begin; i < end; ++i) acc = combine(acc, f(i));
+    for (std::size_t i = begin; i < end; ++i) {
+      if (!trap.failed()) {
+        try {
+          acc = combine(acc, f(i));
+        } catch (...) {
+          trap.capture();
+        }
+      }
+    }
     partial[static_cast<std::size_t>(t)].value = acc;
   }
+  trap.rethrow();
   T acc = identity;
   for (const PaddedAccumulator<T>& p : partial) acc = combine(acc, p.value);
   return acc;

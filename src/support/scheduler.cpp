@@ -5,11 +5,13 @@
 #include <algorithm>
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
 
+#include "support/fault.hpp"
 #include "support/types.hpp"
 
 namespace ppsi::support {
@@ -112,7 +114,20 @@ class GraphRun {
     join_fork_edge();
     TaskGraph::Node& node = graph_.nodes_[id];
     node.pending.load(std::memory_order_acquire);
-    if (node.fn) node.fn();
+    // Exception containment at the task boundary: an exception escaping an
+    // OMP task body terminates the process, so the first failure is
+    // recorded here and rethrown by run() on the calling thread. Later
+    // tasks of a failed run skip their body (the run's outcome is decided;
+    // draining fast matters more) but still propagate successor counts and
+    // the finished increment, so the graph drains and joins normally.
+    if (node.fn && !failed_.load(std::memory_order_acquire)) {
+      try {
+        PPSI_FAULT_POINT("scheduler.task");
+        node.fn();
+      } catch (...) {
+        record_failure();
+      }
+    }
     for (const std::uint32_t succ : node.successors) {
       if (graph_.nodes_[succ].pending.fetch_sub(
               1, std::memory_order_acq_rel) == 1) {
@@ -122,7 +137,27 @@ class GraphRun {
     finished_.fetch_add(1, std::memory_order_release);
   }
 
+  /// Rethrows the run's first recorded task failure, if any. Called by
+  /// Scheduler::run after the join, on the thread that returns to the
+  /// caller — from there the exception unwinds through ordinary
+  /// single-threaded code into the query-boundary containment.
+  void rethrow_if_failed() const {
+    if (!failed_.load(std::memory_order_acquire)) return;
+    std::exception_ptr error;
+    {
+      const std::lock_guard<std::mutex> lock(error_mutex_);
+      error = error_;
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
  private:
+  void record_failure() {
+    const std::lock_guard<std::mutex> lock(error_mutex_);
+    if (!error_) error_ = std::current_exception();
+    failed_.store(true, std::memory_order_release);
+  }
+
   void spawn(std::uint32_t id) {
     {
       const std::lock_guard<std::mutex> lock(ready_mutex);
@@ -135,6 +170,12 @@ class GraphRun {
   TaskGraph& graph_;
   std::atomic<std::uint32_t> published_{0};
   std::atomic<std::size_t> finished_{0};
+  // Failure containment (see execute). failed_ is the fast-path flag;
+  // error_ holds the first exception, guarded by error_mutex_ because
+  // multiple tasks can fail concurrently.
+  std::atomic<bool> failed_{false};
+  mutable std::mutex error_mutex_;
+  std::exception_ptr error_;
 };
 
 namespace {
@@ -242,7 +283,15 @@ class ServingPool {
         job = std::move(best->job);
         queue_.erase(best);
       }
-      job();
+      // Last-resort backstop: an exception escaping a detached serving
+      // thread is std::terminate. Every submitted job resolves its own
+      // PendingResult handle and contains its own failures (Solver's
+      // *_async paths); anything reaching here has already been reported,
+      // so swallowing keeps the worker alive for the next job.
+      try {
+        job();
+      } catch (...) {
+      }
     }
   }
 
@@ -293,9 +342,20 @@ void Scheduler::run(TaskGraph& graph) {
       if (graph.nodes_[id].pending.load(std::memory_order_relaxed) == 0)
         ready.push_back(id);
     }
+    // Mirrors GraphRun's containment: record the first task failure, skip
+    // later bodies, keep draining so the cycle check below stays valid,
+    // then rethrow to the caller.
+    std::exception_ptr error;
     for (std::size_t next = 0; next < ready.size(); ++next) {
       TaskGraph::Node& node = graph.nodes_[ready[next]];
-      if (node.fn) node.fn();
+      if (node.fn && !error) {
+        try {
+          PPSI_FAULT_POINT("scheduler.task");
+          node.fn();
+        } catch (...) {
+          error = std::current_exception();
+        }
+      }
       for (const std::uint32_t succ : node.successors) {
         if (graph.nodes_[succ].pending.fetch_sub(
                 1, std::memory_order_relaxed) == 1) {
@@ -304,6 +364,7 @@ void Scheduler::run(TaskGraph& graph) {
       }
     }
     require(ready.size() == n, "Scheduler::run: dependency cycle in TaskGraph");
+    if (error) std::rethrow_exception(error);
     return;
   }
   detail::GraphRun state(graph);
@@ -315,6 +376,7 @@ void Scheduler::run(TaskGraph& graph) {
     // published_/finished_ atomics carry the fork/join edges (caller and
     // task bodies touch them directly; no region struct is involved).
     state.run_all();
+    state.rethrow_if_failed();
   } else {
 #pragma omp parallel default(shared)
     {
@@ -337,6 +399,7 @@ void Scheduler::run(TaskGraph& graph) {
     // run on a worker, so the returning thread must own both edges).
     join_epoch.load(std::memory_order_acquire);
     state.await_joined();
+    state.rethrow_if_failed();
   }
 }
 

@@ -157,5 +157,94 @@ TEST(FileIo, MissingFileThrows) {
                std::invalid_argument);
 }
 
+// ---------------------------------------------------------------------------
+// Hostile-input corpus: the hardened try_* readers must reject every entry
+// with StatusCode::kMalformedInput — never assert, crash, or allocate
+// proportionally to an attacker-declared count — and the legacy throwing
+// readers must surface the same rejection as std::invalid_argument.
+
+struct HostileCase {
+  const char* name;
+  const char* input;
+};
+
+TEST(HostileIo, EdgeListCorpusRejectsCleanly) {
+  const HostileCase corpus[] = {
+      {"empty", ""},
+      {"garbage_header", "abc def"},
+      {"missing_edge_count", "3"},
+      {"negative_count", "-3 1\n0 1"},
+      {"truncated_edges", "3 2\n0 1"},
+      {"edge_count_over_simple_max", "3 99"},
+      {"vertex_count_over_cap", "300000000 1\n0 1"},
+      {"overflow_vertex_count", "18446744073709551616 1\n0 1"},
+      {"overflow_edge_count", "4 18446744073709551615"},
+      {"endpoint_out_of_range", "3 1\n0 5"},
+      {"self_loop", "3 1\n1 1"},
+      {"duplicate_edge", "3 2\n0 1\n0 1"},
+      {"duplicate_edge_reversed", "3 2\n0 1\n1 0"},
+      {"edges_into_zero_vertices", "0 1\n0 0"},
+  };
+  for (const auto& c : corpus) {
+    std::istringstream for_status(c.input);
+    const auto result = io::try_read_edge_list(for_status);
+    EXPECT_FALSE(result.ok()) << c.name;
+    EXPECT_EQ(result.status().code(), StatusCode::kMalformedInput) << c.name;
+    std::istringstream for_throw(c.input);
+    EXPECT_THROW(io::read_edge_list(for_throw), std::invalid_argument)
+        << c.name;
+  }
+}
+
+TEST(HostileIo, DimacsCorpusRejectsCleanly) {
+  const HostileCase corpus[] = {
+      {"empty", ""},
+      {"comments_only", "c nothing here\nc still nothing\n"},
+      {"duplicate_problem_line", "p edge 3 1\np edge 3 1\ne 1 2\n"},
+      {"edge_before_problem_line", "e 1 2\n"},
+      {"bad_format_token", "p graph 3 1\ne 1 2\n"},
+      {"trailing_tokens_on_problem", "p edge 3 1 junk\ne 1 2\n"},
+      {"trailing_tokens_on_edge", "p edge 3 1\ne 1 2 junk\n"},
+      {"unknown_line_kind", "p edge 3 1\nq 1 2\n"},
+      {"zero_based_endpoint", "p edge 3 1\ne 0 2\n"},
+      {"endpoint_out_of_range", "p edge 3 1\ne 1 9\n"},
+      {"self_loop", "p edge 3 1\ne 2 2\n"},
+      {"duplicate_edge", "p edge 3 2\ne 1 2\ne 2 1\n"},
+      {"fewer_edges_than_declared", "p edge 3 2\ne 1 2\n"},
+      {"more_edges_than_declared", "p edge 3 1\ne 1 2\ne 2 3\n"},
+      {"vertex_count_over_cap", "p edge 300000000 1\ne 1 2\n"},
+      {"edge_count_over_simple_max", "p edge 3 99\ne 1 2\n"},
+      {"overflow_edge_count", "p edge 4 18446744073709551615\n"},
+  };
+  for (const auto& c : corpus) {
+    std::istringstream for_status(c.input);
+    const auto result = io::try_read_dimacs(for_status);
+    EXPECT_FALSE(result.ok()) << c.name;
+    EXPECT_EQ(result.status().code(), StatusCode::kMalformedInput) << c.name;
+    std::istringstream for_throw(c.input);
+    EXPECT_THROW(io::read_dimacs(for_throw), std::invalid_argument) << c.name;
+  }
+}
+
+TEST(HostileIo, TryReadersAcceptWellFormedInput) {
+  std::istringstream edge_list("4 3\n0 1\n1 2\n2 3\n");
+  const auto from_list = io::try_read_edge_list(edge_list);
+  ASSERT_TRUE(from_list.ok());
+  EXPECT_EQ(from_list->num_vertices(), 4u);
+  EXPECT_EQ(from_list->num_edges(), 3u);
+
+  std::istringstream dimacs("c path\np edge 4 3\ne 1 2\ne 2 3\ne 3 4\n");
+  const auto from_dimacs = io::try_read_dimacs(dimacs);
+  ASSERT_TRUE(from_dimacs.ok());
+  EXPECT_EQ(from_dimacs->num_vertices(), 4u);
+  EXPECT_EQ(from_dimacs->edge_list(), from_list->edge_list());
+}
+
+TEST(HostileIo, MissingFileIsAStatusNotAThrow) {
+  const auto result = io::try_read_graph_file("/nonexistent/ppsi-io-test.g");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kMalformedInput);
+}
+
 }  // namespace
 }  // namespace ppsi::io

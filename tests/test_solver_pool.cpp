@@ -21,6 +21,8 @@
 #include "api/dynamic.hpp"
 #include "api/solver_pool.hpp"
 #include "graph/generators.hpp"
+#include "support/arena.hpp"
+#include "testing/pool_checks.hpp"
 
 namespace ppsi {
 namespace {
@@ -84,6 +86,7 @@ TEST(SolverPool, AdmissionIsFifoAtOneSlot) {
   EXPECT_EQ(stats.completed, 4u);
   EXPECT_EQ(stats.cancelled_before_start, 0u);
   EXPECT_EQ(stats.queued, 0u);
+  testing::expect_drained_pool_stats_conserved(stats);
 }
 
 TEST(SolverPool, CancelWhileQueuedSkipsWithoutWork) {
@@ -364,6 +367,7 @@ TEST(SolverPoolAdmission, DueDeadlineShedsWithZeroWork) {
   EXPECT_EQ(stats.completed, 0u);
   // The shard was never touched: shedding is admission-side only.
   EXPECT_EQ(pool.solver(id).cache_stats().cover_misses, 0u);
+  testing::expect_drained_pool_stats_conserved(stats);
 }
 
 TEST(SolverPoolAdmission, CancellationOutranksShedding) {
@@ -544,6 +548,118 @@ TEST(SolverPoolAdmission, StatsBalanceUnderConcurrentCancelAndShed) {
   EXPECT_EQ(stats.queued, 0u);
   EXPECT_EQ(stats.running, 0u);
   EXPECT_EQ(stats.parked, 0u);
+  testing::expect_drained_pool_stats_conserved(stats);
+}
+
+// ---------------------------------------------------------------------------
+// Memory governance and retry (robustness counters).
+
+TEST(SolverPoolMemory, WatermarkShedsQueuedBulkOnly) {
+  PoolOptions options;
+  options.max_concurrent = 1;
+  options.memory_high_watermark_bytes = 1;  // any residency trips it
+  SolverPool pool(options);
+  const TargetId id = pool.add_target(gen::grid_graph(10, 10));
+  QueryOptions opts;
+  opts.max_runs = 2;
+
+  // Prime the arenas: residency is monotone, so after one completed query
+  // the pool sits above the 1-byte watermark for the rest of the test.
+  ASSERT_TRUE(pool.find_async(id, cycle_pattern(4), opts).get().ok());
+  ASSERT_GT(support::scratch_residency_bytes(), 1u);
+
+  QueryOptions slow;
+  slow.max_runs = 4;
+  auto blocker = pool.find_async(id, cycle_pattern(5), slow);
+  Admission bulk;
+  bulk.priority = Priority::kBulk;
+  auto shed_victim = pool.find_async(id, cycle_pattern(4), opts, bulk);
+  // kNormal is never memory-shed — it waits its turn and completes.
+  auto survivor = pool.find_async(id, cycle_pattern(4), opts);
+
+  const auto& shed_result = shed_victim.get();
+  EXPECT_EQ(shed_result.status().code(), StatusCode::kResourceExhausted);
+  ASSERT_TRUE(shed_result.has_value());
+  EXPECT_EQ(shed_result->metrics.work(), 0u);
+  EXPECT_TRUE(blocker.get().ok());
+  EXPECT_TRUE(survivor.get().ok());
+
+  const PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.contained, 1u);
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.completed, 3u);
+  testing::expect_drained_pool_stats_conserved(stats);
+}
+
+TEST(SolverPoolMemory, HighWatermarkNeverSheds) {
+  PoolOptions options;
+  options.max_concurrent = 1;
+  options.memory_high_watermark_bytes = std::uint64_t{1} << 60;
+  SolverPool pool(options);
+  const TargetId id = pool.add_target(gen::grid_graph(10, 10));
+  QueryOptions opts;
+  opts.max_runs = 2;
+  Admission bulk;
+  bulk.priority = Priority::kBulk;
+  auto a = pool.find_async(id, cycle_pattern(4), opts, bulk);
+  auto b = pool.find_async(id, cycle_pattern(4), opts, bulk);
+  EXPECT_TRUE(a.get().ok());
+  EXPECT_TRUE(b.get().ok());
+  const PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.contained, 0u);
+  EXPECT_EQ(stats.failed, 0u);
+  testing::expect_drained_pool_stats_conserved(stats);
+}
+
+TEST(SolverPoolRetry, ExhaustedRetriesCountContainedRetriedFailed) {
+  SolverPool pool;
+  const TargetId id = pool.add_target(gen::grid_graph(8, 8));
+  // Prime residency so a 1-byte per-query budget fails deterministically.
+  ASSERT_TRUE(pool.find_async(id, cycle_pattern(4)).get().ok());
+  ASSERT_GT(support::scratch_residency_bytes(), 1u);
+
+  QueryOptions tiny;
+  tiny.max_runs = 2;
+  tiny.max_memory_bytes = 1;
+  Admission retry;
+  retry.max_retries = 2;
+  retry.retry_backoff_seconds = 0.0;
+  auto pending = pool.find_async(id, cycle_pattern(4), tiny, retry);
+  const auto& r = pending.get();
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  ASSERT_TRUE(r.has_value());  // interruption: partial stats, not rejection
+
+  const PoolStats stats = pool.stats();
+  // Three attempts, each contained; two were retries; the final one failed.
+  EXPECT_EQ(stats.contained, 3u);
+  EXPECT_EQ(stats.retried, 2u);
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.completed, 2u);
+  testing::expect_drained_pool_stats_conserved(stats);
+}
+
+TEST(SolverPoolRetry, ZeroRetriesByDefaultOnSuccess) {
+  SolverPool pool;
+  const TargetId id = pool.add_target(gen::grid_graph(6, 6));
+  ASSERT_TRUE(pool.find_async(id, cycle_pattern(4)).get().ok());
+  const PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.contained, 0u);
+  EXPECT_EQ(stats.retried, 0u);
+  EXPECT_EQ(stats.failed, 0u);
+  testing::expect_drained_pool_stats_conserved(stats);
+}
+
+TEST(SolverPoolRetry, InvalidBackoffRejects) {
+  SolverPool pool;
+  const TargetId id = pool.add_target(gen::grid_graph(4, 4));
+  Admission bad;
+  bad.retry_backoff_seconds = -1.0;
+  auto pending = pool.find_async(id, cycle_pattern(4), {}, bad);
+  EXPECT_TRUE(pending.ready());
+  EXPECT_EQ(pending.get().status().code(), StatusCode::kInvalidOptions);
+  EXPECT_EQ(pool.stats().submitted, 0u);
 }
 
 // ---------------------------------------------------------------------------

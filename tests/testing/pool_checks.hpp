@@ -1,0 +1,41 @@
+#pragma once
+
+// Stats-conservation checks for SolverPool: every pool test that drives
+// traffic to completion should end by asserting these, so a counter that
+// leaks on a failed, shed, retried, or cancelled query fails loudly instead
+// of silently skewing the books.
+//
+// On a *drained* pool (all handles resolved, nothing queued / running /
+// parked) the PoolStats ledger must balance exactly:
+//   * every submission was dequeued:   started == submitted
+//   * every submission ended one way:  completed + cancelled_before_start
+//                                        + shed == submitted
+//   * nothing is in flight:            queued == running == parked == 0
+//   * retries never exceed containment events: retried <= contained
+//   * every final failure was first contained: failed <= contained
+//   * a query fails at most once:      failed <= submitted
+
+#include <gtest/gtest.h>
+
+#include "api/solver_pool.hpp"
+
+namespace ppsi::testing {
+
+inline void expect_drained_pool_stats_conserved(const PoolStats& stats) {
+  EXPECT_EQ(stats.queued, 0u);
+  EXPECT_EQ(stats.running, 0u);
+  EXPECT_EQ(stats.parked, 0u);
+  EXPECT_EQ(stats.started, stats.submitted);
+  EXPECT_EQ(stats.completed + stats.cancelled_before_start + stats.shed,
+            stats.submitted);
+  EXPECT_LE(stats.retried, stats.contained);
+  EXPECT_LE(stats.failed, stats.contained);
+  EXPECT_LE(stats.failed, stats.submitted);
+}
+
+/// Same checks against a live pool (snapshots stats() once).
+inline void expect_drained_pool_stats_conserved(const SolverPool& pool) {
+  expect_drained_pool_stats_conserved(pool.stats());
+}
+
+}  // namespace ppsi::testing

@@ -1,12 +1,16 @@
 // Microbenchmarks of the substrates: graph building, BFS, clustering,
-// components, tree decomposition, planarity testing, mesh subdivision.
-//
-// Each case measures one substrate call on a corpus instance; where a
-// throughput is meaningful, the `items_per_s` counter reports processed
-// items (edges or vertices) per second of the trial's measured region.
+// components, tree decomposition, planarity testing, mesh subdivision —
+// plus the bit-parallel DP kernels (kernel_* cases below): the SIMD hash
+// kernel, single vs batched FlatMap/SigIndex probes, and the reference vs
+// bit-parallel support-combo enumeration. Each kernel pair runs the exact
+// same instrumented work (pinned by the 0%-threshold work gate), so the
+// wall-median ratio between the pair's cases is the kernel speedup.
 
 #include <algorithm>
+#include <cstdint>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "cluster/est_clustering.hpp"
 #include "cluster/parallel_bfs.hpp"
@@ -14,7 +18,13 @@
 #include "graph/generators.hpp"
 #include "harness/corpus.hpp"
 #include "harness/harness.hpp"
+#include "isomorphism/group_probe.hpp"
+#include "isomorphism/sequential_dp.hpp"
+#include "isomorphism/sig_index.hpp"
 #include "planar/lr_planarity.hpp"
+#include "support/flat_table.hpp"
+#include "support/rng.hpp"
+#include "support/simd.hpp"
 #include "treedecomp/greedy_decomposition.hpp"
 
 using namespace ppsi;
@@ -28,6 +38,252 @@ namespace {
 // cannot represent).
 double per_second(double items, const ppsi::bench::Trial& trial) {
   return items / std::max(trial.measured_seconds(), 1e-9);
+}
+
+// ---- Bit-parallel DP kernel cases ----
+
+/// Deterministic (code, sep) keys; distinct across (seed, index).
+std::vector<iso::StateKey> random_keys(std::size_t n, std::uint64_t seed) {
+  support::Rng rng(seed, /*stream=*/0x6b657973);
+  std::vector<iso::StateKey> keys(n);
+  for (iso::StateKey& k : keys) {
+    k.code = rng.next_u64();
+    k.sep = rng.next_u64();
+  }
+  return keys;
+}
+
+/// Probe stream against a key set: even slots are hits (keys re-drawn in a
+/// shuffled order), odd slots are fresh keys (misses with overwhelming
+/// probability over the 128-bit key space).
+std::vector<iso::StateKey> probe_stream(const std::vector<iso::StateKey>& keys,
+                                        std::uint64_t seed) {
+  support::Rng rng(seed, /*stream=*/0x70726f62);
+  std::vector<iso::StateKey> probes(keys.size());
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    if (i % 2 == 0) {
+      probes[i] = keys[rng.next_below(keys.size())];
+    } else {
+      probes[i] = {rng.next_u64(), rng.next_u64()};
+    }
+  }
+  return probes;
+}
+
+/// Shared fixture of the combo-kernel pair: one decomposed target, its bag
+/// contexts/child links, and the locally valid states per node (capped
+/// deterministically in discovery order). Both cases enumerate the exact
+/// same support combos, so their work counts are identical and the wall
+/// ratio is the kernel speedup.
+struct ComboFixture {
+  iso::StateCodec codec;
+  struct Node {
+    iso::BagContext ctx;
+    iso::detail::ChildLink left, right;
+    std::vector<iso::StateKey> states;
+  };
+  std::vector<Node> nodes;
+
+  ComboFixture(const Graph& g, const iso::Pattern& pattern) {
+    const auto td = treedecomp::binarize(treedecomp::greedy_decomposition(g));
+    std::size_t max_bag = 1;
+    for (const auto& bag : td.bags) max_bag = std::max(max_bag, bag.size());
+    codec = iso::StateCodec::make(pattern.size(),
+                                  static_cast<std::uint32_t>(max_bag));
+    std::vector<iso::BagContext> ctxs(td.num_nodes());
+    for (treedecomp::NodeId x = 0; x < td.num_nodes(); ++x)
+      ctxs[x] = iso::make_bag_context(g, td.bags[x],
+                                      iso::SeparatingSpec::disabled());
+    nodes.resize(td.num_nodes());
+    constexpr std::size_t kStatesPerNode = 4000;
+    for (treedecomp::NodeId x = 0; x < td.num_nodes(); ++x) {
+      Node& node = nodes[x];
+      node.ctx = ctxs[x];
+      const auto& kids = td.children[x];
+      if (!kids.empty())
+        node.left = {true, iso::shared_position_mask(ctxs[x], ctxs[kids[0]])};
+      if (kids.size() == 2)
+        node.right = {true, iso::shared_position_mask(ctxs[x], ctxs[kids[1]])};
+      iso::enumerate_local_states(
+          pattern, node.ctx, codec, /*separating=*/false,
+          [&](iso::StateKey key) {
+            if (node.states.size() < kStatesPerNode)
+              node.states.push_back(key);
+          });
+    }
+  }
+
+  /// Runs `combo_fn` (for_each_support_combo or the _ref formulation) over
+  /// every collected state; returns the combo count and folds the visited
+  /// signatures into *checksum.
+  template <class ComboFn>
+  std::uint64_t sweep(ComboFn&& combo_fn, std::uint64_t* checksum) const {
+    std::uint64_t combos = 0;
+    std::uint64_t sum = 0;
+    for (const Node& node : nodes) {
+      for (const iso::StateKey state : node.states) {
+        combo_fn(codec, node.ctx, state, node.left, node.right,
+                 [&](const iso::StateKey* sl, const iso::StateKey* sr) {
+                   if (sl != nullptr) sum += sl->code + sl->sep;
+                   if (sr != nullptr) sum += sr->code + sr->sep;
+                   ++combos;
+                   return false;  // full enumeration: visit every combo
+                 });
+      }
+    }
+    *checksum += sum;
+    return combos;
+  }
+};
+
+/// Connected k=8 pattern (tree plus chords) giving the combo enumeration
+/// nontrivial C sets on width-3 bags.
+iso::Pattern kernel_pattern() {
+  support::Rng rng(17, /*stream=*/0xc0b0);
+  EdgeList edges = gen::random_tree(8, rng.next_u64()).edge_list();
+  edges.emplace_back(0, 3);
+  edges.emplace_back(2, 5);
+  edges.emplace_back(4, 7);
+  return iso::Pattern::from_graph(Graph::from_edges(8, edges));
+}
+
+void register_kernel_benchmarks(Registry& reg, const Corpus& corpus) {
+  using iso::StateKey;
+  namespace simd = support::simd;
+
+  // kernel_hash: the raw (code, sep) -> StateKeyHash batch kernel, scalar
+  // vs runtime-dispatched SIMD. Pure compute, no memory system effects.
+  {
+    const std::size_t n = corpus.n(500000, 4096);
+    auto keys = std::make_shared<std::vector<StateKey>>(random_keys(n, 21));
+    auto out = std::make_shared<std::vector<std::uint64_t>>(n);
+    reg.add("kernel_hash/scalar", [keys, out, n](Trial& trial) {
+      trial.measure([&] {
+        simd::hash_pairs_scalar(
+            reinterpret_cast<const std::uint64_t*>(keys->data()), n,
+            out->data());
+      });
+      trial.add_work(n);
+      trial.counter("checksum", static_cast<double>(out->back() & 0xffff));
+    });
+    reg.add("kernel_hash/dispatch", [keys, out, n](Trial& trial) {
+      trial.measure([&] {
+        simd::hash_pairs(reinterpret_cast<const std::uint64_t*>(keys->data()),
+                         n, out->data());
+      });
+      trial.add_work(n);
+      trial.counter("checksum", static_cast<double>(out->back() & 0xffff));
+      trial.counter("simd_variant",
+                    static_cast<double>(simd::active_variant()));
+    });
+  }
+
+  // kernel_flatmap: one-at-a-time find() vs the hashed/prefetched batch
+  // probe (group_probe.hpp) against a table too big for L2.
+  {
+    const std::size_t n = corpus.n(400000, 4096);
+    auto map = std::make_shared<support::FlatMap<StateKey, iso::StateKeyHash>>();
+    const std::vector<StateKey> keys = random_keys(n, 33);
+    map->reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      map->emplace(keys[i], static_cast<std::uint32_t>(i));
+    auto probes =
+        std::make_shared<std::vector<StateKey>>(probe_stream(keys, 34));
+    reg.add("kernel_flatmap/single", [map, probes](Trial& trial) {
+      std::uint64_t sum = 0;
+      trial.measure([&] {
+        for (const StateKey& key : *probes) sum += map->find(key);
+      });
+      trial.add_work(probes->size());
+      trial.counter("checksum", static_cast<double>(sum & 0xffffff));
+    });
+    reg.add("kernel_flatmap/batched", [map, probes](Trial& trial) {
+      std::vector<std::uint32_t> out(probes->size());
+      std::uint64_t sum = 0;
+      trial.measure([&] {
+        iso::find_batch(*map, probes->data(), probes->size(), out.data());
+        for (const std::uint32_t v : out) sum += v;
+      });
+      trial.add_work(probes->size());
+      trial.counter("checksum", static_cast<double>(sum & 0xffffff));
+    });
+  }
+
+  // kernel_sigindex: one-at-a-time contains() (binary search per probe) vs
+  // the batched membership join (SIMD hash + prefiltered bitmap).
+  {
+    const std::size_t n = corpus.n(400000, 4096);
+    auto index = std::make_shared<iso::SigIndex>();
+    const std::vector<StateKey> keys = random_keys(n, 55);
+    std::vector<std::pair<StateKey, std::uint32_t>> pairs(n);
+    for (std::size_t i = 0; i < n; ++i)
+      pairs[i] = {keys[i], static_cast<std::uint32_t>(i)};
+    index->build(pairs);
+    auto probes =
+        std::make_shared<std::vector<StateKey>>(probe_stream(keys, 56));
+    reg.add("kernel_sigindex/single", [index, probes](Trial& trial) {
+      std::uint64_t hits = 0;
+      trial.measure([&] {
+        for (const StateKey& key : *probes) hits += index->contains(key);
+      });
+      trial.add_work(probes->size());
+      trial.counter("checksum", static_cast<double>(hits));
+    });
+    reg.add("kernel_sigindex/batched", [index, probes](Trial& trial) {
+      const std::size_t m = probes->size();
+      std::unique_ptr<bool[]> out(new bool[m]);
+      std::uint64_t hits = 0;
+      trial.measure([&] {
+        iso::contains_batch(*index, probes->data(), m, out.get());
+        for (std::size_t i = 0; i < m; ++i) hits += out[i];
+      });
+      trial.add_work(m);
+      trial.counter("checksum", static_cast<double>(hits));
+    });
+  }
+
+  // kernel_combo: the support-combo enumeration, reference per-field
+  // signature rebuilds vs the bit-parallel base+spread kernel. Identical
+  // visit sequences (pinned by the kernel differential suite), identical
+  // work, wall ratio = kernel speedup.
+  {
+    auto fixture = std::make_shared<ComboFixture>(
+        corpus.apollonian(150, 11).graph(), kernel_pattern());
+    reg.add("kernel_combo/ref", [fixture](Trial& trial) {
+      std::uint64_t checksum = 0;
+      std::uint64_t combos = 0;
+      trial.measure([&] {
+        combos = fixture->sweep(
+            [](const iso::StateCodec& codec, const iso::BagContext& ctx,
+               iso::StateKey state, const iso::detail::ChildLink& left,
+               const iso::detail::ChildLink& right, auto&& visit) {
+              iso::detail::for_each_support_combo_ref(
+                  codec, ctx, state, left, right, /*separating=*/false,
+                  visit);
+            },
+            &checksum);
+      });
+      trial.add_work(combos);
+      trial.counter("checksum", static_cast<double>(checksum & 0xffffff));
+    });
+    reg.add("kernel_combo/bitparallel", [fixture](Trial& trial) {
+      std::uint64_t checksum = 0;
+      std::uint64_t combos = 0;
+      trial.measure([&] {
+        combos = fixture->sweep(
+            [](const iso::StateCodec& codec, const iso::BagContext& ctx,
+               iso::StateKey state, const iso::detail::ChildLink& left,
+               const iso::detail::ChildLink& right, auto&& visit) {
+              iso::detail::for_each_support_combo(
+                  codec, ctx, state, left, right, /*separating=*/false,
+                  visit);
+            },
+            &checksum);
+      });
+      trial.add_work(combos);
+      trial.counter("checksum", static_cast<double>(checksum & 0xffffff));
+    });
+  }
 }
 
 void register_benchmarks(Registry& reg, const Corpus& corpus) {
@@ -100,6 +356,8 @@ void register_benchmarks(Registry& reg, const Corpus& corpus) {
                   [&] { gen::loop_subdivide(gen::icosahedron(), rounds); });
             });
   }
+
+  register_kernel_benchmarks(reg, corpus);
 }
 
 }  // namespace

@@ -1,0 +1,146 @@
+#pragma once
+
+// Group-probing layer over FlatMap / SigIndex lookups.
+//
+// The DP support checks probe one (sigL, sigR) pair per combo; each probe
+// is a hash plus a dependent cache miss. This layer batches up to
+// kProbeBatch combos: the signatures are hashed together by the
+// runtime-dispatched SIMD kernels (support/simd.hpp), every target line is
+// prefetched, then the batch is probed against lines already in flight.
+//
+// The layer is *accounting-transparent*: batch helpers report which probe
+// succeeded (or that none did), so callers reproduce the exact work ticks
+// of the one-at-a-time loop — including early-exit semantics, where only
+// probes up to and including the first success count. The kernel
+// differential suite pins batched results against single probes.
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+#include "isomorphism/sig_index.hpp"
+#include "isomorphism/state_enumeration.hpp"
+#include "support/flat_table.hpp"
+#include "support/simd.hpp"
+
+namespace ppsi::iso {
+
+// StateKey's memory layout is exactly the interleaved (code, sep) word
+// pair simd::hash_pairs consumes, so contiguous key batches hash in place.
+static_assert(std::is_trivially_copyable_v<StateKey>,
+              "group probing reinterprets StateKey storage");
+static_assert(sizeof(StateKey) == 2 * sizeof(std::uint64_t),
+              "StateKey must be exactly (code, sep)");
+static_assert(offsetof(StateKey, code) == 0 && offsetof(StateKey, sep) == 8,
+              "StateKey word order must match simd::hash_pairs");
+
+/// Combos buffered per probe round. 16 keeps the key/hash scratch within
+/// half a cache line apiece while giving the prefetcher a full window.
+inline constexpr std::size_t kProbeBatch = 16;
+
+/// hashes[i] = StateKeyHash{}(keys[i]) for i < n, via the active variant.
+inline void hash_keys(const StateKey* keys, std::size_t n,
+                      std::uint64_t* hashes) {
+  support::simd::hash_pairs(reinterpret_cast<const std::uint64_t*>(keys), n,
+                            hashes);
+}
+
+/// Batched FlatMap lookup: hashes all n keys, prefetches their home
+/// buckets, then writes out[i] = map.find(keys[i]). Bit-identical results
+/// to n single find() calls.
+template <class Hasher>
+inline void find_batch(const support::FlatMap<StateKey, Hasher>& map,
+                       const StateKey* keys, std::size_t n,
+                       std::uint32_t* out) {
+  // The SIMD kernels compute StateKeyHash; a map built with any other
+  // hasher would be probed at the wrong home slots.
+  static_assert(std::is_same_v<Hasher, StateKeyHash>,
+                "find_batch hashes with StateKeyHash");
+  std::uint64_t hashes[kProbeBatch];
+  std::size_t done = 0;
+  while (done < n) {
+    const std::size_t m =
+        n - done < kProbeBatch ? n - done : kProbeBatch;
+    hash_keys(keys + done, m, hashes);
+    for (std::size_t i = 0; i < m; ++i) map.prefetch_hashed(hashes[i]);
+    for (std::size_t i = 0; i < m; ++i)
+      out[done + i] = map.find_hashed(keys[done + i], hashes[i]);
+    done += m;
+  }
+}
+
+/// Batched SigIndex membership: out[i] = index.contains(keys[i]).
+inline void contains_batch(const SigIndex& index, const StateKey* keys,
+                           std::size_t n, bool* out) {
+  std::uint64_t hashes[kProbeBatch];
+  std::size_t done = 0;
+  while (done < n) {
+    const std::size_t m =
+        n - done < kProbeBatch ? n - done : kProbeBatch;
+    hash_keys(keys + done, m, hashes);
+    for (std::size_t i = 0; i < m; ++i) index.prefetch_hashed(hashes[i]);
+    for (std::size_t i = 0; i < m; ++i)
+      out[done + i] = index.contains_hashed(keys[done + i], hashes[i]);
+    done += m;
+  }
+}
+
+/// Buffers (sigL, sigR) support combos and probes them in SIMD-hashed,
+/// prefetched batches against the two child signature indexes.
+///
+/// Work accounting is preserved exactly, including early exit: a flush
+/// whose first supported combo sits at batch position j accounts j + 1
+/// combos and reports success (enumeration stops, exactly as the
+/// one-at-a-time loop stopped at that combo); a flush with no success
+/// accounts the whole batch.
+///
+/// Contract: the nullness of (sl, sr) passed to add() must be uniform and
+/// match the constructor's (left, right) being non-null — which holds for
+/// any single DP node, where child presence is fixed across all combos of
+/// all states.
+class ComboProber {
+ public:
+  ComboProber(const SigIndex* left, const SigIndex* right,
+              std::uint64_t* work)
+      : left_(left), right_(right), work_(work) {}
+
+  /// Buffers one combo; returns true when a full-batch flush found a
+  /// supported combo (callers must stop enumerating).
+  bool add(const StateKey* sl, const StateKey* sr) {
+    if (sl != nullptr) keys_l_[n_] = *sl;
+    if (sr != nullptr) keys_r_[n_] = *sr;
+    ++n_;
+    return n_ == kProbeBatch ? flush() : false;
+  }
+
+  /// Probes the buffered combos; true when one is supported. Must be
+  /// called once after the enumeration ends (unless add() already
+  /// reported success) to drain the partial batch.
+  bool flush() {
+    const std::size_t m = n_;
+    n_ = 0;
+    if (m == 0) return false;
+    bool okl[kProbeBatch] = {};
+    bool okr[kProbeBatch] = {};
+    if (left_ != nullptr) contains_batch(*left_, keys_l_, m, okl);
+    if (right_ != nullptr) contains_batch(*right_, keys_r_, m, okr);
+    for (std::size_t j = 0; j < m; ++j) {
+      if ((left_ == nullptr || okl[j]) && (right_ == nullptr || okr[j])) {
+        if (work_ != nullptr) *work_ += j + 1;
+        return true;
+      }
+    }
+    if (work_ != nullptr) *work_ += m;
+    return false;
+  }
+
+ private:
+  const SigIndex* left_;
+  const SigIndex* right_;
+  std::uint64_t* work_;
+  StateKey keys_l_[kProbeBatch];
+  StateKey keys_r_[kProbeBatch];
+  std::size_t n_ = 0;
+};
+
+}  // namespace ppsi::iso

@@ -8,7 +8,9 @@
 #include <span>
 
 #include "isomorphism/dp_scratch.hpp"
+#include "isomorphism/group_probe.hpp"
 #include "support/fault.hpp"
+#include "support/simd.hpp"
 
 namespace ppsi::iso {
 
@@ -42,11 +44,6 @@ NodeEnv make_env(const treedecomp::TreeDecomposition& td,
   return env;
 }
 
-bool sig_present(const SolvedNode* node, const StateKey* sig) {
-  if (sig == nullptr) return true;
-  return node->sig_groups.contains(*sig);
-}
-
 bool accepting_state(const StateCodec& codec, bool separating, StateKey s) {
   const StateView view = view_of(codec, s.code);
   if (view.u_mask != 0) return false;
@@ -75,16 +72,24 @@ void solve_node_exact(const Graph&, const treedecomp::TreeDecomposition& td,
   std::vector<StateKey>& survivors = scratch.exact_states;
   const std::size_t bytes_before = support::ScratchArena::bytes_of(survivors);
   survivors.clear();
+  // Combos are buffered into a ComboProber so their child signatures hash
+  // (SIMD), prefetch, and probe in groups; the prober reproduces the
+  // one-at-a-time work ticks and early-exit of the direct sig_present
+  // check (group_probe.hpp).
+  const SigIndex* left_sigs =
+      env.left_node != nullptr ? &env.left_node->sig_groups : nullptr;
+  const SigIndex* right_sigs =
+      env.right_node != nullptr ? &env.right_node->sig_groups : nullptr;
   enumerate_local_states(
       pattern, node.ctx, codec, separating, [&](StateKey key) {
         if (work != nullptr) ++*work;
-        const bool supported = for_each_support_combo(
+        ComboProber prober(left_sigs, right_sigs, work);
+        bool supported = for_each_support_combo(
             codec, node.ctx, key, env.left, env.right, separating,
             [&](const StateKey* sl, const StateKey* sr) {
-              if (work != nullptr) ++*work;
-              return sig_present(env.left_node, sl) &&
-                     sig_present(env.right_node, sr);
+              return prober.add(sl, sr);
             });
+        if (!supported) supported = prober.flush();
         if (supported) survivors.push_back(key);
       });
   scratch.arena.settle(bytes_before,
@@ -106,9 +111,12 @@ void build_sig_groups(const treedecomp::TreeDecomposition& td,
   DpScratch& scratch = DpScratch::local();
   auto& pairs = scratch.sig_pairs;
   scratch.arena.acquire(pairs, node.states.size());
+  // One merge builds the child->parent position table; each projection
+  // then re-addresses via table loads instead of per-vertex binary search.
+  const PositionMap pos_map = make_position_map(node.ctx, parent_ctx);
   for (std::uint32_t i = 0; i < node.states.size(); ++i) {
     const auto sig = project_to_parent(node.states[i], solution.codec,
-                                       pattern, node.ctx, parent_ctx);
+                                       pattern, node.ctx, pos_map);
     if (sig.has_value()) pairs.emplace_back(*sig, i);
   }
   node.sig_groups.build(pairs);
@@ -161,6 +169,9 @@ DpSolution solve_sequential(const Graph& g,
   sol.metrics.add_work(work);
   sol.metrics.add_allocs(scratch.arena.alloc_events() - allocs_before);
   sol.metrics.note_scratch_peak(scratch.arena.peak_bytes());
+  sol.metrics.note_simd_variant(
+      static_cast<std::int64_t>(support::simd::active_variant()));
+  sol.metrics.note_numa_node(scratch.arena.numa_node());
   if (preempted) return sol;  // partial; accepted stays false
 
   const SolvedNode& root = sol.nodes[td.root];

@@ -140,6 +140,15 @@ struct ChildLink {
 /// `visit` is a templated visitor (header-defined so the support check of
 /// the innermost DP loop inlines); a std::function still binds when type
 /// erasure is wanted.
+///
+/// Bit-parallel kernel: the combo-independent part of each child signature
+/// is computed once per state (combo_base_signature), and every combo's
+/// signatures are derived by OR-ing the packed kStateC bits of its
+/// C-attribution onto the base code (spread_c_fields) plus the subtree
+/// bits onto the base sep — two ORs per combo instead of two full k-field
+/// signature rebuilds. The visit sequence (order and values) is
+/// bit-identical to for_each_support_combo_ref below, which keeps the
+/// original per-field formulation as the differential reference.
 template <class Visit>
 bool for_each_support_combo(const StateCodec& codec, const BagContext& ctx,
                             StateKey state, const ChildLink& left,
@@ -160,14 +169,86 @@ bool for_each_support_combo(const StateCodec& codec, const BagContext& ctx,
     return visit(nullptr, nullptr);
   }
 
+  StateKey base_left, base_right;
+  if (left.present)
+    base_left = combo_base_signature(state, codec, ctx, left.shared_mask);
+  if (right.present)
+    base_right = combo_base_signature(state, codec, ctx, right.shared_mask);
+  const std::uint64_t spread_c = spread_c_fields(codec, c_mask);
+
   const int iy_max = separating ? 1 : 0;
   // Attribute every C vertex to exactly one present child: enumerate all
-  // subsets `a` of the C set for the left child (submask walk).
+  // subsets `a` of the C set for the left child (submask walk). Since
+  // a and b_mask partition c_mask, spread(b_mask) = spread_c ^ spread(a).
   std::uint32_t a = left.present ? c_mask : 0;  // subset for the left child
   bool done = false;
   while (!done) {
     if (a == 0) done = true;  // process the empty subset, then stop
     const std::uint32_t b_mask = c_mask & ~a;  // right child's share
+    const bool split_ok =
+        (left.present || a == 0) && (right.present || b_mask == 0);
+    if (split_ok) {
+      const std::uint64_t spread_a = spread_c_fields(codec, a);
+      const std::uint64_t code_left = base_left.code | spread_a;
+      const std::uint64_t code_right = base_right.code | (spread_c ^ spread_a);
+      for (int iyl = 0; iyl <= (left.present ? iy_max : 0); ++iyl) {
+        for (int iyr = 0; iyr <= (right.present ? iy_max : 0); ++iyr) {
+          if (separating && ((li || iyl || iyr) != ix)) continue;
+          for (int oyl = 0; oyl <= (left.present ? iy_max : 0); ++oyl) {
+            for (int oyr = 0; oyr <= (right.present ? iy_max : 0); ++oyr) {
+              if (separating && ((lo || oyl || oyr) != ox)) continue;
+              StateKey sig_left, sig_right;
+              if (left.present) {
+                sig_left.code = code_left;
+                sig_left.sep = base_left.sep | (iyl != 0 ? kSepIx : 0) |
+                               (oyl != 0 ? kSepOx : 0);
+              }
+              if (right.present) {
+                sig_right.code = code_right;
+                sig_right.sep = base_right.sep | (iyr != 0 ? kSepIx : 0) |
+                                (oyr != 0 ? kSepOx : 0);
+              }
+              if (visit(left.present ? &sig_left : nullptr,
+                        right.present ? &sig_right : nullptr)) {
+                return true;
+              }
+            }
+          }
+        }
+      }
+    }
+    if (!done) a = (a - 1) & c_mask;
+  }
+  return false;
+}
+
+/// The original per-field formulation of for_each_support_combo, kept as
+/// the differential reference: the kernel suite asserts the bit-parallel
+/// version visits the identical (sigL, sigR) sequence.
+template <class Visit>
+bool for_each_support_combo_ref(const StateCodec& codec, const BagContext& ctx,
+                                StateKey state, const ChildLink& left,
+                                const ChildLink& right, bool separating,
+                                Visit&& visit) {
+  const StateView view = view_of(codec, state.code);
+  const std::uint32_t c_mask = view.c_mask;
+  bool li = false, lo = false;
+  if (separating) local_sep_bits(ctx, codec, state, &li, &lo);
+  const bool ix = (state.sep & kSepIx) != 0;
+  const bool ox = (state.sep & kSepOx) != 0;
+
+  if (!left.present && !right.present) {
+    if (c_mask != 0) return false;
+    if (separating && (ix != li || ox != lo)) return false;
+    return visit(nullptr, nullptr);
+  }
+
+  const int iy_max = separating ? 1 : 0;
+  std::uint32_t a = left.present ? c_mask : 0;
+  bool done = false;
+  while (!done) {
+    if (a == 0) done = true;
+    const std::uint32_t b_mask = c_mask & ~a;
     const bool split_ok =
         (left.present || a == 0) && (right.present || b_mask == 0);
     if (split_ok) {

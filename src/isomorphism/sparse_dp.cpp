@@ -5,6 +5,7 @@
 
 #include "isomorphism/dp_scratch.hpp"
 #include "support/fault.hpp"
+#include "support/simd.hpp"
 
 namespace ppsi::iso {
 namespace {
@@ -16,18 +17,21 @@ bool merge_signatures(const StateCodec& codec, const Pattern& pattern,
                       const BagContext& ctx, std::uint64_t shared_l,
                       std::uint64_t shared_r, StateKey sig_l, StateKey sig_r,
                       std::uint64_t* base_code, std::uint32_t* free_mask) {
+  // Bit-parallel walk: a field that is U (0) in both children contributes
+  // nothing to the merged code and is exactly a new-match candidate, so
+  // only fields with a set bit in either code are visited (ascending, like
+  // the k-loop this replaces — first-conflict behavior is unchanged).
   std::uint64_t code = 0;
-  std::uint32_t free_vertices = 0;
-  for (std::uint32_t v = 0; v < codec.k; ++v) {
+  std::uint32_t nonzero = 0;
+  for (std::uint64_t rest = sig_l.code | sig_r.code; rest != 0;) {
+    const auto v =
+        static_cast<std::uint32_t>(std::countr_zero(rest)) / codec.bits;
+    nonzero |= 1u << v;
+    rest &= ~(codec.field_mask << (v * codec.bits));
     const std::uint64_t a = codec.get(sig_l.code, v);
     const std::uint64_t b = codec.get(sig_r.code, v);
     std::uint64_t out;
-    if (a == kStateU && b == kStateU) {
-      out = kStateU;
-      free_vertices |= 1u << v;  // may stay U or become a new match
-    } else if (a == kStateC && b == kStateU) {
-      out = kStateC;
-    } else if (a == kStateU && b == kStateC) {
+    if ((a == kStateC && b == kStateU) || (a == kStateU && b == kStateC)) {
       out = kStateC;
     } else if (a == kStateC || b == kStateC) {
       return false;  // matched in both children, or C vs mapped
@@ -48,8 +52,9 @@ bool merge_signatures(const StateCodec& codec, const Pattern& pattern,
   }
   (void)pattern;
   (void)ctx;
+  const std::uint32_t all = codec.k >= 32 ? ~0u : ((1u << codec.k) - 1);
   *base_code = code;
-  *free_mask = free_vertices;
+  *free_mask = all & ~nonzero;  // may stay U or become a new match
   return true;
 }
 
@@ -251,13 +256,15 @@ DpSolution solve_sparse(const Graph& g,
       const std::uint64_t shared_lr = shared_l & shared_r;
       // Join the signature sets on their shared-position restriction.
       const auto join_key = [&](StateKey sig) {
+        // Only mapped fields can contribute; walk them via the view's
+        // mapped mask instead of scanning all k fields.
         std::uint64_t key_code = 0;
-        for (std::uint32_t v = 0; v < codec.k; ++v) {
+        const StateView view = view_of(codec, sig.code);
+        for (std::uint32_t mm = view.mapped_mask; mm != 0; mm &= mm - 1) {
+          const auto v = static_cast<std::uint32_t>(std::countr_zero(mm));
           const std::uint64_t val = codec.get(sig.code, v);
-          if (val >= kStateMapped &&
-              ((shared_lr >> (val - kStateMapped)) & 1ULL)) {
+          if ((shared_lr >> (val - kStateMapped)) & 1ULL)
             key_code = codec.set(key_code, v, val);
-          }
         }
         return support::hash_combine(
             key_code, sig.sep & kSepLabelMask & shared_lr);
@@ -317,6 +324,9 @@ DpSolution solve_sparse(const Graph& g,
   sol.metrics.add_work(work);
   sol.metrics.add_allocs(scratch.arena.alloc_events() - allocs_before);
   sol.metrics.note_scratch_peak(scratch.arena.peak_bytes());
+  sol.metrics.note_simd_variant(
+      static_cast<std::int64_t>(support::simd::active_variant()));
+  sol.metrics.note_numa_node(scratch.arena.numa_node());
   if (preempted) return sol;  // partial; accepted stays false
 
   const SolvedNode& root = sol.nodes[td.root];

@@ -16,22 +16,36 @@ StateCodec StateCodec::make(std::uint32_t k, std::uint32_t max_bag) {
   support::require(static_cast<std::uint64_t>(k) * bits <= 64,
                    "StateCodec: pattern too large for this bag width "
                    "(k * ceil(log2(width+3)) must fit in 64 bits)");
+  for (std::uint32_t v = 0; v < k; ++v)
+    codec.field_lsbs |= 1ULL << (v * bits);
   return codec;
 }
 
 StateView view_of(const StateCodec& codec, std::uint64_t code) {
+  // Bit-parallel decode: a mapped field holds kStateMapped + p >= 2, so it
+  // is exactly a field with a bit above its LSB; C fields are LSB-only.
+  // Walking the set bits costs popcount steps instead of k branchy
+  // iterations, and U fields never cost anything.
   StateView view;
-  for (std::uint32_t v = 0; v < codec.k; ++v) {
-    const std::uint64_t val = codec.get(code, v);
-    if (val == kStateU) {
-      view.u_mask |= 1u << v;
-    } else if (val == kStateC) {
-      view.c_mask |= 1u << v;
-    } else {
-      view.mapped_mask |= 1u << v;
-      view.image_mask |= 1ULL << (val - kStateMapped);
-    }
+  const std::uint32_t all =
+      codec.k >= 32 ? ~0u : ((1u << codec.k) - 1);
+  std::uint64_t non_lsb = code & ~codec.field_lsbs;
+  while (non_lsb != 0) {
+    const auto v =
+        static_cast<std::uint32_t>(std::countr_zero(non_lsb)) / codec.bits;
+    view.mapped_mask |= 1u << v;
+    view.image_mask |= 1ULL << (codec.get(code, v) - kStateMapped);
+    non_lsb &= ~(codec.field_mask << (v * codec.bits));
   }
+  std::uint64_t lsbs = code & codec.field_lsbs;
+  std::uint32_t lsb_fields = 0;
+  while (lsbs != 0) {
+    const auto bit = static_cast<std::uint32_t>(std::countr_zero(lsbs));
+    lsbs &= lsbs - 1;
+    lsb_fields |= 1u << (bit / codec.bits);
+  }
+  view.c_mask = lsb_fields & ~view.mapped_mask;
+  view.u_mask = all & ~view.mapped_mask & ~view.c_mask;
   return view;
 }
 
@@ -172,6 +186,58 @@ std::optional<StateKey> project_to_parent(StateKey child_state,
   return sig;
 }
 
+PositionMap make_position_map(const BagContext& child_ctx,
+                              const BagContext& parent_ctx) {
+  PositionMap map;
+  map.to_parent.fill(-1);
+  // Both vertex arrays are sorted, so a single merge suffices.
+  std::uint32_t p = 0;
+  for (std::uint32_t q = 0; q < child_ctx.size(); ++q) {
+    const Vertex g = child_ctx.vertices[q];
+    while (p < parent_ctx.size() && parent_ctx.vertices[p] < g) ++p;
+    if (p < parent_ctx.size() && parent_ctx.vertices[p] == g)
+      map.to_parent[q] = static_cast<std::int8_t>(p);
+  }
+  return map;
+}
+
+std::optional<StateKey> project_to_parent(StateKey child_state,
+                                          const StateCodec& codec,
+                                          const Pattern& pattern,
+                                          const BagContext& child_ctx,
+                                          const PositionMap& pos_map) {
+  // U and C fields project to themselves, so only the mapped fields need
+  // rewriting: keep the shared ones (re-addressed via the table), turn
+  // forgotten ones into C after the forgotten-vertex soundness check.
+  const StateView child_view = view_of(codec, child_state.code);
+  StateKey sig;
+  sig.code = child_state.code;
+  std::uint32_t mm = child_view.mapped_mask;
+  while (mm != 0) {
+    const auto v = static_cast<std::uint32_t>(std::countr_zero(mm));
+    mm &= mm - 1;
+    const std::uint64_t q = codec.get(child_state.code, v) - kStateMapped;
+    const int p = pos_map.to_parent[q];
+    if (p >= 0) {
+      sig.code =
+          codec.set(sig.code, v, kStateMapped + static_cast<std::uint64_t>(p));
+    } else {
+      if ((pattern.adj_mask(v) & child_view.u_mask) != 0) return std::nullopt;
+      sig.code = codec.set(sig.code, v, kStateC);
+    }
+  }
+  const std::uint64_t unmapped = child_ctx.all_mask & ~child_view.image_mask;
+  std::uint64_t labels = child_state.sep & kSepLabelMask & unmapped;
+  while (labels != 0) {
+    const int q = std::countr_zero(labels);
+    labels &= labels - 1;
+    const int p = pos_map.to_parent[q];
+    if (p >= 0) sig.sep |= 1ULL << p;
+  }
+  sig.sep |= child_state.sep & (kSepIx | kSepOx);
+  return sig;
+}
+
 StateKey required_signature(StateKey parent_state, const StateCodec& codec,
                             const BagContext& parent_ctx,
                             std::uint64_t shared_mask,
@@ -195,6 +261,30 @@ StateKey required_signature(StateKey parent_state, const StateCodec& codec,
   sig.sep = parent_state.sep & kSepLabelMask & unmapped & shared_mask;
   if (iy) sig.sep |= kSepIx;
   if (oy) sig.sep |= kSepOx;
+  return sig;
+}
+
+StateKey combo_base_signature(StateKey parent_state, const StateCodec& codec,
+                              const BagContext& parent_ctx,
+                              std::uint64_t shared_mask) {
+  // Equivalent to required_signature(parent_state, ..., child_c_mask = 0,
+  // iy = oy = false): C fields become U (0), mapped fields survive only
+  // when shared. Walked bit-parallel over the mapped fields.
+  const StateView view = view_of(codec, parent_state.code);
+  StateKey sig;
+  sig.code = parent_state.code & ~(parent_state.code & codec.field_lsbs &
+                                   ~spread_c_fields(codec, view.mapped_mask));
+  // The line above clears the C bits (LSB-only fields); mapped fields are
+  // handled below, so clearing must not touch their LSBs.
+  std::uint32_t mm = view.mapped_mask;
+  while (mm != 0) {
+    const auto v = static_cast<std::uint32_t>(std::countr_zero(mm));
+    mm &= mm - 1;
+    const std::uint64_t p = codec.get(parent_state.code, v) - kStateMapped;
+    if ((shared_mask >> p & 1ULL) == 0) sig.code = codec.set(sig.code, v, kStateU);
+  }
+  const std::uint64_t unmapped = parent_ctx.all_mask & ~view.image_mask;
+  sig.sep = parent_state.sep & kSepLabelMask & unmapped & shared_mask;
   return sig;
 }
 

@@ -76,6 +76,11 @@ struct StateCodec {
   std::uint32_t k = 0;
   std::uint32_t bits = 0;
   std::uint64_t field_mask = 0;
+  /// OR of 1 << (v * bits) over all k fields. kStateU = 0 and kStateC = 1,
+  /// so `code & ~field_lsbs` is nonzero exactly on the mapped fields and
+  /// `code & field_lsbs` isolates the candidate C bits — the pivot of the
+  /// bit-parallel decode in view_of and the combo kernels.
+  std::uint64_t field_lsbs = 0;
 
   /// Codec for patterns of size k and bags of at most `max_bag` vertices.
   /// Throws when k * ceil(log2(max_bag + 2)) exceeds 64 bits.
@@ -305,6 +310,25 @@ std::optional<StateKey> project_to_parent(StateKey child_state,
                                           const BagContext& child_ctx,
                                           const BagContext& parent_ctx);
 
+/// Child-bag position -> parent-bag position table (-1 when the child
+/// vertex is not in the parent bag). Built once per (child, parent) node
+/// pair so batch projections replace the per-vertex binary search of
+/// BagContext::position_of with one table load.
+struct PositionMap {
+  std::array<std::int8_t, kSepInsideBits> to_parent;
+};
+
+PositionMap make_position_map(const BagContext& child_ctx,
+                              const BagContext& parent_ctx);
+
+/// project_to_parent with a precomputed PositionMap (bit-identical to the
+/// BagContext overload; only mapped fields and set label bits are walked).
+std::optional<StateKey> project_to_parent(StateKey child_state,
+                                          const StateCodec& codec,
+                                          const Pattern& pattern,
+                                          const BagContext& child_ctx,
+                                          const PositionMap& pos_map);
+
 /// The signature a child must have for `parent_state` to be supported,
 /// given that the pattern vertices in `child_c_mask` (a subset of the
 /// parent's C set) are matched inside this child's subtree and the child's
@@ -314,6 +338,31 @@ StateKey required_signature(StateKey parent_state, const StateCodec& codec,
                             const BagContext& parent_ctx,
                             std::uint64_t shared_mask,
                             std::uint32_t child_c_mask, bool iy, bool oy);
+
+/// OR of 1 << (v * bits) over the set bits of `vmask` — the packed-code
+/// image of assigning kStateC to exactly those fields (kStateC == 1).
+inline std::uint64_t spread_c_fields(const StateCodec& codec,
+                                     std::uint32_t vmask) {
+  std::uint64_t out = 0;
+  while (vmask != 0) {
+    const auto v = static_cast<std::uint32_t>(std::countr_zero(vmask));
+    vmask &= vmask - 1;
+    out |= 1ULL << (v * codec.bits);
+  }
+  return out;
+}
+
+/// The combo-independent part of required_signature: mapped fields kept
+/// when shared with the child, C and U fields zeroed (kStateU), and the
+/// label part of sep fixed. The concrete signature for a support combo
+/// assigning `child_c_mask` to this child with subtree bits (iy, oy) is
+///   { base.code | spread_c_fields(codec, child_c_mask),
+///     base.sep | (iy ? kSepIx : 0) | (oy ? kSepOx : 0) }
+/// which lets for_each_support_combo derive both child signatures per
+/// combo with a popcount walk instead of two full k-field rebuilds.
+StateKey combo_base_signature(StateKey parent_state, const StateCodec& codec,
+                              const BagContext& parent_ctx,
+                              std::uint64_t shared_mask);
 
 /// Parent-bag position mask of vertices shared with the child bag.
 std::uint64_t shared_position_mask(const BagContext& parent_ctx,

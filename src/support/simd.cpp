@@ -1,0 +1,303 @@
+#include "support/simd.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "support/rng.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define PPSI_SIMD_X86 1
+#include <immintrin.h>
+#endif
+#if defined(__aarch64__) || defined(__ARM_NEON)
+#define PPSI_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace ppsi::support::simd {
+
+namespace {
+
+constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+constexpr std::uint64_t kMix1 = 0xbf58476d1ce4e5b9ULL;
+constexpr std::uint64_t kMix2 = 0x94d049bb133111ebULL;
+
+// ---- Scalar reference ----
+
+void scalar_kernel(const std::uint64_t* pairs, std::size_t n,
+                   std::uint64_t* out) {
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = hash_combine(pairs[2 * i], pairs[2 * i + 1]);
+}
+
+// ---- SSE2 (x86-64 baseline): 2 lanes ----
+
+#ifdef PPSI_SIMD_X86
+
+// 64x64 -> low 64 multiply from 32x32 -> 64 partial products:
+// lo(a)*lo(b) + ((hi(a)*lo(b) + lo(a)*hi(b)) << 32).
+inline __m128i mul64_sse2(__m128i a, __m128i b) {
+  const __m128i lo = _mm_mul_epu32(a, b);
+  const __m128i cross = _mm_add_epi64(
+      _mm_mul_epu32(_mm_srli_epi64(a, 32), b),
+      _mm_mul_epu32(a, _mm_srli_epi64(b, 32)));
+  return _mm_add_epi64(lo, _mm_slli_epi64(cross, 32));
+}
+
+void sse2_kernel(const std::uint64_t* pairs, std::size_t n,
+                 std::uint64_t* out) {
+  const __m128i golden = _mm_set1_epi64x(static_cast<long long>(kGolden));
+  const __m128i mix1 = _mm_set1_epi64x(static_cast<long long>(kMix1));
+  const __m128i mix2 = _mm_set1_epi64x(static_cast<long long>(kMix2));
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    // pairs[2i..2i+3] = [a0, b0, a1, b1].
+    const __m128i p0 = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(pairs + 2 * i));
+    const __m128i p1 = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(pairs + 2 * i + 2));
+    const __m128i a = _mm_unpacklo_epi64(p0, p1);
+    const __m128i b = _mm_unpackhi_epi64(p0, p1);
+    // x = a ^ (b + kGolden + (a << 6) + (a >> 2))
+    __m128i x = _mm_add_epi64(b, golden);
+    x = _mm_add_epi64(x, _mm_slli_epi64(a, 6));
+    x = _mm_add_epi64(x, _mm_srli_epi64(a, 2));
+    x = _mm_xor_si128(a, x);
+    // splitmix64(x)
+    x = _mm_add_epi64(x, golden);
+    x = _mm_xor_si128(x, _mm_srli_epi64(x, 30));
+    x = mul64_sse2(x, mix1);
+    x = _mm_xor_si128(x, _mm_srli_epi64(x, 27));
+    x = mul64_sse2(x, mix2);
+    x = _mm_xor_si128(x, _mm_srli_epi64(x, 31));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), x);
+  }
+  scalar_kernel(pairs + 2 * i, n - i, out + i);
+}
+
+// ---- AVX2: 4 lanes, compiled with a target attribute so this TU builds
+// without -mavx2 and the call stays behind the runtime CPU check. ----
+
+__attribute__((target("avx2"))) inline __m256i mul64_avx2(__m256i a,
+                                                          __m256i b) {
+  const __m256i lo = _mm256_mul_epu32(a, b);
+  const __m256i cross = _mm256_add_epi64(
+      _mm256_mul_epu32(_mm256_srli_epi64(a, 32), b),
+      _mm256_mul_epu32(a, _mm256_srli_epi64(b, 32)));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+__attribute__((target("avx2"))) void avx2_kernel(const std::uint64_t* pairs,
+                                                 std::size_t n,
+                                                 std::uint64_t* out) {
+  const __m256i golden = _mm256_set1_epi64x(static_cast<long long>(kGolden));
+  const __m256i mix1 = _mm256_set1_epi64x(static_cast<long long>(kMix1));
+  const __m256i mix2 = _mm256_set1_epi64x(static_cast<long long>(kMix2));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // Two loads of [a, b, a, b]; unpack into a-lanes and b-lanes. The
+    // 128-bit-lane unpack leaves pairs (0, 2 | 1, 3); computing in that
+    // order and inverting with one permute keeps out[] in input order.
+    const __m256i p0 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(pairs + 2 * i));
+    const __m256i p1 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(pairs + 2 * i + 4));
+    const __m256i a = _mm256_unpacklo_epi64(p0, p1);  // a0 a2 | a1 a3
+    const __m256i b = _mm256_unpackhi_epi64(p0, p1);  // b0 b2 | b1 b3
+    __m256i x = _mm256_add_epi64(b, golden);
+    x = _mm256_add_epi64(x, _mm256_slli_epi64(a, 6));
+    x = _mm256_add_epi64(x, _mm256_srli_epi64(a, 2));
+    x = _mm256_xor_si256(a, x);
+    x = _mm256_add_epi64(x, golden);
+    x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 30));
+    x = mul64_avx2(x, mix1);
+    x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 27));
+    x = mul64_avx2(x, mix2);
+    x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 31));
+    x = _mm256_permute4x64_epi64(x, _MM_SHUFFLE(3, 1, 2, 0));  // h0 h1 h2 h3
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), x);
+  }
+  scalar_kernel(pairs + 2 * i, n - i, out + i);
+}
+
+#endif  // PPSI_SIMD_X86
+
+// ---- NEON (AArch64 baseline): 2 lanes ----
+
+#ifdef PPSI_SIMD_NEON
+
+inline uint64x2_t mul64_neon(uint64x2_t a, uint64x2_t b) {
+  const uint32x2_t a_lo = vmovn_u64(a);
+  const uint32x2_t a_hi = vshrn_n_u64(a, 32);
+  const uint32x2_t b_lo = vmovn_u64(b);
+  const uint32x2_t b_hi = vshrn_n_u64(b, 32);
+  const uint64x2_t lo = vmull_u32(a_lo, b_lo);
+  const uint64x2_t cross =
+      vaddq_u64(vmull_u32(a_hi, b_lo), vmull_u32(a_lo, b_hi));
+  return vaddq_u64(lo, vshlq_n_u64(cross, 32));
+}
+
+void neon_kernel(const std::uint64_t* pairs, std::size_t n,
+                 std::uint64_t* out) {
+  const uint64x2_t golden = vdupq_n_u64(kGolden);
+  const uint64x2_t mix1 = vdupq_n_u64(kMix1);
+  const uint64x2_t mix2 = vdupq_n_u64(kMix2);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t p0 = vld1q_u64(pairs + 2 * i);      // a0 b0
+    const uint64x2_t p1 = vld1q_u64(pairs + 2 * i + 2);  // a1 b1
+    const uint64x2_t a = vzip1q_u64(p0, p1);
+    const uint64x2_t b = vzip2q_u64(p0, p1);
+    uint64x2_t x = vaddq_u64(b, golden);
+    x = vaddq_u64(x, vshlq_n_u64(a, 6));
+    x = vaddq_u64(x, vshrq_n_u64(a, 2));
+    x = veorq_u64(a, x);
+    x = vaddq_u64(x, golden);
+    x = veorq_u64(x, vshrq_n_u64(x, 30));
+    x = mul64_neon(x, mix1);
+    x = veorq_u64(x, vshrq_n_u64(x, 27));
+    x = mul64_neon(x, mix2);
+    x = veorq_u64(x, vshrq_n_u64(x, 31));
+    vst1q_u64(out + i, x);
+  }
+  scalar_kernel(pairs + 2 * i, n - i, out + i);
+}
+
+#endif  // PPSI_SIMD_NEON
+
+// ---- Detection and dispatch ----
+
+std::atomic<int> g_forced{-1};
+
+Variant parse_name(const char* name) {
+  if (std::strcmp(name, "scalar") == 0) return Variant::kScalar;
+  if (std::strcmp(name, "sse2") == 0) return Variant::kSse2;
+  if (std::strcmp(name, "avx2") == 0) return Variant::kAvx2;
+  if (std::strcmp(name, "neon") == 0) return Variant::kNeon;
+  return static_cast<Variant>(-1);
+}
+
+Variant resolve_env() {
+  const char* env = std::getenv("PPSI_SIMD");
+  if (env == nullptr || *env == '\0') return detected_variant();
+  const Variant v = parse_name(env);
+  if (static_cast<int>(v) < 0) {
+    std::fprintf(stderr,
+                 "ppsi: unknown PPSI_SIMD value '%s' "
+                 "(want scalar|sse2|avx2|neon); using scalar\n",
+                 env);
+    return Variant::kScalar;
+  }
+  if (!variant_supported(v)) {
+    std::fprintf(stderr,
+                 "ppsi: PPSI_SIMD=%s is not supported on this CPU/build; "
+                 "using scalar\n",
+                 env);
+    return Variant::kScalar;
+  }
+  return v;
+}
+
+}  // namespace
+
+const char* variant_name(Variant v) {
+  switch (v) {
+    case Variant::kScalar: return "scalar";
+    case Variant::kSse2: return "sse2";
+    case Variant::kAvx2: return "avx2";
+    case Variant::kNeon: return "neon";
+  }
+  return "unknown";
+}
+
+bool variant_supported(Variant v) {
+  switch (v) {
+    case Variant::kScalar:
+      return true;
+    case Variant::kSse2:
+#ifdef PPSI_SIMD_X86
+      return true;  // SSE2 is the x86-64 baseline
+#else
+      return false;
+#endif
+    case Variant::kAvx2:
+#ifdef PPSI_SIMD_X86
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case Variant::kNeon:
+#ifdef PPSI_SIMD_NEON
+      return true;  // NEON is the AArch64 baseline
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+Variant detected_variant() {
+#ifdef PPSI_SIMD_X86
+  if (variant_supported(Variant::kAvx2)) return Variant::kAvx2;
+  return Variant::kSse2;
+#elif defined(PPSI_SIMD_NEON)
+  return Variant::kNeon;
+#else
+  return Variant::kScalar;
+#endif
+}
+
+Variant active_variant() {
+  const int forced = g_forced.load(std::memory_order_relaxed);
+  if (forced >= 0) {
+    const auto v = static_cast<Variant>(forced);
+    return variant_supported(v) ? v : Variant::kScalar;
+  }
+  static const Variant from_env = resolve_env();
+  return from_env;
+}
+
+void force_variant(Variant v) {
+  g_forced.store(static_cast<int>(v), std::memory_order_relaxed);
+}
+
+void clear_forced_variant() {
+  g_forced.store(-1, std::memory_order_relaxed);
+}
+
+void hash_pairs_scalar(const std::uint64_t* pairs, std::size_t n,
+                       std::uint64_t* out) {
+  scalar_kernel(pairs, n, out);
+}
+
+void hash_pairs_with(Variant v, const std::uint64_t* pairs, std::size_t n,
+                     std::uint64_t* out) {
+  if (!variant_supported(v)) v = Variant::kScalar;
+  switch (v) {
+#ifdef PPSI_SIMD_X86
+    case Variant::kSse2:
+      sse2_kernel(pairs, n, out);
+      return;
+    case Variant::kAvx2:
+      avx2_kernel(pairs, n, out);
+      return;
+#endif
+#ifdef PPSI_SIMD_NEON
+    case Variant::kNeon:
+      neon_kernel(pairs, n, out);
+      return;
+#endif
+    default:
+      scalar_kernel(pairs, n, out);
+      return;
+  }
+}
+
+void hash_pairs(const std::uint64_t* pairs, std::size_t n,
+                std::uint64_t* out) {
+  hash_pairs_with(active_variant(), pairs, n, out);
+}
+
+}  // namespace ppsi::support::simd

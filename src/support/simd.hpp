@@ -1,0 +1,76 @@
+#pragma once
+
+// Runtime-dispatched SIMD kernels for the DP group-probing layer.
+//
+// The hot probe paths (FlatMap lookups, SigIndex membership) hash batches
+// of packed StateKeys — pairs of 64-bit words mixed by
+// support::hash_combine (rng.hpp). This header exposes that hash as a
+// batch kernel with per-variant implementations:
+//
+//   kScalar – portable reference (always available; the differential
+//             baseline every other variant must match bit-for-bit)
+//   kSse2   – 2 lanes  (x86-64 baseline)
+//   kAvx2   – 4 lanes  (runtime-detected; compiled with a `target`
+//             attribute so the translation unit builds without -mavx2)
+//   kNeon   – 2 lanes  (AArch64 baseline)
+//
+// Dispatch is compile-time safe: variants whose intrinsics the target
+// architecture lacks are compiled out entirely and report unsupported at
+// runtime; forcing an unsupported variant falls back to scalar. The
+// active variant resolves once per process from (test override >
+// PPSI_SIMD env > best detected) and is exposed so metrics/bench records
+// can attest which kernel actually ran.
+//
+// The kernels are *identity-preserving*: every variant produces the exact
+// output of the scalar reference (the SIMD forms emulate the 64-bit
+// multiply of splitmix64 with 32-bit partial products), so switching
+// variants can never change lookup results — only wall clock. The
+// kernel-differential suite pins this over a seeded corpus.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ppsi::support::simd {
+
+enum class Variant : int {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+  kNeon = 3,
+};
+
+/// Lowercase name used by PPSI_SIMD and in bench/CI output.
+const char* variant_name(Variant v);
+
+/// True when this build + CPU can execute `v`.
+bool variant_supported(Variant v);
+
+/// Best variant the current CPU supports (ignores overrides).
+Variant detected_variant();
+
+/// The variant the dispatched kernels run: test override if set, else
+/// PPSI_SIMD=scalar|sse2|avx2|neon (unsupported or unknown values fall
+/// back to scalar with a one-time stderr note), else detected_variant().
+Variant active_variant();
+
+/// Test/bench hook: force every subsequent dispatched call to `v`
+/// (unsupported variants degrade to scalar). Overrides PPSI_SIMD.
+void force_variant(Variant v);
+/// Clears force_variant (back to env/detection).
+void clear_forced_variant();
+
+/// out[i] = hash_combine(pairs[2i], pairs[2i+1]) for i < n, using the
+/// active variant. `pairs` is the interleaved (a, b) layout of a packed
+/// StateKey array (code, sep, code, sep, ...).
+void hash_pairs(const std::uint64_t* pairs, std::size_t n,
+                std::uint64_t* out);
+
+/// Same, with an explicit variant (unsupported variants run scalar).
+void hash_pairs_with(Variant v, const std::uint64_t* pairs, std::size_t n,
+                     std::uint64_t* out);
+
+/// Portable reference implementation (the differential baseline).
+void hash_pairs_scalar(const std::uint64_t* pairs, std::size_t n,
+                       std::uint64_t* out);
+
+}  // namespace ppsi::support::simd

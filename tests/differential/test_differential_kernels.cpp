@@ -1,0 +1,425 @@
+// Differential test of the bit-parallel DP kernels: every SIMD hash
+// variant, the bit-parallel state decode, the PositionMap projections, the
+// base+spread support-combo enumeration, and the batched FlatMap/SigIndex
+// probes must be bit-identical to their scalar / per-field references —
+// and forcing any supported SIMD variant must leave engine results AND
+// instrumented work counters unchanged (the standing work contract).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "isomorphism/group_probe.hpp"
+#include "isomorphism/pattern.hpp"
+#include "isomorphism/sequential_dp.hpp"
+#include "isomorphism/sig_index.hpp"
+#include "isomorphism/sparse_dp.hpp"
+#include "isomorphism/state_enumeration.hpp"
+#include "support/flat_table.hpp"
+#include "support/rng.hpp"
+#include "support/simd.hpp"
+#include "testing/random_inputs.hpp"
+#include "treedecomp/greedy_decomposition.hpp"
+
+namespace ppsi::iso {
+namespace {
+
+namespace simd = support::simd;
+
+constexpr simd::Variant kAllVariants[] = {
+    simd::Variant::kScalar, simd::Variant::kSse2, simd::Variant::kAvx2,
+    simd::Variant::kNeon};
+
+/// Restores the default dispatch when a test forced a variant.
+struct ForcedVariantGuard {
+  ~ForcedVariantGuard() { simd::clear_forced_variant(); }
+};
+
+std::vector<StateKey> random_keys(std::size_t n, std::uint64_t seed) {
+  support::Rng rng(seed, /*stream=*/0x6b657973);
+  std::vector<StateKey> keys(n);
+  for (StateKey& k : keys) {
+    k.code = rng.next_u64();
+    k.sep = rng.next_u64();
+  }
+  return keys;
+}
+
+// ---- Hash kernel ----
+
+// Every supported variant must produce the scalar reference hashes, at
+// every batch length (tail handling included), and the scalar reference
+// must equal StateKeyHash — the hash the tables were built with.
+TEST(KernelHash, AllSupportedVariantsMatchScalar) {
+  for (const std::size_t n :
+       {0ul, 1ul, 2ul, 3ul, 4ul, 5ul, 7ul, 8ul, 15ul, 16ul, 17ul, 1000ul}) {
+    const std::vector<StateKey> keys = random_keys(n, 100 + n);
+    const auto* pairs = reinterpret_cast<const std::uint64_t*>(keys.data());
+    std::vector<std::uint64_t> ref(n), got(n);
+    simd::hash_pairs_scalar(pairs, n, ref.data());
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ(ref[i], StateKeyHash{}(keys[i])) << "n=" << n << " i=" << i;
+    for (const simd::Variant v : kAllVariants) {
+      if (!simd::variant_supported(v)) continue;
+      simd::hash_pairs_with(v, pairs, n, got.data());
+      for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(ref[i], got[i])
+            << "variant " << simd::variant_name(v) << " n=" << n
+            << " i=" << i;
+    }
+  }
+}
+
+TEST(KernelHash, ForcedVariantControlsDispatch) {
+  ForcedVariantGuard guard;
+  ASSERT_TRUE(simd::variant_supported(simd::Variant::kScalar));
+  for (const simd::Variant v : kAllVariants) {
+    simd::force_variant(v);
+    if (simd::variant_supported(v)) {
+      EXPECT_EQ(simd::active_variant(), v) << simd::variant_name(v);
+    } else {
+      // Unsupported forced variants degrade to scalar rather than crash.
+      EXPECT_EQ(simd::active_variant(), simd::Variant::kScalar)
+          << simd::variant_name(v);
+    }
+  }
+  simd::clear_forced_variant();
+  EXPECT_TRUE(simd::variant_supported(simd::detected_variant()));
+}
+
+// ---- Bit-parallel state decode ----
+
+// view_of per-field reference.
+StateView view_of_ref(const StateCodec& codec, std::uint64_t code) {
+  StateView view;
+  for (std::uint32_t v = 0; v < codec.k; ++v) {
+    const std::uint64_t val = codec.get(code, v);
+    if (val == kStateU) {
+      view.u_mask |= 1u << v;
+    } else if (val == kStateC) {
+      view.c_mask |= 1u << v;
+    } else {
+      view.mapped_mask |= 1u << v;
+      view.image_mask |= 1ULL << (val - kStateMapped);
+    }
+  }
+  return view;
+}
+
+TEST(KernelDecode, ViewOfMatchesPerFieldReference) {
+  support::Rng rng(7, /*stream=*/0x76696577);
+  for (const std::uint32_t k : {1u, 2u, 3u, 5u, 8u, 12u, 16u}) {
+    for (const std::uint32_t max_bag : {1u, 2u, 4u, 6u, 14u}) {
+      StateCodec codec;
+      try {
+        codec = StateCodec::make(k, max_bag);
+      } catch (const std::invalid_argument&) {
+        continue;  // k * bits > 64: not a representable configuration
+      }
+      for (int trial = 0; trial < 200; ++trial) {
+        std::uint64_t code = 0;
+        for (std::uint32_t v = 0; v < k; ++v)
+          code = codec.set(code, v, rng.next_below(max_bag + 2));
+        const StateView a = view_of(codec, code);
+        const StateView b = view_of_ref(codec, code);
+        ASSERT_EQ(a.mapped_mask, b.mapped_mask) << "k=" << k << " code=" << code;
+        ASSERT_EQ(a.c_mask, b.c_mask) << "k=" << k << " code=" << code;
+        ASSERT_EQ(a.u_mask, b.u_mask) << "k=" << k << " code=" << code;
+        ASSERT_EQ(a.image_mask, b.image_mask) << "k=" << k << " code=" << code;
+      }
+    }
+  }
+}
+
+// ---- Instance-driven kernels: projections and support combos ----
+
+/// One decomposed random instance with per-node contexts and states.
+struct Instance {
+  Graph g;
+  Pattern pattern;
+  treedecomp::TreeDecomposition td;
+  StateCodec codec;
+  SeparatingSpec spec;
+  bool separating = false;
+  std::vector<BagContext> ctxs;
+  std::vector<std::vector<StateKey>> states;  // per node, discovery order
+
+  Instance(std::uint64_t seed, bool with_separating) {
+    g = testing::random_target(seed);
+    pattern = testing::random_pattern(seed);
+    td = treedecomp::binarize(treedecomp::greedy_decomposition(g));
+    std::size_t max_bag = 1;
+    for (const auto& bag : td.bags) max_bag = std::max(max_bag, bag.size());
+    codec = StateCodec::make(pattern.size(),
+                             static_cast<std::uint32_t>(max_bag));
+    separating = with_separating;
+    if (with_separating) {
+      support::Rng rng(seed, /*stream=*/0x5e9a);
+      spec.enabled = true;
+      spec.in_s.assign(g.num_vertices(), 0);
+      spec.allowed.assign(g.num_vertices(), 1);
+      for (Vertex v = 0; v < g.num_vertices(); ++v) {
+        spec.in_s[v] = rng.next_below(3) == 0 ? 1 : 0;
+        spec.allowed[v] = rng.next_below(4) != 0 ? 1 : 0;
+      }
+    }
+    ctxs.resize(td.num_nodes());
+    states.resize(td.num_nodes());
+    for (treedecomp::NodeId x = 0; x < td.num_nodes(); ++x) {
+      ctxs[x] = make_bag_context(g, td.bags[x], spec);
+      enumerate_local_states(pattern, ctxs[x], codec, separating,
+                             [&](StateKey key) { states[x].push_back(key); });
+    }
+  }
+};
+
+TEST(KernelProjection, PositionMapMatchesBinarySearchOverload) {
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    for (const bool separating : {false, true}) {
+      const Instance inst(seed, separating);
+      for (treedecomp::NodeId x = 0; x < inst.td.num_nodes(); ++x) {
+        const treedecomp::NodeId parent = inst.td.parent[x];
+        if (parent == treedecomp::kNoNode) continue;
+        const PositionMap pos_map =
+            make_position_map(inst.ctxs[x], inst.ctxs[parent]);
+        for (const StateKey s : inst.states[x]) {
+          const auto plain = project_to_parent(s, inst.codec, inst.pattern,
+                                               inst.ctxs[x], inst.ctxs[parent]);
+          const auto mapped = project_to_parent(s, inst.codec, inst.pattern,
+                                                inst.ctxs[x], pos_map);
+          ASSERT_EQ(plain.has_value(), mapped.has_value())
+              << "seed " << seed << " sep " << separating << " node " << x;
+          if (plain.has_value()) {
+            ASSERT_EQ(plain->code, mapped->code) << "seed " << seed;
+            ASSERT_EQ(plain->sep, mapped->sep) << "seed " << seed;
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Signature-pair sequence of one combo enumeration; nullopt marks an
+/// absent child (so nullness differences also fail the comparison).
+using ComboSeq =
+    std::vector<std::pair<std::optional<StateKey>, std::optional<StateKey>>>;
+
+template <class ComboFn>
+ComboSeq combo_sequence(const Instance& inst, treedecomp::NodeId x,
+                        StateKey state, ComboFn&& fn) {
+  detail::ChildLink left, right;
+  const auto& kids = inst.td.children[x];
+  if (!kids.empty())
+    left = {true, shared_position_mask(inst.ctxs[x], inst.ctxs[kids[0]])};
+  if (kids.size() == 2)
+    right = {true, shared_position_mask(inst.ctxs[x], inst.ctxs[kids[1]])};
+  ComboSeq seq;
+  fn(inst.codec, inst.ctxs[x], state, left, right, inst.separating,
+     [&](const StateKey* sl, const StateKey* sr) {
+       seq.emplace_back(sl != nullptr ? std::optional<StateKey>(*sl)
+                                      : std::nullopt,
+                        sr != nullptr ? std::optional<StateKey>(*sr)
+                                      : std::nullopt);
+       return false;  // visit the whole enumeration
+     });
+  return seq;
+}
+
+// The bit-parallel combo kernel must visit the exact (sigL, sigR) sequence
+// of the per-field reference — same order, same values — in both base and
+// separating modes.
+TEST(KernelCombos, BitParallelVisitsIdenticalSequence) {
+  const auto bitparallel = [](const auto&... args) {
+    return detail::for_each_support_combo(args...);
+  };
+  const auto reference = [](const auto&... args) {
+    return detail::for_each_support_combo_ref(args...);
+  };
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    for (const bool separating : {false, true}) {
+      const Instance inst(seed, separating);
+      for (treedecomp::NodeId x = 0; x < inst.td.num_nodes(); ++x) {
+        for (const StateKey s : inst.states[x]) {
+          const ComboSeq got = combo_sequence(inst, x, s, bitparallel);
+          const ComboSeq want = combo_sequence(inst, x, s, reference);
+          ASSERT_EQ(got.size(), want.size())
+              << "seed " << seed << " sep " << separating << " node " << x;
+          for (std::size_t i = 0; i < got.size(); ++i) {
+            ASSERT_EQ(got[i].first.has_value(), want[i].first.has_value());
+            ASSERT_EQ(got[i].second.has_value(), want[i].second.has_value());
+            if (got[i].first.has_value()) {
+              ASSERT_EQ(got[i].first->code, want[i].first->code)
+                  << "seed " << seed << " node " << x << " combo " << i;
+              ASSERT_EQ(got[i].first->sep, want[i].first->sep)
+                  << "seed " << seed << " node " << x << " combo " << i;
+            }
+            if (got[i].second.has_value()) {
+              ASSERT_EQ(got[i].second->code, want[i].second->code)
+                  << "seed " << seed << " node " << x << " combo " << i;
+              ASSERT_EQ(got[i].second->sep, want[i].second->sep)
+                  << "seed " << seed << " node " << x << " combo " << i;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---- Batched probes ----
+
+class BatchedProbes : public ::testing::TestWithParam<int> {};
+
+TEST_P(BatchedProbes, FlatMapFindBatchMatchesSingleFinds) {
+  ForcedVariantGuard guard;
+  const std::uint64_t seed = GetParam();
+  support::Rng rng(seed, /*stream=*/0xf1a7);
+  for (const std::size_t n : {0ul, 1ul, 7ul, 16ul, 33ul, 500ul}) {
+    support::FlatMap<StateKey, StateKeyHash> map;
+    const std::vector<StateKey> keys = random_keys(n, seed * 13 + n);
+    map.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      map.emplace(keys[i], static_cast<std::uint32_t>(i));
+    // Mixed hit/miss probe stream, deliberately longer than one batch.
+    std::vector<StateKey> probes(2 * n + 5);
+    for (StateKey& p : probes) {
+      if (n != 0 && rng.next_below(2) == 0) {
+        p = keys[rng.next_below(n)];
+      } else {
+        p = {rng.next_u64(), rng.next_u64()};
+      }
+    }
+    std::vector<std::uint32_t> out(probes.size());
+    for (const simd::Variant v : kAllVariants) {
+      if (!simd::variant_supported(v)) continue;
+      simd::force_variant(v);
+      find_batch(map, probes.data(), probes.size(), out.data());
+      for (std::size_t i = 0; i < probes.size(); ++i)
+        ASSERT_EQ(out[i], map.find(probes[i]))
+            << "variant " << simd::variant_name(v) << " n=" << n
+            << " i=" << i;
+    }
+  }
+}
+
+TEST_P(BatchedProbes, SigIndexContainsBatchMatchesSingleContains) {
+  ForcedVariantGuard guard;
+  const std::uint64_t seed = GetParam();
+  support::Rng rng(seed, /*stream=*/0x5161);
+  for (const std::size_t n : {0ul, 1ul, 7ul, 16ul, 33ul, 500ul}) {
+    SigIndex index;
+    const std::vector<StateKey> keys = random_keys(n, seed * 29 + n);
+    if (n != 0) {
+      // Repeat some signatures so groups have width, like real sig groups.
+      std::vector<std::pair<StateKey, std::uint32_t>> pairs;
+      for (std::size_t i = 0; i < n; ++i) {
+        pairs.push_back({keys[i], static_cast<std::uint32_t>(i)});
+        if (rng.next_below(3) == 0)
+          pairs.push_back({keys[i], static_cast<std::uint32_t>(i + n)});
+      }
+      index.build(pairs);
+    }
+    std::vector<StateKey> probes(2 * n + 5);
+    for (StateKey& p : probes) {
+      if (n != 0 && rng.next_below(2) == 0) {
+        p = keys[rng.next_below(n)];
+      } else {
+        p = {rng.next_u64(), rng.next_u64()};
+      }
+    }
+    std::vector<char> out(probes.size());
+    for (const simd::Variant v : kAllVariants) {
+      if (!simd::variant_supported(v)) continue;
+      simd::force_variant(v);
+      contains_batch(index, probes.data(), probes.size(),
+                     reinterpret_cast<bool*>(out.data()));
+      for (std::size_t i = 0; i < probes.size(); ++i)
+        ASSERT_EQ(static_cast<bool>(out[i]), index.contains(probes[i]))
+            << "variant " << simd::variant_name(v) << " n=" << n
+            << " i=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchedProbes, ::testing::Range(0, 10));
+
+// ---- Whole-engine invariance across forced variants ----
+
+struct EngineRun {
+  bool accepted = false;
+  std::vector<std::vector<StateKey>> states;
+  std::uint64_t work = 0;
+
+  static EngineRun sequential(const Graph& g,
+                              const treedecomp::TreeDecomposition& td,
+                              const Pattern& pattern,
+                              const DpOptions& options) {
+    const DpSolution sol = solve_sequential(g, td, pattern, options);
+    EngineRun run;
+    run.accepted = sol.accepted;
+    run.work = sol.metrics.work();
+    for (const SolvedNode& node : sol.nodes) run.states.push_back(node.states);
+    return run;
+  }
+
+  static EngineRun sparse(const Graph& g,
+                          const treedecomp::TreeDecomposition& td,
+                          const Pattern& pattern, const DpOptions& options) {
+    const DpSolution sol = solve_sparse(g, td, pattern, options);
+    EngineRun run;
+    run.accepted = sol.accepted;
+    run.work = sol.metrics.work();
+    for (const SolvedNode& node : sol.nodes) run.states.push_back(node.states);
+    return run;
+  }
+};
+
+// The standing contract of the tentpole: switching SIMD variants (and with
+// them the batched probe hashing) changes neither results, nor per-node
+// state sequences, nor the instrumented work counters — bit-identical
+// work across kernel variants.
+class VariantInvariance : public ::testing::TestWithParam<int> {};
+
+TEST_P(VariantInvariance, EngineResultsAndWorkIdenticalAcrossVariants) {
+  ForcedVariantGuard guard;
+  const std::uint64_t seed = GetParam();
+  const Graph g = testing::random_target(seed);
+  const Pattern pattern = testing::random_pattern(seed);
+  const auto td = treedecomp::binarize(treedecomp::greedy_decomposition(g));
+
+  simd::force_variant(simd::Variant::kScalar);
+  const EngineRun seq_ref = EngineRun::sequential(g, td, pattern, {});
+  const EngineRun sparse_ref = EngineRun::sparse(g, td, pattern, {});
+
+  for (const simd::Variant v : kAllVariants) {
+    if (v == simd::Variant::kScalar || !simd::variant_supported(v)) continue;
+    simd::force_variant(v);
+    const EngineRun seq = EngineRun::sequential(g, td, pattern, {});
+    const EngineRun sparse = EngineRun::sparse(g, td, pattern, {});
+    const std::string context =
+        "seed " + std::to_string(seed) + " variant " + simd::variant_name(v);
+    EXPECT_EQ(seq_ref.accepted, seq.accepted) << context;
+    EXPECT_EQ(seq_ref.work, seq.work) << context << " [sequential work]";
+    ASSERT_EQ(seq_ref.states.size(), seq.states.size()) << context;
+    for (std::size_t x = 0; x < seq.states.size(); ++x)
+      EXPECT_EQ(seq_ref.states[x], seq.states[x]) << context << " node " << x;
+    EXPECT_EQ(sparse_ref.accepted, sparse.accepted) << context;
+    EXPECT_EQ(sparse_ref.work, sparse.work) << context << " [sparse work]";
+    ASSERT_EQ(sparse_ref.states.size(), sparse.states.size()) << context;
+    for (std::size_t x = 0; x < sparse.states.size(); ++x)
+      EXPECT_EQ(sparse_ref.states[x], sparse.states[x])
+          << context << " node " << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VariantInvariance, ::testing::Range(0, 60));
+
+}  // namespace
+}  // namespace ppsi::iso
